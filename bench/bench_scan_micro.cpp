@@ -1,0 +1,132 @@
+// Wall-clock microbenchmarks of the raw scan library on the host machine —
+// the practical half of the paper's claim that scans should be treated as
+// cheap as memory operations. Compares the library's scans against
+// std::inclusive_scan and a plain memory pass, across sizes and flavours.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numeric>
+#include <random>
+
+#include "src/core/primitives.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+
+namespace {
+
+using namespace scanprim;
+
+std::vector<std::int64_t> make_input(std::size_t n) {
+  std::mt19937_64 g(42);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(g() & 0xffff);
+  return v;
+}
+
+void BM_MemoryPass(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    std::memcpy(out.data(), in.data(), in.size() * sizeof(in[0]));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * in.size() * sizeof(in[0]));
+}
+BENCHMARK(BM_MemoryPass)->Range(1 << 10, 1 << 22);
+
+void BM_PlusScan(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    exclusive_scan(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), Plus<std::int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * in.size() * sizeof(in[0]));
+}
+BENCHMARK(BM_PlusScan)->Range(1 << 10, 1 << 22);
+
+void BM_StdInclusiveScan(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    std::inclusive_scan(in.begin(), in.end(), out.begin());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * in.size() * sizeof(in[0]));
+}
+BENCHMARK(BM_StdInclusiveScan)->Range(1 << 10, 1 << 22);
+
+void BM_MaxScan(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    exclusive_scan(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), Max<std::int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * in.size() * sizeof(in[0]));
+}
+BENCHMARK(BM_MaxScan)->Range(1 << 12, 1 << 22);
+
+void BM_SegPlusScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = make_input(n);
+  Flags f(n, 0);
+  std::mt19937_64 g(7);
+  if (n > 0) f[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) f[i] = (g() % 16) == 0;
+  std::vector<std::int64_t> out(n);
+  for (auto _ : state) {
+    seg_exclusive_scan(std::span<const std::int64_t>(in), FlagsView(f),
+                       std::span<std::int64_t>(out), Plus<std::int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(in[0]));
+}
+BENCHMARK(BM_SegPlusScan)->Range(1 << 12, 1 << 22);
+
+void BM_Enumerate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Flags f(n, 0);
+  std::mt19937_64 g(9);
+  for (auto& x : f) x = g() & 1;
+  for (auto _ : state) {
+    auto e = enumerate(FlagsView(f));
+    benchmark::DoNotOptimize(e.data());
+  }
+}
+BENCHMARK(BM_Enumerate)->Range(1 << 12, 1 << 20);
+
+void BM_Permute(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = make_input(n);
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::mt19937_64 g(11);
+  std::shuffle(idx.begin(), idx.end(), g);
+  std::vector<std::int64_t> out(n);
+  for (auto _ : state) {
+    permute(std::span<const std::int64_t>(in),
+            std::span<const std::size_t>(idx), std::span<std::int64_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(in[0]));
+}
+BENCHMARK(BM_Permute)->Range(1 << 12, 1 << 20);
+
+void BM_Split(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = make_input(n);
+  Flags f(n);
+  for (std::size_t i = 0; i < n; ++i) f[i] = in[i] & 1;
+  for (auto _ : state) {
+    auto s = split(std::span<const std::int64_t>(in), FlagsView(f));
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_Split)->Range(1 << 12, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 1, geometry rows (n points, n processors):
+//
+//   paper:   Line of Sight   EREW O(lg n)   CRCW O(lg n)   Scan O(1)
+//
+// plus the §2.4.1 line-drawing routine, whose step count is O(1) regardless
+// of the number and length of the lines.
+#include <random>
+
+#include "bench_util.hpp"
+#include "src/algo/line_draw.hpp"
+#include "src/algo/line_of_sight.hpp"
+
+using namespace scanprim;
+using machine::Machine;
+using machine::Model;
+
+int main() {
+  bench::header("Table 1 / Line of Sight (n altitudes, n processors)");
+  bench::row({"n", "EREW steps", "CRCW steps", "Scan steps"});
+  for (std::size_t lg = 8; lg <= 20; lg += 3) {
+    const std::size_t n = std::size_t{1} << lg;
+    std::vector<double> alt(n);
+    std::mt19937_64 g(lg);
+    for (auto& a : alt) a = static_cast<double>(g() % 2000);
+    std::uint64_t steps[3];
+    int i = 0;
+    for (const Model model : {Model::EREW, Model::CRCW, Model::Scan}) {
+      Machine m(model);
+      algo::line_of_sight(m, std::span<const double>(alt));
+      steps[i++] = m.stats().steps;
+    }
+    bench::row({bench::fmt_u(n), bench::fmt_u(steps[0]), bench::fmt_u(steps[1]),
+                bench::fmt_u(steps[2])});
+  }
+  std::printf("(Scan column constant = the paper's O(1); EREW grows as lg n)\n");
+
+  bench::header("Figure 9 / Line Drawing (k lines, ~60 pixels each)");
+  bench::row({"lines", "pixels", "EREW steps", "Scan steps"});
+  for (const std::size_t k : {16u, 256u, 4096u, 65536u}) {
+    std::mt19937_64 g(k);
+    std::vector<algo::LineSegment> lines(k);
+    for (auto& l : lines) {
+      l.a = {static_cast<std::int64_t>(g() % 1000),
+             static_cast<std::int64_t>(g() % 1000)};
+      l.b = {l.a.x + static_cast<std::int64_t>(g() % 60),
+             l.a.y + static_cast<std::int64_t>(g() % 60)};
+    }
+    Machine ms(Model::Scan), me(Model::EREW);
+    const auto r = algo::draw_lines(ms, std::span<const algo::LineSegment>(lines));
+    algo::draw_lines(me, std::span<const algo::LineSegment>(lines));
+    bench::row({bench::fmt_u(k), bench::fmt_u(r.pixels.size()),
+                bench::fmt_u(me.stats().steps), bench::fmt_u(ms.stats().steps)});
+  }
+  std::printf("(steps independent of the number of lines: allocation is O(1))\n");
+  return 0;
+}

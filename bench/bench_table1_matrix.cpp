@@ -1,0 +1,77 @@
+// Table 1, matrix rows (n×n matrices, n² processors):
+//
+//   paper:  Matrix × Matrix   EREW O(n)        CRCW O(n)       Scan O(n)
+//           Vector × Matrix   EREW O(lg n)     CRCW O(lg n)    Scan O(1)
+//           Linear solver     EREW O(n lg n)   CRCW O(n lg n)  Scan O(n)
+#include <random>
+
+#include "bench_util.hpp"
+#include "src/algo/matrix.hpp"
+
+using namespace scanprim;
+using machine::Machine;
+using machine::Model;
+
+namespace {
+
+algo::Matrix random_matrix(std::size_t n, std::uint64_t seed, double diag) {
+  algo::Matrix M{n, n, std::vector<double>(n * n)};
+  std::mt19937_64 g(seed);
+  for (auto& v : M.a) v = static_cast<double>(g() % 100) / 10.0 - 5.0;
+  for (std::size_t i = 0; i < n; ++i) M.at(i, i) += diag;
+  return M;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 1 / Vector x Matrix (n^2 processors)");
+  bench::row({"n", "EREW steps", "CRCW steps", "Scan steps"});
+  for (const std::size_t n : {8u, 32u, 128u, 512u}) {
+    const algo::Matrix M = random_matrix(n, n, 0);
+    std::vector<double> x(n, 1.0);
+    std::uint64_t steps[3];
+    int i = 0;
+    for (const Model model : {Model::EREW, Model::CRCW, Model::Scan}) {
+      Machine m(model);
+      algo::vec_mat_multiply(m, std::span<const double>(x), M);
+      steps[i++] = m.stats().steps;
+    }
+    bench::row({bench::fmt_u(n), bench::fmt_u(steps[0]), bench::fmt_u(steps[1]),
+                bench::fmt_u(steps[2])});
+  }
+  std::printf("(Scan constant = O(1); EREW's lg n from the broadcast/reduce)\n");
+
+  bench::header("Table 1 / Matrix x Matrix");
+  bench::row({"n", "Scan steps", "steps/n"});
+  std::vector<double> ns, ss;
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    const algo::Matrix A = random_matrix(n, n + 1, 0);
+    const algo::Matrix B = random_matrix(n, n + 2, 0);
+    Machine m(Model::Scan);
+    algo::mat_mat_multiply(m, A, B);
+    bench::row({bench::fmt_u(n), bench::fmt_u(m.stats().steps),
+                bench::fmt(static_cast<double>(m.stats().steps) / n, 2)});
+    ns.push_back(static_cast<double>(n));
+    ss.push_back(static_cast<double>(m.stats().steps));
+  }
+  std::printf("growth: steps ~ n^%.2f  (paper: 1)\n",
+              bench::loglog_slope(ns, ss));
+
+  bench::header("Table 1 / Linear solver with pivoting");
+  bench::row({"n", "EREW steps", "Scan steps", "EREW/(n lg n)", "Scan/n"});
+  for (const std::size_t n : {8u, 32u, 128u, 256u}) {
+    const algo::Matrix A = random_matrix(n, n + 3, 40.0);
+    std::vector<double> b(n, 1.0);
+    Machine ms(Model::Scan), me(Model::EREW);
+    algo::linear_solve(ms, A, b);
+    algo::linear_solve(me, A, b);
+    const double lg = std::log2(static_cast<double>(n));
+    bench::row({bench::fmt_u(n), bench::fmt_u(me.stats().steps),
+                bench::fmt_u(ms.stats().steps),
+                bench::fmt(static_cast<double>(me.stats().steps) / (n * lg), 2),
+                bench::fmt(static_cast<double>(ms.stats().steps) / n, 2)});
+  }
+  std::printf("(flat normalised columns = the paper's O(n lg n) vs O(n))\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table 1, sorting and merging rows (n keys, n processors):
+//
+//   paper:   Sorting   EREW O(lg n)   CRCW O(lg n)   Scan O(lg n)
+//            Merging   EREW O(lg n)   CRCW O(lg lg n)   Scan O(lg lg n)
+//
+// Sorting: the split radix sort on lg n-bit keys takes O(1) steps per bit in
+// the scan model — O(lg n) total — while the same program under the EREW
+// charge pays lg n per scan, i.e. O(lg² n); the EREW's own O(lg n) sorts are
+// the (impractical) AKS/Cole networks the paper contrasts against.
+// Quicksort shows the same shape with expected O(lg n) iterations.
+// Merging: the halving merge runs in O(n/p + lg n) steps (Table 5 explores
+// the p < n regime; here p = n).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "src/algo/halving_merge.hpp"
+#include "src/algo/quicksort.hpp"
+#include "src/algo/radix_sort.hpp"
+
+using namespace scanprim;
+using machine::Machine;
+using machine::Model;
+
+int main() {
+  bench::header("Table 1 / Sorting: split radix sort, lg n-bit keys");
+  bench::row({"n", "EREW steps", "CRCW steps", "Scan steps", "Scan/lg n"});
+  std::vector<double> lgs, scans;
+  for (std::size_t lg = 8; lg <= 18; lg += 2) {
+    const std::size_t n = std::size_t{1} << lg;
+    const auto keys = bench::random_keys<std::uint64_t>(n, lg, n);
+    std::uint64_t steps[3];
+    int i = 0;
+    for (const Model model : {Model::EREW, Model::CRCW, Model::Scan}) {
+      Machine m(model);
+      algo::split_radix_sort(m, std::span<const std::uint64_t>(keys),
+                             static_cast<unsigned>(lg));
+      steps[i++] = m.stats().steps;
+    }
+    bench::row({bench::fmt_u(n), bench::fmt_u(steps[0]), bench::fmt_u(steps[1]),
+                bench::fmt_u(steps[2]),
+                bench::fmt(static_cast<double>(steps[2]) / lg, 1)});
+    lgs.push_back(static_cast<double>(lg));
+    scans.push_back(static_cast<double>(steps[2]));
+  }
+  std::printf("scan-model growth: steps ~ (lg n)^%.2f   (paper: 1)\n",
+              bench::loglog_slope(lgs, scans));
+
+  bench::header("Table 1 / Sorting: quicksort, random pivots");
+  bench::row({"n", "iterations", "Scan steps", "EREW steps", "Scan/lg n"});
+  for (std::size_t lg = 8; lg <= 16; lg += 2) {
+    const std::size_t n = std::size_t{1} << lg;
+    std::vector<double> keys(n);
+    std::mt19937_64 g(lg);
+    for (auto& k : keys) k = static_cast<double>(g() % 1000000);
+    Machine ms(Model::Scan), me(Model::EREW);
+    const auto r = algo::quicksort(ms, std::span<const double>(keys));
+    algo::quicksort(me, std::span<const double>(keys));
+    bench::row({bench::fmt_u(n), bench::fmt_u(r.iterations),
+                bench::fmt_u(ms.stats().steps), bench::fmt_u(me.stats().steps),
+                bench::fmt(static_cast<double>(ms.stats().steps) / lg, 1)});
+  }
+
+  bench::header("Table 1 / Merging: halving merge (p = n)");
+  bench::row({"n per side", "levels", "Scan steps", "steps/lg n"});
+  for (std::size_t lg = 8; lg <= 18; lg += 2) {
+    const std::size_t n = std::size_t{1} << lg;
+    auto a = bench::random_keys<std::uint64_t>(n, lg, 1u << 30);
+    auto b = bench::random_keys<std::uint64_t>(n, lg + 1, 1u << 30);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    Machine m(Model::Scan);
+    const auto r = algo::halving_merge(m, std::span<const std::uint64_t>(a),
+                                       std::span<const std::uint64_t>(b));
+    bench::row({bench::fmt_u(n), bench::fmt_u(r.levels),
+                bench::fmt_u(m.stats().steps),
+                bench::fmt(static_cast<double>(m.stats().steps) / lg, 1)});
+  }
+  std::printf("(the steps/lg n column flattening = O(lg n) steps, the scan\n"
+              " model's merging row)\n");
+
+  bench::header("Table 1 / Merging: binary-search merge baseline (p = n)");
+  bench::row({"n per side", "bsearch steps", "halving steps"});
+  for (std::size_t lg = 8; lg <= 16; lg += 4) {
+    const std::size_t n = std::size_t{1} << lg;
+    auto a = bench::random_keys<std::uint64_t>(n, lg + 40, 1u << 30);
+    auto b = bench::random_keys<std::uint64_t>(n, lg + 41, 1u << 30);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    Machine mb(Model::EREW), mh(Model::Scan);
+    algo::binary_search_merge(mb, std::span<const std::uint64_t>(a),
+                              std::span<const std::uint64_t>(b));
+    algo::halving_merge(mh, std::span<const std::uint64_t>(a),
+                        std::span<const std::uint64_t>(b));
+    bench::row({bench::fmt_u(n), bench::fmt_u(mb.stats().steps),
+                bench::fmt_u(mh.stats().steps)});
+  }
+  std::printf("(the binary-search merge uses no scans, so every model\n"
+              " charges it O(lg n) — Table 1's EREW merging entry; the\n"
+              " halving merge matches it at p = n and, unlike it, becomes\n"
+              " work-optimal when p < n — Table 5)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table 2: a scan operation versus a parallel memory reference, in theory
+// (VLSI area / circuit size and depth) and at the bit-cycle level, plus the
+// §3.3 example system. The scan side is *measured* on the logic-level
+// simulator of §3.2; the memory-reference side uses the butterfly-router
+// cost model documented in circuit/router_model.hpp (we cannot run a CM-2;
+// the table's claim — a scan is no slower and needs asymptotically less
+// hardware — is what the substitution preserves; see DESIGN.md).
+#include <random>
+
+#include "bench_util.hpp"
+#include "src/circuit/prefix_networks.hpp"
+#include "src/circuit/router_model.hpp"
+#include "src/circuit/tree_circuit.hpp"
+
+using namespace scanprim;
+using circuit::ScanOpKind;
+using circuit::TreeScanCircuit;
+
+int main() {
+  bench::header("Table 2 / theoretical costs at n = 65536");
+  bench::row({"quantity", "memory ref", "scan", ""});
+  for (const auto& r : circuit::theoretical_costs(1 << 16)) {
+    std::printf("%28s%16.0f%16.0f   %s\n", r.quantity.c_str(),
+                r.memory_reference, r.scan, r.note.c_str());
+  }
+
+  bench::header("Table 2 / bit cycles, 32-bit fields (measured scan circuit)");
+  bench::row({"n procs", "memref cycles", "scan cycles", "scan measured"});
+  for (std::size_t lg = 8; lg <= 16; lg += 2) {
+    const std::size_t n = std::size_t{1} << lg;
+    const auto c = circuit::bit_serial_costs(n, 32);
+    TreeScanCircuit sim(n, 32);
+    std::mt19937_64 g(lg);
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = g() & 0xffffffff;
+    sim.scan(v, ScanOpKind::Add);
+    bench::row({bench::fmt_u(n), bench::fmt(c.memory_reference_cycles, 0),
+                bench::fmt(c.scan_cycles, 0),
+                bench::fmt_u(sim.last_cycle_count())});
+  }
+  std::printf("(paper, 64K-processor CM-2: memory reference 600 bit cycles,\n"
+              " scan 550 sharing the router wires; a dedicated tree needs\n"
+              " only d + 2 lg n = 63)\n");
+
+  bench::header("Table 2 / hardware: percent of machine");
+  {
+    TreeScanCircuit sim(1 << 16, 32);
+    const auto hw = sim.inventory();
+    std::printf("  %zu leaves: %zu units, %zu sum state machines,\n"
+                "  %zu shift-register bits, %zu wires\n",
+                hw.leaves, hw.units, hw.state_machines,
+                hw.shift_register_bits, hw.wires);
+    std::printf("  ~O(1) gates/processor vs a router's O(lg n) switch\n"
+                "  stages/processor (paper: scan 0%% extra hardware on the\n"
+                "  CM-2 vs router ~30%% of the machine)\n");
+  }
+
+  bench::header("Table 2 / the prefix-network design space (n = 4096): exact "
+                "gate counts");
+  bench::row({"network", "size", "depth", "max fanout"});
+  for (const auto& make :
+       {circuit::serial_network, circuit::sklansky_network,
+        circuit::brent_kung_network, circuit::kogge_stone_network}) {
+    const auto net = make(4096);
+    bench::row({net.name, bench::fmt_u(net.size()), bench::fmt_u(net.depth()),
+                bench::fmt_u(net.max_fanout())});
+  }
+  std::printf("(the O(n)-size / O(lg n)-depth corner the table quotes from\n"
+              " Ladner-Fischer/Fich is Brent-Kung's neighborhood; the tree\n"
+              " circuit above is its bit-pipelined incarnation)\n");
+
+  bench::header("Section 3.3 / example system: 4096 processors, 32-bit scan");
+  {
+    TreeScanCircuit sim(4096, 32);
+    std::vector<std::uint64_t> v(4096, 1);
+    sim.scan(v, ScanOpKind::Add);
+    const double at100ns = sim.last_cycle_count() * 0.1;
+    const double at10ns = sim.last_cycle_count() * 0.01;
+    std::printf("  measured %zu cycles -> %.1f us at 100 ns clock (paper ~5 us),"
+                "\n  %.2f us at the Monarch's 10 ns clock (paper 0.5 us)\n",
+                sim.last_cycle_count(), at100ns, at10ns);
+    const auto hw = sim.inventory();
+    const auto chips = circuit::partition_into_chips(4096, 64);
+    std::printf("  packaging with 64-input chips: %zu chips (64 leaf + 1 "
+                "combiner), %zu state machines\n  and %zu shift registers "
+                "per chip, one wire pair leaving each (paper: same)\n",
+                chips.chips, chips.state_machines_per_leaf_chip,
+                chips.shift_registers_per_leaf_chip);
+    std::printf("  whole machine: %zu units, %zu state machines\n", hw.units,
+                hw.state_machines);
+  }
+  return 0;
+}

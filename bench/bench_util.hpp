@@ -1,0 +1,78 @@
+// Shared helpers for the table-reproduction benches: aligned text tables,
+// workload generators, and least-squares slope fits used to report empirical
+// complexity exponents.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%16s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Least-squares slope of lg(y) against lg(x): the empirical growth
+/// exponent. slope ~0 = constant, ~1 = linear in the x variable.
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log2(x[i]);
+    const double ly = std::log2(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+inline std::vector<graph::WeightedEdge> random_connected_graph(
+    std::size_t n, std::size_t extra, std::uint64_t seed) {
+  std::mt19937_64 g(seed);
+  std::vector<graph::WeightedEdge> edges;
+  for (std::size_t v = 1; v < n; ++v) {
+    edges.push_back({g() % v, v, static_cast<double>(g() % 1000000)});
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t u = g() % n, v = g() % n;
+    if (u != v) edges.push_back({u, v, static_cast<double>(g() % 1000000)});
+  }
+  return edges;
+}
+
+template <class T>
+std::vector<T> random_keys(std::size_t n, std::uint64_t seed,
+                           std::uint64_t bound) {
+  std::mt19937_64 g(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(g() % bound);
+  return v;
+}
+
+}  // namespace scanprim::bench

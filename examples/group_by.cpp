@@ -1,0 +1,78 @@
+// Database-style analytics with segments: GROUP BY is a radix sort, and
+// every per-group aggregate is one segmented operation — the §2.3 "operate
+// over many sets of data in parallel" technique on a workload people
+// actually run. Synthesizes a sales table, groups by store, and computes
+// count / sum / min / max / mean per store in O(1) program steps per
+// aggregate, independent of how skewed the group sizes are.
+#include <cstdio>
+#include <random>
+
+#include "src/scanprim.hpp"
+
+using namespace scanprim;
+
+int main() {
+  machine::Machine m(machine::Model::Scan);
+  const std::size_t rows = 200000;
+  const std::size_t stores = 12;
+
+  // A skewed synthetic table: store 0 gets ~half the traffic.
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> store(rows);
+  std::vector<double> amount(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    store[i] = rng() % 2 == 0 ? 0 : 1 + rng() % (stores - 1);
+    amount[i] = static_cast<double>(rng() % 50000) / 100.0;
+  }
+
+  // GROUP BY store: one split radix sort of the row ids by store key.
+  const algo::SortWithOrigin sorted = algo::split_radix_sort_with_origin(
+      m, std::span<const std::uint64_t>(store), algo::bits_for(stores));
+  std::vector<double> amt_sorted =
+      m.gather(std::span<const double>(amount),
+               std::span<const std::size_t>(sorted.origin));
+
+  // Segment flags at the store boundaries.
+  Flags segs(rows);
+  m.charge_elementwise(rows);
+  thread::parallel_for(rows, [&](std::size_t i) {
+    segs[i] = i == 0 || sorted.keys[i] != sorted.keys[i - 1];
+  });
+  // Aggregates: one charged segmented operation each (the SegVec wrapper in
+  // core/segvec.hpp offers the same calls on the uncharged fast path).
+  m.reset_stats();
+  const std::vector<std::size_t> ones(rows, 1);
+  const auto counts = m.seg_distribute(std::span<const std::size_t>(ones),
+                                       FlagsView(segs), Plus<std::size_t>{});
+  const auto sums = m.seg_distribute(std::span<const double>(amt_sorted),
+                                     FlagsView(segs), Plus<double>{});
+  const auto mins = m.seg_distribute(std::span<const double>(amt_sorted),
+                                     FlagsView(segs), Min<double>{});
+  const auto maxs = m.seg_distribute(std::span<const double>(amt_sorted),
+                                     FlagsView(segs), Max<double>{});
+  const auto steps = m.stats().steps;
+
+  // Read one row per group off the segment heads.
+  const std::vector<std::size_t> heads = pack_index(FlagsView(segs));
+  std::printf("%8s %10s %12s %10s %10s %10s\n", "store", "rows", "sum", "min",
+              "max", "mean");
+  for (const std::size_t h : heads) {
+    std::printf("%8llu %10zu %12.2f %10.2f %10.2f %10.2f\n",
+                static_cast<unsigned long long>(sorted.keys[h]), counts[h],
+                sums[h], mins[h], maxs[h], sums[h] / counts[h]);
+  }
+  std::printf("\nall four aggregates over %zu rows and %zu groups: "
+              "%llu program steps (group skew is irrelevant — store 0 holds "
+              "%zu rows)\n",
+              rows, heads.size(), static_cast<unsigned long long>(steps),
+              counts[heads[0]]);
+
+  // Sanity: serial totals agree.
+  double total = 0;
+  for (const double a : amount) total += a;
+  double seg_total = 0;
+  for (const std::size_t h : heads) seg_total += sums[h];
+  std::printf("serial cross-check: totals agree to %.6f\n",
+              std::abs(total - seg_total));
+  return std::abs(total - seg_total) < 1e-6 * total ? 0 : 1;
+}

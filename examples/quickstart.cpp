@@ -1,0 +1,85 @@
+// Quickstart: the scan primitives and the vector operations built on them,
+// on the paper's own worked examples. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/scanprim.hpp"
+
+using namespace scanprim;
+
+namespace {
+
+template <class T>
+void show(const char* label, const std::vector<T>& v) {
+  std::printf("%-22s [", label);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::printf("%s%lld", i ? " " : "", static_cast<long long>(v[i]));
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("scanprim %s — scans as primitive parallel operations\n",
+              version());
+  std::printf("running with %zu worker thread(s)\n\n", runtime_workers());
+
+  // --- the two primitive scans (§2.1) -------------------------------------------
+  const std::vector<int> a{2, 1, 2, 3, 5, 8, 13, 21};
+  show("A", a);
+  show("+-scan(A)", plus_scan(std::span<const int>(a)));
+  show("max-scan(A)", max_scan(std::span<const int>(a)));
+
+  // --- enumerate / copy / distribute (§2.2) --------------------------------------
+  const Flags flag{1, 0, 0, 1, 0, 1, 1, 0};
+  show("\nFlag", std::vector<int>(flag.begin(), flag.end()));
+  show("enumerate(Flag)", enumerate(FlagsView(flag)));
+  const std::vector<int> b{1, 1, 2, 1, 1, 2, 1, 1};
+  show("B", b);
+  show("+-distribute(B)", distribute(std::span<const int>(b), Plus<int>{}));
+
+  // --- segmented scans (§2.3) ---------------------------------------------------
+  const std::vector<int> c{5, 1, 3, 4, 3, 9, 2, 6};
+  const Flags seg{1, 0, 1, 0, 0, 0, 1, 0};
+  show("\nC", c);
+  show("segment flags", std::vector<int>(seg.begin(), seg.end()));
+  show("seg-+-scan(C)", seg_plus_scan(std::span<const int>(c), FlagsView(seg)));
+
+  // --- split and pack (§2.2.1, §2.5) ---------------------------------------------
+  const std::vector<int> d{5, 7, 3, 1, 4, 2, 7, 2};
+  Flags odd(8);
+  for (std::size_t i = 0; i < 8; ++i) odd[i] = d[i] & 1;
+  show("\nD", d);
+  show("split(D, odd?)", split(std::span<const int>(d), FlagsView(odd)));
+  show("pack(D, odd?)", pack(std::span<const int>(d), FlagsView(odd)));
+
+  // --- allocation (§2.4) ----------------------------------------------------------
+  const std::vector<std::size_t> sizes{4, 1, 3};
+  const Allocation alloc = allocate(std::span<const std::size_t>(sizes));
+  const std::vector<int> vals{10, 20, 30};
+  show("\nallocate [4 1 3] ->",
+       distribute_to_segments(std::span<const int>(vals), alloc));
+
+  // --- the instrumented machine (the paper's cost models) -------------------------
+  std::printf("\nstep charges for one +-scan over 4096 elements:\n");
+  const std::vector<long> big(4096, 1);
+  for (const auto model : {machine::Model::EREW, machine::Model::CRCW,
+                           machine::Model::Scan}) {
+    machine::Machine m(model);
+    m.plus_scan(std::span<const long>(big));
+    std::printf("  %-5s %llu step(s)\n", machine::to_string(model).c_str(),
+                static_cast<unsigned long long>(m.stats().steps));
+  }
+
+  // --- the §3.2 hardware, bit by bit ----------------------------------------------
+  circuit::TreeScanCircuit hw(8, 8);
+  const std::vector<std::uint64_t> ops{2, 1, 2, 3, 5, 8, 13, 21};
+  const auto scanned = hw.scan(ops, circuit::ScanOpKind::Add);
+  show("\ncircuit +-scan", std::vector<long long>(scanned.begin(), scanned.end()));
+  std::printf("bit cycles: %zu (= field bits + 2 lg n - 1)\n",
+              hw.last_cycle_count());
+  return 0;
+}

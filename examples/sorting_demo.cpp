@@ -1,0 +1,103 @@
+// Sorting with the scan primitives: the split radix sort (§2.2.1, the
+// Connection Machine's production sort), the segmented quicksort (§2.3.1),
+// and the bitonic baseline of Table 4 — with wall-clock timings and the
+// paper's step counts side by side.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "src/scanprim.hpp"
+
+using namespace scanprim;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1 << 18;
+  const unsigned bits = 18;
+  std::mt19937_64 rng(2026);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng() % n;
+
+  std::printf("sorting %zu keys of %u bits\n\n", n, bits);
+
+  {
+    machine::Machine m(machine::Model::Scan);
+    const auto t0 = Clock::now();
+    const auto sorted =
+        algo::split_radix_sort(m, std::span<const std::uint64_t>(keys), bits);
+    const double ms = ms_since(t0);
+    std::printf("split radix sort:  %8.1f ms   %6llu program steps   %s\n", ms,
+                static_cast<unsigned long long>(m.stats().steps),
+                std::is_sorted(sorted.begin(), sorted.end()) ? "sorted"
+                                                             : "BROKEN");
+  }
+  {
+    machine::Machine m(machine::Model::Scan);
+    std::vector<double> dkeys(keys.begin(), keys.end());
+    const auto t0 = Clock::now();
+    const auto r = algo::quicksort(m, std::span<const double>(dkeys));
+    const double ms = ms_since(t0);
+    std::printf("quicksort:         %8.1f ms   %6llu program steps   "
+                "%zu iterations (≈ lg n = %u)\n",
+                ms, static_cast<unsigned long long>(m.stats().steps),
+                r.iterations, bits);
+  }
+  {
+    machine::Machine m(machine::Model::Scan);
+    const auto t0 = Clock::now();
+    const auto sorted =
+        algo::bitonic_sort(m, std::span<const std::uint64_t>(keys));
+    const double ms = ms_since(t0);
+    std::printf("bitonic sort:      %8.1f ms   %6llu program steps   %s\n", ms,
+                static_cast<unsigned long long>(m.stats().steps),
+                std::is_sorted(sorted.begin(), sorted.end()) ? "sorted"
+                                                             : "BROKEN");
+  }
+  {
+    auto copy = keys;
+    const auto t0 = Clock::now();
+    std::sort(copy.begin(), copy.end());
+    std::printf("std::sort:         %8.1f ms   (serial baseline)\n",
+                ms_since(t0));
+  }
+
+  // Radix sorting handles floats too (§3.4's order-preserving key trick).
+  {
+    machine::Machine m;
+    std::vector<double> mixed(1 << 14);
+    std::normal_distribution<double> dist(0.0, 1e6);
+    for (auto& v : mixed) v = dist(rng);
+    const auto sorted =
+        algo::split_radix_sort_doubles(m, std::span<const double>(mixed));
+    std::printf("\nfloat radix sort over ±1e6 normals: %s\n",
+                std::is_sorted(sorted.begin(), sorted.end()) ? "sorted"
+                                                             : "BROKEN");
+  }
+
+  // And merging: the halving merge of §2.5.1.
+  {
+    machine::Machine m;
+    std::vector<std::uint64_t> a(keys.begin(), keys.begin() + n / 2);
+    std::vector<std::uint64_t> b(keys.begin() + n / 2, keys.end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const auto t0 = Clock::now();
+    const auto r = algo::halving_merge(m, std::span<const std::uint64_t>(a),
+                                       std::span<const std::uint64_t>(b));
+    std::printf("halving merge of two %zu-element runs: %8.1f ms, "
+                "%zu recursion levels, %s\n",
+                a.size(), ms_since(t0), r.levels,
+                std::is_sorted(r.merged.begin(), r.merged.end()) ? "sorted"
+                                                                 : "BROKEN");
+  }
+  return 0;
+}

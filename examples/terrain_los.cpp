@@ -1,0 +1,50 @@
+// Line of sight over synthetic terrain (Table 1's O(1) geometry row): an
+// observer scans a ridge profile; one max-scan of the view angles decides
+// visibility for every sample at once. Renders the profile with visible
+// samples highlighted.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "src/scanprim.hpp"
+
+using namespace scanprim;
+
+int main() {
+  // Rolling terrain: a few summed sinusoids plus noise.
+  const std::size_t n = 96;
+  std::mt19937_64 rng(3);
+  std::vector<double> alt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    alt[i] = 8.0 + 6.0 * std::sin(x / 7.0) + 4.0 * std::sin(x / 17.0 + 1.0) +
+             static_cast<double>(rng() % 100) / 60.0;
+  }
+
+  machine::Machine m(machine::Model::Scan);
+  const Flags visible = algo::line_of_sight(m, std::span<const double>(alt), 2.0);
+
+  // Render: rows from high to low; visible columns drawn with '#'.
+  const int height = 20;
+  std::printf("observer at column 0 (2 units above ground); '#' = visible "
+              "terrain, 'o' = hidden\n\n");
+  for (int row = height; row >= 0; --row) {
+    std::string line(n, ' ');
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alt[i] >= row) line[i] = visible[i] ? '#' : 'o';
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+  std::size_t count = 0;
+  for (const auto f : visible) count += f;
+  std::printf("\n%zu of %zu samples visible; decided with %llu program "
+              "step(s) — one max-scan (EREW would pay lg n = %.0f)\n",
+              count, n, static_cast<unsigned long long>(m.stats().steps),
+              std::log2(static_cast<double>(n)));
+
+  // Verify against the serial walk.
+  const Flags serial = algo::line_of_sight_serial(std::span<const double>(alt), 2.0);
+  std::printf("serial reference agrees: %s\n",
+              visible == serial ? "yes" : "NO");
+  return 0;
+}

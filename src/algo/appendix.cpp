@@ -1,0 +1,54 @@
+#include "src/algo/appendix.hpp"
+
+#include <cassert>
+
+namespace scanprim::algo {
+
+std::vector<std::uint8_t> binary_add(machine::Machine& m,
+                                     std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  // generate = A ∧ B, propagate = A ⊕ B. A carry reaches bit i exactly when
+  // some lower bit generates one and no bit strictly in between *kills* it
+  // (a kill bit has a = b = 0: it neither generates nor propagates). So the
+  // carries are a segmented or-scan of the generate bits, with a segment
+  // restarting right above every kill bit.
+  const std::vector<std::uint8_t> gen = m.zip<std::uint8_t>(
+      a, b, [](std::uint8_t x, std::uint8_t y) -> std::uint8_t { return x & y; });
+  const std::vector<std::uint8_t> prop = m.zip<std::uint8_t>(
+      a, b, [](std::uint8_t x, std::uint8_t y) -> std::uint8_t { return x ^ y; });
+  const std::vector<std::uint8_t> kill = m.zip<std::uint8_t>(
+      a, b,
+      [](std::uint8_t x, std::uint8_t y) -> std::uint8_t { return !x && !y; });
+  const Flags stops = m.shift_right(std::span<const std::uint8_t>(kill),
+                                    std::uint8_t{1});
+  const std::vector<std::uint8_t> carry =
+      m.seg_scan(std::span<const std::uint8_t>(gen), FlagsView(stops),
+                 Or<std::uint8_t>{});
+  std::vector<std::uint8_t> sum(n + 1, 0);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    sum[i] = prop[i] ^ carry[i];
+  });
+  // Carry out of the top bit: generated there, or propagated into and
+  // through it.
+  if (n > 0) {
+    sum[n] = gen[n - 1] | (prop[n - 1] & carry[n - 1]);
+  }
+  return sum;
+}
+
+double poly_eval(machine::Machine& m, std::span<const double> coeffs,
+                 double x) {
+  const std::vector<double> xs = m.constant(coeffs.size(), x);
+  // ×-scan(copy(x)) = [1, x, x², ...] (the exclusive scan's identity is 1).
+  const std::vector<double> powers =
+      m.scan(std::span<const double>(xs), Times<double>{});
+  const std::vector<double> terms = m.zip<double>(
+      coeffs, std::span<const double>(powers),
+      [](double c, double p) { return c * p; });
+  return m.reduce(std::span<const double>(terms), Plus<double>{});
+}
+
+}  // namespace scanprim::algo

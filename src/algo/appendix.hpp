@@ -1,0 +1,26 @@
+// The appendix's historical scan applications:
+//   * Ofman (1963): carry-lookahead binary addition — the carries of
+//     A + B are a segmented or-scan of the generate bits, segmented where
+//     the propagate bit is off.
+//   * Stone (1971): polynomial evaluation — A · ×-scan(copy(x)), then sum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+/// Adds two n-bit binary numbers (bit 0 = least significant, one bit per
+/// processor). Returns n+1 bits (the last is the carry out). O(1) steps.
+std::vector<std::uint8_t> binary_add(machine::Machine& m,
+                                     std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b);
+
+/// Evaluates Σ coeffs[i] · x^i with one ×-scan, one multiply and one sum.
+double poly_eval(machine::Machine& m, std::span<const double> coeffs,
+                 double x);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,300 @@
+#include "src/algo/biconnected.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "src/algo/connected_components.hpp"
+#include "src/algo/mst.hpp"
+#include "src/graph/tree_rooting.hpp"
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+using graph::WeightedEdge;
+
+// Doubling (sparse-table) range minima/maxima over the preorder sequence:
+// lg n rounds of one gather + one elementwise step each — O(lg n) program
+// steps to preprocess, O(1) per query.
+class RangeMin {
+ public:
+  RangeMin(machine::Machine& m, std::vector<std::size_t> base, bool maximum)
+      : maximum_(maximum) {
+    levels_.push_back(std::move(base));
+    const std::size_t n = levels_[0].size();
+    for (std::size_t half = 1; half < n; half *= 2) {
+      const std::vector<std::size_t>& prev = levels_.back();
+      std::vector<std::size_t> next(n);
+      m.charge_elementwise(n);
+      thread::parallel_for(n, [&](std::size_t i) {
+        const std::size_t j = std::min(i + half, n - 1);
+        next[i] = maximum_ ? std::max(prev[i], prev[j])
+                           : std::min(prev[i], prev[j]);
+      });
+      levels_.push_back(std::move(next));
+    }
+  }
+
+  /// Extreme over [lo, hi) (hi > lo).
+  std::size_t query(std::size_t lo, std::size_t hi) const {
+    const std::size_t len = hi - lo;
+    std::size_t k = 0;
+    while ((std::size_t{2} << k) <= len) ++k;
+    const std::size_t a = levels_[k][lo];
+    const std::size_t b = levels_[k][hi - (std::size_t{1} << k)];
+    return maximum_ ? std::max(a, b) : std::min(a, b);
+  }
+
+ private:
+  bool maximum_;
+  std::vector<std::vector<std::size_t>> levels_;
+};
+
+std::size_t normalize_labels(std::vector<std::size_t>& labels) {
+  // Raw labels are arbitrary ids (vertex numbers, DFS counters, ...);
+  // renumber them by first appearance.
+  std::map<std::size_t, std::size_t> remap;
+  for (auto& l : labels) {
+    l = remap.insert({l, remap.size()}).first->second;
+  }
+  return remap.size();
+}
+
+}  // namespace
+
+BiconnResult biconnected_components(machine::Machine& m,
+                                    std::size_t num_vertices,
+                                    std::span<const WeightedEdge> edges,
+                                    std::uint64_t seed) {
+  const std::size_t ne = edges.size();
+  BiconnResult r;
+  r.edge_component.assign(ne, 0);
+  r.articulation.assign(num_vertices, 0);
+  if (num_vertices <= 1 || ne == 0) return r;
+
+  // 1. A spanning tree (any one will do; weights = edge index).
+  std::vector<WeightedEdge> unit(edges.begin(), edges.end());
+  m.charge_elementwise(ne);
+  thread::parallel_for(ne, [&](std::size_t e) {
+    unit[e].w = static_cast<double>(e);
+  });
+  const MstResult forest = minimum_spanning_forest(
+      m, num_vertices, std::span<const WeightedEdge>(unit), seed);
+  if (forest.edges.size() != num_vertices - 1) {
+    throw std::invalid_argument("biconnected_components: graph not connected");
+  }
+
+  // 2. Root it with the Euler-tour technique.
+  std::vector<WeightedEdge> tree_edges(forest.edges.size());
+  for (std::size_t k = 0; k < forest.edges.size(); ++k) {
+    tree_edges[k] = edges[forest.edges[k]];
+  }
+  const graph::SegGraph tree = graph::build_seg_graph(
+      m, num_vertices, std::span<const WeightedEdge>(tree_edges));
+  const graph::RootedLabels lbl = graph::root_tree(m, tree, num_vertices);
+
+  Flags is_tree(ne, 0);
+  for (const std::size_t e : forest.edges) is_tree[e] = 1;
+
+  // 3. lowloc/highloc per vertex: its own preorder and the preorders of its
+  // non-tree neighbors — segmented min/max over the *full* graph's slots.
+  const graph::SegGraph g = graph::build_seg_graph(m, num_vertices, edges);
+  const std::size_t ns = g.num_slots();
+  std::vector<std::size_t> low_cand(ns), high_cand(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    const std::size_t own = lbl.preorder[g.vertex[s]];
+    if (is_tree[g.edge_id[s]]) {
+      low_cand[s] = own;
+      high_cand[s] = own;
+    } else {
+      const std::size_t other = lbl.preorder[g.vertex[g.cross[s]]];
+      low_cand[s] = std::min(own, other);
+      high_cand[s] = std::max(own, other);
+    }
+  });
+  struct MinSz {
+    static std::size_t identity() { return ~std::size_t{0}; }
+    std::size_t operator()(std::size_t a, std::size_t b) const {
+      return a < b ? a : b;
+    }
+  };
+  struct MaxSz {
+    static std::size_t identity() { return 0; }
+    std::size_t operator()(std::size_t a, std::size_t b) const {
+      return a > b ? a : b;
+    }
+  };
+  const std::vector<std::size_t> seg_low = m.seg_distribute(
+      std::span<const std::size_t>(low_cand), FlagsView(g.segment_desc), MinSz{});
+  const std::vector<std::size_t> seg_high = m.seg_distribute(
+      std::span<const std::size_t>(high_cand), FlagsView(g.segment_desc), MaxSz{});
+  // Per-vertex local labels, laid out by preorder for the range queries.
+  std::vector<std::size_t> lowloc(num_vertices), highloc(num_vertices);
+  const std::vector<std::size_t> heads = m.pack_index(FlagsView(g.segment_desc));
+  m.charge_permute(num_vertices);
+  thread::parallel_for(heads.size(), [&](std::size_t k) {
+    const std::size_t v = g.vertex[heads[k]];
+    lowloc[lbl.preorder[v]] = seg_low[heads[k]];
+    highloc[lbl.preorder[v]] = seg_high[heads[k]];
+  });
+
+  // 4. low/high = extrema of lowloc/highloc over each subtree's (contiguous)
+  // preorder range.
+  const RangeMin low_table(m, lowloc, false);
+  const RangeMin high_table(m, highloc, true);
+  std::vector<std::size_t> low(num_vertices), high(num_vertices);
+  m.charge_elementwise(num_vertices);
+  thread::parallel_for(num_vertices, [&](std::size_t v) {
+    const std::size_t a = lbl.preorder[v];
+    low[v] = low_table.query(a, a + lbl.subtree[v]);
+    high[v] = high_table.query(a, a + lbl.subtree[v]);
+  });
+
+  // 5. The auxiliary graph: one vertex per non-root vertex (its parent
+  // edge). Rule 1 joins the parent edges of unrelated non-tree endpoints;
+  // rule 2 joins a tree edge to its parent's tree edge when the child's
+  // subtree escapes the parent's subtree.
+  const auto is_ancestor = [&](std::size_t anc, std::size_t des) {
+    return lbl.preorder[anc] <= lbl.preorder[des] &&
+           lbl.preorder[des] < lbl.preorder[anc] + lbl.subtree[anc];
+  };
+  std::vector<WeightedEdge> aux;
+  aux.reserve(2 * ne);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const std::size_t u = edges[e].u, v = edges[e].v;
+    if (!is_tree[e]) {
+      if (!is_ancestor(u, v) && !is_ancestor(v, u)) {
+        aux.push_back({u, v, 1.0});  // rule 1
+      }
+    } else {
+      const std::size_t child = lbl.parent[u] == v ? u : v;
+      const std::size_t par = lbl.parent[child];
+      if (par != lbl.root) {
+        if (low[child] < lbl.preorder[par] ||
+            high[child] >= lbl.preorder[par] + lbl.subtree[par]) {
+          aux.push_back({child, par, 1.0});  // rule 2
+        }
+      }
+    }
+  }
+  // (The loop above is output assembly over the edge list — one elementwise
+  // classification step plus a pack on the machine.)
+  m.charge_elementwise(ne);
+  m.charge_scan(ne);
+
+  const ComponentsResult cc = connected_components(
+      m, num_vertices, std::span<const WeightedEdge>(aux), seed ^ 0xb1c0);
+
+  // 6. Every edge joins the component of its deeper-preorder endpoint's
+  // parent edge (that endpoint is never the root).
+  m.charge_elementwise(ne);
+  thread::parallel_for(ne, [&](std::size_t e) {
+    const std::size_t u = edges[e].u, v = edges[e].v;
+    const std::size_t deep = lbl.preorder[u] > lbl.preorder[v] ? u : v;
+    r.edge_component[e] = cc.label[deep];
+  });
+  r.num_components = normalize_labels(r.edge_component);
+
+  // Articulation points: a vertex on edges of two different components, or
+  // the root of the spanning tree if it has tree children in two.
+  {
+    std::vector<std::size_t> seen(num_vertices, ~std::size_t{0});
+    for (std::size_t e = 0; e < ne; ++e) {
+      for (const std::size_t v : {edges[e].u, edges[e].v}) {
+        if (seen[v] == ~std::size_t{0}) {
+          seen[v] = r.edge_component[e];
+        } else if (seen[v] != r.edge_component[e]) {
+          r.articulation[v] = 1;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+BiconnResult biconnected_components_serial(
+    std::size_t num_vertices, std::span<const WeightedEdge> edges) {
+  BiconnResult r;
+  r.edge_component.assign(edges.size(), ~std::size_t{0});
+  r.articulation.assign(num_vertices, 0);
+  if (num_vertices == 0 || edges.empty()) {
+    r.num_components = 0;
+    return r;
+  }
+
+  // Hopcroft–Tarjan with an explicit stack.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(
+      num_vertices);  // (neighbor, edge id)
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    adj[edges[e].u].push_back({edges[e].v, e});
+    adj[edges[e].v].push_back({edges[e].u, e});
+  }
+  std::vector<std::size_t> num(num_vertices, 0), low(num_vertices, 0);
+  std::vector<std::uint8_t> visited(num_vertices, 0);
+  std::vector<std::size_t> edge_stack;
+  std::size_t counter = 1, comp = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t parent_edge;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  const std::size_t none = ~std::size_t{0};
+  for (std::size_t s = 0; s < num_vertices; ++s) {
+    if (visited[s]) continue;
+    visited[s] = 1;
+    num[s] = low[s] = counter++;
+    stack.push_back({s, none});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < adj[f.v].size()) {
+        const auto [w, e] = adj[f.v][f.next++];
+        if (e == f.parent_edge) continue;
+        if (!visited[w]) {
+          edge_stack.push_back(e);
+          visited[w] = 1;
+          num[w] = low[w] = counter++;
+          stack.push_back({w, e});
+        } else if (num[w] < num[f.v]) {
+          edge_stack.push_back(e);
+          low[f.v] = std::min(low[f.v], num[w]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (stack.empty()) continue;
+        Frame& p = stack.back();
+        low[p.v] = std::min(low[p.v], low[done.v]);
+        if (low[done.v] >= num[p.v]) {
+          // Pop one biconnected component ending with the tree edge p->v.
+          while (true) {
+            const std::size_t e = edge_stack.back();
+            edge_stack.pop_back();
+            r.edge_component[e] = comp;
+            if (e == done.parent_edge) break;
+          }
+          ++comp;
+        }
+      }
+    }
+  }
+  r.num_components = normalize_labels(r.edge_component);
+  std::vector<std::size_t> seen(num_vertices, ~std::size_t{0});
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    for (const std::size_t v : {edges[e].u, edges[e].v}) {
+      if (seen[v] == ~std::size_t{0}) {
+        seen[v] = r.edge_component[e];
+      } else if (seen[v] != r.edge_component[e]) {
+        r.articulation[v] = 1;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace scanprim::algo

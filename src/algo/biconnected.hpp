@@ -1,0 +1,38 @@
+// Biconnected components — Table 1's O(lg n) scan-model graph row
+// (EREW/CRCW: O(lg² n)). The Tarjan–Vishkin reduction: root a spanning tree
+// with the Euler-tour technique, compute preorder / subtree-size / low /
+// high labels with scans and a doubling sparse table, build the auxiliary
+// graph on the tree edges (two local rules), and take its connected
+// components: tree edges in one auxiliary component form one biconnected
+// component of the input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::algo {
+
+struct BiconnResult {
+  /// Per input edge: the biconnected component it belongs to, labelled by
+  /// consecutive integers from 0.
+  std::vector<std::size_t> edge_component;
+  std::size_t num_components = 0;
+  /// Per vertex: 1 if it is an articulation point.
+  Flags articulation;
+};
+
+/// Requires a connected graph on vertices 0..n-1 with no self loops.
+/// Parallel (multi-)edges are fine.
+BiconnResult biconnected_components(machine::Machine& m,
+                                    std::size_t num_vertices,
+                                    std::span<const graph::WeightedEdge> edges,
+                                    std::uint64_t seed = 0x5eed);
+
+/// Serial Hopcroft–Tarjan baseline (same output conventions).
+BiconnResult biconnected_components_serial(
+    std::size_t num_vertices, std::span<const graph::WeightedEdge> edges);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,49 @@
+#include "src/algo/bitonic_sort.hpp"
+
+#include <limits>
+
+namespace scanprim::algo {
+
+std::size_t bitonic_stage_count(std::size_t n) {
+  std::size_t lg = 0;
+  while ((std::size_t{1} << lg) < n) ++lg;
+  return lg * (lg + 1) / 2;
+}
+
+std::vector<std::uint64_t> bitonic_sort(machine::Machine& m,
+                                        std::span<const std::uint64_t> keys) {
+  std::size_t n = 1;
+  while (n < keys.size()) n <<= 1;
+  std::vector<std::uint64_t> a(n, std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t i = 0; i < keys.size(); ++i) a[i] = keys[i];
+
+  std::vector<std::size_t> partner(n);
+  for (std::size_t size = 2; size <= n; size <<= 1) {
+    for (std::size_t j = size >> 1; j >= 1; j >>= 1) {
+      // The exchange: every processor fetches its partner's key. The
+      // partner map i ^ j is a hypercube dimension, so on a cube-wired
+      // machine (the CM-1 of Table 4) this is a direct-wire neighbor
+      // exchange, not a routed permute.
+      thread::parallel_for(n, [&](std::size_t i) { partner[i] = i ^ j; });
+      m.charge_neighbor_exchange(n);
+      const std::vector<std::uint64_t> other = gathered(
+          std::span<const std::uint64_t>(a), std::span<const std::size_t>(partner));
+      // The comparison: keep min or max depending on position and the
+      // direction bit of this merge stage (one elementwise step).
+      std::vector<std::uint64_t> next(n);
+      m.charge_elementwise(n);
+      thread::parallel_for(n, [&](std::size_t i) {
+        const bool ascending = (i & size) == 0;
+        const bool low_side = (i & j) == 0;
+        const std::uint64_t mn = a[i] < other[i] ? a[i] : other[i];
+        const std::uint64_t mx = a[i] < other[i] ? other[i] : a[i];
+        next[i] = (ascending == low_side) ? mn : mx;
+      });
+      a = std::move(next);
+    }
+  }
+  a.resize(keys.size());
+  return a;
+}
+
+}  // namespace scanprim::algo

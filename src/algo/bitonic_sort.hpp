@@ -1,0 +1,25 @@
+// Batcher's bitonic sort — the baseline of Table 4. On a bit-serial machine
+// it runs in O(d + lg² n) bit time per key exchange sequence; the paper
+// compares it against the split radix sort on the 64K-processor CM-1.
+// Here every compare-exchange stage charges one permute (the exchange) and
+// one elementwise step (the min/max selection) on the machine, so running it
+// under the bit-cycle accounting regenerates Table 4's comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+/// Sorts unsigned keys ascending. Any n (internally padded to a power of
+/// two with +infinity keys).
+std::vector<std::uint64_t> bitonic_sort(machine::Machine& m,
+                                        std::span<const std::uint64_t> keys);
+
+/// Number of compare-exchange stages for n keys: lg n (lg n + 1) / 2.
+std::size_t bitonic_stage_count(std::size_t n);
+
+}  // namespace scanprim::algo

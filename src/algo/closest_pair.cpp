@@ -1,0 +1,252 @@
+#include "src/algo/closest_pair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/algo/quicksort.hpp"  // seg_split3_index
+#include "src/algo/radix_sort.hpp"
+#include "src/core/simulate.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The running best pair under minimum squared distance.
+struct Best {
+  double d2 = kInf;
+  std::size_t a = ~std::size_t{0};
+  std::size_t b = ~std::size_t{0};
+};
+struct BestOp {
+  static Best identity() { return {}; }
+  Best operator()(const Best& x, const Best& y) const {
+    return x.d2 <= y.d2 ? x : y;
+  }
+};
+
+double dist2(const Point2D& p, const Point2D& q) {
+  return (p.x - q.x) * (p.x - q.x) + (p.y - q.y) * (p.y - q.y);
+}
+
+std::vector<std::size_t> rank_by(machine::Machine& m,
+                                 std::span<const Point2D> pts, bool by_y) {
+  std::vector<std::uint64_t> keys(pts.size());
+  m.charge_elementwise(pts.size());
+  thread::parallel_for(pts.size(), [&](std::size_t i) {
+    keys[i] = sim::float_key(by_y ? pts[i].y : pts[i].x);
+  });
+  const SortWithOrigin s = split_radix_sort_with_origin(
+      m, std::span<const std::uint64_t>(keys), 64);
+  std::vector<std::size_t> rank(pts.size());
+  m.charge_permute(pts.size());
+  thread::parallel_for(pts.size(),
+                       [&](std::size_t j) { rank[s.origin[j]] = j; });
+  return rank;
+}
+
+}  // namespace
+
+ClosestPairResult closest_pair(machine::Machine& m,
+                               std::span<const Point2D> points) {
+  const std::size_t n = points.size();
+  if (n < 2) throw std::invalid_argument("closest_pair: need two points");
+
+  // Ranks by x (block structure) and the y-sorted point order.
+  const std::vector<std::size_t> xrank = rank_by(m, points, false);
+  std::size_t levels = 0;
+  while ((std::size_t{1} << levels) < n) ++levels;
+
+  // Downward pass: ord[k] lists the points of every level-k block in
+  // y-order, blocks in x-rank order. ord[levels] is the global y-order; a
+  // stable segmented split on x-rank bit k-1 refines level k to level k-1.
+  std::vector<std::vector<std::size_t>> ord(levels + 1);
+  {
+    const std::vector<std::size_t> yrank = rank_by(m, points, true);
+    ord[levels].resize(n);
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t i) { ord[levels][yrank[i]] = i; });
+  }
+  const auto flags_of = [&](const std::vector<std::size_t>& o,
+                            std::size_t k) {
+    Flags f(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      f[j] = j == 0 || (xrank[o[j]] >> k) != (xrank[o[j - 1]] >> k);
+    });
+    return f;
+  };
+  for (std::size_t k = levels; k-- > 0;) {
+    const Flags f = flags_of(ord[k + 1], k + 1);
+    std::vector<std::uint8_t> side(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      side[j] = (xrank[ord[k + 1][j]] >> k) & 1;
+    });
+    const std::vector<std::size_t> idx =
+        seg_split3_index(m, std::span<const std::uint8_t>(side), FlagsView(f));
+    ord[k] = m.permute(std::span<const std::size_t>(ord[k + 1]),
+                       std::span<const std::size_t>(idx));
+  }
+
+  // Upward pass. best_by_point[i] = the best pair found inside i's current
+  // block (shared by every point of the block).
+  std::vector<Best> best_by_point(n);  // level 0: singletons, nothing yet
+
+  for (std::size_t k = 1; k <= levels; ++k) {
+    const std::vector<std::size_t>& o = ord[k];
+    const Flags segs = flags_of(o, k);
+    const FlagsView sv(segs);
+
+    // δ0 of each block: the better of its two children's results.
+    std::vector<Best> child(n);
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      child[j] = best_by_point[o[j]];
+    });
+    const std::vector<Best> d0 =
+        m.seg_distribute(std::span<const Best>(child), sv, BestOp{});
+
+    // The split line: the largest x in the left child of each block.
+    struct MaxX {
+      static double identity() { return -kInf; }
+      double operator()(double a, double b) const { return a > b ? a : b; }
+    };
+    std::vector<double> left_x(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      const bool left = ((xrank[o[j]] >> (k - 1)) & 1) == 0;
+      left_x[j] = left ? points[o[j]].x : -kInf;
+    });
+    const std::vector<double> splitx =
+        m.seg_distribute(std::span<const double>(left_x), sv, MaxX{});
+
+    // Strip: points within δ0 of the split line, kept in (block, y) order.
+    Flags in_strip(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      const double d = std::sqrt(d0[j].d2);
+      in_strip[j] = std::fabs(points[o[j]].x - splitx[j]) < d ||
+                    d0[j].d2 == kInf;
+    });
+    const std::vector<std::size_t> spt =
+        m.pack(std::span<const std::size_t>(o), FlagsView(in_strip));
+    std::vector<std::size_t> sblk_src(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      sblk_src[j] = xrank[o[j]] >> k;
+    });
+    const std::vector<std::size_t> sblk =
+        m.pack(std::span<const std::size_t>(sblk_src), FlagsView(in_strip));
+
+    // Each strip point meets its next seven strip neighbors (the classic
+    // δ-box packing bound) — seven clamped gathers.
+    const std::size_t sn = spt.size();
+    std::vector<Best> cand(sn);
+    for (std::size_t t = 1; t <= 7 && sn > 0; ++t) {
+      m.charge_permute(sn);
+      m.charge_elementwise(sn);
+      thread::parallel_for(sn, [&](std::size_t j) {
+        if (t == 1) cand[j] = Best{};
+        const std::size_t p = j + t;
+        if (p >= sn || sblk[p] != sblk[j]) return;
+        const double d2 = dist2(points[spt[j]], points[spt[p]]);
+        if (d2 < cand[j].d2) cand[j] = {d2, spt[j], spt[p]};
+      });
+    }
+
+    // Fold the strip candidates into per-block results and combine with δ0.
+    // Candidates return to the full layout through the points they name.
+    std::vector<Best> strip_by_point(n);
+    m.charge_permute(n);
+    thread::parallel_for(sn, [&](std::size_t j) {
+      strip_by_point[spt[j]] = cand[j];
+    });
+    std::vector<Best> merged(n);
+    m.charge_permute(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      merged[j] = BestOp{}(d0[j], strip_by_point[o[j]]);
+    });
+    const std::vector<Best> block_best =
+        m.seg_distribute(std::span<const Best>(merged), sv, BestOp{});
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t j) {
+      best_by_point[o[j]] = block_best[j];
+    });
+  }
+
+  const Best final = best_by_point[0];
+  ClosestPairResult r;
+  r.a = std::min(final.a, final.b);
+  r.b = std::max(final.a, final.b);
+  r.distance = std::sqrt(final.d2);
+  r.levels = levels;
+  return r;
+}
+
+namespace {
+
+Best serial_rec(std::span<const Point2D> pts,
+                std::vector<std::size_t>& by_x, std::size_t lo,
+                std::size_t hi) {
+  if (hi - lo <= 3) {
+    Best best;
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < hi; ++j) {
+        const double d2 = dist2(pts[by_x[i]], pts[by_x[j]]);
+        if (d2 < best.d2) best = {d2, by_x[i], by_x[j]};
+      }
+    }
+    return best;
+  }
+  const std::size_t mid = (lo + hi) / 2;
+  const double splitx = pts[by_x[mid]].x;
+  Best best = BestOp{}(serial_rec(pts, by_x, lo, mid),
+                       serial_rec(pts, by_x, mid, hi));
+  std::vector<std::size_t> strip;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if ((pts[by_x[i]].x - splitx) * (pts[by_x[i]].x - splitx) < best.d2) {
+      strip.push_back(by_x[i]);
+    }
+  }
+  std::sort(strip.begin(), strip.end(), [&](std::size_t a, std::size_t b) {
+    return pts[a].y < pts[b].y;
+  });
+  for (std::size_t i = 0; i < strip.size(); ++i) {
+    for (std::size_t j = i + 1;
+         j < strip.size() &&
+         (pts[strip[j]].y - pts[strip[i]].y) * (pts[strip[j]].y - pts[strip[i]].y) <
+             best.d2;
+         ++j) {
+      const double d2 = dist2(pts[strip[i]], pts[strip[j]]);
+      if (d2 < best.d2) best = {d2, strip[i], strip[j]};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ClosestPairResult closest_pair_serial(std::span<const Point2D> points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("closest_pair: need two points");
+  }
+  std::vector<std::size_t> by_x(points.size());
+  for (std::size_t i = 0; i < by_x.size(); ++i) by_x[i] = i;
+  std::sort(by_x.begin(), by_x.end(), [&](std::size_t a, std::size_t b) {
+    return points[a].x != points[b].x ? points[a].x < points[b].x
+                                      : points[a].y < points[b].y;
+  });
+  const Best best = serial_rec(points, by_x, 0, points.size());
+  ClosestPairResult r;
+  r.a = std::min(best.a, best.b);
+  r.b = std::max(best.a, best.b);
+  r.distance = std::sqrt(best.d2);
+  return r;
+}
+
+}  // namespace scanprim::algo

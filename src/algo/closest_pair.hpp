@@ -1,0 +1,35 @@
+// Closest pair in the plane — Table 1's row (EREW O(lg² n), CRCW
+// O(lg n lg lg n), scan model O(lg n)). Level-synchronous divide and
+// conquer: blocks of 2^k consecutive x-ranks are the recursion nodes, every
+// block of a level merges at once, and — the scan-model trick — the
+// y-sorted order of every block is *maintained*, not recomputed: one stable
+// segmented split per level carries the y-order of a parent block to its
+// two children (downward pass), so each upward merge level costs O(1)
+// segmented operations plus seven constant-distance gathers for the strip
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/algo/convex_hull.hpp"  // Point2D
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct ClosestPairResult {
+  std::size_t a = 0;       ///< indices of the closest pair (a != b)
+  std::size_t b = 0;
+  double distance = 0.0;
+  std::size_t levels = 0;  ///< merge levels (≈ lg n)
+};
+
+/// Requires at least two points. Duplicate points yield distance 0.
+ClosestPairResult closest_pair(machine::Machine& m,
+                               std::span<const Point2D> points);
+
+/// Serial divide-and-conquer baseline.
+ClosestPairResult closest_pair_serial(std::span<const Point2D> points);
+
+}  // namespace scanprim::algo

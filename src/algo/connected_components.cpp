@@ -1,0 +1,135 @@
+#include "src/algo/connected_components.hpp"
+
+#include <numeric>
+
+#include "src/algo/mst.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+// Labels from a set of forest edges: the smallest vertex id reachable. The
+// forest has at most n-1 edges; this final relabelling is output assembly,
+// not part of the parallel contraction the experiment measures.
+ComponentsResult label_from_forest(std::size_t num_vertices,
+                                   std::span<const graph::WeightedEdge> edges,
+                                   std::span<const std::size_t> forest) {
+  std::vector<std::size_t> uf(num_vertices);
+  std::iota(uf.begin(), uf.end(), std::size_t{0});
+  const auto find = [&uf](std::size_t x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  for (const std::size_t e : forest) {
+    const std::size_t a = find(edges[e].u);
+    const std::size_t b = find(edges[e].v);
+    if (a != b) uf[a < b ? b : a] = a < b ? a : b;  // smaller id wins
+  }
+  ComponentsResult r;
+  r.label.resize(num_vertices);
+  for (std::size_t v = 0; v < num_vertices; ++v) r.label[v] = find(v);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    if (r.label[v] == v) ++r.num_components;
+  }
+  return r;
+}
+
+}  // namespace
+
+ComponentsResult connected_components(machine::Machine& m,
+                                      std::size_t num_vertices,
+                                      std::span<const graph::WeightedEdge> edges,
+                                      std::uint64_t seed) {
+  const MstResult forest =
+      minimum_spanning_forest(m, num_vertices, edges, seed);
+  ComponentsResult r = label_from_forest(num_vertices, edges,
+                                         std::span<const std::size_t>(forest.edges));
+  r.rounds = forest.rounds;
+  return r;
+}
+
+ComponentsResult connected_components_hooking(
+    machine::Machine& m, std::size_t num_vertices,
+    std::span<const graph::WeightedEdge> edges) {
+  ComponentsResult r;
+  const std::size_t n = num_vertices;
+  const std::size_t ne = edges.size();
+  std::vector<std::size_t> d(n);
+  std::iota(d.begin(), d.end(), std::size_t{0});
+
+  std::size_t max_rounds = 8;
+  for (std::size_t k = n; k > 1; k /= 2) max_rounds += 6;
+
+  for (; r.rounds < max_rounds; ++r.rounds) {
+    // Star detection (one gather + two elementwise passes).
+    std::vector<std::size_t> dd(n);
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t v) { dd[v] = d[d[v]]; });
+    std::vector<std::uint8_t> star(n, 1);
+    m.charge_elementwise(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (d[v] != dd[v]) {
+        star[v] = 0;
+        star[dd[v]] = 0;
+      }
+    }
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t v) { star[v] = star[d[v]]; });
+
+    // Conditional hooking: vertices in stars hook their root onto any
+    // smaller neighboring label — a combining (minimum) concurrent write in
+    // the extended CRCW, one step there, a scan elsewhere.
+    std::vector<std::size_t> proposal(n, ~std::size_t{0});
+    m.charge_combine(2 * ne);
+    const auto propose = [&](std::size_t u, std::size_t v) {
+      if (star[u] && d[v] < d[u]) {
+        proposal[d[u]] = std::min(proposal[d[u]], d[v]);
+      }
+    };
+    for (const auto& e : edges) {
+      propose(e.u, e.v);
+      propose(e.v, e.u);
+    }
+    bool hooked = false;
+    m.charge_elementwise(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (proposal[v] != ~std::size_t{0} && d[v] == v) {
+        d[v] = proposal[v];
+        hooked = true;
+      }
+    }
+    // Shortcut (pointer jump).
+    std::vector<std::size_t> next(n);
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t v) { next[v] = d[d[v]]; });
+    bool jumped = false;
+    for (std::size_t v = 0; v < n && !jumped; ++v) jumped = next[v] != d[v];
+    d = std::move(next);
+    if (!hooked && !jumped) break;
+  }
+
+  // Output assembly: normalise every component to its minimum vertex id.
+  std::vector<std::size_t> min_of(n, ~std::size_t{0});
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t root = v;
+    while (d[root] != root) root = d[root];
+    d[v] = root;
+    min_of[root] = std::min(min_of[root], v);
+  }
+  r.label.resize(n);
+  for (std::size_t v = 0; v < n; ++v) r.label[v] = min_of[d[v]];
+  for (std::size_t v = 0; v < n; ++v) r.num_components += r.label[v] == v;
+  return r;
+}
+
+ComponentsResult connected_components_serial(
+    std::size_t num_vertices, std::span<const graph::WeightedEdge> edges) {
+  std::vector<std::size_t> all(edges.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return label_from_forest(num_vertices, edges, std::span<const std::size_t>(all));
+}
+
+}  // namespace scanprim::algo

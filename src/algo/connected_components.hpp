@@ -1,0 +1,41 @@
+// Connected components via the same random-mate star merging as the MST
+// (Table 1 lists both at O(lg n) in the scan model): contract stars until no
+// edges remain; the star edges collected along the way form a spanning
+// forest, from which the component labelling follows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::algo {
+
+struct ComponentsResult {
+  /// Per-vertex label: the smallest vertex id in its component.
+  std::vector<std::size_t> label;
+  std::size_t num_components = 0;
+  std::size_t rounds = 0;  ///< star-merge rounds executed
+};
+
+ComponentsResult connected_components(machine::Machine& m,
+                                      std::size_t num_vertices,
+                                      std::span<const graph::WeightedEdge> edges,
+                                      std::uint64_t seed = 0x5eed);
+
+/// Serial reference labelling (BFS/union-find).
+ComponentsResult connected_components_serial(
+    std::size_t num_vertices, std::span<const graph::WeightedEdge> edges);
+
+/// The Shiloach–Vishkin CRCW algorithm the paper cites ([43]): conditional
+/// hooking of stars onto smaller-labelled neighbors plus pointer-jumping
+/// shortcuts, O(lg n) rounds of O(1) steps each on the (extended) CRCW —
+/// the Table 1 column the scan model matches. Provided as an independent
+/// second implementation; on the scan-model machine its combining writes
+/// cost scans instead.
+ComponentsResult connected_components_hooking(
+    machine::Machine& m, std::size_t num_vertices,
+    std::span<const graph::WeightedEdge> edges);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,264 @@
+#include "src/algo/convex_hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/algo/quicksort.hpp"  // seg_split3_index
+
+namespace scanprim::algo {
+
+namespace {
+
+double cross(const Point2D& a, const Point2D& b, const Point2D& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool lex_less(const Point2D& a, const Point2D& b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+// Farthest candidate of a segment. Distance ties break by the larger
+// projection along the chord: among collinear tied points only the extreme
+// ones are hull vertices, and picking an extreme first lets the others be
+// recognised as edge-interior (cross = 0) later. Remaining ties (duplicate
+// points) break by slot.
+struct Far {
+  double d = -std::numeric_limits<double>::infinity();
+  double proj = -std::numeric_limits<double>::infinity();
+  std::size_t slot = ~std::size_t{0};
+};
+struct FarOp {
+  static Far identity() { return {}; }
+  Far operator()(const Far& a, const Far& b) const {
+    if (a.d != b.d) return a.d > b.d ? a : b;
+    if (a.proj != b.proj) return a.proj > b.proj ? a : b;
+    return a.slot <= b.slot ? a : b;
+  }
+};
+
+// "The (single) valid value in the segment", for spreading the chosen
+// farthest point across its segment.
+struct Chosen {
+  Point2D p;
+  std::uint8_t valid = 0;
+};
+struct ChosenOp {
+  static Chosen identity() { return {}; }
+  Chosen operator()(const Chosen& a, const Chosen& b) const {
+    return b.valid ? b : a;
+  }
+};
+
+// One half of the hull: the points strictly left of A->B, refined quickhull
+// style. Returns the hull points strictly between A and B, ordered along
+// the chain from A to B, and accumulates the iteration count.
+std::vector<Point2D> half_hull(machine::Machine& m,
+                               std::vector<Point2D> pts, Point2D A, Point2D B,
+                               std::size_t& iterations) {
+  // Chain-position keys: each live segment owns an interval (lo, hi) of
+  // (0, 1); its chosen point takes the midpoint and the two subsegments the
+  // two halves, so sorting discovered points by key yields chain order.
+  std::vector<double> lo(pts.size(), 0.0), hi(pts.size(), 1.0);
+  std::vector<Point2D> L(pts.size(), A), R(pts.size(), B);
+  Flags segs(pts.size(), 0);
+  if (!pts.empty()) segs[0] = 1;
+
+  std::vector<std::pair<double, Point2D>> found;
+
+  while (!pts.empty()) {
+    if (++iterations > 64 + 4 * pts.size()) {
+      throw std::runtime_error("convex_hull: iteration bound exceeded");
+    }
+    const std::size_t n = pts.size();
+    const FlagsView sv(segs);
+
+    // Farthest point per segment (one segmented max-distribute).
+    std::vector<Far> cand(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      const double proj = (pts[i].x - L[i].x) * (R[i].x - L[i].x) +
+                          (pts[i].y - L[i].y) * (R[i].y - L[i].y);
+      cand[i] = {cross(L[i], R[i], pts[i]), proj, i};
+    });
+    const std::vector<Far> far =
+        m.seg_distribute(std::span<const Far>(cand), sv, FarOp{});
+
+    // Spread the chosen point (and record it, keyed by segment midpoint).
+    // A segment whose farthest candidate is not strictly outside the chord
+    // L->R holds no hull vertex at all: it is dropped without emitting.
+    std::vector<Chosen> staged(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      staged[i] = {pts[i], static_cast<std::uint8_t>(far[i].slot == i &&
+                                                     far[i].d > 0)};
+    });
+    const std::vector<Chosen> chosen =
+        m.seg_distribute(std::span<const Chosen>(staged), sv, ChosenOp{});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (far[i].slot == i && far[i].d > 0) {
+        found.push_back({(lo[i] + hi[i]) / 2.0, pts[i]});
+      }
+    }
+
+    // Classify: left of (L, C) -> group 0, left of (C, R) -> group 1,
+    // everything else (including C and interior points) is discarded.
+    std::vector<std::uint8_t> code(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      const Point2D& C = chosen[i].p;
+      if (!chosen[i].valid) {
+        code[i] = 2;  // the whole segment lies on/inside its chord
+      } else if (cross(L[i], C, pts[i]) > 0) {
+        code[i] = 0;
+      } else if (cross(C, R[i], pts[i]) > 0) {
+        code[i] = 1;
+      } else {
+        code[i] = 2;
+      }
+    });
+
+    // Pack survivors, grouped (group 0 then group 1) within each segment,
+    // and update every per-point attribute for its subsegment.
+    const std::vector<std::size_t> index =
+        seg_split3_index(m, std::span<const std::uint8_t>(code), sv);
+    std::vector<Point2D> npts(n);
+    std::vector<Point2D> nL(n), nR(n);
+    std::vector<double> nlo(n), nhi(n);
+    std::vector<std::uint8_t> ncode(n);
+    std::vector<std::size_t> nseg(n);
+    const std::vector<std::size_t> f01 = m.map<std::size_t>(
+        sv, [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+    const std::vector<std::size_t> segnum =
+        m.inclusive(std::span<const std::size_t>(f01), Plus<std::size_t>{});
+    m.charge_permute(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      const Point2D& C = chosen[i].p;
+      const double mid = (lo[i] + hi[i]) / 2.0;
+      npts[index[i]] = pts[i];
+      ncode[index[i]] = code[i];
+      nseg[index[i]] = segnum[i];
+      if (code[i] == 0) {
+        nL[index[i]] = L[i];
+        nR[index[i]] = C;
+        nlo[index[i]] = lo[i];
+        nhi[index[i]] = mid;
+      } else {
+        nL[index[i]] = C;
+        nR[index[i]] = R[i];
+        nlo[index[i]] = mid;
+        nhi[index[i]] = hi[i];
+      }
+    });
+
+    // Keep groups 0 and 1; new segment flags wherever (old segment, group)
+    // changes.
+    Flags keep(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) { keep[i] = ncode[i] != 2; });
+    Flags nflags(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      nflags[i] = i == 0 || nseg[i] != nseg[i - 1] || ncode[i] != ncode[i - 1];
+    });
+    pts = m.pack(std::span<const Point2D>(npts), FlagsView(keep));
+    L = m.pack(std::span<const Point2D>(nL), FlagsView(keep));
+    R = m.pack(std::span<const Point2D>(nR), FlagsView(keep));
+    lo = m.pack(std::span<const double>(nlo), FlagsView(keep));
+    hi = m.pack(std::span<const double>(nhi), FlagsView(keep));
+    segs = m.pack(FlagsView(nflags), FlagsView(keep));
+  }
+
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Point2D> out;
+  out.reserve(found.size());
+  for (const auto& [key, p] : found) out.push_back(p);
+  return out;
+}
+
+}  // namespace
+
+HullResult convex_hull(machine::Machine& m, std::span<const Point2D> points) {
+  if (points.empty()) {
+    throw std::invalid_argument("convex_hull: empty input");
+  }
+  // Extreme points by (x, y): min is the hull start, max the turn.
+  struct Ext {
+    Point2D p{std::numeric_limits<double>::infinity(), 0};
+    Point2D q{-std::numeric_limits<double>::infinity(), 0};
+  };
+  struct ExtOp {
+    static Ext identity() { return {}; }
+    Ext operator()(const Ext& a, const Ext& b) const {
+      Ext r;
+      r.p = lex_less(a.p, b.p) ? a.p : b.p;
+      r.q = lex_less(a.q, b.q) ? b.q : a.q;
+      return r;
+    }
+  };
+  std::vector<Ext> wrapped(points.size());
+  m.charge_elementwise(points.size());
+  thread::parallel_for(points.size(),
+                       [&](std::size_t i) { wrapped[i] = {points[i], points[i]}; });
+  const Ext ext = m.reduce(std::span<const Ext>(wrapped), ExtOp{});
+  const Point2D A = ext.p, B = ext.q;
+
+  HullResult r;
+  if (A == B) {  // all points coincide
+    r.hull = {A};
+    return r;
+  }
+
+  // Candidates strictly left of A->B feed the lower... (counter-clockwise:
+  // left of A->B is the upper side when A is leftmost).
+  Flags up(points.size()), down(points.size());
+  m.charge_elementwise(points.size());
+  thread::parallel_for(points.size(), [&](std::size_t i) {
+    const double d = cross(A, B, points[i]);
+    up[i] = d > 0;
+    down[i] = d < 0;
+  });
+  std::vector<Point2D> upper_pts = m.pack(points, FlagsView(up));
+  std::vector<Point2D> lower_pts = m.pack(points, FlagsView(down));
+
+  const std::vector<Point2D> above =
+      half_hull(m, std::move(upper_pts), A, B, r.iterations);
+  const std::vector<Point2D> below =
+      half_hull(m, std::move(lower_pts), B, A, r.iterations);
+
+  // Counter-clockwise: A, then the lower chain from A to B, then B, then
+  // the upper chain from B back toward A.
+  r.hull.push_back(A);
+  for (auto it = below.rbegin(); it != below.rend(); ++it) r.hull.push_back(*it);
+  r.hull.push_back(B);
+  for (auto it = above.rbegin(); it != above.rend(); ++it) r.hull.push_back(*it);
+  return r;
+}
+
+std::vector<Point2D> convex_hull_serial(std::span<const Point2D> points) {
+  std::vector<Point2D> p(points.begin(), points.end());
+  std::sort(p.begin(), p.end(), lex_less);
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+  if (p.size() <= 2) return p;
+  const auto build = [&](auto begin, auto end) {
+    std::vector<Point2D> chain;
+    for (auto it = begin; it != end; ++it) {
+      while (chain.size() >= 2 &&
+             cross(chain[chain.size() - 2], chain.back(), *it) <= 0) {
+        chain.pop_back();
+      }
+      chain.push_back(*it);
+    }
+    return chain;
+  };
+  std::vector<Point2D> lower = build(p.begin(), p.end());
+  std::vector<Point2D> upper = build(p.rbegin(), p.rend());
+  lower.pop_back();
+  upper.pop_back();
+  lower.insert(lower.end(), upper.begin(), upper.end());
+  return lower;  // counter-clockwise, starting at the leftmost point
+}
+
+}  // namespace scanprim::algo

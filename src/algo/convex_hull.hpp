@@ -1,0 +1,40 @@
+// Convex hull by segmented quickhull — Table 1's computational-geometry row
+// (O(lg n) expected in the scan model; the paper's companion [8] gives the
+// construction). The same recursive-segment technique as quicksort §2.3.1:
+// every hull edge under refinement is a segment of candidate points; each
+// iteration finds the farthest point per segment with one segmented
+// max-distribute, discards interior points, and splits each segment in two.
+// All segments advance together, so an iteration costs O(1) program steps
+// and the expected iteration count is O(lg n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct Point2D {
+  double x = 0;
+  double y = 0;
+  friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+struct HullResult {
+  /// Hull vertices in counter-clockwise order, starting from the leftmost
+  /// point. Collinear boundary points are excluded.
+  std::vector<Point2D> hull;
+  std::size_t iterations = 0;  ///< quickhull refinement rounds
+};
+
+/// Computes the convex hull. Requires at least one point; duplicates are
+/// fine. Degenerate inputs (all points collinear) yield the two extreme
+/// points (or one, if all points coincide).
+HullResult convex_hull(machine::Machine& m, std::span<const Point2D> points);
+
+/// Serial Andrew monotone-chain baseline.
+std::vector<Point2D> convex_hull_serial(std::span<const Point2D> points);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,229 @@
+#include "src/algo/halving_merge.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/simulate.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+// Below this many elements the recursion bottoms out into a serial merge
+// (one long-vector program step; the asymptotics are unaffected).
+constexpr std::size_t kSerialBase = 8;
+
+// A key tagged with its source vector. Ordering breaks key ties in favour
+// of A, which makes the merge stable.
+struct Ck {
+  std::uint64_t key = 0;
+  std::uint32_t origin = 0;  // 0 = from A, 1 = from B
+
+  friend bool operator<(const Ck& a, const Ck& b) {
+    return a.key < b.key || (a.key == b.key && a.origin < b.origin);
+  }
+};
+
+struct CkMax {
+  static Ck identity() { return {0, 0}; }  // <= every element
+  Ck operator()(const Ck& a, const Ck& b) const { return a < b ? b : a; }
+};
+
+struct CkMin {
+  static Ck identity() {
+    return {~std::uint64_t{0}, ~std::uint32_t{0}};  // >= every element
+  }
+  Ck operator()(const Ck& a, const Ck& b) const { return a < b ? a : b; }
+};
+
+std::vector<Ck> serial_merge(machine::Machine& m, std::span<const Ck> a,
+                             std::span<const Ck> b) {
+  m.charge_elementwise(a.size() + b.size());
+  std::vector<Ck> out(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+  return out;
+}
+
+// Elements at even positions (the paper's odd-indexed, counting from one).
+std::vector<Ck> odd_indexed(machine::Machine& m, std::span<const Ck> v) {
+  Flags evens(v.size(), 0);
+  m.charge_elementwise(v.size());
+  thread::parallel_for(v.size(),
+                       [&](std::size_t i) { evens[i] = (i % 2 == 0) ? 1 : 0; });
+  return m.pack(v, FlagsView(evens));
+}
+
+// The x-near-merge repair (§2.5.1): two scans and two elementwise steps.
+std::vector<Ck> x_near_merge_ck(machine::Machine& m, std::span<const Ck> nm) {
+  const std::vector<Ck> maxes = m.scan(nm, CkMax{});
+  const std::vector<Ck> head =
+      m.zip<Ck>(std::span<const Ck>(maxes), nm, CkMax{});
+  const std::vector<Ck> backmins = m.backscan(nm, CkMin{});
+  return m.zip<Ck>(std::span<const Ck>(backmins), std::span<const Ck>(head),
+                   CkMin{});
+}
+
+std::vector<Ck> merge_rec(machine::Machine& m, std::span<const Ck> a,
+                          std::span<const Ck> b, std::size_t depth,
+                          std::size_t& levels) {
+  levels = std::max(levels, depth);
+  if (a.empty()) return {b.begin(), b.end()};
+  if (b.empty()) return {a.begin(), a.end()};
+  if (a.size() + b.size() <= kSerialBase) return serial_merge(m, a, b);
+
+  const std::vector<Ck> a0 = odd_indexed(m, a);
+  const std::vector<Ck> b0 = odd_indexed(m, b);
+  const std::vector<Ck> merged =
+      merge_rec(m, std::span<const Ck>(a0), std::span<const Ck>(b0),
+                depth + 1, levels);
+
+  // Even-insertion. Each merged odd element knows its source (the origin
+  // tag) and its rank within that source (a +-scan of the origin bits),
+  // hence whether its source holds an even-indexed successor for it.
+  const std::size_t nm = merged.size();
+  const std::vector<std::size_t> origin = m.map<std::size_t>(
+      std::span<const Ck>(merged),
+      [](const Ck& k) -> std::size_t { return k.origin; });
+  const std::vector<std::size_t> rank_b =
+      m.plus_scan(std::span<const std::size_t>(origin));
+
+  std::vector<std::size_t> sizes(nm);
+  Flags has_succ(nm, 0);
+  std::vector<Ck> succ_val(nm);
+  // Fetching the successor is one (concurrent-free) vector memory reference.
+  m.charge_permute(nm);
+  thread::parallel_for(nm, [&](std::size_t j) {
+    const bool from_b = origin[j] != 0;
+    const std::size_t r = from_b ? rank_b[j] : j - rank_b[j];
+    const std::span<const Ck>& src = from_b ? b : a;
+    const std::size_t succ = 2 * r + 1;
+    has_succ[j] = succ < src.size() ? 1 : 0;
+    sizes[j] = 1 + (has_succ[j] ? 1 : 0);
+    if (has_succ[j]) succ_val[j] = src[succ];
+  });
+
+  // Allocate 1 or 2 slots per merged odd element (§2.4) and scatter the odd
+  // elements and their successors into the near-merge vector.
+  const Allocation alloc = m.allocate(std::span<const std::size_t>(sizes));
+  assert(alloc.total == a.size() + b.size());
+  std::vector<Ck> near(alloc.total);
+  m.scatter(std::span<const Ck>(merged),
+            std::span<const std::size_t>(alloc.offsets), std::span<Ck>(near));
+  const std::vector<std::size_t> succ_pos = m.map<std::size_t>(
+      std::span<const std::size_t>(alloc.offsets),
+      [](std::size_t o) { return o + 1; });
+  const std::vector<Ck> packed_vals =
+      m.pack(std::span<const Ck>(succ_val), FlagsView(has_succ));
+  const std::vector<std::size_t> packed_pos =
+      m.pack(std::span<const std::size_t>(succ_pos), FlagsView(has_succ));
+  m.scatter(std::span<const Ck>(packed_vals),
+            std::span<const std::size_t>(packed_pos), std::span<Ck>(near));
+
+  return x_near_merge_ck(m, std::span<const Ck>(near));
+}
+
+std::vector<Ck> tag(machine::Machine& m, std::span<const std::uint64_t> v,
+                    std::uint32_t origin) {
+  return m.map<Ck>(v, [origin](std::uint64_t k) { return Ck{k, origin}; });
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> x_near_merge(machine::Machine& m,
+                                        std::span<const std::uint64_t> nm) {
+  const std::vector<Ck> tagged = tag(m, nm, 0);
+  const std::vector<Ck> fixed = x_near_merge_ck(m, std::span<const Ck>(tagged));
+  return m.map<std::uint64_t>(std::span<const Ck>(fixed),
+                              [](const Ck& k) { return k.key; });
+}
+
+std::vector<std::uint64_t> binary_search_merge(
+    machine::Machine& m, std::span<const std::uint64_t> a,
+    std::span<const std::uint64_t> b) {
+  assert(std::is_sorted(a.begin(), a.end()));
+  assert(std::is_sorted(b.begin(), b.end()));
+  const std::size_t na = a.size(), nb = b.size();
+  std::vector<std::uint64_t> out(na + nb);
+  // Each element's destination = own index + rank in the other vector.
+  // The parallel binary search runs as lg n synchronized probe rounds,
+  // every round one concurrent read (a gather) and one compare.
+  const auto rank_rounds = [&m](std::span<const std::uint64_t> keys,
+                                std::span<const std::uint64_t> other,
+                                bool upper) {
+    const std::size_t n = keys.size();
+    std::vector<std::size_t> lo(n, 0), hi(n, other.size());
+    std::size_t span = other.size();
+    while (span > 0) {
+      m.charge_permute(n);      // the probe: a concurrent read
+      m.charge_elementwise(n);  // the compare and interval update
+      thread::parallel_for(n, [&](std::size_t i) {
+        if (lo[i] >= hi[i]) return;
+        const std::size_t mid = lo[i] + (hi[i] - lo[i]) / 2;
+        const bool go_right =
+            upper ? other[mid] <= keys[i] : other[mid] < keys[i];
+        if (go_right) {
+          lo[i] = mid + 1;
+        } else {
+          hi[i] = mid;
+        }
+      });
+      span /= 2;
+    }
+    return lo;
+  };
+  // Ties: A's elements precede B's (lower_bound vs upper_bound), keeping
+  // the merge stable and the destinations unique.
+  const std::vector<std::size_t> rank_a = rank_rounds(a, b, false);
+  const std::vector<std::size_t> rank_b = rank_rounds(b, a, true);
+  m.charge_permute(na + nb);
+  thread::parallel_for(na, [&](std::size_t i) { out[i + rank_a[i]] = a[i]; });
+  thread::parallel_for(nb, [&](std::size_t i) { out[i + rank_b[i]] = b[i]; });
+  return out;
+}
+
+HalvingMergeResult halving_merge(machine::Machine& m,
+                                 std::span<const std::uint64_t> a,
+                                 std::span<const std::uint64_t> b) {
+  assert(std::is_sorted(a.begin(), a.end()));
+  assert(std::is_sorted(b.begin(), b.end()));
+  const std::vector<Ck> ca = tag(m, a, 0);
+  const std::vector<Ck> cb = tag(m, b, 1);
+  HalvingMergeResult r;
+  const std::vector<Ck> merged = merge_rec(
+      m, std::span<const Ck>(ca), std::span<const Ck>(cb), 0, r.levels);
+  r.merged = m.map<std::uint64_t>(std::span<const Ck>(merged),
+                                  [](const Ck& k) { return k.key; });
+  return r;
+}
+
+Flags halving_merge_flags(machine::Machine& m,
+                          std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b) {
+  assert(std::is_sorted(a.begin(), a.end()));
+  assert(std::is_sorted(b.begin(), b.end()));
+  const std::vector<Ck> ca = tag(m, a, 0);
+  const std::vector<Ck> cb = tag(m, b, 1);
+  std::size_t levels = 0;
+  const std::vector<Ck> merged = merge_rec(
+      m, std::span<const Ck>(ca), std::span<const Ck>(cb), 0, levels);
+  return m.map<std::uint8_t>(
+      std::span<const Ck>(merged),
+      [](const Ck& k) { return static_cast<std::uint8_t>(k.origin); });
+}
+
+std::vector<double> halving_merge_doubles(machine::Machine& m,
+                                          std::span<const double> a,
+                                          std::span<const double> b) {
+  const auto to_keys = [&m](std::span<const double> v) {
+    return m.map<std::uint64_t>(v,
+                                [](double d) { return sim::float_key(d); });
+  };
+  const std::vector<std::uint64_t> ka = to_keys(a);
+  const std::vector<std::uint64_t> kb = to_keys(b);
+  const HalvingMergeResult r = halving_merge(
+      m, std::span<const std::uint64_t>(ka), std::span<const std::uint64_t>(kb));
+  return m.map<double>(std::span<const std::uint64_t>(r.merged),
+                       [](std::uint64_t k) { return sim::float_unkey(k); });
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,65 @@
+// The halving merge (§2.5.1, Figure 12) — the paper's original algorithm.
+//
+// To merge sorted vectors A and B: extract the odd-indexed elements of each
+// (the paper counts from 1; these are positions 0, 2, 4, …), recursively
+// merge those half-length vectors, then perform *even-insertion*: place each
+// even-indexed element directly after the element it originally followed
+// (producing the "near-merge" vector, whose blocks are out of order only by
+// single non-overlapping rotations) and repair it with two scans:
+//
+//   head-copy ← max(max-scan(near-merge), near-merge)
+//   result    ← min(min-backscan(near-merge), head-copy)
+//
+// With p processors the step complexity is O(n/p + lg n); for p ≤ n / lg n
+// the algorithm is work-optimal (Table 5's first row).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct HalvingMergeResult {
+  std::vector<std::uint64_t> merged;
+  std::size_t levels = 0;  ///< recursion depth reached
+};
+
+/// Merges two sorted vectors of unsigned keys. Stable: on ties, A's
+/// elements precede B's.
+HalvingMergeResult halving_merge(machine::Machine& m,
+                                 std::span<const std::uint64_t> a,
+                                 std::span<const std::uint64_t> b);
+
+/// §2.5.1's closing construction: instead of the merged values, return the
+/// *merge-flag vector* — flags[k] = 0 when position k of the merge holds an
+/// element of A, 1 for an element of B. This "both uniquely specifies how
+/// the elements should be merged and specifies in which position each
+/// element belongs".
+Flags halving_merge_flags(machine::Machine& m,
+                          std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b);
+
+/// Convenience wrapper for doubles (via the order-preserving key transform).
+std::vector<double> halving_merge_doubles(machine::Machine& m,
+                                          std::span<const double> a,
+                                          std::span<const double> b);
+
+/// The x-near-merge repair step (§2.5.1), exposed for unit tests: fixes a
+/// vector whose blocks are rotated by one, in two scans.
+std::vector<std::uint64_t> x_near_merge(machine::Machine& m,
+                                        std::span<const std::uint64_t> nm);
+
+/// The classic CREW merge Table 1's EREW/CRCW merging row describes: every
+/// element binary-searches its rank in the other vector — O(lg n) rounds of
+/// one concurrent read plus one elementwise step, no scans at all, so all
+/// three models charge it alike. The baseline the halving merge's
+/// O(n/p + lg n) work-efficiency is measured against.
+std::vector<std::uint64_t> binary_search_merge(machine::Machine& m,
+                                               std::span<const std::uint64_t> a,
+                                               std::span<const std::uint64_t> b);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,124 @@
+#include "src/algo/independent_set.hpp"
+
+#include <stdexcept>
+
+#include "src/core/rng.hpp"
+
+namespace scanprim::algo {
+
+MisResult maximal_independent_set(machine::Machine& m,
+                                  std::size_t num_vertices,
+                                  std::span<const graph::WeightedEdge> edges,
+                                  std::uint64_t seed) {
+  MisResult r;
+  r.in_set.assign(num_vertices, 0);
+
+  const graph::SegGraph g = graph::build_seg_graph(m, num_vertices, edges);
+  const std::size_t ns = g.num_slots();
+  const FlagsView segs(g.segment_desc);
+
+  // Vertices with no slots (degree zero) join immediately.
+  Flags has_slot(num_vertices, 0);
+  for (std::size_t s = 0; s < ns; ++s) has_slot[g.vertex[s]] = 1;
+  m.charge_elementwise(num_vertices);
+  thread::parallel_for(num_vertices, [&](std::size_t v) {
+    if (!has_slot[v]) r.in_set[v] = 1;
+  });
+  if (ns == 0) return r;
+
+  const std::vector<std::size_t> heads = m.pack_index(segs);
+  // status per slot: 0 = active, 1 = in the set, 2 = removed (neighbor of a
+  // set vertex). All slots of a vertex share its status.
+  std::vector<std::uint8_t> status(ns, 0);
+
+  std::size_t max_rounds = 64;
+  for (std::size_t n = num_vertices; n > 1; n /= 2) max_rounds += 16;
+
+  for (;;) {
+    // Any active vertex left?
+    const std::vector<std::uint8_t> active = m.map<std::uint8_t>(
+        std::span<const std::uint8_t>(status),
+        [](std::uint8_t s) -> std::uint8_t { return s == 0; });
+    const bool any = m.reduce(std::span<const std::uint8_t>(active),
+                              Or<std::uint8_t>{});
+    if (!any) break;
+    if (r.rounds >= max_rounds) {
+      throw std::runtime_error("maximal_independent_set: round bound exceeded");
+    }
+
+    // Random priority per vertex (drawn per slot, head's value copied).
+    const std::uint64_t salt = splitmix64(seed + 0x515 * (r.rounds + 1));
+    std::vector<std::uint64_t> rnd(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      rnd[s] = splitmix64(salt + g.vertex[s]) & 0xffffffff;
+    });
+    const std::vector<std::uint64_t> prio = m.seg_copy(
+        std::span<const std::uint64_t>(rnd), segs);
+
+    // Priority (tie-broken by vertex id) visible to neighbors: inactive
+    // vertices present no competition.
+    std::vector<std::uint64_t> bid(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      bid[s] = status[s] == 0 ? (prio[s] << 24 | g.vertex[s]) + 1 : 0;
+    });
+    const std::vector<std::uint64_t> neighbor_bid = m.gather(
+        std::span<const std::uint64_t>(bid), std::span<const std::size_t>(g.cross));
+    struct MaxU {
+      static std::uint64_t identity() { return 0; }
+      std::uint64_t operator()(std::uint64_t a, std::uint64_t b) const {
+        return a > b ? a : b;
+      }
+    };
+    const std::vector<std::uint64_t> best_neighbor = m.seg_distribute(
+        std::span<const std::uint64_t>(neighbor_bid), segs, MaxU{});
+
+    // Winners join the set; their neighbors are removed next.
+    Flags winner(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      winner[s] = status[s] == 0 && bid[s] > best_neighbor[s];
+    });
+    const std::vector<std::uint8_t> neighbor_won = m.gather(
+        FlagsView(winner), std::span<const std::size_t>(g.cross));
+    const std::vector<std::uint8_t> near_winner = m.seg_distribute(
+        std::span<const std::uint8_t>(neighbor_won), segs, Or<std::uint8_t>{});
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      if (status[s] != 0) return;
+      if (winner[s]) {
+        status[s] = 1;
+      } else if (near_winner[s]) {
+        status[s] = 2;
+      }
+    });
+    ++r.rounds;
+  }
+
+  // Read the verdict off each vertex's head slot.
+  const std::vector<std::uint8_t> head_status = m.gather(
+      std::span<const std::uint8_t>(status), std::span<const std::size_t>(heads));
+  for (std::size_t k = 0; k < heads.size(); ++k) {
+    if (head_status[k] == 1) r.in_set[g.vertex[heads[k]]] = 1;
+  }
+  return r;
+}
+
+bool is_maximal_independent_set(std::size_t num_vertices,
+                                std::span<const graph::WeightedEdge> edges,
+                                const Flags& in_set) {
+  if (in_set.size() != num_vertices) return false;
+  std::vector<std::uint8_t> covered(in_set.begin(), in_set.end());
+  for (const auto& e : edges) {
+    if (in_set[e.u] && in_set[e.v]) return false;  // not independent
+    if (in_set[e.u]) covered[e.v] = 1;
+    if (in_set[e.v]) covered[e.u] = 1;
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    if (!covered[v]) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,36 @@
+// Maximal independent set — Table 1's O(lg n) scan-model graph row
+// (EREW/CRCW: O(lg² n)). Luby's algorithm on the segmented graph
+// representation: every active vertex draws a random priority; a vertex
+// whose priority beats all active neighbors joins the set, and it and its
+// neighbors deactivate. One round is a constant number of segmented
+// operations plus one cross-pointer permute; O(lg n) rounds w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::algo {
+
+struct MisResult {
+  /// Per-vertex membership flag (indexed by original vertex id).
+  Flags in_set;
+  std::size_t rounds = 0;
+};
+
+/// Vertices of degree zero always join the set. Requires vertex ids
+/// < num_vertices.
+MisResult maximal_independent_set(machine::Machine& m,
+                                  std::size_t num_vertices,
+                                  std::span<const graph::WeightedEdge> edges,
+                                  std::uint64_t seed = 0x5eed);
+
+/// Property check: returns true iff `in_set` is independent (no edge inside)
+/// and maximal (every outside vertex has a neighbor inside).
+bool is_maximal_independent_set(std::size_t num_vertices,
+                                std::span<const graph::WeightedEdge> edges,
+                                const Flags& in_set);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,276 @@
+#include "src/algo/kd_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/algo/quicksort.hpp"  // seg_split3_index
+#include "src/algo/radix_sort.hpp"
+#include "src/core/simulate.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+// The single flagged value in each segment (the median's coordinate).
+struct Med {
+  double v = 0;
+  std::uint8_t valid = 0;
+};
+struct MedOp {
+  static Med identity() { return {}; }
+  Med operator()(const Med& a, const Med& b) const { return b.valid ? b : a; }
+};
+
+// Point indices sorted by one coordinate, via the split radix sort on the
+// order-preserving float keys (§3.4).
+std::vector<std::size_t> sorted_indices(machine::Machine& m,
+                                        std::span<const Point2D> pts,
+                                        int axis) {
+  std::vector<std::uint64_t> keys(pts.size());
+  m.charge_elementwise(pts.size());
+  thread::parallel_for(pts.size(), [&](std::size_t i) {
+    keys[i] = sim::float_key(axis == 0 ? pts[i].x : pts[i].y);
+  });
+  const SortWithOrigin s = split_radix_sort_with_origin(
+      m, std::span<const std::uint64_t>(keys), 64);
+  return s.origin;
+}
+
+}  // namespace
+
+KdTree build_kd_tree(machine::Machine& m, std::span<const Point2D> points) {
+  KdTree t;
+  const std::size_t n = points.size();
+  if (n == 0) return t;
+
+  std::vector<std::size_t> byx = sorted_indices(m, points, 0);
+  std::vector<std::size_t> byy = sorted_indices(m, points, 1);
+  Flags segs(n, 0);
+  segs[0] = 1;
+
+  t.nodes.push_back(KdNode{});
+  std::vector<std::size_t> seg_node{0};  // node owning each segment, in order
+
+  const std::vector<std::size_t> ones(n, 1);
+  bool any_split = n > 1;
+  for (std::uint8_t axis = 0; any_split; axis ^= 1) {
+    ++t.levels;
+    const FlagsView sv(segs);
+    const std::vector<std::size_t>& seq = axis == 0 ? byx : byy;
+    const std::vector<std::size_t>& oth = axis == 0 ? byy : byx;
+
+    const std::vector<std::size_t> rank =
+        m.seg_scan(std::span<const std::size_t>(ones), sv, Plus<std::size_t>{});
+    const std::vector<std::size_t> len = m.seg_distribute(
+        std::span<const std::size_t>(ones), sv, Plus<std::size_t>{});
+
+    // The median: the last element of the left half (rank h-1, h = ⌈L/2⌉).
+    std::vector<Med> staged(n);
+    std::vector<std::uint8_t> side(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t pos) {
+      const std::size_t h = (len[pos] + 1) / 2;
+      const Point2D& p = points[seq[pos]];
+      const double coord = axis == 0 ? p.x : p.y;
+      staged[pos] = {coord, static_cast<std::uint8_t>(rank[pos] == h - 1)};
+      side[pos] = rank[pos] < h ? 0 : 1;
+    });
+    const std::vector<Med> med =
+        m.seg_distribute(std::span<const Med>(staged), sv, MedOp{});
+
+    // The other sequence learns each point's side through a scatter/gather
+    // pair keyed by point id.
+    std::vector<std::uint8_t> side_of_point(n);
+    m.scatter(std::span<const std::uint8_t>(side),
+              std::span<const std::size_t>(seq),
+              std::span<std::uint8_t>(side_of_point));
+    const std::vector<std::uint8_t> side_oth = m.gather(
+        std::span<const std::uint8_t>(side_of_point),
+        std::span<const std::size_t>(oth));
+
+    // Stable split of both sequences; stability keeps each sorted.
+    const std::vector<std::size_t> idx1 =
+        seg_split3_index(m, std::span<const std::uint8_t>(side), sv);
+    const std::vector<std::size_t> idx2 =
+        seg_split3_index(m, std::span<const std::uint8_t>(side_oth), sv);
+    std::vector<std::size_t> nseq =
+        m.permute(std::span<const std::size_t>(seq),
+                  std::span<const std::size_t>(idx1));
+    std::vector<std::size_t> noth =
+        m.permute(std::span<const std::size_t>(oth),
+                  std::span<const std::size_t>(idx2));
+    const std::vector<std::uint8_t> moved_side = m.permute(
+        std::span<const std::uint8_t>(side), std::span<const std::size_t>(idx1));
+
+    // New segment boundaries where the old segment or the side changes.
+    const std::vector<std::size_t> f01 = m.map<std::size_t>(
+        sv, [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+    const std::vector<std::size_t> segnum =
+        m.inclusive(std::span<const std::size_t>(f01), Plus<std::size_t>{});
+    Flags nsegs(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t pos) {
+      nsegs[pos] = pos == 0 || segnum[pos] != segnum[pos - 1] ||
+                   moved_side[pos] != moved_side[pos - 1];
+    });
+
+    // Node bookkeeping (output assembly, host side): every >1 segment, in
+    // order, becomes an internal node with two fresh children; length-1
+    // segments become leaves once and pass through.
+    const std::vector<std::size_t> head_len = m.pack(
+        std::span<const std::size_t>(len), sv);
+    const std::vector<Med> head_med = m.pack(std::span<const Med>(med), sv);
+    const std::vector<std::size_t> head_first =
+        m.pack(std::span<const std::size_t>(seq), sv);
+    std::vector<std::size_t> next_seg_node;
+    any_split = false;
+    for (std::size_t k = 0; k < seg_node.size(); ++k) {
+      KdNode& node = t.nodes[seg_node[k]];
+      if (head_len[k] == 1) {
+        node.axis = 2;
+        node.point = head_first[k];
+        next_seg_node.push_back(seg_node[k]);
+        continue;
+      }
+      node.axis = axis;
+      node.split = head_med[k].v;
+      node.left = t.nodes.size();
+      node.right = t.nodes.size() + 1;
+      t.nodes.push_back(KdNode{});
+      t.nodes.push_back(KdNode{});
+      next_seg_node.push_back(node.left);
+      next_seg_node.push_back(node.right);
+      if (head_len[k] > 2) any_split = true;
+    }
+    seg_node = std::move(next_seg_node);
+    byx = std::move(axis == 0 ? nseq : noth);
+    byy = std::move(axis == 0 ? noth : nseq);
+    segs = std::move(nsegs);
+  }
+
+  // Finalize the remaining (length-1) segments as leaves.
+  const std::vector<std::size_t> heads = m.pack_index(FlagsView(segs));
+  for (std::size_t k = 0; k < seg_node.size(); ++k) {
+    KdNode& node = t.nodes[seg_node[k]];
+    if (node.axis == 2 && node.point == ~std::size_t{0}) {
+      node.point = byx[heads[k]];
+    }
+  }
+  return t;
+}
+
+namespace {
+
+bool validate_rec(const KdTree& t, std::span<const Point2D> pts,
+                  std::size_t node, double xlo, double xhi, double ylo,
+                  double yhi, std::vector<std::uint8_t>& seen,
+                  std::size_t depth, std::size_t max_depth) {
+  if (depth > max_depth) return false;
+  const KdNode& nd = t.nodes[node];
+  if (nd.axis == 2) {
+    if (nd.point >= pts.size() || seen[nd.point]) return false;
+    seen[nd.point] = 1;
+    const Point2D& p = pts[nd.point];
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  if (nd.axis == 0) {
+    return validate_rec(t, pts, nd.left, xlo, nd.split, ylo, yhi, seen,
+                        depth + 1, max_depth) &&
+           validate_rec(t, pts, nd.right, nd.split, xhi, ylo, yhi, seen,
+                        depth + 1, max_depth);
+  }
+  return validate_rec(t, pts, nd.left, xlo, xhi, ylo, nd.split, seen,
+                      depth + 1, max_depth) &&
+         validate_rec(t, pts, nd.right, xlo, xhi, nd.split, yhi, seen,
+                      depth + 1, max_depth);
+}
+
+}  // namespace
+
+bool validate_kd_tree(const KdTree& t, std::span<const Point2D> points) {
+  if (points.empty()) return t.nodes.empty();
+  std::size_t max_depth = 1;
+  while ((std::size_t{1} << max_depth) < points.size()) ++max_depth;
+  std::vector<std::uint8_t> seen(points.size(), 0);
+  const double inf = std::numeric_limits<double>::infinity();
+  if (!validate_rec(t, points, 0, -inf, inf, -inf, inf, seen, 0,
+                    max_depth + 1)) {
+    return false;
+  }
+  for (const auto s : seen) {
+    if (!s) return false;
+  }
+  return t.levels <= max_depth + 1;
+}
+
+namespace {
+
+double dist2(const Point2D& a, const Point2D& b) {
+  return (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+}
+
+void nearest_rec(const KdTree& t, std::span<const Point2D> pts,
+                 std::size_t node, const Point2D& q, std::size_t& best,
+                 double& best_d2) {
+  const KdNode& nd = t.nodes[node];
+  if (nd.axis == 2) {
+    const double d2 = dist2(pts[nd.point], q);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = nd.point;
+    }
+    return;
+  }
+  const double qc = nd.axis == 0 ? q.x : q.y;
+  const double gap = qc - nd.split;
+  const std::size_t near = gap <= 0 ? nd.left : nd.right;
+  const std::size_t far = gap <= 0 ? nd.right : nd.left;
+  nearest_rec(t, pts, near, q, best, best_d2);
+  if (gap * gap < best_d2) nearest_rec(t, pts, far, q, best, best_d2);
+}
+
+}  // namespace
+
+std::size_t kd_nearest(const KdTree& t, std::span<const Point2D> points,
+                       const Point2D& query) {
+  std::size_t best = ~std::size_t{0};
+  double best_d2 = std::numeric_limits<double>::infinity();
+  nearest_rec(t, points, 0, query, best, best_d2);
+  return best;
+}
+
+namespace {
+
+void range_rec(const KdTree& t, std::span<const Point2D> pts,
+               std::size_t node, double xlo, double xhi, double ylo,
+               double yhi, std::vector<std::size_t>& out) {
+  const KdNode& nd = t.nodes[node];
+  if (nd.axis == 2) {
+    const Point2D& p = pts[nd.point];
+    if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) {
+      out.push_back(nd.point);
+    }
+    return;
+  }
+  // The left subtree holds coordinates <= split, the right >= split
+  // (duplicates of the split value may sit on either side).
+  const double lo = nd.axis == 0 ? xlo : ylo;
+  const double hi = nd.axis == 0 ? xhi : yhi;
+  if (lo <= nd.split) range_rec(t, pts, nd.left, xlo, xhi, ylo, yhi, out);
+  if (hi >= nd.split) range_rec(t, pts, nd.right, xlo, xhi, ylo, yhi, out);
+}
+
+}  // namespace
+
+std::vector<std::size_t> kd_range(const KdTree& t,
+                                  std::span<const Point2D> points, double xlo,
+                                  double xhi, double ylo, double yhi) {
+  std::vector<std::size_t> out;
+  if (!t.nodes.empty()) {
+    range_rec(t, points, 0, xlo, xhi, ylo, yhi, out);
+  }
+  return out;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,52 @@
+// Building a k-d tree — Table 1's O(lg n) scan-model row (EREW/CRCW:
+// O(lg² n)). The classic scan formulation: keep the points sorted by x and
+// by y simultaneously; at each level every node (a segment in both
+// sequences) splits at the median of its axis with one segmented split —
+// a stable split keeps *both* sequences sorted, so each of the lg n levels
+// costs O(1) program steps and no re-sorting is ever needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/algo/convex_hull.hpp"  // Point2D
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct KdNode {
+  /// Axis split at this node: 0 = x, 1 = y. Leaves have axis 2.
+  std::uint8_t axis = 2;
+  double split = 0;              ///< splitting coordinate (internal nodes)
+  std::size_t left = ~std::size_t{0};   ///< child indices into KdTree::nodes
+  std::size_t right = ~std::size_t{0};
+  std::size_t point = ~std::size_t{0};  ///< original point index (leaves)
+};
+
+struct KdTree {
+  std::vector<KdNode> nodes;  ///< nodes[0] is the root
+  std::size_t levels = 0;     ///< tree depth (≈ lg n)
+};
+
+/// Builds the tree over the given points (distinct coordinates per axis are
+/// not required; ties break by the sort order). Alternates axes starting
+/// with x.
+KdTree build_kd_tree(machine::Machine& m, std::span<const Point2D> points);
+
+/// Structural check: every leaf's point lies inside the region its path
+/// prescribes, each point appears in exactly one leaf, and the depth is
+/// ⌈lg n⌉.
+bool validate_kd_tree(const KdTree& t, std::span<const Point2D> points);
+
+/// Nearest neighbor query (serial tree descent) — exercises the built tree.
+std::size_t kd_nearest(const KdTree& t, std::span<const Point2D> points,
+                       const Point2D& query);
+
+/// Axis-aligned box query: indices of all points with
+/// xlo <= x <= xhi and ylo <= y <= yhi, pruned by the splitting planes.
+std::vector<std::size_t> kd_range(const KdTree& t,
+                                  std::span<const Point2D> points, double xlo,
+                                  double xhi, double ylo, double yhi);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,80 @@
+#include "src/algo/line_draw.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace scanprim::algo {
+
+namespace {
+
+std::int64_t steps_of(const LineSegment& l) {
+  const std::int64_t dx = std::llabs(l.b.x - l.a.x);
+  const std::int64_t dy = std::llabs(l.b.y - l.a.y);
+  return dx > dy ? dx : dy;
+}
+
+// The DDA pixel: position i of a line with `steps` unit advances along the
+// major axis. Closed form, so the parallel version computes every pixel
+// independently and identically to the serial loop.
+Point dda_pixel(const LineSegment& l, std::int64_t i, std::int64_t steps) {
+  if (steps == 0) return l.a;
+  const double t = static_cast<double>(i) / static_cast<double>(steps);
+  const double x = static_cast<double>(l.a.x) +
+                   t * static_cast<double>(l.b.x - l.a.x);
+  const double y = static_cast<double>(l.a.y) +
+                   t * static_cast<double>(l.b.y - l.a.y);
+  return Point{std::llround(x), std::llround(y)};
+}
+
+}  // namespace
+
+std::vector<Point> dda_serial(const LineSegment& line) {
+  const std::int64_t steps = steps_of(line);
+  std::vector<Point> pixels;
+  pixels.reserve(static_cast<std::size_t>(steps) + 1);
+  for (std::int64_t i = 0; i <= steps; ++i) {
+    pixels.push_back(dda_pixel(line, i, steps));
+  }
+  return pixels;
+}
+
+RasterResult draw_lines(machine::Machine& m,
+                        std::span<const LineSegment> lines) {
+  const std::size_t nl = lines.size();
+  // Each line computes its pixel count: max of the x and y differences of
+  // its endpoints (§2.4.1), inclusive of both endpoints.
+  const std::vector<std::size_t> sizes = m.map<std::size_t>(
+      lines, [](const LineSegment& l) {
+        return static_cast<std::size_t>(steps_of(l)) + 1;
+      });
+
+  // Allocate a segment of processors per line and distribute the endpoints
+  // (§2.4, Figure 8).
+  const Allocation alloc = m.allocate(std::span<const std::size_t>(sizes));
+  std::vector<LineSegment> ends(lines.begin(), lines.end());
+  const std::vector<LineSegment> per_pixel_line =
+      m.distribute_to_segments(std::span<const LineSegment>(ends), alloc);
+  std::vector<std::size_t> line_ids = m.iota(nl);
+  RasterResult r;
+  r.line_of_pixel = m.distribute_to_segments(
+      std::span<const std::size_t>(line_ids), alloc);
+  r.line_starts = alloc.segment_flags;
+
+  // Position of each pixel within its line: a segmented +-scan of ones.
+  const std::vector<std::size_t> ones(alloc.total, 1);
+  const std::vector<std::size_t> rank =
+      m.seg_scan(std::span<const std::size_t>(ones),
+                 FlagsView(alloc.segment_flags), Plus<std::size_t>{});
+
+  // Every pixel computes its (x, y) independently.
+  r.pixels.resize(alloc.total);
+  m.charge_elementwise(alloc.total);
+  thread::parallel_for(alloc.total, [&](std::size_t i) {
+    const LineSegment& l = per_pixel_line[i];
+    r.pixels[i] = dda_pixel(l, static_cast<std::int64_t>(rank[i]),
+                            steps_of(l));
+  });
+  return r;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,48 @@
+// Parallel line drawing (§2.4.1, Figure 9): every line allocates one
+// processor per pixel (the allocate operation of §2.4), distributes its
+// endpoints across the allocated segment, and each pixel computes its (x, y)
+// position independently with the DDA formula. O(1) program steps,
+// independent of the number and length of the lines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+struct LineSegment {
+  Point a;
+  Point b;
+};
+
+/// Pixels of all lines, concatenated; `line_of_pixel[i]` tells which input
+/// line produced pixel i, and `line_starts` flags the first pixel of each
+/// line (the allocation's segment descriptor).
+struct RasterResult {
+  std::vector<Point> pixels;
+  std::vector<std::size_t> line_of_pixel;
+  Flags line_starts;
+};
+
+/// Rasterises every line, inclusive of both endpoints: a line allocates
+/// max(|dx|, |dy|) + 1 pixels. (The paper's Figure 9 caption allocates
+/// max(|dx|, |dy|) pixels for two of its three example lines and
+/// max(|dx|, |dy|) + 1 for the third; we use the inclusive convention
+/// uniformly and note the discrepancy in EXPERIMENTS.md.)
+RasterResult draw_lines(machine::Machine& m,
+                        std::span<const LineSegment> lines);
+
+/// The serial digital differential analyzer the paper says the parallel
+/// routine matches — the baseline for tests.
+std::vector<Point> dda_serial(const LineSegment& line);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,50 @@
+#include "src/algo/line_of_sight.hpp"
+
+#include <limits>
+
+namespace scanprim::algo {
+
+namespace {
+
+std::vector<double> angles(machine::Machine& m,
+                           std::span<const double> altitudes,
+                           double observer_height) {
+  const double base = altitudes.empty() ? 0.0 : altitudes[0] + observer_height;
+  std::vector<double> out(altitudes.size());
+  m.charge_elementwise(altitudes.size());
+  thread::parallel_for(altitudes.size(), [&](std::size_t i) {
+    out[i] = i == 0 ? -std::numeric_limits<double>::infinity()
+                    : (altitudes[i] - base) / static_cast<double>(i);
+  });
+  return out;
+}
+
+}  // namespace
+
+Flags line_of_sight(machine::Machine& m, std::span<const double> altitudes,
+                    double observer_height) {
+  const std::vector<double> ang = angles(m, altitudes, observer_height);
+  const std::vector<double> horizon = m.max_scan(std::span<const double>(ang));
+  Flags visible = m.zip<std::uint8_t>(
+      std::span<const double>(ang), std::span<const double>(horizon),
+      [](double a, double h) -> std::uint8_t { return a > h ? 1 : 0; });
+  if (!visible.empty()) visible[0] = 1;  // the observer sees itself
+  return visible;
+}
+
+Flags line_of_sight_serial(std::span<const double> altitudes,
+                           double observer_height) {
+  Flags visible(altitudes.size(), 0);
+  if (altitudes.empty()) return visible;
+  visible[0] = 1;
+  const double base = altitudes[0] + observer_height;
+  double horizon = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < altitudes.size(); ++i) {
+    const double a = (altitudes[i] - base) / static_cast<double>(i);
+    if (a > horizon) visible[i] = 1;
+    horizon = a > horizon ? a : horizon;
+  }
+  return visible;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,24 @@
+// Line of sight (Table 1's O(1) scan-model entry): given an observer at the
+// first point of an altitude profile, a point is visible exactly when the
+// vertical angle from the observer to it exceeds the angle to every closer
+// point — a single max-scan of the angles plus an elementwise compare.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+/// `altitudes[0]` is the observer (plus `observer_height`); returns a flag
+/// per point: 1 if visible from the observer. Point 0 is visible.
+Flags line_of_sight(machine::Machine& m, std::span<const double> altitudes,
+                    double observer_height = 0.0);
+
+/// Serial reference.
+Flags line_of_sight_serial(std::span<const double> altitudes,
+                           double observer_height = 0.0);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,190 @@
+#include "src/algo/list_rank.hpp"
+
+#include <cassert>
+
+#include "src/core/rng.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+constexpr std::size_t kSerialBase = 32;
+
+// Weighted ranking by pointer jumping on (next, dist) pairs.
+void wyllie_inplace(machine::Machine& m, std::vector<std::size_t>& next,
+                    std::vector<std::uint64_t>& dist) {
+  const std::size_t n = next.size();
+  std::size_t hops = 1;
+  while (hops < n) {
+    const std::vector<std::uint64_t> dist_next =
+        m.gather(std::span<const std::uint64_t>(dist),
+                 std::span<const std::size_t>(next));
+    const std::vector<std::size_t> next_next =
+        m.gather(std::span<const std::size_t>(next),
+                 std::span<const std::size_t>(next));
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) { dist[i] += dist_next[i]; });
+    next = next_next;
+    hops *= 2;
+  }
+}
+
+// Distance of each node to the tail along `next`, with per-link weights
+// `w[i]` (the cost of the link leaving node i; the tail's is 0).
+std::vector<std::uint64_t> rank_weighted(machine::Machine& m,
+                                         std::vector<std::size_t> next,
+                                         std::vector<std::uint64_t> w,
+                                         std::uint64_t seed,
+                                         std::size_t depth) {
+  const std::size_t n = next.size();
+  if (n <= kSerialBase) {
+    // Serial base case: one long-vector step's worth of work.
+    m.charge_elementwise(n);
+    std::vector<std::uint64_t> dist(n, 0);
+    for (std::size_t start = 0; start < n; ++start) {
+      std::uint64_t d = 0;
+      std::size_t v = start;
+      while (next[v] != v) {
+        d += w[v];
+        v = next[v];
+      }
+      dist[start] = d;
+    }
+    return dist;
+  }
+
+  // Coin flips; node i splices out iff coin[i]=T(0), coin[next[i]]=H(1) and
+  // i is not the tail — never two adjacent nodes, expected n/4 of them.
+  const std::uint64_t salt = splitmix64(seed + 0xabcd * (depth + 1));
+  Flags coin(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    coin[i] = splitmix64(salt + i) & 1;
+  });
+  const std::vector<std::uint8_t> coin_next =
+      m.gather(FlagsView(coin), std::span<const std::size_t>(next));
+  Flags spliced(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    spliced[i] = (!coin[i] && coin_next[i] && next[i] != i) ? 1 : 0;
+  });
+
+  // Every predecessor of a spliced node bypasses it, absorbing its weight.
+  const std::vector<std::uint8_t> splice_succ =
+      m.gather(FlagsView(spliced), std::span<const std::size_t>(next));
+  const std::vector<std::uint64_t> w_succ = m.gather(
+      std::span<const std::uint64_t>(w), std::span<const std::size_t>(next));
+  const std::vector<std::size_t> next_succ =
+      m.gather(std::span<const std::size_t>(next),
+               std::span<const std::size_t>(next));
+  std::vector<std::size_t> next2 = next;
+  std::vector<std::uint64_t> w2 = w;
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    if (splice_succ[i] && !spliced[i]) {
+      w2[i] += w_succ[i];
+      next2[i] = next_succ[i];
+    }
+  });
+
+  // Pack the survivors (load balancing, Figure 11) and renumber.
+  const Flags survives = m.map<std::uint8_t>(
+      FlagsView(spliced), [](std::uint8_t s) -> std::uint8_t { return !s; });
+  const std::vector<std::size_t> new_id = m.enumerate(FlagsView(survives));
+  const std::vector<std::size_t> next_renamed =
+      m.gather(std::span<const std::size_t>(new_id),
+               std::span<const std::size_t>(next2));
+  std::vector<std::size_t> sub_next =
+      m.pack(std::span<const std::size_t>(next_renamed), FlagsView(survives));
+  std::vector<std::uint64_t> sub_w =
+      m.pack(std::span<const std::uint64_t>(w2), FlagsView(survives));
+
+  const std::vector<std::uint64_t> sub_dist = rank_weighted(
+      m, std::move(sub_next), std::move(sub_w), seed, depth + 1);
+
+  // Reinsert: survivors read their answer back; a spliced node is one
+  // (original-weight) link before its successor, which survived.
+  std::vector<std::uint64_t> dist(n, 0);
+  const std::vector<std::size_t> positions = m.pack_index(FlagsView(survives));
+  m.scatter(std::span<const std::uint64_t>(sub_dist),
+            std::span<const std::size_t>(positions),
+            std::span<std::uint64_t>(dist));
+  const std::vector<std::uint64_t> dist_succ = m.gather(
+      std::span<const std::uint64_t>(dist), std::span<const std::size_t>(next));
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    if (spliced[i]) dist[i] = w[i] + dist_succ[i];
+  });
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> list_rank_wyllie(machine::Machine& m,
+                                            std::span<const std::size_t> next) {
+  const std::size_t n = next.size();
+  std::vector<std::size_t> nxt(next.begin(), next.end());
+  std::vector<std::uint64_t> dist(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    dist[i] = next[i] == i ? 0 : 1;
+  });
+  wyllie_inplace(m, nxt, dist);
+  return dist;
+}
+
+std::vector<std::uint64_t> list_rank_weighted(
+    machine::Machine& m, std::span<const std::size_t> next,
+    std::span<const std::uint64_t> weights, bool use_contraction,
+    std::uint64_t seed) {
+  const std::size_t n = next.size();
+  std::vector<std::uint64_t> w(weights.begin(), weights.end());
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    if (next[i] == i) w[i] = 0;
+  });
+  if (use_contraction) {
+    return rank_weighted(m, std::vector<std::size_t>(next.begin(), next.end()),
+                         std::move(w), seed, 0);
+  }
+  std::vector<std::size_t> nxt(next.begin(), next.end());
+  wyllie_inplace(m, nxt, w);
+  return w;
+}
+
+std::vector<std::uint64_t> list_rank_contract(machine::Machine& m,
+                                              std::span<const std::size_t> next,
+                                              std::uint64_t seed) {
+  const std::size_t n = next.size();
+  std::vector<std::uint64_t> w(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    w[i] = next[i] == i ? 0 : 1;
+  });
+  return rank_weighted(m, std::vector<std::size_t>(next.begin(), next.end()),
+                       std::move(w), seed, 0);
+}
+
+std::vector<std::uint64_t> list_rank_serial(std::span<const std::size_t> next) {
+  // Find the tail, walk backwards via an inverted pointer array.
+  const std::size_t n = next.size();
+  std::vector<std::uint64_t> dist(n, 0);
+  if (n == 0) return dist;
+  std::vector<std::size_t> pred(n, ~std::size_t{0});
+  std::size_t tail = ~std::size_t{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (next[i] == i) {
+      tail = i;
+    } else {
+      pred[next[i]] = i;
+    }
+  }
+  assert(tail != ~std::size_t{0});
+  std::uint64_t d = 0;
+  for (std::size_t v = tail; pred[v] != ~std::size_t{0}; v = pred[v]) {
+    dist[pred[v]] = ++d;
+  }
+  return dist;
+}
+
+}  // namespace scanprim::algo

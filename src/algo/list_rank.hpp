@@ -1,0 +1,47 @@
+// List ranking — a Table 5 workload. Two algorithms:
+//
+//   * Wyllie pointer jumping: O(lg n) steps on n processors, Θ(n lg n)
+//     processor-step product (the "O(n) processors" row).
+//   * Random-mate contraction: splice out an independent set of nodes
+//     (an expected quarter of the list) each round, pack the survivors —
+//     load balancing, §2.5 — recurse, and reinsert. O(n/p + lg n) steps,
+//     Θ(n) expected work: the work-efficient row. (The paper cites
+//     Cole-Vishkin [12] for a deterministic optimal algorithm; this
+//     randomized equivalent exercises the same load-balanced machinery —
+//     see the substitution table in DESIGN.md.)
+//
+// Lists are given by `next` pointers; the tail points to itself. The result
+// is each node's weighted distance to the tail (with unit weights: the
+// number of links to the end of the list).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+std::vector<std::uint64_t> list_rank_wyllie(machine::Machine& m,
+                                            std::span<const std::size_t> next);
+
+/// Weighted ranking: distance to the tail summing `weights[i]` over every
+/// link left of the tail (the tail's weight is ignored). Arithmetic is
+/// modulo 2^64, so two's-complement "negative" weights work — the Euler-tour
+/// computations depend on that. Multiple independent lists (several
+/// self-loop tails) are allowed.
+std::vector<std::uint64_t> list_rank_weighted(machine::Machine& m,
+                                              std::span<const std::size_t> next,
+                                              std::span<const std::uint64_t> weights,
+                                              bool use_contraction,
+                                              std::uint64_t seed = 0x5eed);
+
+std::vector<std::uint64_t> list_rank_contract(machine::Machine& m,
+                                              std::span<const std::size_t> next,
+                                              std::uint64_t seed = 0x5eed);
+
+/// Serial reference.
+std::vector<std::uint64_t> list_rank_serial(std::span<const std::size_t> next);
+
+}  // namespace scanprim::algo

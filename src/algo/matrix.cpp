@@ -1,0 +1,144 @@
+#include "src/algo/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace scanprim::algo {
+
+namespace {
+
+// Segment descriptor for row-major storage: a flag at the head of each row.
+Flags row_flags(std::size_t rows, std::size_t cols) {
+  Flags f(rows * cols, 0);
+  for (std::size_t r = 0; r < rows; ++r) f[r * cols] = 1;
+  return f;
+}
+
+}  // namespace
+
+std::vector<double> vec_mat_multiply(machine::Machine& m,
+                                     std::span<const double> x,
+                                     const Matrix& M) {
+  assert(x.size() == M.rows);
+  const std::size_t n = M.rows * M.cols;
+  const Flags rows = row_flags(M.rows, M.cols);
+
+  // Distribute x_i across row i (stage at the row heads, segmented copy) and
+  // multiply elementwise.
+  std::vector<double> staged(n, 0.0);
+  std::vector<std::size_t> heads(M.rows);
+  thread::parallel_for(M.rows, [&](std::size_t r) { heads[r] = r * M.cols; });
+  m.scatter(x, std::span<const std::size_t>(heads), std::span<double>(staged));
+  const std::vector<double> xr =
+      m.seg_copy(std::span<const double>(staged), FlagsView(rows));
+  const std::vector<double> prod =
+      m.zip<double>(std::span<const double>(xr), std::span<const double>(M.a),
+                    [](double a, double b) { return a * b; });
+
+  // Column sums: transpose with one permute, then a segmented +-distribute
+  // over the (now contiguous) columns; read the totals at the heads.
+  std::vector<std::size_t> transpose(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    const std::size_t r = i / M.cols, c = i % M.cols;
+    transpose[i] = c * M.rows + r;
+  });
+  const std::vector<double> tprod = m.permute(
+      std::span<const double>(prod), std::span<const std::size_t>(transpose));
+  const Flags cols = row_flags(M.cols, M.rows);
+  const std::vector<double> sums = m.seg_distribute(
+      std::span<const double>(tprod), FlagsView(cols), Plus<double>{});
+  std::vector<std::size_t> col_heads(M.cols);
+  thread::parallel_for(M.cols, [&](std::size_t c) { col_heads[c] = c * M.rows; });
+  return m.gather(std::span<const double>(sums),
+                  std::span<const std::size_t>(col_heads));
+}
+
+Matrix mat_mat_multiply(machine::Machine& m, const Matrix& A, const Matrix& B) {
+  assert(A.cols == B.rows);
+  Matrix C{A.rows, B.cols, std::vector<double>(A.rows * B.cols, 0.0)};
+  const std::size_t n = C.a.size();
+  std::vector<std::size_t> row_of(n), col_of(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    row_of[i] = i / C.cols;
+    col_of[i] = i % C.cols;
+  });
+  // One rank-1 update per round: C_ij += A_it · B_tj. Each round costs two
+  // vector memory references (fetch A's column t by row index, B's row t by
+  // column index) and one elementwise multiply-add — O(1) steps, O(k) total.
+  for (std::size_t t = 0; t < A.cols; ++t) {
+    std::vector<std::size_t> a_idx(n), b_idx(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      a_idx[i] = row_of[i] * A.cols + t;
+      b_idx[i] = t * B.cols + col_of[i];
+    });
+    const std::vector<double> at = m.gather(std::span<const double>(A.a),
+                                            std::span<const std::size_t>(a_idx));
+    const std::vector<double> bt = m.gather(std::span<const double>(B.a),
+                                            std::span<const std::size_t>(b_idx));
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) { C.a[i] += at[i] * bt[i]; });
+  }
+  return C;
+}
+
+std::vector<double> linear_solve(machine::Machine& m, Matrix A,
+                                 std::vector<double> b) {
+  assert(A.rows == A.cols && b.size() == A.rows);
+  const std::size_t n = A.rows;
+
+  // (max |value|, row) pairs for pivot selection.
+  struct Pivot {
+    double mag;
+    std::size_t row;
+  };
+  struct PivotMax {
+    static Pivot identity() { return {-1.0, ~std::size_t{0}}; }
+    Pivot operator()(const Pivot& x, const Pivot& y) const {
+      return x.mag >= y.mag ? x : y;
+    }
+  };
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: a max-reduce over column k's tail — a combining
+    // write in the extended CRCW, a scan here, lg n steps on the EREW.
+    std::vector<Pivot> cand(n - k);
+    thread::parallel_for(n - k, [&](std::size_t i) {
+      cand[i] = {std::fabs(A.at(k + i, k)), k + i};
+    });
+    const Pivot p = m.reduce(std::span<const Pivot>(cand), PivotMax{});
+    if (p.mag == 0.0) throw std::runtime_error("linear_solve: singular matrix");
+    if (p.row != k) {
+      // Row swap: one permute.
+      m.charge_permute(2 * n);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(A.at(k, c), A.at(p.row, c));
+      }
+      std::swap(b[k], b[p.row]);
+    }
+    // Elimination: every element below the pivot row updates at once (one
+    // broadcast of the pivot row + one elementwise multiply-subtract on the
+    // n×n processor grid).
+    m.charge_broadcast(n * n);
+    m.charge_elementwise(n * n);
+    const double piv = A.at(k, k);
+    thread::parallel_for(n - (k + 1), [&](std::size_t ri) {
+      const std::size_t r = k + 1 + ri;
+      const double f = A.at(r, k) / piv;
+      for (std::size_t c = k; c < n; ++c) A.at(r, c) -= f * A.at(k, c);
+      b[r] -= f * b[k];
+    });
+  }
+  // Back substitution, same charge structure per step.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    m.charge_combine(n - k);
+    m.charge_elementwise(n - k);
+    double s = b[k];
+    for (std::size_t c = k + 1; c < n; ++c) s -= A.at(k, c) * x[c];
+    x[k] = s / A.at(k, k);
+  }
+  return x;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,38 @@
+// Matrix operations of Table 1, on an n×m matrix with one processor per
+// element (row-major flat storage, each row a segment):
+//   vector × matrix      — O(1) steps in the scan model, O(lg n) EREW
+//   matrix × matrix      — O(n) steps in both (one rank-1 update per round)
+//   linear system solver — Gaussian elimination with partial pivoting via
+//                          max-reduce: O(n) scan model, O(n lg n) EREW
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> a;  ///< row-major, rows*cols
+
+  double& at(std::size_t r, std::size_t c) { return a[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return a[r * cols + c]; }
+};
+
+/// y = xᵀ M  (x has M.rows elements; the result M.cols).
+std::vector<double> vec_mat_multiply(machine::Machine& m,
+                                     std::span<const double> x,
+                                     const Matrix& M);
+
+/// C = A · B.
+Matrix mat_mat_multiply(machine::Machine& m, const Matrix& A, const Matrix& B);
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square and nonsingular.
+std::vector<double> linear_solve(machine::Machine& m, Matrix A,
+                                 std::vector<double> b);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,235 @@
+#include "src/algo/max_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct MinSz {
+  static std::size_t identity() { return ~std::size_t{0}; }
+  std::size_t operator()(std::size_t a, std::size_t b) const {
+    return a < b ? a : b;
+  }
+};
+
+}  // namespace
+
+MaxFlowResult max_flow(machine::Machine& m, std::size_t num_vertices,
+                       std::span<const FlowEdge> edges, std::size_t source,
+                       std::size_t sink) {
+  if (source == sink || source >= num_vertices || sink >= num_vertices) {
+    throw std::invalid_argument("max_flow: bad source/sink");
+  }
+  MaxFlowResult r;
+  r.flow.assign(edges.size(), 0.0);
+  if (edges.empty()) return r;
+
+  // The segmented representation: each directed input edge contributes one
+  // arc per direction; the arc leaving the edge's tail carries the
+  // capacity, the reverse arc capacity 0 (residual bookkeeping makes it
+  // usable once flow exists).
+  std::vector<graph::WeightedEdge> undirected(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    assert(edges[e].capacity >= 0 && edges[e].from != edges[e].to);
+    undirected[e] = {edges[e].from, edges[e].to, 0.0};
+  }
+  const graph::SegGraph g = graph::build_seg_graph(
+      m, num_vertices, std::span<const graph::WeightedEdge>(undirected));
+  const std::size_t ns = g.num_slots();
+  const FlagsView segs(g.segment_desc);
+  const double n = static_cast<double>(num_vertices);
+
+  std::vector<double> cap(ns), flow(ns, 0.0);  // per out-arc of each slot
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    const FlowEdge& e = edges[g.edge_id[s]];
+    cap[s] = g.vertex[s] == e.from ? e.capacity : 0.0;
+  });
+  // Per-slot replicated vertex labels.
+  std::vector<double> height(ns), excess(ns, 0.0);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    height[s] = g.vertex[s] == source ? n : 0.0;
+  });
+
+  // Saturate the source's out-arcs.
+  {
+    std::vector<double> delta_out(ns, 0.0);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      if (g.vertex[s] == source && cap[s] > 0) {
+        flow[s] = cap[s];
+        delta_out[s] = cap[s];
+      }
+    });
+    const std::vector<double> delta_in = m.gather(
+        std::span<const double>(delta_out), std::span<const std::size_t>(g.cross));
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      flow[s] -= delta_in[s];
+    });
+    const std::vector<double> gained = m.seg_distribute(
+        std::span<const double>(delta_in), segs, Plus<double>{});
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) { excess[s] = gained[s]; });
+  }
+
+  // Lock-step push / relabel.
+  const std::size_t max_phases =
+      64 + 8 * num_vertices * num_vertices + 4 * ns;
+  for (;;) {
+    // Active: positive excess, not source/sink, height < 2n (vertices at
+    // 2n can never reach the sink again; their excess flows back).
+    Flags active(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      active[s] = excess[s] > 0 && g.vertex[s] != source &&
+                  g.vertex[s] != sink && height[s] < 2 * n;
+    });
+    if (!m.reduce(FlagsView(active), Or<std::uint8_t>{})) break;
+    if (r.phases >= max_phases) {
+      throw std::runtime_error("max_flow: phase bound exceeded");
+    }
+    ++r.phases;
+
+    const std::vector<double> h_across = m.gather(
+        std::span<const double>(height), std::span<const std::size_t>(g.cross));
+
+    // Each active vertex selects its first admissible arc (residual > 0,
+    // exactly one level downhill).
+    std::vector<std::size_t> pick(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      const bool admissible = active[s] && cap[s] - flow[s] > 0 &&
+                              height[s] == h_across[s] + 1;
+      pick[s] = admissible ? s : ~std::size_t{0};
+    });
+    const std::vector<std::size_t> chosen =
+        m.seg_distribute(std::span<const std::size_t>(pick), segs, MinSz{});
+
+    // Push along the chosen arcs.
+    std::vector<double> delta_out(ns, 0.0);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      if (chosen[s] == s) {
+        delta_out[s] = std::min(excess[s], cap[s] - flow[s]);
+      }
+    });
+    const std::vector<double> delta_in = m.gather(
+        std::span<const double>(delta_out), std::span<const std::size_t>(g.cross));
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      flow[s] += delta_out[s];
+      flow[s] -= delta_in[s];
+    });
+    const std::vector<double> sent = m.seg_distribute(
+        std::span<const double>(delta_out), segs, Plus<double>{});
+    const std::vector<double> gained = m.seg_distribute(
+        std::span<const double>(delta_in), segs, Plus<double>{});
+
+    // Relabel active vertices with no admissible arc: one above the lowest
+    // residual neighbor.
+    struct MinD {
+      static double identity() { return kInf; }
+      double operator()(double a, double b) const { return a < b ? a : b; }
+    };
+    std::vector<double> reach(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      reach[s] = cap[s] - flow[s] > 0 ? h_across[s] : kInf;
+    });
+    const std::vector<double> lowest =
+        m.seg_distribute(std::span<const double>(reach), segs, MinD{});
+
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      excess[s] += gained[s] - sent[s];
+      if (active[s] && chosen[s] == ~std::size_t{0} && sent[s] == 0 &&
+          lowest[s] < kInf) {
+        height[s] = std::min(lowest[s] + 1, 2 * n);
+      }
+    });
+  }
+
+  // Assemble per-edge flows and the flow value.
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    const FlowEdge& e = edges[g.edge_id[s]];
+    if (g.vertex[s] == e.from) {
+      r.flow[g.edge_id[s]] = std::max(0.0, flow[s]);
+    }
+  });
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (g.vertex[s] == sink) r.value += -flow[s];  // inflow at the sink
+  }
+  return r;
+}
+
+double max_flow_serial(std::size_t num_vertices,
+                       std::span<const FlowEdge> edges, std::size_t source,
+                       std::size_t sink) {
+  // Dinic with adjacency of residual arcs.
+  struct Arc {
+    std::size_t to;
+    double cap;
+    std::size_t rev;
+  };
+  std::vector<std::vector<Arc>> adj(num_vertices);
+  for (const auto& e : edges) {
+    adj[e.from].push_back({e.to, e.capacity, adj[e.to].size()});
+    adj[e.to].push_back({e.from, 0.0, adj[e.from].size() - 1});
+  }
+  std::vector<int> level(num_vertices);
+  std::vector<std::size_t> it(num_vertices);
+  const auto bfs = [&] {
+    std::fill(level.begin(), level.end(), -1);
+    std::queue<std::size_t> q;
+    q.push(source);
+    level[source] = 0;
+    while (!q.empty()) {
+      const std::size_t v = q.front();
+      q.pop();
+      for (const Arc& a : adj[v]) {
+        if (a.cap > 1e-12 && level[a.to] < 0) {
+          level[a.to] = level[v] + 1;
+          q.push(a.to);
+        }
+      }
+    }
+    return level[sink] >= 0;
+  };
+  const std::function<double(std::size_t, double)> dfs =
+      [&](std::size_t v, double limit) -> double {
+    if (v == sink) return limit;
+    for (; it[v] < adj[v].size(); ++it[v]) {
+      Arc& a = adj[v][it[v]];
+      if (a.cap > 1e-12 && level[a.to] == level[v] + 1) {
+        const double got = dfs(a.to, std::min(limit, a.cap));
+        if (got > 0) {
+          a.cap -= got;
+          adj[a.to][a.rev].cap += got;
+          return got;
+        }
+      }
+    }
+    return 0;
+  };
+  double total = 0;
+  while (bfs()) {
+    std::fill(it.begin(), it.end(), std::size_t{0});
+    for (double f; (f = dfs(source, kInf)) > 0;) total += f;
+  }
+  return total;
+}
+
+}  // namespace scanprim::algo

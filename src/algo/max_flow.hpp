@@ -1,0 +1,44 @@
+// Maximum flow — Table 1's remaining row (EREW/CRCW O(n² lg n), scan model
+// O(n²)). Synchronous (lock-step) push–relabel on the segmented graph
+// representation: every active vertex simultaneously pushes along one
+// admissible residual arc (found with a segmented min-distribute) or
+// relabels (a segmented min over residual neighbors' heights); excess
+// updates are segmented sums over the incoming arcs. Every phase is O(1)
+// program steps in the scan model, and each scan/broadcast costs the EREW
+// its lg n — the paper's gap — while the phase count is the classic
+// push-relabel O(n²) bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+struct FlowEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double capacity = 0;  ///< must be >= 0
+};
+
+struct MaxFlowResult {
+  double value = 0;
+  /// Flow per input edge (0 <= flow[e] <= capacity; conservation holds at
+  /// every vertex except source and sink).
+  std::vector<double> flow;
+  std::size_t phases = 0;  ///< lock-step push/relabel phases
+};
+
+/// Requires source != sink and no self loops. Parallel edges are fine.
+MaxFlowResult max_flow(machine::Machine& m, std::size_t num_vertices,
+                       std::span<const FlowEdge> edges, std::size_t source,
+                       std::size_t sink);
+
+/// Serial Dinic baseline.
+double max_flow_serial(std::size_t num_vertices,
+                       std::span<const FlowEdge> edges, std::size_t source,
+                       std::size_t sink);
+
+}  // namespace scanprim::algo

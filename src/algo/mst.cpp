@@ -1,0 +1,135 @@
+#include "src/algo/mst.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/core/rng.hpp"
+#include "src/graph/star_merge.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+// (weight, slot) pairs under lexicographic minimum: deterministic tie-break
+// by slot position.
+struct MinEdge {
+  double w = std::numeric_limits<double>::infinity();
+  std::size_t slot = ~std::size_t{0};
+};
+
+struct MinEdgeOp {
+  static MinEdge identity() { return {}; }
+  MinEdge operator()(const MinEdge& a, const MinEdge& b) const {
+    if (a.w != b.w) return a.w < b.w ? a : b;
+    return a.slot <= b.slot ? a : b;
+  }
+};
+
+}  // namespace
+
+MstResult minimum_spanning_forest(machine::Machine& m,
+                                  std::size_t num_vertices,
+                                  std::span<const graph::WeightedEdge> edges,
+                                  std::uint64_t seed) {
+  MstResult r;
+  graph::SegGraph g = graph::build_seg_graph(m, num_vertices, edges);
+
+  // Generous bound: each round merges ~1/4 of the trees in expectation.
+  std::size_t max_rounds = 200;
+  for (std::size_t n = num_vertices; n > 1; n /= 2) max_rounds += 32;
+
+  while (g.num_slots() > 0) {
+    if (r.rounds >= max_rounds) {
+      throw std::runtime_error("minimum_spanning_forest: round bound exceeded");
+    }
+    const std::size_t ns = g.num_slots();
+    const FlagsView segs(g.segment_desc);
+
+    // Every vertex flips a coin: heads = parent. One random draw per slot,
+    // the head's draw copied across the segment.
+    const std::uint64_t salt = splitmix64(seed + 0x9e37 * (r.rounds + 1));
+    std::vector<std::uint64_t> rnd(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      rnd[s] = splitmix64(salt + s);
+    });
+    const std::vector<std::uint64_t> head_rnd =
+        m.seg_copy(std::span<const std::uint64_t>(rnd), segs);
+    const Flags parent = m.map<std::uint8_t>(
+        std::span<const std::uint64_t>(head_rnd),
+        [](std::uint64_t v) -> std::uint8_t { return v & 1; });
+
+    // Every child finds its minimum edge (segmented min-distribute) ...
+    std::vector<MinEdge> cand(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      cand[s] = {g.weight[s], s};
+    });
+    const std::vector<MinEdge> seg_min =
+        m.seg_distribute(std::span<const MinEdge>(cand), segs, MinEdgeOp{});
+
+    // ... and the edge becomes a star edge when its other end is a parent.
+    const std::vector<std::uint8_t> partner_parent =
+        m.gather(FlagsView(parent), std::span<const std::size_t>(g.cross));
+    Flags child_star(ns);
+    m.charge_elementwise(ns);
+    thread::parallel_for(ns, [&](std::size_t s) {
+      child_star[s] = (!parent[s] && seg_min[s].slot == s && partner_parent[s])
+                          ? 1
+                          : 0;
+    });
+    // Mark both ends.
+    const std::vector<std::uint8_t> reflected = m.permute(
+        FlagsView(child_star), std::span<const std::size_t>(g.cross));
+    const Flags star = m.zip<std::uint8_t>(
+        FlagsView(child_star), std::span<const std::uint8_t>(reflected),
+        [](std::uint8_t a, std::uint8_t b) -> std::uint8_t { return a || b; });
+
+    // The chosen edges join the forest (collected from the child side, so
+    // each merge contributes its edge exactly once).
+    const std::vector<std::size_t> chosen =
+        m.pack(std::span<const std::size_t>(g.edge_id), FlagsView(child_star));
+    r.edges.insert(r.edges.end(), chosen.begin(), chosen.end());
+
+    ++r.rounds;
+    if (chosen.empty()) continue;  // unlucky coins; flip again
+    g = graph::star_merge(m, g, FlagsView(star), FlagsView(parent));
+  }
+
+  r.total_weight = 0.0;
+  for (const std::size_t e : r.edges) r.total_weight += edges[e].w;
+  return r;
+}
+
+MstResult kruskal(std::size_t num_vertices,
+                  std::span<const graph::WeightedEdge> edges) {
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edges[a].w != edges[b].w ? edges[a].w < edges[b].w : a < b;
+  });
+  std::vector<std::size_t> uf(num_vertices);
+  std::iota(uf.begin(), uf.end(), std::size_t{0});
+  const auto find = [&uf](std::size_t x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  MstResult r;
+  for (const std::size_t e : order) {
+    const std::size_t a = find(edges[e].u);
+    const std::size_t b = find(edges[e].v);
+    if (a == b) continue;
+    uf[a] = b;
+    r.edges.push_back(e);
+    r.total_weight += edges[e].w;
+  }
+  return r;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,35 @@
+// Probabilistic minimum spanning tree / forest (§2.3.3): Sollin/Borůvka
+// merging with the *random mate* technique. Each round every vertex flips a
+// coin (child or parent); every child finds its minimum-weight edge with a
+// segmented min-distribute, and if the edge lands on a parent it becomes a
+// star edge; the stars merge in O(1) program steps (star_merge). An
+// expected constant fraction of the trees disappears per round, so O(lg n)
+// rounds — and O(lg n) program steps on the scan model — suffice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::algo {
+
+struct MstResult {
+  std::vector<std::size_t> edges;  ///< original edge indices in the forest
+  double total_weight = 0.0;
+  std::size_t rounds = 0;  ///< star-merge rounds executed
+};
+
+/// Computes the minimum spanning forest (a tree per connected component).
+/// Ties between equal weights are broken deterministically.
+MstResult minimum_spanning_forest(machine::Machine& m,
+                                  std::size_t num_vertices,
+                                  std::span<const graph::WeightedEdge> edges,
+                                  std::uint64_t seed = 0x5eed);
+
+/// Serial Kruskal baseline for verification.
+MstResult kruskal(std::size_t num_vertices,
+                  std::span<const graph::WeightedEdge> edges);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,154 @@
+#include "src/algo/quicksort.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/rng.hpp"
+
+namespace scanprim::algo {
+
+namespace {
+
+// "The valid one of the two" — associative, identity = invalid. Used to
+// spread the (single) chosen pivot of each segment across the segment.
+struct PickValid {
+  using Item = std::pair<double, std::uint8_t>;
+  static Item identity() { return {0.0, 0}; }
+  Item operator()(const Item& a, const Item& b) const {
+    return b.second ? b : a;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> seg_split3_index(machine::Machine& m,
+                                          std::span<const std::uint8_t> codes,
+                                          FlagsView segments) {
+  const std::size_t n = codes.size();
+  using Sz = std::size_t;
+  std::vector<Sz> ind[3];
+  for (std::uint8_t k = 0; k < 3; ++k) {
+    ind[k] = m.map<Sz>(codes,
+                       [k](std::uint8_t c) -> Sz { return c == k ? 1 : 0; });
+  }
+  // Rank of each element within its group, within its segment.
+  std::vector<Sz> rank[3];
+  std::vector<Sz> count[3];
+  for (int k = 0; k < 3; ++k) {
+    rank[k] = m.seg_scan(std::span<const Sz>(ind[k]), segments, Plus<Sz>{});
+    count[k] = m.seg_distribute(std::span<const Sz>(ind[k]), segments,
+                                Plus<Sz>{});
+  }
+  // Offset of each segment: own index minus rank within segment.
+  const std::vector<Sz> ones(n, 1);
+  const std::vector<Sz> seg_rank =
+      m.seg_scan(std::span<const Sz>(ones), segments, Plus<Sz>{});
+  std::vector<Sz> index(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    const Sz start = i - seg_rank[i];
+    Sz within = 0;
+    switch (codes[i]) {
+      case 0: within = rank[0][i]; break;
+      case 1: within = count[0][i] + rank[1][i]; break;
+      default: within = count[0][i] + count[1][i] + rank[2][i]; break;
+    }
+    index[i] = start + within;
+  });
+  return index;
+}
+
+QuicksortResult quicksort(machine::Machine& m, std::span<const double> keys,
+                          PivotRule rule, std::uint64_t seed) {
+  QuicksortResult r;
+  r.keys.assign(keys.begin(), keys.end());
+  const std::size_t n = r.keys.size();
+  if (n <= 1) return r;
+
+  Flags segments(n, 0);
+  segments[0] = 1;
+  const std::vector<std::size_t> ones(n, 1);
+
+  // A very generous bound on the expected O(lg n) iterations; exceeding it
+  // indicates a bug rather than bad luck.
+  const std::size_t max_iters =
+      64 * (static_cast<std::size_t>(std::log2(static_cast<double>(n))) + 2);
+
+  for (;;) {
+    // Step 1: are the keys sorted? Each processor checks its left neighbor
+    // and an and-distribute combines the answers (§2.3.1 step 1).
+    const std::vector<double> prev = m.shift_right(
+        std::span<const double>(r.keys), -std::numeric_limits<double>::infinity());
+    const std::vector<std::uint8_t> ok = m.zip<std::uint8_t>(
+        std::span<const double>(r.keys), std::span<const double>(prev),
+        [](double k, double p) -> std::uint8_t { return p <= k ? 1 : 0; });
+    if (m.reduce(std::span<const std::uint8_t>(ok), And<std::uint8_t>{})) break;
+    if (r.iterations >= max_iters) {
+      throw std::runtime_error("quicksort: iteration bound exceeded");
+    }
+
+    // Step 2: pick a pivot within each segment and distribute it.
+    std::vector<double> pivots;
+    if (rule == PivotRule::First) {
+      pivots = m.seg_copy(std::span<const double>(r.keys), FlagsView(segments));
+    } else {
+      // One random draw per processor, the head's draw picks an offset
+      // uniformly in [0, segment length), and the chosen element's value is
+      // spread across the segment.
+      const std::uint64_t round_salt =
+          splitmix64(seed + 0x1000003 * (r.iterations + 1));
+      std::vector<std::uint64_t> rnd(n);
+      m.charge_elementwise(n);
+      thread::parallel_for(n, [&](std::size_t i) {
+        rnd[i] = splitmix64(round_salt + i);
+      });
+      const std::vector<std::uint64_t> head_rnd =
+          m.seg_copy(std::span<const std::uint64_t>(rnd), FlagsView(segments));
+      const std::vector<std::size_t> seg_rank = m.seg_scan(
+          std::span<const std::size_t>(ones), FlagsView(segments),
+          Plus<std::size_t>{});
+      const std::vector<std::size_t> seg_len = m.seg_distribute(
+          std::span<const std::size_t>(ones), FlagsView(segments),
+          Plus<std::size_t>{});
+      std::vector<PickValid::Item> staged(n);
+      m.charge_elementwise(n);
+      thread::parallel_for(n, [&](std::size_t i) {
+        const bool chosen = seg_rank[i] == head_rnd[i] % seg_len[i];
+        staged[i] = {r.keys[i], static_cast<std::uint8_t>(chosen)};
+      });
+      const std::vector<PickValid::Item> spread = m.seg_distribute(
+          std::span<const PickValid::Item>(staged), FlagsView(segments),
+          PickValid{});
+      pivots = m.map<double>(std::span<const PickValid::Item>(spread),
+                             [](const PickValid::Item& it) { return it.first; });
+    }
+
+    // Step 3: compare with the pivot and split into <, =, > groups.
+    const std::vector<std::uint8_t> codes = m.zip<std::uint8_t>(
+        std::span<const double>(r.keys), std::span<const double>(pivots),
+        [](double k, double p) -> std::uint8_t {
+          return k < p ? 0 : (k == p ? 1 : 2);
+        });
+    const std::vector<std::size_t> index =
+        seg_split3_index(m, std::span<const std::uint8_t>(codes),
+                         FlagsView(segments));
+    r.keys = m.permute(std::span<const double>(r.keys),
+                       std::span<const std::size_t>(index));
+    const std::vector<std::uint8_t> moved_codes = m.permute(
+        std::span<const std::uint8_t>(codes), std::span<const std::size_t>(index));
+
+    // Step 4: insert segment flags at the new group boundaries.
+    const std::vector<std::uint8_t> prev_code = m.shift_right(
+        std::span<const std::uint8_t>(moved_codes), std::uint8_t{255});
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      if (moved_codes[i] != prev_code[i]) segments[i] = 1;
+    });
+    ++r.iterations;
+  }
+  return r;
+}
+
+}  // namespace scanprim::algo

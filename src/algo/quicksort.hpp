@@ -1,0 +1,41 @@
+// Parallel quicksort (§2.3.1, Figure 5): every segment independently picks a
+// pivot, distributes it, three-way splits (<, =, >), and inserts new segment
+// flags at the group boundaries — all in O(1) program steps per iteration,
+// for an expected O(lg n) iterations with random pivots.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+enum class PivotRule {
+  First,   ///< the first key of each segment (the paper's simple choice)
+  Random,  ///< a uniformly random key of each segment (the paper's
+           ///< "could also pick a random element"; gives the expected
+           ///< O(lg n) iteration bound on any input)
+};
+
+struct QuicksortResult {
+  std::vector<double> keys;  ///< sorted
+  std::size_t iterations = 0;
+};
+
+QuicksortResult quicksort(machine::Machine& m, std::span<const double> keys,
+                          PivotRule rule = PivotRule::Random,
+                          std::uint64_t seed = 0x5eed);
+
+/// The segmented three-way split that quicksort iterates: elements with
+/// `code` 0 / 1 / 2 pack to the bottom / middle / top of their segment,
+/// order preserved within each group. Returns the destination index of each
+/// element (feed it to Machine::permute). Exposed for tests and reuse.
+std::vector<std::size_t> seg_split3_index(machine::Machine& m,
+                                          std::span<const std::uint8_t> codes,
+                                          FlagsView segments);
+
+}  // namespace scanprim::algo

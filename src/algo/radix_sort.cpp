@@ -1,0 +1,144 @@
+#include "src/algo/radix_sort.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/simulate.hpp"
+
+#include <string>
+
+namespace scanprim::algo {
+
+unsigned bits_for(std::uint64_t bound) {
+  unsigned bits = 0;
+  while (bound > (std::uint64_t{1} << bits) && bits < 64) ++bits;
+  // bound elements need keys in [0, bound): ceil(lg bound) bits.
+  return bits == 0 ? 1 : bits;
+}
+
+namespace {
+
+Flags bit_of(machine::Machine& m, std::span<const std::uint64_t> keys,
+             unsigned bit) {
+  return m.map<std::uint8_t>(keys, [bit](std::uint64_t k) -> std::uint8_t {
+    return (k >> bit) & 1;
+  });
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> split_radix_sort(machine::Machine& m,
+                                            std::span<const std::uint64_t> keys,
+                                            unsigned bits) {
+  std::vector<std::uint64_t> a(keys.begin(), keys.end());
+  for (unsigned bit = 0; bit < bits; ++bit) {
+    const Flags flags = bit_of(m, std::span<const std::uint64_t>(a), bit);
+    a = m.split(std::span<const std::uint64_t>(a), FlagsView(flags));
+  }
+  return a;
+}
+
+SortWithOrigin split_radix_sort_with_origin(
+    machine::Machine& m, std::span<const std::uint64_t> keys, unsigned bits) {
+  SortWithOrigin r;
+  r.keys.assign(keys.begin(), keys.end());
+  r.origin = m.iota(keys.size());
+  for (unsigned bit = 0; bit < bits; ++bit) {
+    const Flags flags = bit_of(m, std::span<const std::uint64_t>(r.keys), bit);
+    const std::vector<std::size_t> index = m.split_index(FlagsView(flags));
+    r.keys = m.permute(std::span<const std::uint64_t>(r.keys),
+                       std::span<const std::size_t>(index));
+    r.origin = m.permute(std::span<const std::size_t>(r.origin),
+                         std::span<const std::size_t>(index));
+  }
+  return r;
+}
+
+std::vector<std::uint64_t> split_radix_sort_digits(
+    machine::Machine& m, std::span<const std::uint64_t> keys, unsigned bits,
+    unsigned radix_bits) {
+  assert(radix_bits >= 1 && radix_bits <= 8);
+  const std::size_t radix = std::size_t{1} << radix_bits;
+  const std::size_t n = keys.size();
+  std::vector<std::uint64_t> a(keys.begin(), keys.end());
+  std::vector<std::size_t> index(n);
+  for (unsigned shift = 0; shift < bits; shift += radix_bits) {
+    // Rank every key within its digit class (one scan per class), then add
+    // the class's base offset (an R-entry prefix — one short scan).
+    std::vector<std::size_t> rank(n), cls(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      cls[i] = (a[i] >> shift) & (radix - 1);
+    });
+    std::vector<std::size_t> base(radix + 1, 0);
+    for (std::size_t c = 0; c < radix; ++c) {
+      std::vector<std::size_t> ind(n);
+      m.charge_elementwise(n);
+      thread::parallel_for(n, [&](std::size_t i) {
+        ind[i] = cls[i] == c ? 1 : 0;
+      });
+      std::vector<std::size_t> scanned =
+          m.plus_scan(std::span<const std::size_t>(ind));
+      base[c + 1] =
+          base[c] + m.reduce(std::span<const std::size_t>(ind),
+                             Plus<std::size_t>{});
+      m.charge_elementwise(n);
+      thread::parallel_for(n, [&](std::size_t i) {
+        if (cls[i] == c) rank[i] = scanned[i];
+      });
+    }
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      index[i] = base[cls[i]] + rank[i];
+    });
+    a = m.permute(std::span<const std::uint64_t>(a),
+                  std::span<const std::size_t>(index));
+  }
+  return a;
+}
+
+std::vector<double> split_radix_sort_doubles(machine::Machine& m,
+                                             std::span<const double> keys) {
+  const std::vector<std::uint64_t> mapped = m.map<std::uint64_t>(
+      keys, [](double v) { return sim::float_key(v); });
+  const std::vector<std::uint64_t> sorted =
+      split_radix_sort(m, std::span<const std::uint64_t>(mapped), 64);
+  return m.map<double>(std::span<const std::uint64_t>(sorted),
+                       [](std::uint64_t k) { return sim::float_unkey(k); });
+}
+
+std::vector<std::string> split_radix_sort_strings(
+    machine::Machine& m, std::span<const std::string> keys) {
+  const std::size_t n = keys.size();
+  std::size_t max_len = 0;
+  for (const auto& k : keys) max_len = std::max(max_len, k.size());
+  const std::size_t chunks = (max_len + 7) / 8;
+
+  // LSD over 8-byte chunks: the last chunk first, each pass a stable 64-bit
+  // radix sort of the running permutation.
+  std::vector<std::size_t> order = m.iota(n);
+  for (std::size_t c = chunks; c-- > 0;) {
+    std::vector<std::uint64_t> chunk(n);
+    m.charge_elementwise(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      const std::string& s = keys[order[i]];
+      std::uint64_t k = 0;
+      for (std::size_t b = 0; b < 8; ++b) {
+        const std::size_t pos = c * 8 + b;
+        const std::uint64_t ch =
+            pos < s.size() ? static_cast<unsigned char>(s[pos]) : 0;
+        k = (k << 8) | ch;  // big-endian pack: lexicographic == numeric
+      }
+      chunk[i] = k;
+    });
+    const SortWithOrigin pass = split_radix_sort_with_origin(
+        m, std::span<const std::uint64_t>(chunk), 64);
+    order = m.gather(std::span<const std::size_t>(order),
+                     std::span<const std::size_t>(pass.origin));
+  }
+  std::vector<std::string> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = keys[order[i]];
+  return out;
+}
+
+}  // namespace scanprim::algo

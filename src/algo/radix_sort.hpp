@@ -1,0 +1,72 @@
+// Split radix sort (§2.2.1, Figure 2): loop over the key bits from least to
+// most significant, each iteration packing the keys with a 0 in the current
+// bit to the bottom of the vector and the keys with a 1 to the top (the
+// `split` operation, Figure 3). O(1) program steps per bit; O(d) for d-bit
+// keys. This is the sort the Connection Machine's instruction set adopted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+/// Sorts unsigned keys, considering only the low `bits` bits (keys must fit;
+/// asserted in debug builds). Stable.
+std::vector<std::uint64_t> split_radix_sort(machine::Machine& m,
+                                            std::span<const std::uint64_t> keys,
+                                            unsigned bits);
+
+/// Sort result carrying the permutation: `keys[i]` is the i-th smallest key
+/// and `origin[i]` is the position it occupied in the input — what a caller
+/// needs to reorder payload vectors (`payload_sorted = gather(payload,
+/// origin)`). Used by the segmented-graph builder (§2.3.2).
+struct SortWithOrigin {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::size_t> origin;
+};
+
+SortWithOrigin split_radix_sort_with_origin(machine::Machine& m,
+                                            std::span<const std::uint64_t> keys,
+                                            unsigned bits);
+
+/// Key-value sort: reorders `values` by `keys` (stable). One gather on top
+/// of the origin-carrying sort.
+template <class V>
+std::pair<std::vector<std::uint64_t>, std::vector<V>> sort_pairs(
+    machine::Machine& m, std::span<const std::uint64_t> keys,
+    std::span<const V> values, unsigned bits) {
+  const SortWithOrigin s = split_radix_sort_with_origin(m, keys, bits);
+  return {s.keys, m.gather(values, std::span<const std::size_t>(s.origin))};
+}
+
+/// Number of bits needed to radix-sort values < `bound`.
+unsigned bits_for(std::uint64_t bound);
+
+/// Multi-bit digits: a 2^radix_bits-way split per pass — d/r passes of ~2^r
+/// scans each instead of d passes of 2 scans. The constant-factor trade the
+/// paper's "significantly smaller constant" remark invites; the ablation
+/// bench sweeps r. Stable; radix_bits in [1, 8].
+std::vector<std::uint64_t> split_radix_sort_digits(
+    machine::Machine& m, std::span<const std::uint64_t> keys, unsigned bits,
+    unsigned radix_bits);
+
+/// Sorts doubles by mapping them through the order-preserving float<->uint
+/// key transform of §3.4 and radix-sorting all 64 bits — the paper's remark
+/// that "integers, characters, and floating-point numbers can all be sorted
+/// with a radix sort".
+std::vector<double> split_radix_sort_doubles(machine::Machine& m,
+                                             std::span<const double> keys);
+
+/// And the "characters" part of that remark: lexicographic string sorting
+/// as an LSD radix sort over 8-byte chunks — ⌈L/8⌉ stable 64-bit passes for
+/// strings up to L bytes, shorter strings padded with NUL (which sorts
+/// low, as it should).
+std::vector<std::string> split_radix_sort_strings(
+    machine::Machine& m, std::span<const std::string> keys);
+
+}  // namespace scanprim::algo

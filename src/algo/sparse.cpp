@@ -1,0 +1,72 @@
+#include "src/algo/sparse.hpp"
+
+#include <random>
+
+namespace scanprim::algo {
+
+std::vector<double> spmv(machine::Machine& m, const CsrMatrix& M,
+                         std::span<const double> x) {
+  const std::size_t nnz = M.nnz();
+  std::vector<double> y(M.rows, 0.0);
+  if (nnz == 0) return y;
+
+  // Segment flags from the row offsets (zero-length rows place no flag and
+  // are filled with 0 at the end).
+  Flags segs(nnz, 0);
+  m.charge_permute(M.rows);
+  thread::parallel_for(M.rows, [&](std::size_t r) {
+    if (M.row_offsets[r] < M.row_offsets[r + 1]) segs[M.row_offsets[r]] = 1;
+  });
+
+  // One processor per nonzero: fetch x, multiply, segmented row sum.
+  const std::vector<double> xv =
+      m.gather(x, std::span<const std::size_t>(M.col_index));
+  const std::vector<double> prod = m.zip<double>(
+      std::span<const double>(M.values), std::span<const double>(xv),
+      [](double a, double b) { return a * b; });
+  const std::vector<double> sums = m.seg_distribute(
+      std::span<const double>(prod), FlagsView(segs), Plus<double>{});
+
+  // Each nonempty row reads its total off its head slot.
+  m.charge_permute(M.rows);
+  thread::parallel_for(M.rows, [&](std::size_t r) {
+    if (M.row_offsets[r] < M.row_offsets[r + 1]) {
+      y[r] = sums[M.row_offsets[r]];
+    }
+  });
+  return y;
+}
+
+std::vector<double> spmv_serial(const CsrMatrix& M,
+                                std::span<const double> x) {
+  std::vector<double> y(M.rows, 0.0);
+  for (std::size_t r = 0; r < M.rows; ++r) {
+    double s = 0;
+    for (std::size_t k = M.row_offsets[r]; k < M.row_offsets[r + 1]; ++k) {
+      s += M.values[k] * x[M.col_index[k]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+CsrMatrix random_csr(std::size_t rows, std::size_t cols, double nnz_per_row,
+                     std::uint64_t seed) {
+  std::mt19937_64 g(seed);
+  std::poisson_distribution<std::size_t> deg(nnz_per_row);
+  CsrMatrix M;
+  M.rows = rows;
+  M.cols = cols;
+  M.row_offsets.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t k = std::min(deg(g), cols);
+    for (std::size_t i = 0; i < k; ++i) {
+      M.col_index.push_back(g() % cols);
+      M.values.push_back(static_cast<double>(g() % 2000) / 100.0 - 10.0);
+    }
+    M.row_offsets.push_back(M.col_index.size());
+  }
+  return M;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,39 @@
+// Sparse matrix–vector multiply as a segmented sum — the canonical
+// application of segmented scans to irregular data (the paper's companion
+// [7] develops it; §2.3's segment machinery makes it O(1) program steps per
+// multiply regardless of how skewed the row lengths are, where a
+// row-per-processor formulation would be bottlenecked by the longest row).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+/// Compressed sparse row matrix.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_offsets;  ///< size rows+1
+  std::vector<std::size_t> col_index;    ///< size nnz
+  std::vector<double> values;            ///< size nnz
+
+  std::size_t nnz() const { return values.size(); }
+};
+
+/// y = M x with one processor per nonzero: a gather of x, an elementwise
+/// multiply, and a segmented +-reduction over the rows. Empty rows yield 0.
+std::vector<double> spmv(machine::Machine& m, const CsrMatrix& M,
+                         std::span<const double> x);
+
+/// Serial reference.
+std::vector<double> spmv_serial(const CsrMatrix& M, std::span<const double> x);
+
+/// Uniformly random CSR matrix with `nnz_per_row` expected nonzeros.
+CsrMatrix random_csr(std::size_t rows, std::size_t cols, double nnz_per_row,
+                     std::uint64_t seed);
+
+}  // namespace scanprim::algo

@@ -1,0 +1,260 @@
+#include "src/algo/tree_contract.hpp"
+
+#include <cassert>
+
+#include "src/algo/list_rank.hpp"
+
+namespace scanprim::algo {
+
+RootedTree tree_from_parents(std::span<const std::size_t> parent) {
+  const std::size_t n = parent.size();
+  RootedTree t;
+  t.parent.assign(parent.begin(), parent.end());
+  t.child_offsets.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent[v] == v) {
+      t.root = v;
+    } else {
+      ++t.child_offsets[parent[v] + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    t.child_offsets[v + 1] += t.child_offsets[v];
+  }
+  t.children.resize(n > 0 ? n - 1 : 0);
+  std::vector<std::size_t> cursor(t.child_offsets.begin(),
+                                  t.child_offsets.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent[v] != v) t.children[cursor[parent[v]]++] = v;
+  }
+  return t;
+}
+
+EulerTour euler_tour(machine::Machine& m, const RootedTree& t) {
+  const std::size_t n = t.num_nodes();
+  EulerTour tour;
+  tour.next.resize(2 * n);
+  // Arc c: the tour step entering node c from its parent.
+  // Arc n+c: the step leaving node c back to its parent.
+  // Each node stitches its own children's arcs — O(n) total work, O(1)
+  // program steps' worth of pointer writes per edge.
+  m.charge_elementwise(2 * n);
+  thread::parallel_for(n, [&](std::size_t v) {
+    const std::size_t begin = t.child_offsets[v];
+    const std::size_t end = t.child_offsets[v + 1];
+    // Entering v: continue into its first child, or bounce straight back.
+    tour.next[v] = begin < end ? t.children[begin] : n + v;
+    // Leaving child i of v: continue into the next sibling, or leave v.
+    for (std::size_t j = begin; j + 1 < end; ++j) {
+      tour.next[n + t.children[j]] = t.children[j + 1];
+    }
+    if (begin < end) tour.next[n + t.children[end - 1]] = n + v;
+  });
+  // The root's own two arcs are unused self-loops, and the tour's true tail
+  // (the up-arc of the root's last child, rewired to n+root above) becomes
+  // a self-loop as well.
+  tour.next[t.root] = t.root;
+  const std::size_t rbegin = t.child_offsets[t.root];
+  const std::size_t rend = t.child_offsets[t.root + 1];
+  if (rbegin < rend) {
+    tour.next[n + t.children[rend - 1]] = n + t.children[rend - 1];
+    tour.first = t.children[rbegin];
+  } else {
+    tour.first = t.root;
+  }
+  tour.next[n + t.root] = n + t.root;
+  return tour;
+}
+
+namespace {
+
+std::vector<std::uint64_t> rank_tour(machine::Machine& m,
+                                     const EulerTour& tour,
+                                     std::span<const std::uint64_t> w,
+                                     bool use_contraction,
+                                     std::uint64_t seed) {
+  return list_rank_weighted(m, std::span<const std::size_t>(tour.next), w,
+                            use_contraction, seed);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> node_depths(machine::Machine& m,
+                                       const RootedTree& t,
+                                       bool use_contraction,
+                                       std::uint64_t seed) {
+  const std::size_t n = t.num_nodes();
+  const EulerTour tour = euler_tour(m, t);
+  // Down-arcs weigh +1, up-arcs -1 (two's-complement wraparound makes the
+  // unsigned ranking deliver the correct signed suffix sums).
+  std::vector<std::uint64_t> w(2 * n);
+  m.charge_elementwise(2 * n);
+  thread::parallel_for(2 * n, [&](std::size_t a) {
+    w[a] = a < n ? std::uint64_t{1} : ~std::uint64_t{0};
+  });
+  const std::vector<std::uint64_t> suffix = rank_tour(
+      m, tour, std::span<const std::uint64_t>(w), use_contraction, seed);
+  const std::uint64_t total = suffix[tour.first];
+  std::vector<std::uint64_t> depth(n, 0);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t v) {
+    if (v != t.root) depth[v] = total - suffix[v] + 1;
+  });
+  return depth;
+}
+
+std::vector<std::uint64_t> subtree_sizes(machine::Machine& m,
+                                         const RootedTree& t,
+                                         bool use_contraction,
+                                         std::uint64_t seed) {
+  const std::size_t n = t.num_nodes();
+  const EulerTour tour = euler_tour(m, t);
+  std::vector<std::uint64_t> w(2 * n, 1);
+  const std::vector<std::uint64_t> suffix = rank_tour(
+      m, tour, std::span<const std::uint64_t>(w), use_contraction, seed);
+  std::vector<std::uint64_t> size(n, 0);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t v) {
+    if (v == t.root) {
+      size[v] = n;
+    } else {
+      // Arcs [down(v), up(v)) number 2·size − 1.
+      size[v] = (suffix[v] - suffix[n + v] + 1) / 2;
+    }
+  });
+  return size;
+}
+
+std::vector<std::uint64_t> rootfix_sum(machine::Machine& m,
+                                       const RootedTree& t,
+                                       std::span<const std::uint64_t> values,
+                                       bool use_contraction,
+                                       std::uint64_t seed) {
+  const std::size_t n = t.num_nodes();
+  const EulerTour tour = euler_tour(m, t);
+  // The down arc of v deposits +value[v], the up arc withdraws it; the
+  // prefix up to and including down(v) is then exactly v's ancestor sum.
+  std::vector<std::uint64_t> w(2 * n);
+  m.charge_elementwise(2 * n);
+  thread::parallel_for(2 * n, [&](std::size_t a) {
+    w[a] = a < n ? values[a] : ~values[a - n] + 1;  // +v / -v mod 2^64
+  });
+  const std::vector<std::uint64_t> suffix = rank_tour(
+      m, tour, std::span<const std::uint64_t>(w), use_contraction, seed);
+  const std::uint64_t total = suffix[tour.first];
+  std::vector<std::uint64_t> out(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t v) {
+    out[v] = v == t.root ? values[t.root]
+                         : total - suffix[v] + w[v] + values[t.root];
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> leaffix_sum(machine::Machine& m,
+                                       const RootedTree& t,
+                                       std::span<const std::uint64_t> values,
+                                       bool use_contraction,
+                                       std::uint64_t seed) {
+  const std::size_t n = t.num_nodes();
+  const EulerTour tour = euler_tour(m, t);
+  // Down arcs carry the values, up arcs nothing: the suffix difference
+  // across [down(v), up(v)] is the subtree sum.
+  std::vector<std::uint64_t> w(2 * n, 0);
+  m.charge_elementwise(2 * n);
+  thread::parallel_for(n, [&](std::size_t v) { w[v] = values[v]; });
+  const std::vector<std::uint64_t> suffix = rank_tour(
+      m, tour, std::span<const std::uint64_t>(w), use_contraction, seed);
+  std::vector<std::uint64_t> out(n);
+  m.charge_elementwise(n);
+  thread::parallel_for(n, [&](std::size_t v) {
+    if (v == t.root) {
+      std::uint64_t total = values[t.root];
+      total += n >= 2 ? suffix[tour.first] : 0;
+      out[v] = total;
+    } else {
+      out[v] = suffix[v] - suffix[n + v];
+    }
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> node_depths_serial(const RootedTree& t) {
+  const std::size_t n = t.num_nodes();
+  std::vector<std::uint64_t> depth(n, 0);
+  // Children always have larger CSR positions than... not necessarily; walk
+  // via an explicit stack.
+  std::vector<std::size_t> stack{t.root};
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t j = t.child_offsets[v]; j < t.child_offsets[v + 1]; ++j) {
+      depth[t.children[j]] = depth[v] + 1;
+      stack.push_back(t.children[j]);
+    }
+  }
+  return depth;
+}
+
+std::vector<std::uint64_t> subtree_sizes_serial(const RootedTree& t) {
+  const std::size_t n = t.num_nodes();
+  std::vector<std::uint64_t> size(n, 1);
+  // Process nodes in reverse depth order: count children into parents.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> stack{t.root};
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (std::size_t j = t.child_offsets[v]; j < t.child_offsets[v + 1]; ++j) {
+      stack.push_back(t.children[j]);
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t v = order[i];
+    if (v != t.root) size[t.parent[v]] += size[v];
+  }
+  return size;
+}
+
+std::vector<std::uint64_t> rootfix_sum_serial(
+    const RootedTree& t, std::span<const std::uint64_t> values) {
+  const std::size_t n = t.num_nodes();
+  std::vector<std::uint64_t> out(n, 0);
+  std::vector<std::size_t> stack{t.root};
+  out[t.root] = values[t.root];
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t j = t.child_offsets[v]; j < t.child_offsets[v + 1]; ++j) {
+      const std::size_t c = t.children[j];
+      out[c] = out[v] + values[c];
+      stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> leaffix_sum_serial(
+    const RootedTree& t, std::span<const std::uint64_t> values) {
+  const std::size_t n = t.num_nodes();
+  std::vector<std::uint64_t> out(values.begin(), values.end());
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> stack{t.root};
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (std::size_t j = t.child_offsets[v]; j < t.child_offsets[v + 1]; ++j) {
+      stack.push_back(t.children[j]);
+    }
+  }
+  for (std::size_t i = order.size(); i-- > 1;) {
+    out[t.parent[order[i]]] += out[order[i]];
+  }
+  return out;
+}
+
+}  // namespace scanprim::algo

@@ -1,0 +1,84 @@
+// Tree computations via Euler tours and list ranking — the tree-contraction
+// workload of Table 5. An Euler tour threads two arcs per tree edge (down
+// into the child, up out of it) into a single linked list; weighted list
+// ranking over that list yields node depths and subtree sizes in the same
+// step complexity as list ranking itself (O(n/p + lg n) with the
+// work-efficient ranker). The paper cites Gazit–Miller–Teng [18] for an
+// optimal EREW contraction; this Euler-tour formulation exercises the same
+// load-balanced machinery (see the substitution table in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::algo {
+
+/// A rooted tree in CSR form: `children` lists every node's children
+/// contiguously (sibling order = list order), `child_offsets[v] ..
+/// child_offsets[v+1]` delimiting node v's children.
+struct RootedTree {
+  std::size_t root = 0;
+  std::vector<std::size_t> parent;         ///< parent[root] == root
+  std::vector<std::size_t> child_offsets;  ///< size n+1
+  std::vector<std::size_t> children;       ///< size n-1
+
+  std::size_t num_nodes() const { return child_offsets.size() - 1; }
+};
+
+/// Builds the CSR tree from a parent array (parent[root] == root).
+/// Children appear in increasing id order.
+RootedTree tree_from_parents(std::span<const std::size_t> parent);
+
+/// The Euler-tour successor list: 2n arcs (arc c = the edge down into node
+/// c, arc n+c = the edge up out of it; the root's two arcs are unused
+/// self-loops). The tour's last arc points to itself (the list tail).
+struct EulerTour {
+  std::vector<std::size_t> next;  ///< size 2n
+  std::size_t first = 0;          ///< tour start (down-arc of root's first child)
+};
+
+EulerTour euler_tour(machine::Machine& m, const RootedTree& t);
+
+/// Depth of every node (root = 0), via ±1-weighted ranking of the tour.
+/// `use_contraction` picks the work-efficient ranker; otherwise Wyllie.
+std::vector<std::uint64_t> node_depths(machine::Machine& m,
+                                       const RootedTree& t,
+                                       bool use_contraction = true,
+                                       std::uint64_t seed = 0x5eed);
+
+/// Number of nodes in every subtree (the root's = n).
+std::vector<std::uint64_t> subtree_sizes(machine::Machine& m,
+                                         const RootedTree& t,
+                                         bool use_contraction = true,
+                                         std::uint64_t seed = 0x5eed);
+
+/// Rootfix sum (the tree operation set of the paper's companion [7], which
+/// §2.3.2 leans on): every node receives the sum of `values` over its
+/// ancestors *including itself* — one ±value-weighted ranking of the tour.
+/// Arithmetic is modulo 2^64 (signed values work via two's complement).
+std::vector<std::uint64_t> rootfix_sum(machine::Machine& m,
+                                       const RootedTree& t,
+                                       std::span<const std::uint64_t> values,
+                                       bool use_contraction = true,
+                                       std::uint64_t seed = 0x5eed);
+
+/// Leaffix sum: every node receives the sum of `values` over its subtree
+/// (itself included).
+std::vector<std::uint64_t> leaffix_sum(machine::Machine& m,
+                                       const RootedTree& t,
+                                       std::span<const std::uint64_t> values,
+                                       bool use_contraction = true,
+                                       std::uint64_t seed = 0x5eed);
+
+/// Serial references.
+std::vector<std::uint64_t> node_depths_serial(const RootedTree& t);
+std::vector<std::uint64_t> subtree_sizes_serial(const RootedTree& t);
+std::vector<std::uint64_t> rootfix_sum_serial(
+    const RootedTree& t, std::span<const std::uint64_t> values);
+std::vector<std::uint64_t> leaffix_sum_serial(
+    const RootedTree& t, std::span<const std::uint64_t> values);
+
+}  // namespace scanprim::algo

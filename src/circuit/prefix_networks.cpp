@@ -1,0 +1,136 @@
+#include "src/circuit/prefix_networks.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scanprim::circuit {
+
+std::size_t PrefixNetwork::depth() const {
+  std::vector<std::size_t> d(inputs + gates.size(), 0);
+  std::size_t deepest = 0;
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    d[inputs + g] = 1 + std::max(d[gates[g].left], d[gates[g].right]);
+    deepest = std::max(deepest, d[inputs + g]);
+  }
+  return deepest;
+}
+
+std::size_t PrefixNetwork::max_fanout() const {
+  std::vector<std::size_t> uses(inputs + gates.size(), 0);
+  for (const PrefixGate& g : gates) {
+    ++uses[g.left];
+    ++uses[g.right];
+  }
+  return uses.empty() ? 0 : *std::max_element(uses.begin(), uses.end());
+}
+
+namespace {
+
+// Shared builder state: cur[i] = node currently holding a prefix ending at i.
+struct Builder {
+  PrefixNetwork net;
+  std::vector<std::size_t> cur;
+
+  explicit Builder(std::size_t n, std::string name) {
+    net.inputs = n;
+    net.name = std::move(name);
+    cur.resize(n);
+    std::iota(cur.begin(), cur.end(), std::size_t{0});
+  }
+
+  std::size_t combine(std::size_t left_node, std::size_t right_node) {
+    net.gates.push_back({left_node, right_node});
+    return net.inputs + net.gates.size() - 1;
+  }
+
+  PrefixNetwork finish() {
+    net.output = cur;
+    return std::move(net);
+  }
+};
+
+}  // namespace
+
+PrefixNetwork serial_network(std::size_t n) {
+  Builder b(n, "serial");
+  for (std::size_t i = 1; i < n; ++i) {
+    b.cur[i] = b.combine(b.cur[i - 1], b.cur[i]);
+  }
+  return b.finish();
+}
+
+PrefixNetwork sklansky_network(std::size_t n) {
+  Builder b(n, "sklansky");
+  for (std::size_t d = 0; (std::size_t{1} << d) < n; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i >> d) & 1) {
+        const std::size_t j = ((i >> d) << d) - 1;
+        b.cur[i] = b.combine(b.cur[j], b.cur[i]);
+      }
+    }
+  }
+  return b.finish();
+}
+
+PrefixNetwork kogge_stone_network(std::size_t n) {
+  Builder b(n, "kogge-stone");
+  for (std::size_t off = 1; off < n; off <<= 1) {
+    const std::vector<std::size_t> prev = b.cur;  // level-synchronous
+    for (std::size_t i = off; i < n; ++i) {
+      b.cur[i] = b.combine(prev[i - off], prev[i]);
+    }
+  }
+  return b.finish();
+}
+
+PrefixNetwork brent_kung_network(std::size_t n) {
+  Builder b(n, "brent-kung");
+  // Up sweep: power-of-two block sums.
+  std::size_t top = 1;
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    for (std::size_t i = 2 * d - 1; i < n; i += 2 * d) {
+      b.cur[i] = b.combine(b.cur[i - d], b.cur[i]);
+    }
+    top = d;
+  }
+  // Down sweep: fill in the odd block boundaries.
+  for (std::size_t d = top; d >= 2; d >>= 1) {
+    const std::size_t half = d / 2;
+    for (std::size_t i = d + half - 1; i < n; i += d) {
+      b.cur[i] = b.combine(b.cur[i - half], b.cur[i]);
+    }
+  }
+  return b.finish();
+}
+
+bool validate(const PrefixNetwork& net) {
+  const std::size_t n = net.inputs;
+  if (net.output.size() != n) return false;
+  // Topological order: gates only read earlier nodes.
+  for (std::size_t g = 0; g < net.gates.size(); ++g) {
+    if (net.gates[g].left >= n + g || net.gates[g].right >= n + g) {
+      return false;
+    }
+  }
+  // Free-monoid check: track the index interval each node covers; a gate is
+  // legal when its operands are adjacent intervals in order.
+  struct Interval {
+    std::size_t lo, hi;
+    bool ok;
+  };
+  std::vector<Interval> iv(n + net.gates.size());
+  for (std::size_t i = 0; i < n; ++i) iv[i] = {i, i, true};
+  for (std::size_t g = 0; g < net.gates.size(); ++g) {
+    const Interval& a = iv[net.gates[g].left];
+    const Interval& b = iv[net.gates[g].right];
+    iv[n + g] = {a.lo, b.hi, a.ok && b.ok && a.hi + 1 == b.lo};
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (net.output[i] >= iv.size()) return false;
+    const Interval& o = iv[net.output[i]];
+    if (!o.ok || o.lo != 0 || o.hi != i) return false;
+  }
+  return true;
+}
+
+}  // namespace scanprim::circuit

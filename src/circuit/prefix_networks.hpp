@@ -1,0 +1,71 @@
+// Parallel-prefix networks as explicit gate graphs — the theory behind
+// Table 2's circuit rows and the appendix's history: Ladner–Fischer [28]
+// first gave general O(n)-size, O(lg n)-depth prefix circuits; Brent–Kung
+// [10] the VLSI adder layout; Fich [15] tightened the bounds. This module
+// *generates* the classical networks for any width, evaluates them with an
+// arbitrary associative operator, and reports exact gate counts and depths,
+// so the size/depth tradeoff the paper cites is measurable rather than
+// quoted:
+//
+//   serial        size n-1          depth n-1
+//   Sklansky      size ~(n/2)lg n   depth lg n      (minimum depth)
+//   Brent–Kung    size ~2n          depth 2lg n - 1 (minimum size class)
+//   Kogge–Stone   size ~n lg n      depth lg n      (minimum fanout)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/ops.hpp"
+
+namespace scanprim::circuit {
+
+/// One ⊕-node: combines the outputs of two earlier nodes. Inputs are nodes
+/// 0..n-1; gate k is node n+k.
+struct PrefixGate {
+  std::size_t left;   ///< node index of the left (earlier) operand
+  std::size_t right;  ///< node index of the right operand
+};
+
+/// A prefix network over n inputs: evaluating all gates in order leaves the
+/// inclusive prefix x0⊕…⊕xi in node output[i].
+struct PrefixNetwork {
+  std::size_t inputs = 0;
+  std::vector<PrefixGate> gates;
+  std::vector<std::size_t> output;  ///< per input position, the node holding
+                                    ///< its inclusive prefix
+  std::string name;
+
+  std::size_t size() const { return gates.size(); }
+  std::size_t depth() const;        ///< longest gate chain
+  std::size_t max_fanout() const;   ///< widest node reuse
+};
+
+PrefixNetwork serial_network(std::size_t n);
+PrefixNetwork sklansky_network(std::size_t n);      // Ladner-Fischer family
+PrefixNetwork brent_kung_network(std::size_t n);
+PrefixNetwork kogge_stone_network(std::size_t n);
+
+/// Evaluates the network: returns the inclusive prefixes of `in`.
+template <class T, scanprim::ScanOperator<T> Op>
+std::vector<T> evaluate(const PrefixNetwork& net, std::span<const T> in,
+                        Op op) {
+  std::vector<T> node(net.inputs + net.gates.size());
+  for (std::size_t i = 0; i < net.inputs; ++i) node[i] = in[i];
+  for (std::size_t g = 0; g < net.gates.size(); ++g) {
+    node[net.inputs + g] =
+        op(node[net.gates[g].left], node[net.gates[g].right]);
+  }
+  std::vector<T> out(net.inputs);
+  for (std::size_t i = 0; i < net.inputs; ++i) out[i] = node[net.output[i]];
+  return out;
+}
+
+/// Structural validation: every gate reads earlier nodes; every output is
+/// reachable; evaluating with a free monoid (index-interval concatenation)
+/// yields exactly the prefix intervals.
+bool validate(const PrefixNetwork& net);
+
+}  // namespace scanprim::circuit

@@ -1,0 +1,49 @@
+#include "src/circuit/router_model.hpp"
+
+#include <cmath>
+
+#include "src/circuit/tree_circuit.hpp"
+
+namespace scanprim::circuit {
+
+namespace {
+
+double lg(double n) { return std::log2(n); }
+
+// Routing-overhead factor for the probabilistic multistage network: each of
+// the lg n stages is traversed bit-serially and contention roughly triples
+// the effective traversal count (calibrated so a 32-bit reference on 2^16
+// processors lands near the CM-2's ~600 cycles reported in Table 2).
+constexpr double kRouteOverhead = 1.2;
+
+}  // namespace
+
+std::vector<CostRow> theoretical_costs(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  std::vector<CostRow> rows;
+  rows.push_back({"VLSI time (bit times)", lg(dn), lg(dn),
+                  "memory: O(lg n) [Leighton]; scan: O(lg n) [Leiserson]"});
+  rows.push_back({"VLSI area", dn * dn / lg(dn), dn,
+                  "memory: O(n^2/lg n); scan: O(n)"});
+  rows.push_back({"circuit depth", lg(dn), lg(dn),
+                  "memory: O(lg n) [AKS]; scan: O(lg n) [Fich]"});
+  rows.push_back({"circuit size", dn * lg(dn), dn,
+                  "memory: O(n lg n); scan: O(n)"});
+  return rows;
+}
+
+BitSerialCosts bit_serial_costs(std::size_t n, unsigned field_bits) {
+  const double stages = lg(static_cast<double>(n));
+  BitSerialCosts c;
+  // A d-bit message crosses lg n switch stages bit-serially; the head pays
+  // the stage latency once and the remaining bits stream behind it, but
+  // contention under random traffic costs roughly the overhead factor per
+  // stage-bit.
+  c.memory_reference_cycles =
+      kRouteOverhead * static_cast<double>(field_bits) * stages;
+  c.scan_cycles = static_cast<double>(
+      TreeScanCircuit::predicted_cycles(n, field_bits));
+  return c;
+}
+
+}  // namespace scanprim::circuit

@@ -1,0 +1,41 @@
+// Cost model for the comparison of Table 2: a scan circuit versus a shared
+// memory reference, in theory (VLSI area / circuit size and depth) and in
+// "practice" (bit cycles on a bit-serial machine).
+//
+// The paper's practical column comes from the CM-2, whose router we cannot
+// run; this model substitutes a deterministic multistage (butterfly-style)
+// routing network and an AKS-style sorting-network bound for the
+// deterministic case, with constants documented here and in DESIGN.md. The
+// claims the table supports are *relative* (a scan is no slower than a
+// memory reference and needs asymptotically less hardware), and those
+// relations are preserved.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scanprim::circuit {
+
+struct CostRow {
+  std::string quantity;     ///< e.g. "circuit depth"
+  double memory_reference;  ///< cost of a parallel memory reference
+  double scan;              ///< cost of the scan primitive
+  std::string note;
+};
+
+/// Theoretical rows of Table 2 for n processors: VLSI time/area and circuit
+/// depth/size, evaluated at a concrete n so the asymptotic gap is visible.
+std::vector<CostRow> theoretical_costs(std::size_t n);
+
+/// Bit-serial cycle estimates for d-bit operations on n processors — the
+/// "actual" rows. Memory reference: d · lg n cycles per stage traversal with
+/// a routing-overhead factor (probabilistic routing); scan: the pipelined
+/// tree's d + 2 lg n (exact, from TreeScanCircuit::predicted_cycles).
+struct BitSerialCosts {
+  double memory_reference_cycles;
+  double scan_cycles;
+};
+BitSerialCosts bit_serial_costs(std::size_t n, unsigned field_bits);
+
+}  // namespace scanprim::circuit

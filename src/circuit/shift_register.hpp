@@ -1,0 +1,40 @@
+// The variable-length shift register of Figure 14: a first-in first-out
+// buffer of single bits, one bit shifted per clock. A unit at level i from
+// the top of the tree carries a register of length 2i; the root's register
+// has length zero, which is what reflects the up sweep into the down sweep
+// "for free" (§3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scanprim::circuit {
+
+class ShiftRegister {
+ public:
+  explicit ShiftRegister(std::size_t length = 0) : bits_(length, false) {}
+
+  std::size_t length() const { return bits_.size(); }
+
+  /// One clock: shifts `in` into the register and returns the bit that falls
+  /// out the far end. A zero-length register is a wire: returns `in`.
+  bool step(bool in) {
+    if (bits_.empty()) return in;
+    const bool out = bits_[pos_];
+    bits_[pos_] = in;
+    pos_ = (pos_ + 1) % bits_.size();
+    return out;
+  }
+
+  /// The clear signal: zeroes the register contents.
+  void clear() {
+    bits_.assign(bits_.size(), false);
+    pos_ = 0;
+  }
+
+ private:
+  std::vector<bool> bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace scanprim::circuit

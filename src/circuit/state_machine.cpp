@@ -1,0 +1,30 @@
+#include "src/circuit/state_machine.hpp"
+
+namespace scanprim::circuit {
+
+void SumStateMachine::clear() {
+  q1_ = false;
+  q2_ = false;
+  s_ = false;
+}
+
+bool SumStateMachine::step(bool a, bool b) {
+  if (op_ == ScanOpKind::Add) {
+    // Full adder, LSB first: S = A ⊕ B ⊕ Q1, carry D1 = AB + AQ1 + BQ1.
+    s_ = a ^ b ^ q1_;
+    q1_ = (a && b) || (a && q1_) || (b && q1_);
+  } else {
+    // Maximum, MSB first. Until the operands diverge (Q1 = Q2 = 0) they are
+    // equal so far and the output bit is A's (== B's == A|B). The first
+    // position where they differ decides the winner and latches Q1 or Q2.
+    const bool undecided = !q1_ && !q2_;
+    s_ = (q1_ && a) || (q2_ && b) || (undecided && (a || b));
+    if (undecided) {
+      q1_ = a && !b;
+      q2_ = !a && b;
+    }
+  }
+  return s_;
+}
+
+}  // namespace scanprim::circuit

@@ -1,0 +1,41 @@
+// The sum state machine of Figure 15: three D-type flip-flops (Q1, Q2, and a
+// registered output bit S) plus combinational logic, switchable between a
+// bit-serial adder (+-scan, least-significant bit first) and a bit-serial
+// maximum (max-scan, most-significant bit first).
+#pragma once
+
+namespace scanprim::circuit {
+
+enum class ScanOpKind { Add, Max };
+
+/// One sum state machine. `step(a, b)` models a clock edge: it returns the
+/// output bit registered on the *previous* cycle and latches the bit computed
+/// from the current inputs, so a chain of machines pipelines with one cycle
+/// of latency per stage — the property §3.1's bit pipelining depends on.
+class SumStateMachine {
+ public:
+  explicit SumStateMachine(ScanOpKind op = ScanOpKind::Add) : op_(op) {}
+
+  void set_op(ScanOpKind op) { op_ = op; }
+  ScanOpKind op() const { return op_; }
+
+  /// The clear signal: resets Q1, Q2 and the output register.
+  void clear();
+
+  /// One clock edge: computes the output bit S from the current inputs and
+  /// state, updates the state, and returns S. The caller latches S into the
+  /// unit's output flip-flop (the third state bit of Fig. 15), which is what
+  /// gives each tree level its one cycle of pipeline latency.
+  bool step(bool a, bool b);
+
+  bool q1() const { return q1_; }
+  bool q2() const { return q2_; }
+
+ private:
+  ScanOpKind op_;
+  bool q1_ = false;  ///< Add: carry.  Max: "A is already greater".
+  bool q2_ = false;  ///< Max: "B is already greater" (unused by Add).
+  bool s_ = false;   ///< registered output bit
+};
+
+}  // namespace scanprim::circuit

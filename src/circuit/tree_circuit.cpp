@@ -1,0 +1,204 @@
+#include "src/circuit/tree_circuit.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scanprim::circuit {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t lg(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+std::size_t level_from_top(std::size_t unit) {
+  std::size_t level = 0;
+  while (unit > 1) {
+    unit >>= 1;
+    ++level;
+  }
+  return level;
+}
+
+}  // namespace
+
+TreeScanCircuit::TreeScanCircuit(std::size_t leaves, unsigned field_bits)
+    : n_(leaves), m_(field_bits), levels_(lg(leaves)) {
+  if (!is_power_of_two(leaves)) {
+    throw std::invalid_argument("TreeScanCircuit: leaves must be a power of two");
+  }
+  if (field_bits == 0 || field_bits > 64) {
+    throw std::invalid_argument("TreeScanCircuit: field_bits must be 1..64");
+  }
+  units_.resize(n_);  // index 0 unused; units 1 .. n-1
+  for (std::size_t u = 1; u < n_; ++u) {
+    units_[u].fifo = ShiftRegister(2 * level_from_top(u));
+  }
+}
+
+HardwareInventory TreeScanCircuit::inventory() const {
+  HardwareInventory hw;
+  hw.leaves = n_;
+  hw.units = n_ >= 1 ? n_ - 1 : 0;
+  hw.state_machines = 2 * hw.units;
+  for (std::size_t u = 1; u < n_; ++u) {
+    hw.shift_register_bits += units_[u].fifo.length();
+  }
+  // Two unidirectional single-bit wires along every tree edge, plus the
+  // root's external pair.
+  hw.wires = n_ >= 2 ? 2 * (2 * n_ - 1) : 2;
+  return hw;
+}
+
+ChipPartition partition_into_chips(std::size_t leaves,
+                                   std::size_t leaves_per_chip) {
+  if (!is_power_of_two(leaves) || !is_power_of_two(leaves_per_chip) ||
+      leaves_per_chip > leaves) {
+    throw std::invalid_argument("partition_into_chips: powers of two, "
+                                "leaves_per_chip <= leaves");
+  }
+  ChipPartition p;
+  // Each chip implements a complete subtree with k inputs and one output:
+  // k - 1 units = 2(k - 1) state machines, k - 1 shift registers.
+  p.state_machines_per_leaf_chip = 2 * (leaves_per_chip - 1);
+  p.shift_registers_per_leaf_chip = leaves_per_chip - 1;
+  // Layers of chips: leaves/k leaf chips, then the same structure over
+  // their outputs, until one chip remains.
+  for (std::size_t width = leaves; width > 1; width /= leaves_per_chip) {
+    const std::size_t layer = (width + leaves_per_chip - 1) / leaves_per_chip;
+    p.chips += layer;
+    if (width <= leaves_per_chip) break;
+  }
+  // Every chip's root sends one up wire and receives one down wire.
+  p.off_chip_wires = 2 * p.chips;
+  return p;
+}
+
+std::size_t TreeScanCircuit::predicted_cycles(std::size_t leaves,
+                                              unsigned field_bits) {
+  if (leaves <= 1) return 0;
+  return field_bits + 2 * lg(leaves) - 1;
+}
+
+std::vector<std::uint64_t> TreeScanCircuit::seg_scan(
+    std::span<const std::uint64_t> values, std::span<const std::uint8_t> flags,
+    ScanOpKind op) {
+  assert(flags.size() == n_);
+  // The extra hardware: one static flag bit per child subtree, the OR-tree
+  // of the leaf segment flags (combinational; settles before the bits
+  // stream). Heap order: entry c covers node c's subtree.
+  std::vector<std::uint8_t> subtree(2 * n_, 0);
+  for (std::size_t j = 0; j < n_; ++j) subtree[n_ + j] = flags[j] ? 1 : 0;
+  for (std::size_t u = n_; u-- > 1;) {
+    subtree[u] = subtree[2 * u] | subtree[2 * u + 1];
+  }
+  std::vector<std::uint64_t> out = run(values, op, &subtree);
+  // A flagged leaf starts its segment: its exclusive value is the identity.
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (flags[j]) out[j] = 0;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> TreeScanCircuit::scan(
+    std::span<const std::uint64_t> values, ScanOpKind op) {
+  return run(values, op, nullptr);
+}
+
+std::vector<std::uint64_t> TreeScanCircuit::run(
+    std::span<const std::uint64_t> values, ScanOpKind op,
+    const std::vector<std::uint8_t>* seg) {
+  assert(values.size() == n_);
+  const std::uint64_t mask =
+      m_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << m_) - 1);
+
+  if (n_ == 1) {
+    cycles_ = 0;
+    return {0};  // exclusive scan of one element: the identity (0 for
+                 // unsigned + and unsigned max alike)
+  }
+
+  // Assert the clear line and set the op line on every unit.
+  for (std::size_t u = 1; u < n_; ++u) {
+    Unit& unit = units_[u];
+    unit.up.set_op(op);
+    unit.down.set_op(op);
+    unit.up.clear();
+    unit.down.clear();
+    unit.fifo.clear();
+    unit.up_out = unit.down_left_out = unit.down_right_out = false;
+  }
+
+  // Bit k of leaf j's operand enters at cycle k (LSB first for Add,
+  // MSB first for Max); zeros afterwards.
+  const auto leaf_bit = [&](std::size_t j, std::size_t t) -> bool {
+    if (t >= m_) return false;
+    const unsigned bit = op == ScanOpKind::Add ? static_cast<unsigned>(t)
+                                               : m_ - 1 - static_cast<unsigned>(t);
+    return ((values[j] & mask) >> bit) & 1;
+  };
+
+  // The up output of heap node c as currently registered (a unit's output
+  // flip-flop, or a leaf's live operand bit).
+  const auto up_of = [&](std::size_t c, std::size_t t) -> bool {
+    return c < n_ ? units_[c].up_out : leaf_bit(c - n_, t);
+  };
+
+  // The down output feeding heap node c from its parent.
+  const auto down_into = [&](std::size_t c) -> bool {
+    if (c == 1) return false;  // root's parent input is tied low
+    const Unit& parent = units_[c / 2];
+    return (c % 2 == 0) ? parent.down_left_out : parent.down_right_out;
+  };
+
+  std::vector<std::uint64_t> result(n_, 0);
+  const std::size_t first_out = 2 * levels_ - 1;
+  const std::size_t total_cycles = m_ + first_out;
+
+  // Scratch for the synchronous update: inputs are sampled from the current
+  // registers before any unit commits its next state.
+  std::vector<std::uint8_t> in_left(n_), in_right(n_), in_down(n_);
+
+  for (std::size_t t = 0; t < total_cycles; ++t) {
+    // Result bits stream out of the leaves' down inputs.
+    if (t >= first_out) {
+      const std::size_t k = t - first_out;
+      const unsigned bit = op == ScanOpKind::Add
+                               ? static_cast<unsigned>(k)
+                               : m_ - 1 - static_cast<unsigned>(k);
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (down_into(n_ + j)) result[j] |= std::uint64_t{1} << bit;
+      }
+    }
+    // Sample every wire.
+    for (std::size_t u = 1; u < n_; ++u) {
+      in_left[u] = up_of(2 * u, t);
+      in_right[u] = up_of(2 * u + 1, t);
+      in_down[u] = down_into(u);
+    }
+    // Clock edge: every unit commits simultaneously. With segment flags,
+    // two static multiplexers bypass the sum machines across segment
+    // boundaries: a flagged right subtree passes straight up, a flagged
+    // left subtree reflects straight down.
+    for (std::size_t u = 1; u < n_; ++u) {
+      Unit& unit = units_[u];
+      const bool f_left = seg != nullptr && (*seg)[2 * u] != 0;
+      const bool f_right = seg != nullptr && (*seg)[2 * u + 1] != 0;
+      const bool sum_up = unit.up.step(in_left[u], in_right[u]);
+      unit.up_out = f_right ? in_right[u] : sum_up;
+      const bool delayed_left = unit.fifo.step(in_left[u]);
+      const bool sum_down = unit.down.step(in_down[u], delayed_left);
+      unit.down_right_out = f_left ? delayed_left : sum_down;
+      unit.down_left_out = in_down[u];  // the one-bit register
+    }
+  }
+
+  cycles_ = total_cycles;
+  return result;
+}
+
+}  // namespace scanprim::circuit

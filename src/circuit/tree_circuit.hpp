@@ -1,0 +1,114 @@
+// The clocked, bit-pipelined tree-scan circuit of §3.2 (Figures 13–14).
+//
+// n leaves (a power of two) feed operand bits serially into lg n levels of
+// units. Each unit holds two sum state machines (up sweep and down sweep),
+// a FIFO shift register that delays the left child's bits by exactly the
+// round trip to the root and back (length 2i at level i from the top), and a
+// one-bit register that re-times the value passed to the left child. The
+// root's parent input is tied low, and its zero-length register reflects the
+// up sweep into the down sweep. After m + 2 lg n − 1 cycles the exclusive
+// scan results stream out of the leaves, one bit per cycle.
+//
+// For +-scan, bits enter least-significant first; for max-scan,
+// most-significant first (§3.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/circuit/shift_register.hpp"
+#include "src/circuit/state_machine.hpp"
+
+namespace scanprim::circuit {
+
+/// Gate-level inventory of a circuit instance (the "hardware" half of
+/// Table 2).
+struct HardwareInventory {
+  std::size_t leaves = 0;
+  std::size_t units = 0;               ///< n - 1
+  std::size_t state_machines = 0;      ///< 2 (n - 1)
+  std::size_t shift_register_bits = 0; ///< Σ levels 2i · 2^i
+  std::size_t wires = 0;               ///< 2 unidirectional bit wires per edge
+};
+
+/// §3.3's packaging claim: cut the tree into chips of `leaves_per_chip`
+/// consecutive leaves (a power of two) plus combiner chips above, and
+/// "only a pair of wires [is] needed to leave" each one. Returns the chip
+/// count and the total off-chip wire count; off-chip wires per chip is
+/// exactly 2 (its root's up/down pair) except the whole machine's root.
+struct ChipPartition {
+  std::size_t chips = 0;
+  std::size_t off_chip_wires = 0;
+  std::size_t state_machines_per_leaf_chip = 0;  ///< 126 for 64 inputs
+  std::size_t shift_registers_per_leaf_chip = 0; ///< 63 for 64 inputs
+};
+
+ChipPartition partition_into_chips(std::size_t leaves,
+                                   std::size_t leaves_per_chip);
+
+class TreeScanCircuit {
+ public:
+  /// Builds the tree for `leaves` inputs (must be a power of two ≥ 1) that
+  /// scans `field_bits`-bit unsigned operands.
+  TreeScanCircuit(std::size_t leaves, unsigned field_bits);
+
+  std::size_t leaves() const { return n_; }
+  unsigned field_bits() const { return m_; }
+  std::size_t levels() const { return levels_; }
+
+  HardwareInventory inventory() const;
+
+  /// Runs a complete scan: asserts clear, sets the op line, clocks the
+  /// circuit until every result bit has streamed out, and returns the
+  /// exclusive scan of `values` (each masked to field_bits). Also records
+  /// the number of clock cycles consumed (see `last_cycle_count`).
+  std::vector<std::uint64_t> scan(std::span<const std::uint64_t> values,
+                                  ScanOpKind op);
+
+  /// Segmented scan on the same tree — the "implemented directly with
+  /// little additional hardware" claim of §3 / [7], at the logic level. The
+  /// extra hardware per unit: two static flag bits (the OR of each child
+  /// subtree's segment flags — combinational, settled before the bits
+  /// stream) and two multiplexers that bypass the sum state machines when a
+  /// segment boundary separates the operands:
+  ///     up    = f_right ? right      : left ⊕ right
+  ///     right = f_left  ? stored-left : parent ⊕ stored-left   (down sweep)
+  /// Same m + 2 lg n cycle count as the unsegmented scan. Flagged leaves
+  /// receive the identity (the exclusive value cannot see its own flag).
+  std::vector<std::uint64_t> seg_scan(std::span<const std::uint64_t> values,
+                                      std::span<const std::uint8_t> flags,
+                                      ScanOpKind op);
+
+  /// Clock cycles consumed by the most recent `scan` call.
+  std::size_t last_cycle_count() const { return cycles_; }
+
+  /// The cycle count formula of §3.2: m + 2 lg n (up to the register
+  /// conventions; the simulator's exact count is m + 2 lg n − 1 plus one
+  /// flush cycle, reported by `last_cycle_count`).
+  static std::size_t predicted_cycles(std::size_t leaves, unsigned field_bits);
+
+ private:
+  struct Unit {
+    SumStateMachine up;
+    SumStateMachine down;
+    ShiftRegister fifo;
+    // Registered outputs (the state of the unit's output flip-flops).
+    bool up_out = false;
+    bool down_left_out = false;  ///< the one-bit register of Fig. 14
+    bool down_right_out = false;
+  };
+
+  std::vector<std::uint64_t> run(std::span<const std::uint64_t> values,
+                                 ScanOpKind op,
+                                 const std::vector<std::uint8_t>* seg);
+
+  std::size_t n_;        ///< number of leaves
+  unsigned m_;           ///< field width in bits
+  std::size_t levels_;   ///< lg n
+  std::vector<Unit> units_;  ///< heap order; units_[u] for u in [1, n)
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace scanprim::circuit

@@ -1,0 +1,99 @@
+// The word-level balanced-binary-tree scan of §3.1 (Figure 13): an up sweep
+// that leaves partial sums in the internal nodes (each node also remembers
+// its left child's value), followed by a down sweep that delivers to each
+// leaf the ⊕ of everything to its left. 2 lg n parallel steps.
+//
+// This is the algorithm the clocked circuit of tree_circuit.cpp pipelines;
+// it also serves as an O(lg n)-depth scan backend in its own right and as a
+// reference for the EREW charge (⌈lg p⌉ per scan) of the machine model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/core/ops.hpp"
+
+namespace scanprim::circuit {
+
+/// Statistics from one tree-scan execution.
+struct TreeScanTrace {
+  std::size_t levels = 0;          ///< lg n (rounded up)
+  std::size_t parallel_steps = 0;  ///< 2 · levels
+  std::size_t applications = 0;    ///< total ⊕ applications (≈ 2n)
+};
+
+/// Exclusive scan via the two-sweep tree method. Handles any n (internally
+/// pads to a power of two with the identity). Returns the trace so tests and
+/// benches can check the step/work counts.
+template <class T, scanprim::ScanOperator<T> Op>
+TreeScanTrace tree_scan(std::span<const T> in, std::span<T> out, Op op) {
+  TreeScanTrace trace;
+  const std::size_t n = in.size();
+  if (n == 0) return trace;
+
+  std::size_t padded = 1;
+  while (padded < n) {
+    padded <<= 1;
+    ++trace.levels;
+  }
+  trace.parallel_steps = 2 * trace.levels;
+
+  // tree[1] is the root; leaves live at [padded, 2*padded).
+  std::vector<T> tree(2 * padded, Op::identity());
+  std::vector<T> left_memory(padded, Op::identity());
+  for (std::size_t i = 0; i < n; ++i) tree[padded + i] = in[i];
+
+  // Up sweep: each unit applies ⊕ to its children, keeps the left value.
+  for (std::size_t u = padded; u-- > 1;) {
+    left_memory[u] = tree[2 * u];
+    tree[u] = op(tree[2 * u], tree[2 * u + 1]);
+    ++trace.applications;
+  }
+  // Down sweep: the root receives the identity; each unit passes its own
+  // down value left, and (down ⊕ stored-left) right.
+  tree[1] = Op::identity();
+  for (std::size_t u = 1; u < padded; ++u) {
+    const T down = tree[u];
+    tree[2 * u] = down;
+    tree[2 * u + 1] = op(down, left_memory[u]);
+    ++trace.applications;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = tree[padded + i];
+  return trace;
+}
+
+/// Segmented scan on the same tree — the "implemented directly with little
+/// additional hardware" remark of §3 (developed in the paper's companion
+/// [7]). Each wire carries a (value, segment-started) pair and the units
+/// apply the segmented combination
+///     (a, fa) ⊕ (b, fb)  =  (fb ? b : a ⊕ b,  fa | fb),
+/// which is associative; one fix-up pass writes the identity at flagged
+/// positions (the exclusive prefix cannot see its own flag).
+template <class T, scanprim::ScanOperator<T> Op>
+TreeScanTrace seg_tree_scan(std::span<const T> in,
+                            std::span<const std::uint8_t> flags,
+                            std::span<T> out, Op op) {
+  struct Item {
+    T v;
+    std::uint8_t f;
+  };
+  struct SegOp {
+    Op op;
+    static Item identity() { return {Op::identity(), 0}; }
+    Item operator()(const Item& a, const Item& b) const {
+      return {b.f ? b.v : op(a.v, b.v), static_cast<std::uint8_t>(a.f | b.f)};
+    }
+  };
+  std::vector<Item> items(in.size()), scanned(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) items[i] = {in[i], flags[i]};
+  const TreeScanTrace trace =
+      tree_scan(std::span<const Item>(items), std::span<Item>(scanned),
+                SegOp{op});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = flags[i] ? Op::identity() : scanned[i].v;
+  }
+  return trace;
+}
+
+}  // namespace scanprim::circuit

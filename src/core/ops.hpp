@@ -1,0 +1,68 @@
+// Binary operators usable as scan operators. The paper (§1) restricts the
+// primitive scans to integer `+` and `max`, and shows (§3.4) that the other
+// scans used in its algorithms reduce to those two; this header defines all
+// the operators the algorithm layer scans with, and core/simulate.hpp
+// carries out the §3.4 reductions.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace scanprim {
+
+/// A scan operator is an associative binary function with an identity
+/// element. (The paper, §2.2 footnote 3, requires an identity: that is why
+/// `first` is not a legal scan operator and `copy` needs a max-scan.)
+template <class Op, class T>
+concept ScanOperator = requires(const Op op, T a, T b) {
+  { op(a, b) } -> std::convertible_to<T>;
+  { Op::identity() } -> std::convertible_to<T>;
+};
+
+template <class T>
+struct Plus {
+  using value_type = T;
+  static constexpr T identity() { return T{}; }
+  constexpr T operator()(T a, T b) const { return a + b; }
+};
+
+template <class T>
+struct Max {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  constexpr T operator()(T a, T b) const { return a > b ? a : b; }
+};
+
+template <class T>
+struct Min {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  constexpr T operator()(T a, T b) const { return a < b ? a : b; }
+};
+
+/// Boolean operators over 0/1 flags stored in integer types.
+template <class T = std::uint8_t>
+struct Or {
+  using value_type = T;
+  static constexpr T identity() { return T{0}; }
+  constexpr T operator()(T a, T b) const { return static_cast<T>(a | b); }
+};
+
+template <class T = std::uint8_t>
+struct And {
+  using value_type = T;
+  static constexpr T identity() { return T{1}; }
+  constexpr T operator()(T a, T b) const { return static_cast<T>(a & b); }
+};
+
+/// Multiplication — not primitive in the paper, but used by the appendix's
+/// polynomial-evaluation example (Stone's `×-scan`).
+template <class T>
+struct Times {
+  using value_type = T;
+  static constexpr T identity() { return T{1}; }
+  constexpr T operator()(T a, T b) const { return a * b; }
+};
+
+}  // namespace scanprim

@@ -1,0 +1,296 @@
+// The vector operations the paper layers on the scan primitives:
+//   permute (§2.1), enumerate / copy / ⊕-distribute (§2.2, Fig. 1),
+//   split (§2.2.1, Fig. 3), pack (§2.5, Fig. 11), allocate (§2.4, Fig. 8),
+// plus their segmented versions (used by quicksort §2.3.1 and star-merge
+// §2.3.3). Every operation costs O(1) program steps in the scan model.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/core/ops.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim {
+
+// ---------------------------------------------------------------------------
+// Elementwise helpers (one program step each; §2.1's vector operations).
+// ---------------------------------------------------------------------------
+
+/// out[i] = fn(in[i]).
+template <class T, class U, class Fn>
+void map(std::span<const T> in, std::span<U> out, Fn fn) {
+  assert(in.size() == out.size());
+  thread::parallel_for(in.size(), [&](std::size_t i) { out[i] = fn(in[i]); });
+}
+
+template <class U, class T, class Fn>
+std::vector<U> mapped(std::span<const T> in, Fn fn) {
+  std::vector<U> out(in.size());
+  map(in, std::span<U>(out), fn);
+  return out;
+}
+
+/// out[i] = fn(a[i], b[i]).
+template <class T, class U, class V, class Fn>
+void zip(std::span<const T> a, std::span<const U> b, std::span<V> out,
+         Fn fn) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  thread::parallel_for(a.size(),
+                       [&](std::size_t i) { out[i] = fn(a[i], b[i]); });
+}
+
+template <class V, class T, class U, class Fn>
+std::vector<V> zipped(std::span<const T> a, std::span<const U> b, Fn fn) {
+  std::vector<V> out(a.size());
+  zip(a, b, std::span<V>(out), fn);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// permute / gather (§2.1)
+// ---------------------------------------------------------------------------
+
+/// out[index[i]] = in[i]. All indices must be unique (EREW write); the
+/// destination may be longer than the source.
+template <class T>
+void permute(std::span<const T> in, std::span<const std::size_t> index,
+             std::span<T> out) {
+  assert(in.size() == index.size());
+  thread::parallel_for(in.size(), [&](std::size_t i) {
+    assert(index[i] < out.size());
+    out[index[i]] = in[i];
+  });
+}
+
+template <class T>
+std::vector<T> permuted(std::span<const T> in,
+                        std::span<const std::size_t> index) {
+  std::vector<T> out(in.size());
+  permute(in, index, std::span<T>(out));
+  return out;
+}
+
+/// out[i] = in[index[i]] (an exclusive read as long as indices are unique;
+/// with duplicate indices it is the CREW "concurrent read").
+template <class T>
+void gather(std::span<const T> in, std::span<const std::size_t> index,
+            std::span<T> out) {
+  assert(index.size() == out.size());
+  thread::parallel_for(index.size(), [&](std::size_t i) {
+    assert(index[i] < in.size());
+    out[i] = in[index[i]];
+  });
+}
+
+template <class T>
+std::vector<T> gathered(std::span<const T> in,
+                        std::span<const std::size_t> index) {
+  std::vector<T> out(index.size());
+  gather(in, index, std::span<T>(out));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// enumerate (§2.2, Fig. 1)
+// ---------------------------------------------------------------------------
+
+/// enumerate: the i-th true flag receives integer i (exclusive +-scan of the
+/// flags converted to 0/1).
+inline std::vector<std::size_t> enumerate(FlagsView flags) {
+  std::vector<std::size_t> ints(flags.size());
+  map(flags, std::span<std::size_t>(ints),
+      [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+  exclusive_scan(std::span<const std::size_t>(ints), std::span<std::size_t>(ints),
+                 Plus<std::size_t>{});
+  return ints;
+}
+
+/// back-enumerate: counts flagged elements *above* each position (backward
+/// exclusive +-scan); used to compute I-up in split (Fig. 3).
+inline std::vector<std::size_t> back_enumerate(FlagsView flags) {
+  std::vector<std::size_t> ints(flags.size());
+  map(flags, std::span<std::size_t>(ints),
+      [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+  backward_exclusive_scan(std::span<const std::size_t>(ints),
+                          std::span<std::size_t>(ints), Plus<std::size_t>{});
+  return ints;
+}
+
+/// Number of set flags.
+inline std::size_t count_flags(FlagsView flags) {
+  std::vector<std::size_t> ints(flags.size());
+  map(flags, std::span<std::size_t>(ints),
+      [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+  return reduce(std::span<const std::size_t>(ints), Plus<std::size_t>{});
+}
+
+/// Segmented enumerate: numbers flagged elements relative to the start of
+/// their segment (used by the segmented split in quicksort, §2.3.1).
+inline std::vector<std::size_t> seg_enumerate(FlagsView flags,
+                                              FlagsView segments) {
+  std::vector<std::size_t> ints(flags.size());
+  map(flags, std::span<std::size_t>(ints),
+      [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+  seg_exclusive_scan(std::span<const std::size_t>(ints), segments,
+                     std::span<std::size_t>(ints), Plus<std::size_t>{});
+  return ints;
+}
+
+// ---------------------------------------------------------------------------
+// copy / distribute (§2.2, Fig. 1)
+// ---------------------------------------------------------------------------
+
+/// copy: the first element across the whole vector.
+template <class T>
+std::vector<T> copy(std::span<const T> in) {
+  assert(!in.empty());
+  std::vector<T> out(in.size(), in.front());
+  return out;
+}
+
+/// Segmented copy: each position receives the first value of its segment.
+/// Position 0 is treated as a segment start whether or not it is flagged.
+/// Implemented with a single unsegmented inclusive scan of the associative
+/// "most recent valid value" operator (identity = invalid), which is how a
+/// copy can be a scan even though `first` alone has no identity (§2.2 fn. 3).
+template <class T>
+std::vector<T> seg_copy(std::span<const T> in, FlagsView segments) {
+  using Item = std::pair<T, std::uint8_t>;
+  struct Op {
+    static Item identity() { return {T{}, 0}; }
+    Item operator()(const Item& a, const Item& b) const {
+      return b.second ? b : a;
+    }
+  };
+  std::vector<Item> items(in.size());
+  thread::parallel_for(in.size(), [&](std::size_t i) {
+    items[i] = {in[i], static_cast<std::uint8_t>(segments[i] || i == 0)};
+  });
+  inclusive_scan(std::span<const Item>(items), std::span<Item>(items), Op{});
+  std::vector<T> out(in.size());
+  map(std::span<const Item>(items), std::span<T>(out),
+      [](const Item& it) { return it.first; });
+  return out;
+}
+
+/// ⊕-distribute: every position receives the ⊕-reduction of the vector
+/// (+-distribute, max-distribute, ... of §2.2).
+template <class T, ScanOperator<T> Op>
+std::vector<T> distribute(std::span<const T> in, Op op) {
+  return std::vector<T>(in.size(), reduce(in, op));
+}
+
+/// Segmented ⊕-distribute: every position receives the ⊕-reduction of its
+/// segment (a backward inclusive scan leaves each segment's total at its
+/// head; a segmented copy spreads it).
+template <class T, ScanOperator<T> Op>
+std::vector<T> seg_distribute(std::span<const T> in, FlagsView segments,
+                              Op op) {
+  std::vector<T> totals(in.size());
+  seg_backward_inclusive_scan(in, segments, std::span<T>(totals), op);
+  return seg_copy(std::span<const T>(totals), segments);
+}
+
+// ---------------------------------------------------------------------------
+// split / pack (§2.2.1 Fig. 3, §2.5 Fig. 11)
+// ---------------------------------------------------------------------------
+
+/// Destination index for each element under split: false flags pack to the
+/// bottom (keeping order), true flags pack to the top (keeping order).
+inline std::vector<std::size_t> split_index(FlagsView flags) {
+  const std::size_t n = flags.size();
+  std::vector<std::uint8_t> not_flags(n);
+  map(flags, std::span<std::uint8_t>(not_flags),
+      [](std::uint8_t f) -> std::uint8_t { return f ? 0 : 1; });
+  std::vector<std::size_t> down = enumerate(FlagsView(not_flags));
+  std::vector<std::size_t> up = back_enumerate(flags);
+  std::vector<std::size_t> index(n);
+  thread::parallel_for(n, [&](std::size_t i) {
+    index[i] = flags[i] ? n - up[i] - 1 : down[i];
+  });
+  return index;
+}
+
+/// split: F elements to the bottom, T elements to the top, order preserved
+/// within both groups (Fig. 3).
+template <class T>
+std::vector<T> split(std::span<const T> in, FlagsView flags) {
+  assert(in.size() == flags.size());
+  const std::vector<std::size_t> index = split_index(flags);
+  return permuted(in, std::span<const std::size_t>(index));
+}
+
+/// pack: drops unflagged elements, compacting the flagged ones into a new,
+/// shorter vector (the load-balancing step of Fig. 11).
+template <class T>
+std::vector<T> pack(std::span<const T> in, FlagsView flags) {
+  assert(in.size() == flags.size());
+  const std::vector<std::size_t> index = enumerate(flags);
+  const std::size_t kept = count_flags(flags);
+  std::vector<T> out(kept);
+  thread::parallel_for(in.size(), [&](std::size_t i) {
+    if (flags[i]) out[index[i]] = in[i];
+  });
+  return out;
+}
+
+/// pack_index: the original indices of the flagged elements, in order.
+inline std::vector<std::size_t> pack_index(FlagsView flags) {
+  const std::vector<std::size_t> dest = enumerate(flags);
+  const std::size_t kept = count_flags(flags);
+  std::vector<std::size_t> out(kept);
+  thread::parallel_for(flags.size(), [&](std::size_t i) {
+    if (flags[i]) out[dest[i]] = i;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// allocate (§2.4, Fig. 8)
+// ---------------------------------------------------------------------------
+
+/// Result of allocating `sizes[i]` contiguous elements to each position i.
+struct Allocation {
+  std::vector<std::size_t> offsets;  ///< +-scan of sizes: segment starts
+  std::size_t total = 0;             ///< length of the allocated vector
+  Flags segment_flags;               ///< flag at the start of each segment
+};
+
+/// Allocate a contiguous segment of `sizes[i]` elements per position
+/// (Fig. 8). Zero-sized requests get an empty segment (no flag is written
+/// for them, so they simply vanish from the allocated vector).
+inline Allocation allocate(std::span<const std::size_t> sizes) {
+  Allocation a;
+  a.offsets.resize(sizes.size());
+  exclusive_scan(sizes, std::span<std::size_t>(a.offsets),
+                 Plus<std::size_t>{});
+  a.total = reduce(sizes, Plus<std::size_t>{});
+  a.segment_flags.assign(a.total, 0);
+  thread::parallel_for(sizes.size(), [&](std::size_t i) {
+    if (sizes[i] > 0) a.segment_flags[a.offsets[i]] = 1;
+  });
+  return a;
+}
+
+/// Distribute `values[i]` across the i-th allocated segment (permute to the
+/// segment heads, then segmented copy — exactly Fig. 8's recipe).
+template <class T>
+std::vector<T> distribute_to_segments(std::span<const T> values,
+                                      const Allocation& a) {
+  assert(values.size() == a.offsets.size());
+  std::vector<T> heads(a.total, T{});
+  thread::parallel_for(values.size(), [&](std::size_t i) {
+    const bool nonempty =
+        (i + 1 < a.offsets.size() ? a.offsets[i + 1] : a.total) > a.offsets[i];
+    if (nonempty) heads[a.offsets[i]] = values[i];
+  });
+  return seg_copy(std::span<const T>(heads), FlagsView(a.segment_flags));
+}
+
+}  // namespace scanprim

@@ -1,0 +1,21 @@
+// Deterministic pseudo-random generators used by the probabilistic
+// algorithms (quicksort pivots, the MST's random mate coin flips). Fixed
+// seeds keep every experiment reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace scanprim {
+
+/// splitmix64: a small, high-quality mixing function. Stateless use —
+/// `splitmix64(seed + i)` — gives every processor an independent stream,
+/// which is how a data-parallel machine draws one random number per element
+/// in a single program step.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace scanprim

@@ -1,0 +1,11 @@
+#include "src/core/runtime.hpp"
+
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim {
+
+const char* version() { return "1.0.0"; }
+
+std::size_t runtime_workers() { return thread::num_workers(); }
+
+}  // namespace scanprim

@@ -1,0 +1,15 @@
+// Library metadata and runtime configuration queries.
+#pragma once
+
+#include <cstddef>
+
+namespace scanprim {
+
+/// Library version string.
+const char* version();
+
+/// Number of worker threads the vector operations use (SCANPRIM_THREADS
+/// overrides the hardware default).
+std::size_t runtime_workers();
+
+}  // namespace scanprim

@@ -1,0 +1,253 @@
+// Segmented scans (§2.3, Figure 4): the linear order of processors is broken
+// into segments by a flag vector (a set flag marks the *start* of a segment)
+// and each scan restarts, with the operator identity, at every segment start.
+//
+// These are implemented directly with a carry that resets at flags — the
+// Schwartz-style direct implementation the paper mentions — and, separately,
+// in core/simulate.hpp, by reduction to the two unsegmented primitives
+// exactly as §3.4 prescribes. Tests check the two agree.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/ops.hpp"
+#include "src/core/scan.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim {
+
+/// Segment-start flags. Stored as bytes (0 / non-zero) so vectors of flags
+/// have addressable elements and can themselves be scanned.
+using Flags = std::vector<std::uint8_t>;
+using FlagsView = std::span<const std::uint8_t>;
+
+namespace detail {
+
+// --- sequential kernels -----------------------------------------------------
+// Each kernel takes and returns the running carry so the parallel drivers can
+// reuse it both for block summaries (phase 1) and for the re-scan (phase 2).
+
+template <class T, class Op>
+T seg_exclusive_kernel(std::span<const T> in, FlagsView f, std::span<T> out,
+                       Op op, T carry) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (f[i]) carry = Op::identity();
+    const T next = op(carry, in[i]);
+    out[i] = carry;
+    carry = next;
+  }
+  return carry;
+}
+
+template <class T, class Op>
+T seg_inclusive_kernel(std::span<const T> in, FlagsView f, std::span<T> out,
+                       Op op, T carry) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (f[i]) carry = Op::identity();
+    carry = op(carry, in[i]);
+    out[i] = carry;
+  }
+  return carry;
+}
+
+template <class T, class Op>
+T seg_backward_exclusive_kernel(std::span<const T> in, FlagsView f,
+                                std::span<T> out, Op op, T carry) {
+  for (std::size_t i = in.size(); i-- > 0;) {
+    const T next = op(carry, in[i]);
+    out[i] = carry;
+    carry = next;
+    if (f[i]) carry = Op::identity();  // i starts a segment: nothing crosses it
+  }
+  return carry;
+}
+
+template <class T, class Op>
+T seg_backward_inclusive_kernel(std::span<const T> in, FlagsView f,
+                                std::span<T> out, Op op, T carry) {
+  for (std::size_t i = in.size(); i-- > 0;) {
+    carry = op(carry, in[i]);
+    out[i] = carry;
+    if (f[i]) carry = Op::identity();
+  }
+  return carry;
+}
+
+// Summary-only versions (phase 1): run the kernel with a discarded output.
+template <class T, class Op>
+T seg_forward_summary(std::span<const T> in, FlagsView f, Op op) {
+  T carry = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (f[i]) carry = Op::identity();
+    carry = op(carry, in[i]);
+  }
+  return carry;
+}
+
+template <class T, class Op>
+bool block_has_flag(FlagsView f) {
+  for (std::uint8_t v : f) {
+    if (v) return true;
+  }
+  return false;
+}
+
+template <class T, class Op>
+T seg_backward_summary(std::span<const T> in, FlagsView f, Op op) {
+  T carry = Op::identity();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    carry = op(carry, in[i]);
+    if (f[i]) carry = Op::identity();
+  }
+  return carry;
+}
+
+// --- parallel drivers --------------------------------------------------------
+
+// Forward driver shared by the exclusive and inclusive flavours.
+template <class T, class Op, class Kernel>
+void parallel_seg_scan(std::span<const T> in, FlagsView f, std::span<T> out,
+                       Op op, Kernel kernel) {
+  using thread::Block;
+  const std::size_t n = in.size();
+  const std::size_t workers = thread::num_workers();
+  if (workers == 1 || n < thread::kSerialCutoff) {
+    kernel(in, f, out, op, Op::identity());
+    return;
+  }
+  std::vector<T> carry(workers, Op::identity());
+  std::vector<std::uint8_t> flagged(workers, 0);
+  thread::pool().run([&](std::size_t w) {
+    const Block blk = thread::block_of(n, workers, w);
+    auto bi = in.subspan(blk.begin, blk.size());
+    auto bf = f.subspan(blk.begin, blk.size());
+    carry[w] = seg_forward_summary(bi, bf, op);
+    flagged[w] = block_has_flag<T, Op>(bf) ? 1 : 0;
+  });
+  // Carry into block b: the summary of block b-1 if that block restarted a
+  // segment, else the incoming carry combined with block b-1's summary.
+  T run = Op::identity();
+  for (std::size_t b = 0; b < workers; ++b) {
+    const T mine = run;
+    run = flagged[b] ? carry[b] : op(run, carry[b]);
+    carry[b] = mine;
+  }
+  thread::pool().run([&](std::size_t w) {
+    const Block blk = thread::block_of(n, workers, w);
+    kernel(in.subspan(blk.begin, blk.size()),
+           f.subspan(blk.begin, blk.size()),
+           out.subspan(blk.begin, blk.size()), op, carry[w]);
+  });
+}
+
+template <class T, class Op, class Kernel>
+void parallel_seg_backscan(std::span<const T> in, FlagsView f,
+                           std::span<T> out, Op op, Kernel kernel) {
+  using thread::Block;
+  const std::size_t n = in.size();
+  const std::size_t workers = thread::num_workers();
+  if (workers == 1 || n < thread::kSerialCutoff) {
+    kernel(in, f, out, op, Op::identity());
+    return;
+  }
+  std::vector<T> carry(workers, Op::identity());
+  std::vector<std::uint8_t> flagged(workers, 0);
+  thread::pool().run([&](std::size_t w) {
+    const Block blk = thread::block_of(n, workers, w);
+    auto bi = in.subspan(blk.begin, blk.size());
+    auto bf = f.subspan(blk.begin, blk.size());
+    carry[w] = seg_backward_summary(bi, bf, op);
+    flagged[w] = block_has_flag<T, Op>(bf) ? 1 : 0;
+  });
+  T run = Op::identity();
+  for (std::size_t b = workers; b-- > 0;) {
+    const T mine = run;
+    run = flagged[b] ? carry[b] : op(run, carry[b]);
+    carry[b] = mine;
+  }
+  thread::pool().run([&](std::size_t w) {
+    const Block blk = thread::block_of(n, workers, w);
+    kernel(in.subspan(blk.begin, blk.size()),
+           f.subspan(blk.begin, blk.size()),
+           out.subspan(blk.begin, blk.size()), op, carry[w]);
+  });
+}
+
+}  // namespace detail
+
+/// Segmented exclusive scan. `out` may alias `in`.
+template <class T, ScanOperator<T> Op>
+void seg_exclusive_scan(std::span<const T> in, FlagsView flags,
+                        std::span<T> out, Op op) {
+  assert(in.size() == out.size() && in.size() == flags.size());
+  detail::parallel_seg_scan(in, flags, out, op,
+                            [](std::span<const T> i, FlagsView f,
+                               std::span<T> o, Op p, T c) {
+                              return detail::seg_exclusive_kernel(i, f, o, p, c);
+                            });
+}
+
+/// Segmented inclusive scan.
+template <class T, ScanOperator<T> Op>
+void seg_inclusive_scan(std::span<const T> in, FlagsView flags,
+                        std::span<T> out, Op op) {
+  assert(in.size() == out.size() && in.size() == flags.size());
+  detail::parallel_seg_scan(in, flags, out, op,
+                            [](std::span<const T> i, FlagsView f,
+                               std::span<T> o, Op p, T c) {
+                              return detail::seg_inclusive_kernel(i, f, o, p, c);
+                            });
+}
+
+/// Segmented backward exclusive scan (scans each segment from its last
+/// element toward its first).
+template <class T, ScanOperator<T> Op>
+void seg_backward_exclusive_scan(std::span<const T> in, FlagsView flags,
+                                 std::span<T> out, Op op) {
+  assert(in.size() == out.size() && in.size() == flags.size());
+  detail::parallel_seg_backscan(
+      in, flags, out, op,
+      [](std::span<const T> i, FlagsView f, std::span<T> o, Op p, T c) {
+        return detail::seg_backward_exclusive_kernel(i, f, o, p, c);
+      });
+}
+
+/// Segmented backward inclusive scan.
+template <class T, ScanOperator<T> Op>
+void seg_backward_inclusive_scan(std::span<const T> in, FlagsView flags,
+                                 std::span<T> out, Op op) {
+  assert(in.size() == out.size() && in.size() == flags.size());
+  detail::parallel_seg_backscan(
+      in, flags, out, op,
+      [](std::span<const T> i, FlagsView f, std::span<T> o, Op p, T c) {
+        return detail::seg_backward_inclusive_kernel(i, f, o, p, c);
+      });
+}
+
+// --- conveniences named after the paper --------------------------------------
+
+template <class T>
+std::vector<T> seg_plus_scan(std::span<const T> in, FlagsView flags) {
+  std::vector<T> out(in.size());
+  seg_exclusive_scan(in, flags, std::span<T>(out), Plus<T>{});
+  return out;
+}
+
+template <class T>
+std::vector<T> seg_max_scan(std::span<const T> in, FlagsView flags) {
+  std::vector<T> out(in.size());
+  seg_exclusive_scan(in, flags, std::span<T>(out), Max<T>{});
+  return out;
+}
+
+template <class T>
+std::vector<T> seg_min_scan(std::span<const T> in, FlagsView flags) {
+  std::vector<T> out(in.size());
+  seg_exclusive_scan(in, flags, std::span<T>(out), Min<T>{});
+  return out;
+}
+
+}  // namespace scanprim

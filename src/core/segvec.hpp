@@ -1,0 +1,175 @@
+// A typed segmented vector: the paper's central data structure (§2.3) as a
+// first-class value. A `SegVec<T>` is a flat vector broken into segments by
+// a flag vector; its methods are the segmented operations the paper's
+// divide-and-conquer algorithms iterate — copy, distribute, enumerate,
+// rank, three-way split, per-segment filtering, boundary insertion. The
+// quicksort / quickhull / k-d tree pattern ("recursively breaking segments
+// into subsegments and operating independently within each segment") writes
+// naturally against this interface; every method costs O(1) program steps.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/core/ops.hpp"
+#include "src/core/primitives.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+
+namespace scanprim {
+
+template <class T>
+class SegVec {
+ public:
+  SegVec() = default;
+
+  /// One segment spanning all of `values`.
+  explicit SegVec(std::vector<T> values)
+      : values_(std::move(values)), flags_(values_.size(), 0) {
+    if (!flags_.empty()) flags_[0] = 1;
+  }
+
+  SegVec(std::vector<T> values, Flags flags)
+      : values_(std::move(values)), flags_(std::move(flags)) {
+    assert(values_.size() == flags_.size());
+    assert(values_.empty() || flags_[0]);
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<T>& values() const { return values_; }
+  const Flags& flags() const { return flags_; }
+  std::span<const T> view() const { return values_; }
+  FlagsView flags_view() const { return flags_; }
+
+  std::size_t num_segments() const { return count_flags(flags_view()); }
+
+  /// Position of each element within its segment (seg-+-scan of ones).
+  std::vector<std::size_t> rank() const {
+    const std::vector<std::size_t> ones(size(), 1);
+    std::vector<std::size_t> out(size());
+    seg_exclusive_scan(std::span<const std::size_t>(ones), flags_view(),
+                       std::span<std::size_t>(out), Plus<std::size_t>{});
+    return out;
+  }
+
+  /// Length of each element's segment, replicated across the segment.
+  std::vector<std::size_t> segment_length() const {
+    const std::vector<std::size_t> ones(size(), 1);
+    return seg_distribute(std::span<const std::size_t>(ones), flags_view(),
+                          Plus<std::size_t>{});
+  }
+
+  /// Each segment's first value, spread across the segment (§2.2's copy).
+  std::vector<T> head_copy() const { return seg_copy(view(), flags_view()); }
+
+  /// Each segment's ⊕-reduction, spread across the segment.
+  template <ScanOperator<T> Op>
+  std::vector<T> distribute(Op op) const {
+    return seg_distribute(view(), flags_view(), op);
+  }
+
+  /// Segmented exclusive scan of the values.
+  template <ScanOperator<T> Op>
+  std::vector<T> scan(Op op) const {
+    std::vector<T> out(size());
+    seg_exclusive_scan(view(), flags_view(), std::span<T>(out), op);
+    return out;
+  }
+
+  /// Splits every segment into up to three stable groups (codes 0, 1, 2 —
+  /// the quicksort <, =, > of §2.3.1) and re-flags the group boundaries.
+  /// Returns the destination index of every element as well, so callers can
+  /// carry side arrays along.
+  struct Split3 {
+    SegVec result;
+    std::vector<std::size_t> index;  ///< old position -> new position
+  };
+  Split3 split3(std::span<const std::uint8_t> codes) const {
+    assert(codes.size() == size());
+    const std::size_t n = size();
+    std::vector<std::size_t> dst(n);
+    {
+      // Per-group rank and counts within each segment.
+      std::vector<std::size_t> rank_k[3], count_k[3];
+      for (std::uint8_t k = 0; k < 3; ++k) {
+        std::vector<std::size_t> ind(n);
+        thread::parallel_for(n, [&](std::size_t i) {
+          ind[i] = codes[i] == k ? 1 : 0;
+        });
+        rank_k[k].resize(n);
+        seg_exclusive_scan(std::span<const std::size_t>(ind), flags_view(),
+                           std::span<std::size_t>(rank_k[k]),
+                           Plus<std::size_t>{});
+        count_k[k] = seg_distribute(std::span<const std::size_t>(ind),
+                                    flags_view(), Plus<std::size_t>{});
+      }
+      const std::vector<std::size_t> r = rank();
+      thread::parallel_for(n, [&](std::size_t i) {
+        const std::size_t start = i - r[i];
+        std::size_t within = 0;
+        switch (codes[i]) {
+          case 0: within = rank_k[0][i]; break;
+          case 1: within = count_k[0][i] + rank_k[1][i]; break;
+          default:
+            within = count_k[0][i] + count_k[1][i] + rank_k[2][i];
+            break;
+        }
+        dst[i] = start + within;
+      });
+    }
+    Split3 out;
+    out.index = dst;
+    out.result.values_ = permuted(view(), std::span<const std::size_t>(dst));
+    const std::vector<std::uint8_t> moved_codes =
+        permuted(codes, std::span<const std::size_t>(dst));
+    out.result.flags_.resize(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      out.result.flags_[i] = i == 0 || flags_[i] ||
+                             moved_codes[i] != moved_codes[i - 1];
+    });
+    // (old segment starts survive the within-segment permute untouched)
+    return out;
+  }
+
+  /// Drops unflagged elements; segments shrink, empty segments vanish.
+  SegVec filter(FlagsView keep) const {
+    assert(keep.size() == size());
+    SegVec out;
+    out.values_ = pack(view(), keep);
+    // A kept element starts a segment iff it is the first kept element of
+    // its (old) segment: compare packed segment ordinals.
+    const std::size_t n = size();
+    std::vector<std::size_t> f01(n);
+    thread::parallel_for(n, [&](std::size_t i) {
+      f01[i] = flags_[i] ? 1 : 0;
+    });
+    std::vector<std::size_t> ordinal(n);
+    inclusive_scan(std::span<const std::size_t>(f01),
+                   std::span<std::size_t>(ordinal), Plus<std::size_t>{});
+    const std::vector<std::size_t> packed =
+        pack(std::span<const std::size_t>(ordinal), keep);
+    out.flags_.resize(packed.size());
+    thread::parallel_for(packed.size(), [&](std::size_t i) {
+      out.flags_[i] = i == 0 || packed[i] != packed[i - 1];
+    });
+    return out;
+  }
+
+  /// Applies the same permutation/filter bookkeeping to a side array (the
+  /// companion of split3: move auxiliary per-element data identically).
+  template <class U>
+  static std::vector<U> carry(std::span<const U> side,
+                              std::span<const std::size_t> index) {
+    return permuted(side, index);
+  }
+
+ private:
+  std::vector<T> values_;
+  Flags flags_;
+};
+
+}  // namespace scanprim

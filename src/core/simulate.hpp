@@ -1,0 +1,306 @@
+// §3.4: every scan used in the paper, implemented with *only* the two
+// primitive scans — integer +-scan and integer max-scan — plus elementwise
+// bit manipulation. These are not the fast paths (core/scan.hpp and
+// core/segmented.hpp execute each scan directly); they exist to demonstrate,
+// and to test, the paper's reduction. The test suite checks every simulated
+// scan against its direct counterpart.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/core/primitives.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+
+namespace scanprim::sim {
+
+// ---------------------------------------------------------------------------
+// The two primitives. Everything else in this namespace is built on these
+// two calls (plus elementwise operations and permutes).
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::uint64_t> prim_plus_scan(
+    std::span<const std::uint64_t> in) {
+  std::vector<std::uint64_t> out(in.size());
+  exclusive_scan(in, std::span<std::uint64_t>(out), Plus<std::uint64_t>{});
+  return out;
+}
+
+/// Primitive signed max-scan; identity is the smallest int64.
+inline std::vector<std::int64_t> prim_max_scan(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out(in.size());
+  exclusive_scan(in, std::span<std::int64_t>(out), Max<std::int64_t>{});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// min-scan: invert, max-scan, invert (§3.4 ¶1).
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::int64_t> min_scan(std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> inv(in.size());
+  map(in, std::span<std::int64_t>(inv),
+      [](std::int64_t v) { return static_cast<std::int64_t>(~v); });
+  std::vector<std::int64_t> scanned = prim_max_scan(inv);
+  map(std::span<const std::int64_t>(scanned), std::span<std::int64_t>(scanned),
+      [](std::int64_t v) { return static_cast<std::int64_t>(~v); });
+  return scanned;
+}
+
+// ---------------------------------------------------------------------------
+// or-scan / and-scan: 1-bit max-scan / min-scan (§3.4 ¶1).
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::uint8_t> or_scan(std::span<const std::uint8_t> in) {
+  std::vector<std::int64_t> wide(in.size());
+  map(in, std::span<std::int64_t>(wide),
+      [](std::uint8_t v) -> std::int64_t { return v ? 1 : 0; });
+  // 1-bit max-scan: clamp the int64 identity up to 0 on output.
+  std::vector<std::int64_t> scanned = prim_max_scan(wide);
+  std::vector<std::uint8_t> out(in.size());
+  map(std::span<const std::int64_t>(scanned), std::span<std::uint8_t>(out),
+      [](std::int64_t v) -> std::uint8_t { return v > 0 ? 1 : 0; });
+  return out;
+}
+
+inline std::vector<std::uint8_t> and_scan(std::span<const std::uint8_t> in) {
+  std::vector<std::int64_t> wide(in.size());
+  map(in, std::span<std::int64_t>(wide),
+      [](std::uint8_t v) -> std::int64_t { return v ? 1 : 0; });
+  const std::vector<std::int64_t> scanned = min_scan(std::span<const std::int64_t>(wide));
+  std::vector<std::uint8_t> out(in.size());
+  map(std::span<const std::int64_t>(scanned), std::span<std::uint8_t>(out),
+      [](std::int64_t v) -> std::uint8_t { return v != 0 ? 1 : 0; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Floating-point max-scan / min-scan: flip exponent and significand when the
+// sign bit is set, run the integer version, flip back (§3.4 ¶1). The
+// standard order-preserving float <-> unsigned-int key mapping.
+// ---------------------------------------------------------------------------
+
+inline std::uint64_t float_key(double v) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  if (bits >> 63) {
+    bits = ~bits;  // negative: flip everything (reverses their order)
+  } else {
+    bits |= std::uint64_t{1} << 63;  // non-negative: set the sign bit
+  }
+  return bits;
+}
+
+inline double float_unkey(std::uint64_t bits) {
+  if (bits >> 63) {
+    bits &= ~(std::uint64_t{1} << 63);
+  } else {
+    bits = ~bits;
+  }
+  return std::bit_cast<double>(bits);
+}
+
+/// Exclusive float max-scan; the identity is -infinity.
+inline std::vector<double> float_max_scan(std::span<const double> in) {
+  std::vector<std::int64_t> keys(in.size());
+  map(in, std::span<std::int64_t>(keys), [](double v) {
+    // Shift into signed range so the signed primitive orders keys correctly.
+    return static_cast<std::int64_t>(float_key(v) -
+                                     (std::uint64_t{1} << 63));
+  });
+  const std::vector<std::int64_t> scanned = prim_max_scan(std::span<const std::int64_t>(keys));
+  std::vector<double> out(in.size());
+  map(std::span<const std::int64_t>(scanned), std::span<double>(out),
+      [](std::int64_t k) {
+        if (k == std::numeric_limits<std::int64_t>::lowest()) {
+          return -std::numeric_limits<double>::infinity();
+        }
+        return float_unkey(static_cast<std::uint64_t>(k) +
+                           (std::uint64_t{1} << 63));
+      });
+  return out;
+}
+
+inline std::vector<double> float_min_scan(std::span<const double> in) {
+  std::vector<double> neg(in.size());
+  map(in, std::span<double>(neg), [](double v) { return -v; });
+  std::vector<double> scanned = float_max_scan(std::span<const double>(neg));
+  map(std::span<const double>(scanned), std::span<double>(scanned),
+      [](double v) { return -v; });
+  return scanned;
+}
+
+// ---------------------------------------------------------------------------
+// Floating-point +-scan ("described elsewhere [7]"): align every mantissa to
+// the maximum exponent and run integer +-scans on the resulting fixed-point
+// representation (128 bits here, split across two 64-bit integer scans).
+// Values whose magnitude lies more than ~60 binary orders below the maximum
+// are flushed to zero by the alignment — the documented cost of doing float
+// sums with integer scan hardware.
+// ---------------------------------------------------------------------------
+
+inline std::vector<double> float_plus_scan(std::span<const double> in) {
+  const std::size_t n = in.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  // The maximum exponent (a 1-element reduce; an 11-bit max-scan on the
+  // hardware).
+  int max_exp = std::numeric_limits<int>::min();
+  for (const double v : in) {
+    int e = 0;
+    if (v != 0.0 && std::isfinite(v)) {
+      std::frexp(v, &e);
+      max_exp = std::max(max_exp, e);
+    }
+  }
+  if (max_exp == std::numeric_limits<int>::min()) return out;  // all zeros
+
+  // Fixed point: value ≈ fixed · 2^(max_exp - 62). Mantissas keep 52 bits;
+  // 62 - 52 = 10 extra bits absorb carries from up to ~2^10 addends per
+  // unit scale (the scan itself is exact in 128 bits).
+  const auto to_fixed = [&](double v) -> __int128 {
+    if (!std::isfinite(v)) return 0;
+    return static_cast<__int128>(
+        std::ldexp(v, 62 - max_exp));  // truncation = documented flush
+  };
+  struct Plus128 {
+    static __int128 identity() { return 0; }
+    __int128 operator()(__int128 a, __int128 b) const { return a + b; }
+  };
+  std::vector<__int128> fixed(n);
+  thread::parallel_for(n, [&](std::size_t i) { fixed[i] = to_fixed(in[i]); });
+  std::vector<__int128> scanned(n);
+  exclusive_scan(std::span<const __int128>(fixed), std::span<__int128>(scanned),
+                 Plus128{});
+  thread::parallel_for(n, [&](std::size_t i) {
+    out[i] = std::ldexp(static_cast<double>(scanned[i]), max_exp - 62);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Segmented max-scan (§3.4 ¶2, Figure 16): append the segment number to the
+// numbers, run an unsegmented max-scan, strip the appended bits, and replace
+// the value at each segment start with the identity.
+//
+// Values must fit in `value_bits` bits; segment numbers use the bits above.
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::uint32_t> seg_max_scan(
+    std::span<const std::uint32_t> values, FlagsView flags) {
+  assert(values.size() == flags.size());
+  constexpr unsigned kValueBits = 32;
+  // Seg-Number = SFlag + enumerate(SFlag): the 1-based index of the segment
+  // each element belongs to (inclusive count of flags).
+  std::vector<std::uint8_t> f01(flags.size());
+  map(flags, std::span<std::uint8_t>(f01),
+      [](std::uint8_t f) -> std::uint8_t { return f ? 1 : 0; });
+  std::vector<std::uint64_t> segnum(flags.size());
+  map(FlagsView(f01), std::span<std::uint64_t>(segnum),
+      [](std::uint8_t f) -> std::uint64_t { return f; });
+  std::vector<std::uint64_t> counted = prim_plus_scan(std::span<const std::uint64_t>(segnum));
+  thread::parallel_for(flags.size(), [&](std::size_t i) {
+    segnum[i] = counted[i] + (flags[i] ? 1 : 0);
+  });
+  // B = append(Seg-Number, A).
+  std::vector<std::int64_t> appended(values.size());
+  thread::parallel_for(values.size(), [&](std::size_t i) {
+    appended[i] = static_cast<std::int64_t>((segnum[i] << kValueBits) |
+                                            values[i]);
+  });
+  const std::vector<std::int64_t> scanned = prim_max_scan(std::span<const std::int64_t>(appended));
+  // C = extract-bottom(...); result = identity at flags, C elsewhere.
+  std::vector<std::uint32_t> out(values.size());
+  thread::parallel_for(values.size(), [&](std::size_t i) {
+    if (flags[i] || scanned[i] < 0) {
+      out[i] = 0;  // identity for unsigned max
+    } else {
+      out[i] = static_cast<std::uint32_t>(scanned[i] & 0xffffffff);
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Segmented +-scan (§3.4 ¶2): unsegmented +-scan, copy the value at each
+// segment start across its segment, subtract. The head copy itself uses the
+// simulated segmented max-scan, so this bottoms out in the two primitives.
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::uint32_t> seg_plus_scan(
+    std::span<const std::uint32_t> values, FlagsView flags) {
+  assert(values.size() == flags.size());
+  std::vector<std::uint64_t> wide(values.size());
+  map(values, std::span<std::uint64_t>(wide),
+      [](std::uint32_t v) -> std::uint64_t { return v; });
+  const std::vector<std::uint64_t> sums = prim_plus_scan(std::span<const std::uint64_t>(wide));
+  // The running sum *at* each segment head (the head's own exclusive value)
+  // must be spread across the segment. Stage the head values (everything
+  // else identity-0), seg-max-scan them, and patch the heads themselves.
+  std::vector<std::uint32_t> staged(values.size());
+  thread::parallel_for(values.size(), [&](std::size_t i) {
+    const bool head = flags[i] || i == 0;
+    staged[i] = head ? static_cast<std::uint32_t>(sums[i]) : 0;
+  });
+  const std::vector<std::uint32_t> spread =
+      seg_max_scan(std::span<const std::uint32_t>(staged), flags);
+  std::vector<std::uint32_t> out(values.size());
+  thread::parallel_for(values.size(), [&](std::size_t i) {
+    const bool head = flags[i] || i == 0;
+    const std::uint64_t base = head ? sums[i] : spread[i];
+    out[i] = static_cast<std::uint32_t>(sums[i] - base);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Backward scans: read the vector into the processors in reverse order
+// (§3.4 ¶3).
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::uint64_t> plus_backscan(
+    std::span<const std::uint64_t> in) {
+  const std::size_t n = in.size();
+  std::vector<std::uint64_t> rev(n);
+  thread::parallel_for(n, [&](std::size_t i) { rev[i] = in[n - 1 - i]; });
+  std::vector<std::uint64_t> scanned = prim_plus_scan(std::span<const std::uint64_t>(rev));
+  std::vector<std::uint64_t> out(n);
+  thread::parallel_for(n, [&](std::size_t i) { out[i] = scanned[n - 1 - i]; });
+  return out;
+}
+
+inline std::vector<std::int64_t> max_backscan(
+    std::span<const std::int64_t> in) {
+  const std::size_t n = in.size();
+  std::vector<std::int64_t> rev(n);
+  thread::parallel_for(n, [&](std::size_t i) { rev[i] = in[n - 1 - i]; });
+  std::vector<std::int64_t> scanned = prim_max_scan(std::span<const std::int64_t>(rev));
+  std::vector<std::int64_t> out(n);
+  thread::parallel_for(n, [&](std::size_t i) { out[i] = scanned[n - 1 - i]; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// copy via a scan (§2.2): place the identity in all but the first element,
+// scan, then put the first element back.
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::int64_t> copy_via_scan(
+    std::span<const std::int64_t> in) {
+  assert(!in.empty());
+  std::vector<std::int64_t> staged(in.size(),
+                                   std::numeric_limits<std::int64_t>::lowest());
+  staged[0] = in[0];
+  std::vector<std::int64_t> out = prim_max_scan(std::span<const std::int64_t>(staged));
+  out[0] = in[0];  // the exclusive scan never delivers a0 to position 0
+  return out;
+}
+
+}  // namespace scanprim::sim

@@ -1,0 +1,119 @@
+#include "src/graph/seg_graph.hpp"
+
+#include <cassert>
+
+#include "src/algo/radix_sort.hpp"
+
+namespace scanprim::graph {
+
+SegGraph build_seg_graph(machine::Machine& m, std::size_t num_vertices,
+                         std::span<const WeightedEdge> edges) {
+  SegGraph g;
+  const std::size_t ns = 2 * edges.size();
+  if (ns == 0) return g;
+
+  // Two slots per edge: slot 2e at endpoint u, slot 2e+1 at endpoint v.
+  std::vector<std::uint64_t> slot_vertex(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    const WeightedEdge& e = edges[s / 2];
+    assert(e.u != e.v && e.u < num_vertices && e.v < num_vertices);
+    slot_vertex[s] = (s % 2 == 0) ? e.u : e.v;
+  });
+
+  // Sort the slots by vertex number (split radix sort, §2.2.1). Stability
+  // keeps each vertex's slots in edge order — not required, but tidy.
+  const algo::SortWithOrigin sorted = algo::split_radix_sort_with_origin(
+      m, std::span<const std::uint64_t>(slot_vertex),
+      algo::bits_for(num_vertices));
+
+  g.vertex = m.map<std::size_t>(
+      std::span<const std::uint64_t>(sorted.keys),
+      [](std::uint64_t k) { return static_cast<std::size_t>(k); });
+
+  // Segment starts where the vertex number changes.
+  const std::vector<std::size_t> prev = m.shift_right(
+      std::span<const std::size_t>(g.vertex), ~std::size_t{0});
+  g.segment_desc = m.zip<std::uint8_t>(
+      std::span<const std::size_t>(g.vertex), std::span<const std::size_t>(prev),
+      [](std::size_t v, std::size_t p) -> std::uint8_t { return v != p; });
+
+  // Where did each original slot land? pos[old slot] = new position.
+  const std::vector<std::size_t> ids = m.iota(ns);
+  const std::vector<std::size_t> pos =
+      m.permute(std::span<const std::size_t>(ids),
+                std::span<const std::size_t>(sorted.origin));
+
+  // Cross pointers: the partner of old slot s is s ^ 1.
+  const std::vector<std::size_t> partner_old = m.map<std::size_t>(
+      std::span<const std::size_t>(sorted.origin),
+      [](std::size_t o) { return o ^ 1; });
+  g.cross = m.gather(std::span<const std::size_t>(pos),
+                     std::span<const std::size_t>(partner_old));
+
+  // Weights and edge ids travel with the slots.
+  g.edge_id = m.map<std::size_t>(std::span<const std::size_t>(sorted.origin),
+                                 [](std::size_t o) { return o / 2; });
+  g.weight = m.map<double>(std::span<const std::size_t>(g.edge_id),
+                           [&edges](std::size_t e) { return edges[e].w; });
+  return g;
+}
+
+bool validate(const SegGraph& g) {
+  const std::size_t ns = g.num_slots();
+  if (g.segment_desc.size() != ns || g.cross.size() != ns ||
+      g.weight.size() != ns || g.edge_id.size() != ns) {
+    return false;
+  }
+  if (ns == 0) return true;
+  if (!g.segment_desc[0]) return false;
+  for (std::size_t s = 0; s < ns; ++s) {
+    const std::size_t t = g.cross[s];
+    if (t >= ns || t == s) return false;
+    if (g.cross[t] != s) return false;
+    if (g.weight[t] != g.weight[s]) return false;
+    if (g.edge_id[t] != g.edge_id[s]) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> slot_segment_ids(machine::Machine& m,
+                                          const SegGraph& g) {
+  const std::vector<std::size_t> flags01 = m.map<std::size_t>(
+      FlagsView(g.segment_desc),
+      [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
+  // Inclusive scan puts every slot of segment k at value k+1; subtract one.
+  const std::vector<std::size_t> counted =
+      m.inclusive(std::span<const std::size_t>(flags01), Plus<std::size_t>{});
+  return m.map<std::size_t>(std::span<const std::size_t>(counted),
+                            [](std::size_t c) { return c - 1; });
+}
+
+std::size_t num_segments(machine::Machine& m, const SegGraph& g) {
+  return m.count_flags(FlagsView(g.segment_desc));
+}
+
+std::vector<double> neighbor_sum(machine::Machine& m, const SegGraph& g,
+                                 std::span<const double> vertex_values) {
+  // Distribute the value of each vertex over its edges (segmented copy from
+  // the segment heads), ...
+  const std::vector<std::size_t> heads = m.pack_index(FlagsView(g.segment_desc));
+  assert(heads.size() == vertex_values.size());
+  std::vector<double> staged(g.num_slots(), 0.0);
+  m.scatter(vertex_values, std::span<const std::size_t>(heads),
+            std::span<double>(staged));
+  const std::vector<double> per_slot =
+      m.seg_copy(std::span<const double>(staged), FlagsView(g.segment_desc));
+  // ... permute across the cross pointers, ...
+  const std::vector<double> from_neighbors = m.permute(
+      std::span<const double>(per_slot), std::span<const std::size_t>(g.cross));
+  // ... and sum back into the vertices (segmented +-distribute; the head
+  // slot of each segment then carries the vertex total).
+  const std::vector<double> sums =
+      m.seg_distribute(std::span<const double>(from_neighbors),
+                       FlagsView(g.segment_desc), Plus<double>{});
+  return m.gather(std::span<const double>(sums),
+                  std::span<const std::size_t>(heads));
+}
+
+}  // namespace scanprim::graph

@@ -1,0 +1,64 @@
+// The segmented graph representation of §2.3.2 (Figure 6): one segment per
+// vertex, one element ("slot") per incident edge, each slot holding a
+// cross-pointer to the edge's other end. Each undirected edge therefore
+// occupies two slots. Per-vertex reductions and broadcasts become segmented
+// scans — O(1) program steps in the scan model instead of O(lg n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+
+namespace scanprim::graph {
+
+struct WeightedEdge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double w = 0.0;
+};
+
+struct SegGraph {
+  /// Segment descriptor: flags the first slot of each vertex's segment.
+  Flags segment_desc;
+  /// Cross pointers: `cross[s]` is the slot holding the other end of slot
+  /// s's edge. An involution: cross[cross[s]] == s.
+  std::vector<std::size_t> cross;
+  /// Edge weight, replicated on both slots of the edge.
+  std::vector<double> weight;
+  /// Original edge index, replicated on both slots.
+  std::vector<std::size_t> edge_id;
+  /// Original vertex id owning each slot. Derived data — the paper's
+  /// algorithms never need it, but construction produces it for free and
+  /// tests and callers find it convenient.
+  std::vector<std::size_t> vertex;
+
+  std::size_t num_slots() const { return cross.size(); }
+};
+
+/// Builds the representation from an edge list: two slots per edge, sorted
+/// by vertex number with the split radix sort (§2.3.2's suggested
+/// conversion). Vertices of degree zero contribute no segment. Self-loops
+/// are rejected (assert).
+SegGraph build_seg_graph(machine::Machine& m, std::size_t num_vertices,
+                         std::span<const WeightedEdge> edges);
+
+/// Structural invariants: cross is an involution between distinct slots of
+/// equal weight and edge id; the segment descriptor starts at slot 0.
+bool validate(const SegGraph& g);
+
+/// Per-slot segment ordinal (0-based vertex position within the graph).
+std::vector<std::size_t> slot_segment_ids(machine::Machine& m,
+                                          const SegGraph& g);
+
+/// Number of vertices with at least one slot.
+std::size_t num_segments(machine::Machine& m, const SegGraph& g);
+
+/// The §2.3.2 example operation: every vertex sums a value held by each of
+/// its neighbors, in O(1) program steps. `vertex_values` is indexed by
+/// segment ordinal; so is the result.
+std::vector<double> neighbor_sum(machine::Machine& m, const SegGraph& g,
+                                 std::span<const double> vertex_values);
+
+}  // namespace scanprim::graph

@@ -1,0 +1,186 @@
+#include "src/graph/star_merge.hpp"
+
+#include <cassert>
+
+namespace scanprim::graph {
+
+namespace {
+
+// Spread the single positive value staged somewhere in each segment across
+// the whole segment (values are staged as v+1 so that 0 is "absent").
+std::vector<std::size_t> spread_staged(machine::Machine& m,
+                                       std::span<const std::size_t> staged,
+                                       FlagsView segments) {
+  struct MaxSz {
+    static std::size_t identity() { return 0; }
+    std::size_t operator()(std::size_t a, std::size_t b) const {
+      return a > b ? a : b;
+    }
+  };
+  return m.seg_distribute(staged, segments, MaxSz{});
+}
+
+}  // namespace
+
+SegGraph star_merge(machine::Machine& m, const SegGraph& g,
+                    FlagsView star_edge, FlagsView parent) {
+  using Sz = std::size_t;
+  const Sz ns = g.num_slots();
+  const FlagsView segs(g.segment_desc);
+  if (ns == 0) return g;
+
+  // ---- derived flags --------------------------------------------------------
+  // A segment "moves" when it is a child holding a star edge; every other
+  // segment "stays" and keeps (a reshaped copy of) its space.
+  const Flags child_star = m.zip<std::uint8_t>(
+      star_edge, parent, [](std::uint8_t s, std::uint8_t p) -> std::uint8_t {
+        return s && !p;
+      });
+  const std::vector<std::uint8_t> moving =
+      m.seg_distribute(FlagsView(child_star), segs, Or<std::uint8_t>{});
+  const Flags stays = m.map<std::uint8_t>(
+      std::span<const std::uint8_t>(moving),
+      [](std::uint8_t mv) -> std::uint8_t { return !mv; });
+  const Flags par_star = m.zip<std::uint8_t>(
+      star_edge, FlagsView(stays),
+      [](std::uint8_t s, std::uint8_t st) -> std::uint8_t { return s && st; });
+
+  const std::vector<Sz> ones(ns, 1);
+  const std::vector<Sz> seg_len =
+      m.seg_distribute(std::span<const Sz>(ones), segs, Plus<Sz>{});
+  const std::vector<Sz> seg_rank =
+      m.seg_scan(std::span<const Sz>(ones), segs, Plus<Sz>{});
+
+  // ---- phase 1: needed space ------------------------------------------------
+  // Each child passes its length across its star edge; parents put a 1 on
+  // every non-star slot.
+  const std::vector<Sz> len_across =
+      m.gather(std::span<const Sz>(seg_len), std::span<const Sz>(g.cross));
+  std::vector<Sz> needed(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](Sz s) {
+    needed[s] = stays[s] ? (par_star[s] ? len_across[s] : 1) : 0;
+  });
+  const std::vector<Sz> offset = m.plus_scan(std::span<const Sz>(needed));
+  const Sz new_total = m.reduce(std::span<const Sz>(needed), Plus<Sz>{});
+
+  // ---- phase 2: destinations ------------------------------------------------
+  // A child's base offset is the offset of its parent's star slot: read it
+  // across the star edge, then spread it over the child segment.
+  const std::vector<Sz> off_across =
+      m.gather(std::span<const Sz>(offset), std::span<const Sz>(g.cross));
+  std::vector<Sz> staged(ns, 0);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](Sz s) {
+    if (child_star[s]) staged[s] = off_across[s] + 1;
+  });
+  const std::vector<Sz> child_base =
+      spread_staged(m, std::span<const Sz>(staged), segs);
+
+  // While we are at it, merged children adopt their parent's vertex id.
+  std::vector<Sz> staged_vid(ns, 0);
+  const std::vector<Sz> vid_across =
+      m.gather(std::span<const Sz>(g.vertex), std::span<const Sz>(g.cross));
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](Sz s) {
+    if (child_star[s]) staged_vid[s] = vid_across[s] + 1;
+  });
+  const std::vector<Sz> parent_vid =
+      spread_staged(m, std::span<const Sz>(staged_vid), segs);
+
+  // Every slot survives into the new layout except a parent's star slots,
+  // which are consumed by the child segments replacing them. Dead slots are
+  // parked in a scratch tail past new_total so one permute moves everything.
+  Flags survives(ns);
+  std::vector<Sz> dest(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](Sz s) {
+    survives[s] = stays[s] ? (par_star[s] ? 0 : 1) : 1;
+    dest[s] = stays[s] ? offset[s] : child_base[s] - 1 + seg_rank[s];
+  });
+  const Flags dead = m.map<std::uint8_t>(
+      FlagsView(survives), [](std::uint8_t v) -> std::uint8_t { return !v; });
+  const std::vector<Sz> dead_rank = m.enumerate(FlagsView(dead));
+  std::vector<Sz> scatter_index(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](Sz s) {
+    scatter_index[s] = survives[s] ? dest[s] : new_total + dead_rank[s];
+  });
+
+  // ---- phase 3: move payloads, update pointers --------------------------------
+  const std::span<const Sz> sidx(scatter_index);
+  std::vector<double> nweight =
+      m.permute_into(std::span<const double>(g.weight), sidx, ns);
+  std::vector<Sz> nedge =
+      m.permute_into(std::span<const Sz>(g.edge_id), sidx, ns);
+  std::vector<Sz> nvertex_src(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](Sz s) {
+    nvertex_src[s] = stays[s] ? g.vertex[s] : parent_vid[s] - 1;
+  });
+  std::vector<Sz> nvertex =
+      m.permute_into(std::span<const Sz>(nvertex_src), sidx, ns);
+  // Each slot passes its new position to the other end of its edge.
+  const std::vector<Sz> tgt =
+      m.gather(sidx, std::span<const Sz>(g.cross));
+  std::vector<Sz> ncross = m.permute_into(std::span<const Sz>(tgt), sidx, ns);
+
+  // New segment descriptor: a staying segment's space begins at the offset
+  // of its old head slot (whether or not that head slot itself survived).
+  const Flags stay_heads = m.zip<std::uint8_t>(
+      segs, FlagsView(stays),
+      [](std::uint8_t h, std::uint8_t st) -> std::uint8_t { return h && st; });
+  const std::vector<Sz> head_pos =
+      m.pack(std::span<const Sz>(offset), FlagsView(stay_heads));
+  Flags nseg(ns, 0);
+  const std::vector<std::uint8_t> head_ones(head_pos.size(), 1);
+  m.scatter(std::span<const std::uint8_t>(head_ones),
+            std::span<const Sz>(head_pos), std::span<std::uint8_t>(nseg));
+
+  // ---- phase 4: delete intra-segment edges, pack -------------------------------
+  // Work on the real layout [0, new_total); the scratch tail is discarded.
+  const std::span<const double> w2(nweight.data(), new_total);
+  const std::span<const Sz> e2(nedge.data(), new_total);
+  const std::span<const Sz> v2(nvertex.data(), new_total);
+  const std::span<const Sz> c2(ncross.data(), new_total);
+  const FlagsView f2(nseg.data(), new_total);
+
+  const std::vector<Sz> f01 = m.map<Sz>(
+      f2, [](std::uint8_t f) -> Sz { return f ? 1 : 0; });
+  const std::vector<Sz> segnum =
+      m.inclusive(std::span<const Sz>(f01), Plus<Sz>{});
+  // A slot keeps its edge iff the other end still exists (was not a consumed
+  // parent star slot) and lives in a different segment.
+  const std::vector<Sz> cross_clamped = m.map<Sz>(
+      c2, [new_total](Sz c) { return c < new_total ? c : new_total - 1; });
+  const std::vector<Sz> partner_seg =
+      m.gather(std::span<const Sz>(segnum), std::span<const Sz>(cross_clamped));
+  Flags keep(new_total);
+  m.charge_elementwise(new_total);
+  thread::parallel_for(new_total, [&](Sz s) {
+    keep[s] = (c2[s] < new_total && partner_seg[s] != segnum[s]) ? 1 : 0;
+  });
+
+  SegGraph out;
+  out.weight = m.pack(w2, FlagsView(keep));
+  out.edge_id = m.pack(e2, FlagsView(keep));
+  out.vertex = m.pack(v2, FlagsView(keep));
+  // Pointers compress along with the slots.
+  const std::vector<Sz> kept_pos = m.enumerate(FlagsView(keep));
+  const std::vector<Sz> cross_packed = m.pack(c2, FlagsView(keep));
+  out.cross = m.gather(std::span<const Sz>(kept_pos),
+                       std::span<const Sz>(cross_packed));
+  // Recompute the descriptor from the packed segment numbers (a deleted
+  // head hands its flag to the next surviving slot; empty segments vanish).
+  const std::vector<Sz> seg_packed =
+      m.pack(std::span<const Sz>(segnum), FlagsView(keep));
+  const std::vector<Sz> seg_prev = m.shift_right(
+      std::span<const Sz>(seg_packed), ~Sz{0});
+  out.segment_desc = m.zip<std::uint8_t>(
+      std::span<const Sz>(seg_packed), std::span<const Sz>(seg_prev),
+      [](Sz a, Sz b) -> std::uint8_t { return a != b; });
+  assert(validate(out));
+  return out;
+}
+
+}  // namespace scanprim::graph

@@ -1,0 +1,32 @@
+// The star-merge operation of §2.3.3 (Figure 7): given disjoint stars —
+// a parent vertex plus child vertices, each child joined to the parent by a
+// marked *star edge* — merge every star into a single vertex while
+// maintaining the segmented graph representation, in O(1) program steps.
+//
+// The four phases of the paper:
+//   (1) every parent opens space in its segment: a star-edge slot widens to
+//       the length of the child segment behind it, a non-star slot keeps
+//       one position (needed-space vector, +-scan / +-distribute);
+//   (2) the child segments permute into the opened space (child-offset
+//       vector distributed across each child);
+//   (3) cross pointers update by passing every slot's new position across
+//       its edge;
+//   (4) edges now pointing within a segment (star edges and any other edge
+//       joining two merged vertices) are deleted and the survivors packed.
+#pragma once
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::graph {
+
+/// Merges the stars described by the two flag vectors.
+///   `star_edge` — per slot; set on *both* slots of every star edge. Each
+///      star edge must join a child segment to a parent segment, and each
+///      child segment must contain exactly one star-edge slot.
+///   `parent` — per slot; set on every slot of a parent vertex. A vertex
+///      that is neither a parent nor a child with a star edge keeps its
+///      segment unchanged (it simply does not merge this round).
+SegGraph star_merge(machine::Machine& m, const SegGraph& g,
+                    FlagsView star_edge, FlagsView parent);
+
+}  // namespace scanprim::graph

@@ -1,0 +1,117 @@
+#include "src/graph/tree_rooting.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "src/algo/list_rank.hpp"
+
+namespace scanprim::graph {
+
+RootedLabels root_tree(machine::Machine& m, const SegGraph& tree,
+                       std::size_t num_vertices) {
+  RootedLabels r;
+  r.num_vertices = num_vertices;
+  r.parent.assign(num_vertices, 0);
+  r.preorder.assign(num_vertices, 0);
+  r.subtree.assign(num_vertices, 1);
+  r.depth.assign(num_vertices, 0);
+  r.by_preorder.assign(num_vertices, 0);
+
+  const std::size_t ns = tree.num_slots();
+  if (ns == 0) {
+    if (num_vertices != 1) {
+      throw std::invalid_argument("root_tree: disconnected or empty tree");
+    }
+    r.subtree[0] = 1;
+    return r;
+  }
+  if (ns != 2 * (num_vertices - 1)) {
+    throw std::invalid_argument("root_tree: not a spanning tree");
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) r.parent[v] = v;
+
+  r.root = tree.vertex[0];
+  const FlagsView segs(tree.segment_desc);
+  const std::vector<std::size_t> ones(ns, 1);
+
+  // Euler-tour successor: the next arc (cyclically) around the head of this
+  // arc's cross pointer — it falls straight out of the representation.
+  const std::vector<std::size_t> seg_rank =
+      m.seg_scan(std::span<const std::size_t>(ones), segs, Plus<std::size_t>{});
+  const std::vector<std::size_t> seg_len = m.seg_distribute(
+      std::span<const std::size_t>(ones), segs, Plus<std::size_t>{});
+  std::vector<std::size_t> next_cyc(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    next_cyc[s] = seg_rank[s] + 1 < seg_len[s] ? s + 1 : s - seg_rank[s];
+  });
+  std::vector<std::size_t> succ = m.gather(
+      std::span<const std::size_t>(next_cyc),
+      std::span<const std::size_t>(tree.cross));
+  // The tour is one cycle through all 2(n-1) arcs; cut it before arc 0.
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    if (succ[s] == 0) succ[s] = s;
+  });
+
+  // Rank the arcs: pos[s] = position of arc s along the tour from arc 0.
+  const std::vector<std::uint64_t> dist =
+      algo::list_rank_contract(m, std::span<const std::size_t>(succ));
+  std::vector<std::size_t> pos(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    pos[s] = ns - 1 - static_cast<std::size_t>(dist[s]);
+  });
+
+  // An arc is a "down" (parent->child) arc iff it precedes its reversal.
+  const std::vector<std::size_t> pos_cross = m.gather(
+      std::span<const std::size_t>(pos), std::span<const std::size_t>(tree.cross));
+  Flags down(ns);
+  m.charge_elementwise(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    down[s] = pos[s] < pos_cross[s];
+  });
+
+  // Preorder = 1 + number of down arcs earlier in the tour; depth = running
+  // (+1 down / -1 up) sum including this arc. Both via a scatter into tour
+  // order and one +-scan.
+  std::vector<std::size_t> down_by_pos(ns, 0);
+  std::vector<std::uint64_t> delta_by_pos(ns, 0);
+  m.charge_permute(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    down_by_pos[pos[s]] = down[s] ? 1 : 0;
+    delta_by_pos[pos[s]] = down[s] ? std::uint64_t{1} : ~std::uint64_t{0};
+  });
+  const std::vector<std::size_t> down_before =
+      m.plus_scan(std::span<const std::size_t>(down_by_pos));
+  const std::vector<std::uint64_t> depth_excl =
+      m.plus_scan(std::span<const std::uint64_t>(delta_by_pos));
+  const std::vector<std::size_t> my_down_before = m.gather(
+      std::span<const std::size_t>(down_before), std::span<const std::size_t>(pos));
+  const std::vector<std::uint64_t> my_depth_excl = m.gather(
+      std::span<const std::uint64_t>(depth_excl), std::span<const std::size_t>(pos));
+
+  // Each down arc finalises its child vertex (one scatter per label; every
+  // non-root vertex has exactly one down arc).
+  m.charge_permute(ns);
+  thread::parallel_for(ns, [&](std::size_t s) {
+    if (!down[s]) return;
+    const std::size_t child = tree.vertex[tree.cross[s]];
+    r.parent[child] = tree.vertex[s];
+    r.preorder[child] = 1 + my_down_before[s];
+    r.subtree[child] = (pos_cross[s] - pos[s] + 1) / 2;
+    r.depth[child] = static_cast<std::size_t>(my_depth_excl[s] + 1);
+  });
+  r.preorder[r.root] = 0;
+  r.subtree[r.root] = num_vertices;
+  r.depth[r.root] = 0;
+  r.parent[r.root] = r.root;
+
+  m.charge_permute(num_vertices);
+  thread::parallel_for(num_vertices, [&](std::size_t v) {
+    r.by_preorder[r.preorder[v]] = v;
+  });
+  return r;
+}
+
+}  // namespace scanprim::graph

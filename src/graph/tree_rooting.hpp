@@ -1,0 +1,35 @@
+// Rooting an undirected tree held in the segmented graph representation —
+// the Euler-tour technique. The tour's successor function falls directly
+// out of the representation (the next slot, cyclically, after an arc's
+// cross pointer), and one list ranking delivers preorder numbers, parents,
+// depths, and subtree sizes, all in O(lg n)-class step counts. This is the
+// parallel rooting Tarjan–Vishkin biconnectivity builds on, and the
+// "keeping trees in a particular form" machinery §2.3.2 alludes to.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/seg_graph.hpp"
+
+namespace scanprim::graph {
+
+struct RootedLabels {
+  std::size_t num_vertices = 0;
+  std::size_t root = 0;
+  /// All per-vertex, indexed by original vertex id.
+  std::vector<std::size_t> parent;    ///< parent[root] == root
+  std::vector<std::size_t> preorder;  ///< root gets 0
+  std::vector<std::size_t> subtree;   ///< number of descendants incl. self
+  std::vector<std::size_t> depth;     ///< root gets 0
+  /// Map back: vertex with preorder k.
+  std::vector<std::size_t> by_preorder;
+};
+
+/// `tree` must be a connected acyclic seg-graph over vertices 0..n-1 (n-1
+/// edges, every vertex present). The root is the vertex owning slot 0.
+RootedLabels root_tree(machine::Machine& m, const SegGraph& tree,
+                       std::size_t num_vertices);
+
+}  // namespace scanprim::graph

@@ -1,0 +1,14 @@
+#include "src/machine/machine.hpp"
+
+namespace scanprim::machine {
+
+std::string to_string(Model m) {
+  switch (m) {
+    case Model::EREW: return "EREW";
+    case Model::CRCW: return "CRCW";
+    case Model::Scan: return "Scan";
+  }
+  return "?";
+}
+
+}  // namespace scanprim::machine

@@ -1,0 +1,57 @@
+// Umbrella header: the complete public API of scanprim, the reproduction of
+// Blelloch's "Scans as Primitive Parallel Operations".
+//
+//   core/      the scan primitives and vector operations (§2.1–§2.5, §3.4)
+//   machine/   the instrumented EREW / CRCW / scan-model cost semantics
+//   circuit/   the bit-pipelined tree-scan hardware of §3
+//   graph/     the segmented graph representation and star-merge (§2.3)
+//   algo/      the paper's algorithms, their baselines, and Table 1 extras
+#pragma once
+
+#include "src/core/ops.hpp"
+#include "src/core/primitives.hpp"
+#include "src/core/rng.hpp"
+#include "src/core/runtime.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+#include "src/core/segvec.hpp"
+#include "src/core/simulate.hpp"
+
+#include "src/machine/machine.hpp"
+
+#include "src/circuit/prefix_networks.hpp"
+#include "src/circuit/router_model.hpp"
+#include "src/circuit/shift_register.hpp"
+#include "src/circuit/state_machine.hpp"
+#include "src/circuit/tree_circuit.hpp"
+#include "src/circuit/tree_scan.hpp"
+
+#include "src/graph/seg_graph.hpp"
+#include "src/graph/star_merge.hpp"
+#include "src/graph/tree_rooting.hpp"
+
+#include "src/algo/appendix.hpp"
+#include "src/algo/biconnected.hpp"
+#include "src/algo/bitonic_sort.hpp"
+#include "src/algo/closest_pair.hpp"
+#include "src/algo/connected_components.hpp"
+#include "src/algo/convex_hull.hpp"
+#include "src/algo/halving_merge.hpp"
+#include "src/algo/independent_set.hpp"
+#include "src/algo/kd_tree.hpp"
+#include "src/algo/line_draw.hpp"
+#include "src/algo/line_of_sight.hpp"
+#include "src/algo/list_rank.hpp"
+#include "src/algo/matrix.hpp"
+#include "src/algo/max_flow.hpp"
+#include "src/algo/mst.hpp"
+#include "src/algo/quicksort.hpp"
+#include "src/algo/radix_sort.hpp"
+#include "src/algo/sparse.hpp"
+#include "src/algo/tree_contract.hpp"
+
+#include "src/vm/assembler.hpp"
+#include "src/vm/interpreter.hpp"
+#include "src/vm/isa.hpp"
+
+#include "src/thread/thread_pool.hpp"

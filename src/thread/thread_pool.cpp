@@ -1,0 +1,107 @@
+#include "src/thread/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace scanprim::thread {
+namespace {
+
+thread_local bool tls_inside_worker = false;
+
+std::size_t configured_workers() {
+  if (const char* env = std::getenv("SCANPRIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::execute(std::size_t index) {
+  try {
+    (*job_)(index);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_inside_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    execute(index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  if (workers_ == 1 || tls_inside_worker) {
+    // Single worker, or a nested call from inside a parallel region:
+    // run every index serially on this thread.
+    for (std::size_t w = 0; w < workers_; ++w) fn(w);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    first_error_ = nullptr;
+    remaining_ = workers_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The caller acts as worker 0. Mark it as inside the pool for the
+  // duration so that a nested run() from the job itself degrades to the
+  // serial path instead of clobbering the in-flight dispatch.
+  tls_inside_worker = true;
+  execute(0);
+  tls_inside_worker = false;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+ThreadPool& pool() {
+  static ThreadPool instance(configured_workers());
+  return instance;
+}
+
+std::size_t num_workers() { return pool().size(); }
+
+}  // namespace scanprim::thread

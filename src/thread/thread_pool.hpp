@@ -1,0 +1,105 @@
+// Fork-join thread pool used as the "parallel machine" substrate for the
+// scan-vector library. The paper's algorithms assume a machine that applies
+// one vector operation across all processors per program step; here each
+// program step becomes one parallel_blocks dispatch across the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scanprim::thread {
+
+/// A fixed-size work-sharing pool. `run(fn)` executes `fn(w)` once for every
+/// worker index `w` in `[0, size())` and returns when all invocations have
+/// finished; the calling thread acts as worker 0. Exceptions thrown by any
+/// worker are captured and the first one is rethrown to the caller.
+///
+/// Calls to `run` from inside a worker (nested parallelism) degrade to a
+/// serial loop on the calling thread, which keeps composed algorithms safe.
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` threads (worker 0 is the caller of `run`).
+  /// `workers` is clamped to at least 1.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_; }
+
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t index);
+  void execute(std::size_t index);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool. Sized from the SCANPRIM_THREADS environment
+/// variable when set, otherwise from std::thread::hardware_concurrency().
+ThreadPool& pool();
+
+/// Number of workers in the global pool.
+std::size_t num_workers();
+
+/// Half-open index range assigned to one worker.
+struct Block {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin == end; }
+};
+
+/// Contiguous block `b` of `n` items split across `nblocks` blocks, balanced
+/// to within one element (the long-vector layout of the paper's Figure 10).
+inline Block block_of(std::size_t n, std::size_t nblocks, std::size_t b) {
+  const std::size_t base = n / nblocks;
+  const std::size_t extra = n % nblocks;
+  const std::size_t begin = b * base + (b < extra ? b : extra);
+  return Block{begin, begin + base + (b < extra ? 1 : 0)};
+}
+
+/// Below this many elements a vector operation is not worth a dispatch.
+inline constexpr std::size_t kSerialCutoff = 4096;
+
+/// Runs `fn(block, worker)` over a balanced partition of `[0, n)`. Falls back
+/// to one serial call when the pool has a single worker or `n` is small.
+template <class Fn>
+void parallel_blocks(std::size_t n, Fn&& fn) {
+  const std::size_t workers = num_workers();
+  if (workers == 1 || n < kSerialCutoff) {
+    fn(Block{0, n}, std::size_t{0});
+    return;
+  }
+  pool().run([&](std::size_t w) {
+    const Block blk = block_of(n, workers, w);
+    if (!blk.empty()) fn(blk, w);
+  });
+}
+
+/// Element-wise parallel loop: runs `fn(i)` for each `i` in `[0, n)`.
+template <class Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  parallel_blocks(n, [&](Block blk, std::size_t) {
+    for (std::size_t i = blk.begin; i < blk.end; ++i) fn(i);
+  });
+}
+
+}  // namespace scanprim::thread

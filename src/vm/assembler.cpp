@@ -1,0 +1,153 @@
+#include "src/vm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace scanprim::vm {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+const std::map<std::string, Op>& op_table() {
+  static const std::map<std::string, Op> table = [] {
+    std::map<std::string, Op> t;
+    for (int i = 0; i <= static_cast<int>(Op::Halt); ++i) {
+      const Op op = static_cast<Op>(i);
+      t[mnemonic(op)] = op;
+    }
+    return t;
+  }();
+  return table;
+}
+
+bool is_integer(const std::string& tok) {
+  if (tok.empty()) return false;
+  std::size_t i = tok[0] == '-' ? 1 : 0;
+  if (i == tok.size()) return false;
+  return std::all_of(tok.begin() + i, tok.end(),
+                     [](unsigned char c) { return std::isdigit(c); });
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw AsmError("line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  Program program;
+  std::map<std::string, std::size_t> labels;
+  std::vector<std::pair<std::size_t, std::size_t>> fixups;  // (pc, line)
+  std::vector<std::string> fixup_names;
+
+  std::istringstream in(source);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto semi = raw.find(';'); semi != std::string::npos) {
+      raw.erase(semi);
+    }
+    std::istringstream line(raw);
+    std::vector<std::string> tok;
+    for (std::string t; line >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+
+    if (tok[0].back() == ':') {
+      const std::string label = lower(tok[0].substr(0, tok[0].size() - 1));
+      if (label.empty()) fail(line_no, "empty label");
+      if (labels.count(label)) fail(line_no, "duplicate label '" + label + "'");
+      labels[label] = program.size();
+      tok.erase(tok.begin());
+      if (tok.empty()) continue;
+    }
+
+    const std::string name = lower(tok[0]);
+    const auto it = op_table().find(name);
+    if (it == op_table().end()) fail(line_no, "unknown mnemonic '" + name + "'");
+    Instruction ins;
+    ins.op = it->second;
+
+    const auto need = [&](std::size_t count) {
+      if (tok.size() != count + 1) {
+        fail(line_no, "'" + name + "' expects " + std::to_string(count) +
+                          " operand(s)");
+      }
+    };
+    switch (ins.op) {
+      case Op::PushConst:
+        need(2);
+        if (!is_integer(tok[1]) || !is_integer(tok[2])) {
+          fail(line_no, "const expects integer length and fill");
+        }
+        ins.imm0 = std::stoll(tok[1]);
+        ins.imm1 = std::stoll(tok[2]);
+        if (ins.imm0 < 0) fail(line_no, "negative length");
+        break;
+      case Op::PushIndex:
+        need(1);
+        if (!is_integer(tok[1])) fail(line_no, "index expects a length");
+        ins.imm0 = std::stoll(tok[1]);
+        if (ins.imm0 < 0) fail(line_no, "negative length");
+        break;
+      case Op::Load:
+      case Op::Store:
+        need(1);
+        ins.name = lower(tok[1]);
+        break;
+      case Op::Jump:
+      case Op::Jz:
+      case Op::Jnz:
+        need(1);
+        fixups.push_back({program.size(), line_no});
+        fixup_names.push_back(lower(tok[1]));
+        break;
+      default:
+        need(0);
+        break;
+    }
+    program.push_back(std::move(ins));
+  }
+
+  for (std::size_t k = 0; k < fixups.size(); ++k) {
+    const auto [pc, line] = fixups[k];
+    const auto it = labels.find(fixup_names[k]);
+    if (it == labels.end()) {
+      fail(line, "undefined label '" + fixup_names[k] + "'");
+    }
+    program[pc].imm0 = static_cast<std::int64_t>(it->second);
+    program[pc].name = fixup_names[k];
+  }
+  return program;
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Instruction& ins = program[pc];
+    out << pc << ":\t" << mnemonic(ins.op);
+    switch (ins.op) {
+      case Op::PushConst: out << ' ' << ins.imm0 << ' ' << ins.imm1; break;
+      case Op::PushIndex: out << ' ' << ins.imm0; break;
+      case Op::Load:
+      case Op::Store: out << ' ' << ins.name; break;
+      case Op::Jump:
+      case Op::Jz:
+      case Op::Jnz: out << ' ' << ins.imm0;
+        if (!ins.name.empty()) out << " (" << ins.name << ')';
+        break;
+      default: break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace scanprim::vm

@@ -1,0 +1,31 @@
+// Two-pass assembler for the vector VM. Syntax, one instruction per line:
+//
+//     ; comment
+//     loop:                  ; a label
+//         load    bits       ; mnemonic, then an immediate / name operand
+//         const   8 0        ; two immediates: length, fill
+//         jnz     loop       ; jumps take a label
+//
+// Mnemonics are the strings of `mnemonic()` (case-insensitive); `load`,
+// `store` take a register name; `const` takes length and fill; `index`
+// takes a length; jumps take a label. Throws AsmError with a line number
+// on any malformed input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/vm/isa.hpp"
+
+namespace scanprim::vm {
+
+struct AsmError : std::runtime_error {
+  explicit AsmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+Program assemble(const std::string& source);
+
+/// Pretty listing (one line per instruction, with pc).
+std::string disassemble(const Program& program);
+
+}  // namespace scanprim::vm

@@ -1,0 +1,58 @@
+// The vector VM interpreter. Executes a Program against a machine::Machine,
+// so every instruction is charged under the selected cost model — running
+// the same VM program under EREW and scan-model machines measures exactly
+// the step gap the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/machine/machine.hpp"
+#include "src/vm/isa.hpp"
+
+namespace scanprim::vm {
+
+using Vec = std::vector<std::int64_t>;
+
+struct VmError : std::runtime_error {
+  explicit VmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(machine::Machine& m) : m_(m) {}
+
+  /// Preload a register before running.
+  void set_register(const std::string& name, Vec value);
+  const Vec& register_value(const std::string& name) const;
+
+  /// Runs to Halt (or off the end). Throws VmError on stack underflow,
+  /// length mismatch, bad permute indices, division by zero, or exceeding
+  /// `max_instructions` (runaway-loop guard).
+  void run(const Program& program, std::size_t max_instructions = 1u << 22);
+
+  /// Vectors recorded by `print`, in order.
+  const std::vector<Vec>& output() const { return output_; }
+
+  std::size_t instructions_executed() const { return executed_; }
+
+ private:
+  Vec pop();
+  const Vec& peek(std::size_t depth = 0) const;
+  void push(Vec v);
+  /// Aligns a (vector, vector) pair for an elementwise op: scalars
+  /// broadcast to the partner's length (a charged copy).
+  void broadcast(Vec& a, Vec& b);
+
+  machine::Machine& m_;
+  std::vector<Vec> stack_;
+  std::map<std::string, Vec> registers_;
+  std::vector<Vec> output_;
+  std::size_t executed_ = 0;
+  std::size_t pc_ = 0;  // for diagnostics
+};
+
+}  // namespace scanprim::vm

@@ -1,0 +1,72 @@
+#include "src/vm/isa.hpp"
+
+namespace scanprim::vm {
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::PushConst: return "const";
+    case Op::PushIndex: return "index";
+    case Op::Dup: return "dup";
+    case Op::Pop: return "pop";
+    case Op::Swap: return "swap";
+    case Op::Over: return "over";
+    case Op::Load: return "load";
+    case Op::Store: return "store";
+    case Op::Length: return "length";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Mod: return "mod";
+    case Op::MinOp: return "min";
+    case Op::MaxOp: return "max";
+    case Op::BitAnd: return "band";
+    case Op::BitOr: return "bor";
+    case Op::BitXor: return "bxor";
+    case Op::Shl: return "shl";
+    case Op::Shr: return "shr";
+    case Op::Lt: return "lt";
+    case Op::Le: return "le";
+    case Op::Eq: return "eq";
+    case Op::Ne: return "ne";
+    case Op::Ge: return "ge";
+    case Op::Gt: return "gt";
+    case Op::Neg: return "neg";
+    case Op::Not: return "not";
+    case Op::Select: return "select";
+    case Op::PlusScan: return "+scan";
+    case Op::MaxScan: return "maxscan";
+    case Op::MinScan: return "minscan";
+    case Op::OrScan: return "orscan";
+    case Op::AndScan: return "andscan";
+    case Op::PlusBackscan: return "+backscan";
+    case Op::MaxBackscan: return "maxbackscan";
+    case Op::MinBackscan: return "minbackscan";
+    case Op::SegPlusScan: return "seg+scan";
+    case Op::SegMaxScan: return "segmaxscan";
+    case Op::SegMinScan: return "segminscan";
+    case Op::SegPlusBackscan: return "seg+backscan";
+    case Op::SegCopy: return "segcopy";
+    case Op::SegPlusDistribute: return "seg+distribute";
+    case Op::SegEnumerate: return "segenumerate";
+    case Op::PlusReduce: return "+reduce";
+    case Op::MaxReduce: return "maxreduce";
+    case Op::MinReduce: return "minreduce";
+    case Op::OrReduce: return "orreduce";
+    case Op::AndReduce: return "andreduce";
+    case Op::Permute: return "permute";
+    case Op::Gather: return "gather";
+    case Op::Pack: return "pack";
+    case Op::SplitOp: return "split";
+    case Op::Enumerate: return "enumerate";
+    case Op::Distribute: return "distribute";
+    case Op::Jump: return "jump";
+    case Op::Jz: return "jz";
+    case Op::Jnz: return "jnz";
+    case Op::Print: return "print";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace scanprim::vm

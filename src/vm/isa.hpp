@@ -1,0 +1,85 @@
+// A small data-parallel vector instruction set in the spirit of PARIS (the
+// Connection Machine's "parallel instruction set", in which the paper's
+// scan primitives shipped) and of the scan-vector model's VCODE. Values are
+// vectors of 64-bit integers; a scalar is a one-element vector; flags are
+// 0/1 vectors. A stack machine: operands pop, results push.
+//
+// The instruction set deliberately mirrors the paper's vocabulary: the five
+// scans (§2.1), their backward and segmented versions, enumerate / permute /
+// pack / split / distribute (§2.2–§2.5), plus elementwise arithmetic and
+// structured control flow. Every instruction charges the underlying
+// machine::Machine, so a VM program's step complexity can be measured under
+// EREW / CRCW / scan-model semantics like any native algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scanprim::vm {
+
+enum class Op : std::uint8_t {
+  // stack / registers
+  PushConst,   ///< push a vector: imm0 = length, imm1 = fill value
+  PushIndex,   ///< push [0, 1, ..., imm0-1]
+  Dup,
+  Pop,
+  Swap,
+  Over,        ///< push a copy of the second-from-top
+  Load,        ///< push register `name`
+  Store,       ///< pop into register `name`
+  Length,      ///< push the length of the top vector as a scalar (peeks)
+
+  // elementwise binary (pop b, pop a, push a ∘ b; scalars broadcast)
+  Add, Sub, Mul, Div, Mod,
+  MinOp, MaxOp,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  Lt, Le, Eq, Ne, Ge, Gt,
+
+  // elementwise unary
+  Neg, Not,
+
+  // ternary: pop else-val, then-val, condition; push cond ? then : else
+  Select,
+
+  // scans (pop values; segmented forms pop flags first, then values)
+  PlusScan, MaxScan, MinScan, OrScan, AndScan,
+  PlusBackscan, MaxBackscan, MinBackscan,
+  SegPlusScan, SegMaxScan, SegMinScan,
+  SegPlusBackscan,
+  SegCopy,        ///< pop flags, pop values; spread each segment's head
+  SegPlusDistribute,  ///< pop flags, pop values; spread each segment's sum
+  SegEnumerate,   ///< pop segment flags, pop flags; per-segment enumerate
+
+  // reductions (pop vector, push scalar)
+  PlusReduce, MaxReduce, MinReduce, OrReduce, AndReduce,
+
+  // data movement
+  Permute,     ///< pop index, pop values; push permuted
+  Gather,      ///< pop index, pop values; push values[index]
+  Pack,        ///< pop flags, pop values; push kept values
+  SplitOp,     ///< pop flags, pop values; push split (F bottom, T top)
+  Enumerate,   ///< pop flags; push enumerate
+  Distribute,  ///< pop length scalar, pop value scalar; push filled vector
+
+  // control
+  Jump,        ///< unconditional, imm0 = target pc
+  Jz,          ///< pop scalar, jump when zero
+  Jnz,         ///< pop scalar, jump when nonzero
+  Print,       ///< pop and record the top vector in the output log
+  Halt,
+};
+
+struct Instruction {
+  Op op;
+  std::int64_t imm0 = 0;  ///< length / fill / jump target
+  std::int64_t imm1 = 0;
+  std::string name;       ///< register name or (pre-assembly) label
+};
+
+/// Mnemonic for listings and diagnostics.
+const char* mnemonic(Op op);
+
+using Program = std::vector<Instruction>;
+
+}  // namespace scanprim::vm

@@ -1,0 +1,89 @@
+// The appendix's historical uses: Ofman's carry-lookahead addition and
+// Stone's polynomial evaluation.
+#include "src/algo/appendix.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+std::vector<std::uint8_t> bits_of(std::uint64_t v, unsigned n) {
+  std::vector<std::uint8_t> b(n);
+  for (unsigned i = 0; i < n; ++i) b[i] = (v >> i) & 1;
+  return b;
+}
+
+std::uint64_t value_of(const std::vector<std::uint8_t>& b) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    v |= static_cast<std::uint64_t>(b[i]) << i;
+  }
+  return v;
+}
+
+TEST(BinaryAdd, ExhaustiveSmall) {
+  machine::Machine m;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      const auto s = binary_add(m, bits_of(a, 6), bits_of(b, 6));
+      ASSERT_EQ(value_of(s), a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(BinaryAdd, RandomWide) {
+  machine::Machine m;
+  auto g = testutil::rng(241);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t a = g() >> 1, b = g() >> 1;  // keep the sum in 64 bits
+    const auto s = binary_add(m, bits_of(a, 63), bits_of(b, 63));
+    ASSERT_EQ(value_of(s), a + b);
+  }
+}
+
+TEST(BinaryAdd, LongCarryChain) {
+  machine::Machine m;
+  // 0111...1 + 1 ripples a carry through every position.
+  const unsigned n = 4000;
+  std::vector<std::uint8_t> a(n, 1), b(n, 0);
+  b[0] = 1;
+  const auto s = binary_add(m, a, b);
+  for (unsigned i = 0; i < n; ++i) ASSERT_EQ(s[i], 0) << i;
+  EXPECT_EQ(s[n], 1);  // the carry pops out the top
+}
+
+TEST(BinaryAdd, ConstantSteps) {
+  // O(1) program steps regardless of width — the whole point of doing the
+  // carries with a scan.
+  const auto steps_for = [](unsigned n) {
+    machine::Machine m(machine::Model::Scan);
+    std::vector<std::uint8_t> a(n, 1), b(n, 1);
+    binary_add(m, a, b);
+    return m.stats().steps;
+  };
+  EXPECT_EQ(steps_for(64), steps_for(8192));
+}
+
+TEST(PolyEval, MatchesHorner) {
+  machine::Machine m;
+  const auto coeffs = testutil::random_doubles(30, 242, -2, 2);
+  for (const double x : {0.0, 1.0, -1.0, 0.5, 1.01}) {
+    double horner = 0;
+    for (std::size_t i = coeffs.size(); i-- > 0;) horner = horner * x + coeffs[i];
+    EXPECT_NEAR(poly_eval(m, std::span<const double>(coeffs), x), horner,
+                1e-9 * (1 + std::fabs(horner)));
+  }
+}
+
+TEST(PolyEval, PowersComeFromTheTimesScan) {
+  machine::Machine m;
+  const std::vector<double> coeffs{0, 0, 0, 1};  // x^3
+  EXPECT_NEAR(poly_eval(m, std::span<const double>(coeffs), 3.0), 27.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,128 @@
+// Tarjan–Vishkin biconnected components against Hopcroft–Tarjan.
+#include "src/algo/biconnected.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> random_connected(std::size_t n, std::size_t extra,
+                                           std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (std::size_t v = 1; v < n; ++v) edges.push_back({g() % v, v, 1.0});
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t u = g() % n, v = g() % n;
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  return edges;
+}
+
+struct BcCase {
+  std::size_t n;
+  std::size_t extra;
+};
+
+class BcSweep : public ::testing::TestWithParam<BcCase> {};
+
+TEST_P(BcSweep, MatchesHopcroftTarjan) {
+  const auto [n, extra] = GetParam();
+  machine::Machine m;
+  const auto edges = random_connected(n, extra, 801 + n + extra);
+  const BiconnResult got = biconnected_components(
+      m, n, std::span<const WeightedEdge>(edges), 5);
+  const BiconnResult ref = biconnected_components_serial(
+      n, std::span<const WeightedEdge>(edges));
+  EXPECT_EQ(got.edge_component, ref.edge_component);
+  EXPECT_EQ(got.num_components, ref.num_components);
+  EXPECT_EQ(got.articulation, ref.articulation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BcSweep,
+    ::testing::Values(BcCase{2, 0}, BcCase{3, 1}, BcCase{10, 0},
+                      BcCase{10, 15}, BcCase{50, 10}, BcCase{100, 300},
+                      BcCase{500, 100}, BcCase{500, 2000}, BcCase{2000, 4000}));
+
+TEST(Biconnected, ManyRandomTrials) {
+  machine::Machine m;
+  auto g = testutil::rng(802);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + g() % 80;
+    const auto edges = random_connected(n, g() % (2 * n), g());
+    const BiconnResult got = biconnected_components(
+        m, n, std::span<const WeightedEdge>(edges), trial);
+    const BiconnResult ref = biconnected_components_serial(
+        n, std::span<const WeightedEdge>(edges));
+    ASSERT_EQ(got.edge_component, ref.edge_component) << "trial " << trial;
+    ASSERT_EQ(got.articulation, ref.articulation) << "trial " << trial;
+  }
+}
+
+TEST(Biconnected, PureTreeMakesEveryEdgeItsOwnComponent) {
+  machine::Machine m;
+  const auto edges = random_connected(40, 0, 803);
+  const BiconnResult got = biconnected_components(
+      m, 40, std::span<const WeightedEdge>(edges), 1);
+  EXPECT_EQ(got.num_components, edges.size());
+  // Every internal vertex is an articulation point.
+  std::vector<std::size_t> degree(40, 0);
+  for (const auto& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  for (std::size_t v = 0; v < 40; ++v) {
+    EXPECT_EQ(got.articulation[v] != 0, degree[v] > 1) << v;
+  }
+}
+
+TEST(Biconnected, CycleIsOneComponent) {
+  machine::Machine m;
+  const std::size_t n = 20;
+  std::vector<WeightedEdge> cyc;
+  for (std::size_t v = 0; v < n; ++v) cyc.push_back({v, (v + 1) % n, 1.0});
+  const BiconnResult got =
+      biconnected_components(m, n, std::span<const WeightedEdge>(cyc), 2);
+  EXPECT_EQ(got.num_components, 1u);
+  for (const auto a : got.articulation) EXPECT_FALSE(a);
+}
+
+TEST(Biconnected, TwoTrianglesSharingAVertex) {
+  machine::Machine m;
+  // 0-1-2-0 and 2-3-4-2: vertex 2 is the articulation point.
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+                                        {2, 3, 1}, {3, 4, 1}, {4, 2, 1}};
+  const BiconnResult got =
+      biconnected_components(m, 5, std::span<const WeightedEdge>(edges), 3);
+  EXPECT_EQ(got.num_components, 2u);
+  EXPECT_EQ(got.edge_component[0], got.edge_component[1]);
+  EXPECT_EQ(got.edge_component[1], got.edge_component[2]);
+  EXPECT_EQ(got.edge_component[3], got.edge_component[4]);
+  EXPECT_NE(got.edge_component[0], got.edge_component[3]);
+  EXPECT_EQ(got.articulation, (Flags{0, 0, 1, 0, 0}));
+}
+
+TEST(Biconnected, ParallelEdgesFormABond) {
+  machine::Machine m;
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {0, 1, 1}, {1, 2, 1}};
+  const BiconnResult got =
+      biconnected_components(m, 3, std::span<const WeightedEdge>(edges), 4);
+  EXPECT_EQ(got.edge_component[0], got.edge_component[1]);
+  EXPECT_NE(got.edge_component[0], got.edge_component[2]);
+  EXPECT_EQ(got.num_components, 2u);
+}
+
+TEST(Biconnected, DisconnectedGraphThrows) {
+  machine::Machine m;
+  const std::vector<WeightedEdge> edges{{0, 1, 1}};  // vertex 2 isolated
+  EXPECT_THROW(
+      biconnected_components(m, 3, std::span<const WeightedEdge>(edges), 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,58 @@
+// Batcher's bitonic sort — the Table 4 baseline.
+#include "src/algo/bitonic_sort.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+class BitonicSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicSweep, SortsUniformKeys) {
+  machine::Machine m;
+  const auto keys = testutil::random_vector<std::uint64_t>(GetParam(), 131,
+                                                           1u << 30);
+  const auto sorted = bitonic_sort(m, std::span<const std::uint64_t>(keys));
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSweep,
+                         ::testing::Values(0, 1, 2, 3, 100, 1024, 5000, 65536));
+
+TEST(Bitonic, StageCount) {
+  EXPECT_EQ(bitonic_stage_count(2), 1u);
+  EXPECT_EQ(bitonic_stage_count(1024), 55u);       // 10·11/2
+  EXPECT_EQ(bitonic_stage_count(1 << 16), 136u);   // 16·17/2
+}
+
+TEST(Bitonic, ChargesOnePermuteAndOneElementwisePerStage) {
+  machine::Machine m;
+  const auto keys = testutil::random_vector<std::uint64_t>(1 << 10, 132);
+  bitonic_sort(m, std::span<const std::uint64_t>(keys));
+  EXPECT_EQ(m.stats().permutes, bitonic_stage_count(1 << 10));
+  EXPECT_EQ(m.stats().elementwise, bitonic_stage_count(1 << 10));
+}
+
+TEST(Bitonic, AlreadySortedAndReversedInputs) {
+  machine::Machine m;
+  std::vector<std::uint64_t> asc(4096), desc(4096);
+  for (std::size_t i = 0; i < asc.size(); ++i) {
+    asc[i] = i;
+    desc[i] = asc.size() - i;
+  }
+  const auto a = bitonic_sort(m, std::span<const std::uint64_t>(asc));
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  const auto d = bitonic_sort(m, std::span<const std::uint64_t>(desc));
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+  EXPECT_EQ(d.front(), 1u);
+  EXPECT_EQ(d.back(), 4096u);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,244 @@
+// The §3.2 hardware: sum state machines at the bit level, the FIFO shift
+// register, and the clocked bit-pipelined tree circuit against reference
+// scans, including the predicted cycle counts and the hardware inventory.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/circuit/shift_register.hpp"
+#include "src/circuit/state_machine.hpp"
+#include "src/circuit/tree_circuit.hpp"
+
+namespace scanprim::circuit {
+namespace {
+
+// Feeds two m-bit operands through a lone state machine and decodes the
+// serial output.
+std::uint64_t run_machine(ScanOpKind op, std::uint64_t a, std::uint64_t b,
+                          unsigned m) {
+  SumStateMachine sm(op);
+  sm.clear();
+  std::uint64_t out = 0;
+  for (unsigned t = 0; t < m; ++t) {
+    const unsigned bit = op == ScanOpKind::Add ? t : m - 1 - t;
+    const bool s = sm.step((a >> bit) & 1, (b >> bit) & 1);
+    out |= std::uint64_t{s} << bit;
+  }
+  return out;
+}
+
+TEST(SumStateMachine, AddsBitSerially) {
+  std::mt19937_64 rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t a = rng() & 0xffffffff;
+    const std::uint64_t b = rng() & 0xffffffff;
+    EXPECT_EQ(run_machine(ScanOpKind::Add, a, b, 33), a + b);
+  }
+}
+
+TEST(SumStateMachine, AddTruncatesToFieldWidth) {
+  // 4-bit field: 9 + 9 = 18 -> 2 mod 16.
+  EXPECT_EQ(run_machine(ScanOpKind::Add, 9, 9, 4), 2u);
+}
+
+TEST(SumStateMachine, MaxBitSerially) {
+  std::mt19937_64 rng(102);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t a = rng() & 0xffff;
+    const std::uint64_t b = rng() & 0xffff;
+    EXPECT_EQ(run_machine(ScanOpKind::Max, a, b, 16), std::max(a, b));
+  }
+}
+
+TEST(SumStateMachine, MaxLatchesFirstDivergence) {
+  SumStateMachine sm(ScanOpKind::Max);
+  sm.clear();
+  // MSB first: A = 101..., B = 011...: A wins at the first bit.
+  EXPECT_TRUE(sm.step(1, 0));
+  EXPECT_TRUE(sm.q1());
+  EXPECT_FALSE(sm.q2());
+  // From now on the output follows A regardless of B.
+  EXPECT_FALSE(sm.step(0, 1));
+  EXPECT_TRUE(sm.step(1, 1));
+}
+
+TEST(SumStateMachine, ClearResetsState) {
+  SumStateMachine sm(ScanOpKind::Add);
+  sm.step(1, 1);  // sets the carry
+  sm.clear();
+  EXPECT_FALSE(sm.step(0, 0));  // no leftover carry
+}
+
+TEST(ShiftRegister, DelaysByItsLength) {
+  ShiftRegister r(3);
+  EXPECT_EQ(r.length(), 3u);
+  std::vector<int> seen;
+  const bool in[] = {1, 0, 1, 1, 0, 0, 1};
+  for (bool b : in) seen.push_back(r.step(b));
+  EXPECT_EQ(seen, (std::vector<int>{0, 0, 0, 1, 0, 1, 1}));
+}
+
+TEST(ShiftRegister, ZeroLengthIsAWire) {
+  ShiftRegister r(0);
+  EXPECT_TRUE(r.step(true));
+  EXPECT_FALSE(r.step(false));
+}
+
+struct CircuitCase {
+  std::size_t n;
+  unsigned m;
+};
+
+class CircuitSweep : public ::testing::TestWithParam<CircuitCase> {};
+
+TEST_P(CircuitSweep, PlusScanMatchesReference) {
+  const auto [n, m] = GetParam();
+  TreeScanCircuit c(n, m);
+  std::mt19937_64 rng(103);
+  const std::uint64_t mask = m == 64 ? ~0ull : ((1ull << m) - 1);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng() & mask;
+  std::vector<std::uint64_t> expect(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc & mask;
+    acc += v[i];
+  }
+  EXPECT_EQ(c.scan(v, ScanOpKind::Add), expect);
+  EXPECT_EQ(c.last_cycle_count(), TreeScanCircuit::predicted_cycles(n, m));
+}
+
+TEST_P(CircuitSweep, MaxScanMatchesReference) {
+  const auto [n, m] = GetParam();
+  TreeScanCircuit c(n, m);
+  std::mt19937_64 rng(104);
+  const std::uint64_t mask = m == 64 ? ~0ull : ((1ull << m) - 1);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng() & mask;
+  std::vector<std::uint64_t> expect(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc = std::max(acc, v[i]);
+  }
+  EXPECT_EQ(c.scan(v, ScanOpKind::Max), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CircuitSweep,
+    ::testing::Values(CircuitCase{1, 8}, CircuitCase{2, 1}, CircuitCase{2, 32},
+                      CircuitCase{4, 7}, CircuitCase{8, 16},
+                      CircuitCase{32, 3}, CircuitCase{128, 32},
+                      CircuitCase{1024, 12}, CircuitCase{4096, 32}));
+
+TEST(TreeScanCircuit, RejectsNonPowersOfTwo) {
+  EXPECT_THROW(TreeScanCircuit(3, 8), std::invalid_argument);
+  EXPECT_THROW(TreeScanCircuit(0, 8), std::invalid_argument);
+  EXPECT_THROW(TreeScanCircuit(8, 0), std::invalid_argument);
+  EXPECT_THROW(TreeScanCircuit(8, 65), std::invalid_argument);
+}
+
+TEST(TreeScanCircuit, CycleCountIsMPlusTwoLgN) {
+  // §3.2: the down sweep can begin as soon as the first bit reaches the
+  // root, for m + 2 lg n bit cycles overall.
+  EXPECT_EQ(TreeScanCircuit::predicted_cycles(4096, 32), 32u + 2 * 12 - 1);
+  EXPECT_EQ(TreeScanCircuit::predicted_cycles(1 << 16, 16), 16u + 2 * 16 - 1);
+}
+
+TEST(TreeScanCircuit, Section33ExampleSystem) {
+  // A 4096-processor machine, 32-bit fields, 100ns clock: the paper
+  // estimates ~5 microseconds per scan. Our exact count: 55 cycles = 5.5us.
+  TreeScanCircuit c(4096, 32);
+  std::vector<std::uint64_t> v(4096, 1);
+  c.scan(v, ScanOpKind::Add);
+  const double micros = static_cast<double>(c.last_cycle_count()) * 0.1;
+  EXPECT_NEAR(micros, 5.0, 1.0);
+}
+
+TEST(TreeScanCircuit, HardwareInventory) {
+  TreeScanCircuit c(64, 8);
+  const HardwareInventory hw = c.inventory();
+  EXPECT_EQ(hw.leaves, 64u);
+  EXPECT_EQ(hw.units, 63u);
+  EXPECT_EQ(hw.state_machines, 126u);  // the §3.3 per-board chip figure
+  // Σ over levels i of 2^i units · 2i register bits.
+  std::size_t bits = 0;
+  for (std::size_t i = 0; i < 6; ++i) bits += (std::size_t{1} << i) * 2 * i;
+  EXPECT_EQ(hw.shift_register_bits, bits);
+}
+
+TEST(TreeScanCircuit, SegmentedScanMatchesReference) {
+  // The §3 / [7] claim at the logic level: segments cost two static flag
+  // bits and two muxes per unit, same cycle count.
+  std::mt19937_64 rng(105);
+  for (const std::size_t n : {2u, 4u, 8u, 64u, 512u}) {
+    for (const unsigned m : {4u, 16u, 32u}) {
+      TreeScanCircuit c(n, m);
+      const std::uint64_t mask = (std::uint64_t{1} << m) - 1;
+      std::vector<std::uint64_t> v(n);
+      std::vector<std::uint8_t> f(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = rng() & mask;
+        f[i] = (rng() % 4) == 0;
+      }
+      // References.
+      std::vector<std::uint64_t> ref_add(n), ref_max(n);
+      std::uint64_t s = 0, mx = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (f[i]) {
+          s = 0;
+          mx = 0;
+        }
+        ref_add[i] = f[i] ? 0 : s & mask;
+        ref_max[i] = f[i] ? 0 : mx;
+        s += v[i];
+        mx = std::max(mx, v[i]);
+      }
+      ASSERT_EQ(c.seg_scan(v, f, ScanOpKind::Add), ref_add)
+          << "n=" << n << " m=" << m;
+      ASSERT_EQ(c.last_cycle_count(), TreeScanCircuit::predicted_cycles(n, m));
+      ASSERT_EQ(c.seg_scan(v, f, ScanOpKind::Max), ref_max)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(TreeScanCircuit, SegmentedWithNoFlagsEqualsUnsegmented) {
+  TreeScanCircuit c(64, 16);
+  std::mt19937_64 rng(106);
+  std::vector<std::uint64_t> v(64);
+  for (auto& x : v) x = rng() & 0xffff;
+  const std::vector<std::uint8_t> none(64, 0);
+  EXPECT_EQ(c.seg_scan(v, none, ScanOpKind::Add), c.scan(v, ScanOpKind::Add));
+}
+
+TEST(TreeScanCircuit, Section33ChipPartition) {
+  // The example system: 4096 processors, 64-input chips -> 64 leaf chips +
+  // 1 combiner = 65 chips, one wire pair leaving each, and the 126 state
+  // machines / 63 shift registers per chip the paper states.
+  const ChipPartition p = partition_into_chips(4096, 64);
+  EXPECT_EQ(p.chips, 65u);
+  EXPECT_EQ(p.off_chip_wires, 2 * 65u);
+  EXPECT_EQ(p.state_machines_per_leaf_chip, 126u);
+  EXPECT_EQ(p.shift_registers_per_leaf_chip, 63u);
+  // A 64K machine on the same chip: 1024 + 16 + 1.
+  const ChipPartition big = partition_into_chips(1 << 16, 64);
+  EXPECT_EQ(big.chips, 1024u + 16u + 1u);
+  EXPECT_THROW(partition_into_chips(100, 64), std::invalid_argument);
+  EXPECT_THROW(partition_into_chips(64, 128), std::invalid_argument);
+}
+
+TEST(TreeScanCircuit, ReusableAcrossScans) {
+  TreeScanCircuit c(16, 8);
+  std::vector<std::uint64_t> a(16, 3), b(16, 200);
+  const auto r1 = c.scan(a, ScanOpKind::Add);
+  const auto r2 = c.scan(b, ScanOpKind::Max);
+  const auto r3 = c.scan(a, ScanOpKind::Add);
+  EXPECT_EQ(r1, r3);
+  EXPECT_EQ(r2[0], 0u);
+  EXPECT_EQ(r2[5], 200u);
+  EXPECT_EQ(r1[5], 15u);
+}
+
+}  // namespace
+}  // namespace scanprim::circuit

@@ -1,0 +1,125 @@
+// Closest pair in the plane (Table 1's row) against the serial divide and
+// conquer and brute force.
+#include "src/algo/closest_pair.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+std::vector<Point2D> random_points(std::size_t n, std::uint64_t seed,
+                                   double spread = 1e6) {
+  auto g = testutil::rng(seed);
+  std::vector<Point2D> pts(n);
+  for (auto& p : pts) {
+    p = {static_cast<double>(g() % 1000000) * spread / 1e6,
+         static_cast<double>(g() % 1000000) * spread / 1e6};
+  }
+  return pts;
+}
+
+double brute_force(std::span<const Point2D> pts) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double dx = pts[i].x - pts[j].x, dy = pts[i].y - pts[j].y;
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  return best;
+}
+
+class CpSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CpSweep, MatchesSerialDivideAndConquer) {
+  machine::Machine m;
+  const auto pts = random_points(GetParam(), 1001 + GetParam());
+  const ClosestPairResult got =
+      closest_pair(m, std::span<const Point2D>(pts));
+  const ClosestPairResult ref =
+      closest_pair_serial(std::span<const Point2D>(pts));
+  EXPECT_DOUBLE_EQ(got.distance, ref.distance);
+  // The named pair must actually realise the distance.
+  const double dx = pts[got.a].x - pts[got.b].x;
+  const double dy = pts[got.a].y - pts[got.b].y;
+  EXPECT_NEAR(std::sqrt(dx * dx + dy * dy), got.distance, 1e-9);
+  EXPECT_NE(got.a, got.b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CpSweep,
+                         ::testing::Values(2, 3, 4, 5, 8, 9, 100, 1000, 4097,
+                                           20000));
+
+TEST(ClosestPair, ManySmallBruteForceTrials) {
+  machine::Machine m;
+  auto g = testutil::rng(1002);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto pts = random_points(2 + g() % 120, g(), 100.0);  // dense: ties
+    const ClosestPairResult got =
+        closest_pair(m, std::span<const Point2D>(pts));
+    ASSERT_DOUBLE_EQ(got.distance, brute_force(pts)) << "trial " << trial;
+  }
+}
+
+TEST(ClosestPair, DuplicatePointsGiveZero) {
+  machine::Machine m;
+  auto pts = random_points(500, 1003);
+  pts.push_back(pts[137]);
+  const ClosestPairResult got = closest_pair(m, std::span<const Point2D>(pts));
+  EXPECT_EQ(got.distance, 0.0);
+  EXPECT_EQ(pts[got.a], pts[got.b]);
+}
+
+TEST(ClosestPair, KnownConfiguration) {
+  machine::Machine m;
+  // A far-flung square plus one tight pair.
+  const std::vector<Point2D> pts{{0, 0},     {100, 0}, {0, 100},
+                                 {100, 100}, {50, 50}, {50.3, 50.4}};
+  const ClosestPairResult got = closest_pair(m, std::span<const Point2D>(pts));
+  EXPECT_NEAR(got.distance, 0.5, 1e-12);
+  EXPECT_EQ(got.a, 4u);
+  EXPECT_EQ(got.b, 5u);
+}
+
+TEST(ClosestPair, PairStraddlingTheRootSplit) {
+  machine::Machine m;
+  // Two columns hugging x = 50 from both sides; everything else is spread.
+  std::vector<Point2D> pts;
+  for (int i = 0; i < 32; ++i) {
+    pts.push_back({static_cast<double>(i), static_cast<double>(i * 7 % 97)});
+    pts.push_back({100.0 - i, static_cast<double>((i * 13 + 5) % 97)});
+  }
+  pts.push_back({49.99, 40.0});
+  pts.push_back({50.01, 40.001});
+  const ClosestPairResult got = closest_pair(m, std::span<const Point2D>(pts));
+  EXPECT_DOUBLE_EQ(got.distance, brute_force(pts));
+  EXPECT_EQ(got.a, pts.size() - 2);
+  EXPECT_EQ(got.b, pts.size() - 1);
+}
+
+TEST(ClosestPair, RejectsDegenerateInput) {
+  machine::Machine m;
+  const std::vector<Point2D> one{{1, 2}};
+  EXPECT_THROW(closest_pair(m, std::span<const Point2D>(one)),
+               std::invalid_argument);
+}
+
+TEST(ClosestPair, StepsScaleWithLgNotN) {
+  const auto steps_for = [](std::size_t n) {
+    machine::Machine m(machine::Model::Scan);
+    const auto pts = random_points(n, 1004);
+    closest_pair(m, std::span<const Point2D>(pts));
+    return static_cast<double>(m.stats().steps);
+  };
+  // Quadrupling n adds ~2 levels; steps must grow additively, not 4x.
+  const double s1 = steps_for(1 << 10);
+  const double s2 = steps_for(1 << 14);
+  EXPECT_LT(s2 / s1, 1.8) << s1 << " -> " << s2;
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,110 @@
+// Connected components via star merging, against a serial labelling.
+#include "src/algo/connected_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> random_graph(std::size_t n, std::size_t m,
+                                       std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::size_t u = g() % n, v = g() % n;
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  return edges;
+}
+
+struct CcCase {
+  std::size_t n;
+  std::size_t m;
+};
+
+class CcSweep : public ::testing::TestWithParam<CcCase> {};
+
+TEST_P(CcSweep, MatchesSerialLabelling) {
+  const auto [n, edge_count] = GetParam();
+  machine::Machine m;
+  const auto edges = random_graph(n, edge_count, 3000 + n + edge_count);
+  const ComponentsResult got = connected_components(
+      m, n, std::span<const WeightedEdge>(edges), 31);
+  const ComponentsResult ref = connected_components_serial(
+      n, std::span<const WeightedEdge>(edges));
+  EXPECT_EQ(got.label, ref.label);
+  EXPECT_EQ(got.num_components, ref.num_components);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CcSweep,
+    ::testing::Values(CcCase{1, 0}, CcCase{10, 0}, CcCase{10, 5},
+                      CcCase{50, 25},  // sparse: many components
+                      CcCase{50, 200}, CcCase{300, 100}, CcCase{300, 1500},
+                      CcCase{1000, 4000}));
+
+TEST(ConnectedComponents, HookingMatchesSerialOnRandomGraphs) {
+  machine::Machine m;
+  auto g = testutil::rng(3501);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + g() % 400;
+    const auto edges = random_graph(n, g() % (3 * n), g());
+    const ComponentsResult got = connected_components_hooking(
+        m, n, std::span<const WeightedEdge>(edges));
+    const ComponentsResult ref = connected_components_serial(
+        n, std::span<const WeightedEdge>(edges));
+    ASSERT_EQ(got.label, ref.label) << "trial " << trial;
+    ASSERT_EQ(got.num_components, ref.num_components);
+  }
+}
+
+TEST(ConnectedComponents, HookingRoundsAreLogarithmic) {
+  machine::Machine m;
+  for (const std::size_t n : {256u, 2048u, 16384u}) {
+    const auto edges = random_graph(n, 4 * n, n);
+    const ComponentsResult got = connected_components_hooking(
+        m, n, std::span<const WeightedEdge>(edges));
+    std::size_t lg = 0;
+    while ((std::size_t{1} << lg) < n) ++lg;
+    EXPECT_LE(got.rounds, 4 * lg) << n;
+  }
+}
+
+TEST(ConnectedComponents, HookingAndStarMergeAgree) {
+  machine::Machine m;
+  const auto edges = random_graph(500, 900, 3502);
+  const auto a = connected_components(m, 500, std::span<const WeightedEdge>(edges), 9);
+  const auto b = connected_components_hooking(
+      m, 500, std::span<const WeightedEdge>(edges));
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST(ConnectedComponents, LabelsAreComponentMinima) {
+  machine::Machine m;
+  // Components {0,2,4}, {1,3}, {5}.
+  const std::vector<WeightedEdge> edges{{2, 4, 1}, {0, 2, 1}, {1, 3, 1}};
+  const ComponentsResult got =
+      connected_components(m, 6, std::span<const WeightedEdge>(edges), 5);
+  EXPECT_EQ(got.label, (std::vector<std::size_t>{0, 1, 0, 1, 0, 5}));
+  EXPECT_EQ(got.num_components, 3u);
+}
+
+TEST(ConnectedComponents, FullyConnectedCollapsesToOne) {
+  machine::Machine m;
+  const std::size_t n = 40;
+  std::vector<WeightedEdge> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) edges.push_back({u, v, 1.0});
+  }
+  const ComponentsResult got =
+      connected_components(m, n, std::span<const WeightedEdge>(edges), 13);
+  EXPECT_EQ(got.num_components, 1u);
+  for (const std::size_t l : got.label) EXPECT_EQ(l, 0u);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

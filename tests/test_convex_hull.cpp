@@ -1,0 +1,110 @@
+// Segmented quickhull (Table 1's convex-hull row) against the serial
+// monotone chain.
+#include "src/algo/convex_hull.hpp"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+std::vector<Point2D> random_points(std::size_t n, std::uint64_t seed,
+                                   std::uint64_t grid = 1000) {
+  auto g = testutil::rng(seed);
+  std::vector<Point2D> pts(n);
+  for (auto& p : pts) {
+    p = {static_cast<double>(g() % grid), static_cast<double>(g() % grid)};
+  }
+  return pts;
+}
+
+class HullSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HullSweep, MatchesMonotoneChain) {
+  machine::Machine m;
+  const auto pts = random_points(GetParam(), 301 + GetParam());
+  const HullResult got = convex_hull(m, std::span<const Point2D>(pts));
+  EXPECT_EQ(got.hull, convex_hull_serial(std::span<const Point2D>(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HullSweep,
+                         ::testing::Values(1, 2, 3, 4, 10, 100, 1000, 20000));
+
+TEST(ConvexHull, ManyRandomTrials) {
+  machine::Machine m;
+  auto g = testutil::rng(302);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto pts = random_points(3 + g() % 400, g(), 40);  // heavy ties
+    const HullResult got = convex_hull(m, std::span<const Point2D>(pts));
+    ASSERT_EQ(got.hull, convex_hull_serial(std::span<const Point2D>(pts)))
+        << "trial " << trial;
+  }
+}
+
+TEST(ConvexHull, PointsOnACircle) {
+  machine::Machine m;
+  const std::size_t n = 256;
+  std::vector<Point2D> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2 * M_PI * static_cast<double>(i) / n;
+    pts[i] = {std::cos(a) * 1024, std::sin(a) * 1024};
+  }
+  const HullResult got = convex_hull(m, std::span<const Point2D>(pts));
+  // Every point is a hull vertex.
+  EXPECT_EQ(got.hull.size(), n);
+  EXPECT_EQ(got.hull, convex_hull_serial(std::span<const Point2D>(pts)));
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  machine::Machine m;
+  // All identical.
+  const std::vector<Point2D> same(50, Point2D{3, 4});
+  EXPECT_EQ(convex_hull(m, std::span<const Point2D>(same)).hull,
+            (std::vector<Point2D>{{3, 4}}));
+  // All collinear.
+  std::vector<Point2D> line(40);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    line[i] = {static_cast<double>(i % 10), static_cast<double>(i % 10) * 2};
+  }
+  const auto hull = convex_hull(m, std::span<const Point2D>(line)).hull;
+  EXPECT_EQ(hull, (std::vector<Point2D>{{0, 0}, {9, 18}}));
+  // Empty input is rejected.
+  EXPECT_THROW(convex_hull(m, std::span<const Point2D>{}),
+               std::invalid_argument);
+}
+
+TEST(ConvexHull, ExpectedIterationsAreLogarithmic) {
+  machine::Machine m;
+  for (const std::size_t n : {1000u, 10000u, 100000u}) {
+    const auto pts = random_points(n, 303, 1u << 20);
+    const HullResult got = convex_hull(m, std::span<const Point2D>(pts));
+    const double lg = std::log2(static_cast<double>(n));
+    EXPECT_LE(got.iterations, static_cast<std::size_t>(8.0 * lg)) << n;
+  }
+}
+
+TEST(ConvexHull, HullIsConvexAndContainsInput) {
+  machine::Machine m;
+  const auto pts = random_points(5000, 304, 1u << 16);
+  const auto hull = convex_hull(m, std::span<const Point2D>(pts)).hull;
+  const auto cross = [](const Point2D& a, const Point2D& b, const Point2D& c) {
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  };
+  const std::size_t h = hull.size();
+  ASSERT_GE(h, 3u);
+  for (std::size_t i = 0; i < h; ++i) {
+    // Strict left turns all the way around.
+    EXPECT_GT(cross(hull[i], hull[(i + 1) % h], hull[(i + 2) % h]), 0.0);
+    // Every input point on or left of every hull edge.
+    for (std::size_t k = 0; k < pts.size(); k += 97) {
+      EXPECT_GE(cross(hull[i], hull[(i + 1) % h], pts[k]), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,135 @@
+// The segmented graph representation (§2.3.2, Figure 6).
+#include "src/graph/seg_graph.hpp"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::graph {
+namespace {
+
+std::vector<WeightedEdge> random_connected_graph(std::size_t n,
+                                                 std::size_t extra,
+                                                 std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (std::size_t v = 1; v < n; ++v) {
+    edges.push_back({g() % v, v, static_cast<double>(g() % 100000)});
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t u = g() % n, v = g() % n;
+    if (u != v) edges.push_back({u, v, static_cast<double>(g() % 100000)});
+  }
+  return edges;
+}
+
+TEST(SegGraph, Figure6Structure) {
+  machine::Machine m;
+  // The paper's example graph (vertices renumbered 0-based): w1=(0,1),
+  // w2=(1,2), w3=(1,4), w4=(2,3), w5=(2,4), w6=(3,4).
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {1, 4, 3},
+                                        {2, 3, 4}, {2, 4, 5}, {3, 4, 6}};
+  const SegGraph g = build_seg_graph(m, 5, edges);
+  ASSERT_TRUE(validate(g));
+  EXPECT_EQ(g.num_slots(), 12u);
+  // vertex = [0 1 1 1 2 2 2 3 3 4 4 4], as in the figure (1-based there).
+  EXPECT_EQ(g.vertex, (std::vector<std::size_t>{0, 1, 1, 1, 2, 2, 2, 3, 3, 4,
+                                                4, 4}));
+  EXPECT_EQ(g.segment_desc, (Flags{1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 0, 0}));
+  // Weights per slot (w_k = k+1 here): [w1 w1 w2 w3 w2 w4 w5 w4 w6 w3 w5 w6].
+  EXPECT_EQ(g.weight, (std::vector<double>{1, 1, 2, 3, 2, 4, 5, 4, 6, 3, 5, 6}));
+  // The figure's cross pointers exactly.
+  EXPECT_EQ(g.cross, (std::vector<std::size_t>{1, 0, 4, 9, 2, 7, 10, 5, 11, 3,
+                                               6, 8}));
+}
+
+TEST(SegGraph, RandomGraphInvariants) {
+  machine::Machine m;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::size_t n = 200;
+    const auto edges = random_connected_graph(n, 400, seed);
+    const SegGraph g = build_seg_graph(m, n, edges);
+    ASSERT_TRUE(validate(g));
+    EXPECT_EQ(g.num_slots(), 2 * edges.size());
+    EXPECT_EQ(num_segments(m, g), n);
+    // Every edge id appears exactly twice, on slots of its two endpoints.
+    std::map<std::size_t, std::multiset<std::size_t>> ends;
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      ends[g.edge_id[s]].insert(g.vertex[s]);
+    }
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      ASSERT_EQ(ends[e],
+                (std::multiset<std::size_t>{edges[e].u, edges[e].v}));
+    }
+    // Slots are grouped by vertex, in increasing order.
+    for (std::size_t s = 1; s < g.num_slots(); ++s) {
+      ASSERT_LE(g.vertex[s - 1], g.vertex[s]);
+      ASSERT_EQ(g.segment_desc[s], g.vertex[s] != g.vertex[s - 1] ? 1 : 0);
+    }
+    // Cross pointers join the two endpoints of each edge.
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      const std::size_t t = g.cross[s];
+      const WeightedEdge& e = edges[g.edge_id[s]];
+      ASSERT_TRUE((g.vertex[s] == e.u && g.vertex[t] == e.v) ||
+                  (g.vertex[s] == e.v && g.vertex[t] == e.u));
+    }
+  }
+}
+
+TEST(SegGraph, NeighborSumMatchesSerial) {
+  machine::Machine m;
+  const std::size_t n = 150;
+  const auto edges = random_connected_graph(n, 300, 7);
+  const SegGraph g = build_seg_graph(m, n, edges);
+  const auto values = testutil::random_doubles(n, 8, 0, 100);
+  const auto sums = neighbor_sum(m, g, std::span<const double>(values));
+  std::vector<double> expect(n, 0.0);
+  for (const auto& e : edges) {
+    expect[e.u] += values[e.v];
+    expect[e.v] += values[e.u];
+  }
+  ASSERT_EQ(sums.size(), n);
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_NEAR(sums[v], expect[v], 1e-9) << v;
+  }
+}
+
+TEST(SegGraph, NeighborSumIsConstantSteps) {
+  // The §2.3.2 claim: O(1) program steps in the scan model, independent
+  // of n and of vertex degree.
+  const auto steps_for = [](std::size_t n, std::uint64_t seed) {
+    machine::Machine m(machine::Model::Scan);
+    const auto edges = random_connected_graph(n, 2 * n, seed);
+    const SegGraph g = build_seg_graph(m, n, edges);
+    const auto values = testutil::random_doubles(n, seed, 0, 1);
+    m.reset_stats();
+    neighbor_sum(m, g, std::span<const double>(values));
+    return m.stats().steps;
+  };
+  EXPECT_EQ(steps_for(100, 1), steps_for(3000, 2));
+}
+
+TEST(SegGraph, SlotSegmentIds) {
+  machine::Machine m;
+  const auto edges = random_connected_graph(60, 100, 9);
+  const SegGraph g = build_seg_graph(m, 60, edges);
+  const auto ids = slot_segment_ids(m, g);
+  std::size_t expect = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (s > 0 && g.segment_desc[s]) ++expect;
+    ASSERT_EQ(ids[s], expect);
+  }
+}
+
+TEST(SegGraph, EmptyGraph) {
+  machine::Machine m;
+  const SegGraph g = build_seg_graph(m, 10, {});
+  EXPECT_EQ(g.num_slots(), 0u);
+  EXPECT_TRUE(validate(g));
+}
+
+}  // namespace
+}  // namespace scanprim::graph

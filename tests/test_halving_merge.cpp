@@ -1,0 +1,194 @@
+// The halving merge (§2.5.1): randomized property tests against std::merge,
+// the x-near-merge repair, stability, and the step complexity claim.
+#include "src/algo/halving_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+void expect_merges(std::vector<std::uint64_t> a, std::vector<std::uint64_t> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  machine::Machine m;
+  const HalvingMergeResult r = halving_merge(
+      m, std::span<const std::uint64_t>(a), std::span<const std::uint64_t>(b));
+  std::vector<std::uint64_t> expect(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+  EXPECT_EQ(r.merged, expect);
+}
+
+struct MergeCase {
+  std::size_t na;
+  std::size_t nb;
+};
+
+class MergeSweep : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MergeSweep, MatchesStdMerge) {
+  const auto [na, nb] = GetParam();
+  expect_merges(testutil::random_vector<std::uint64_t>(na, 151, 10000),
+                testutil::random_vector<std::uint64_t>(nb, 152, 10000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MergeSweep,
+    ::testing::Values(MergeCase{0, 0}, MergeCase{0, 10}, MergeCase{10, 0},
+                      MergeCase{1, 1}, MergeCase{5, 3}, MergeCase{100, 100},
+                      MergeCase{1000, 999}, MergeCase{4096, 4096},
+                      MergeCase{20000, 1}, MergeCase{1, 20000},
+                      MergeCase{30000, 30000}));
+
+TEST(HalvingMerge, ManyRandomShapes) {
+  auto g = testutil::rng(153);
+  for (int trial = 0; trial < 40; ++trial) {
+    expect_merges(
+        testutil::random_vector<std::uint64_t>(g() % 500, g(), 50),
+        testutil::random_vector<std::uint64_t>(g() % 500, g(), 50));
+  }
+}
+
+TEST(HalvingMerge, HeavilyTiedKeys) {
+  expect_merges(std::vector<std::uint64_t>(5000, 7),
+                std::vector<std::uint64_t>(5000, 7));
+  expect_merges(testutil::random_vector<std::uint64_t>(3000, 154, 2),
+                testutil::random_vector<std::uint64_t>(3000, 155, 2));
+}
+
+TEST(HalvingMerge, DoublesRoundTrip) {
+  auto a = testutil::random_doubles(700, 156);
+  auto b = testutil::random_doubles(900, 157);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  machine::Machine m;
+  const auto merged = halving_merge_doubles(m, std::span<const double>(a),
+                                            std::span<const double>(b));
+  std::vector<double> expect(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+  EXPECT_EQ(merged, expect);
+}
+
+TEST(HalvingMerge, XNearMergeFixesRotatedBlocks) {
+  machine::Machine m;
+  // Figure 12's near-merge vector.
+  const std::vector<std::uint64_t> nm{1, 7, 3, 4, 9, 22, 10, 13, 15, 20, 23, 26};
+  EXPECT_EQ(x_near_merge(m, std::span<const std::uint64_t>(nm)),
+            (std::vector<std::uint64_t>{1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23,
+                                        26}));
+  // A sorted vector is a fixed point.
+  const std::vector<std::uint64_t> sorted{1, 2, 3, 4, 5};
+  EXPECT_EQ(x_near_merge(m, std::span<const std::uint64_t>(sorted)), sorted);
+}
+
+TEST(BinarySearchMerge, MatchesStdMerge) {
+  machine::Machine m;
+  auto g = testutil::rng(163);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto a = testutil::random_vector<std::uint64_t>(g() % 800, g(), 50);
+    auto b = testutil::random_vector<std::uint64_t>(g() % 800, g(), 50);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const auto got = binary_search_merge(m, std::span<const std::uint64_t>(a),
+                                         std::span<const std::uint64_t>(b));
+    std::vector<std::uint64_t> expect(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST(BinarySearchMerge, ChargesLgRoundsWithNoScans) {
+  machine::Machine m(machine::Model::Scan);
+  auto a = testutil::random_vector<std::uint64_t>(1 << 12, 164, 1u << 20);
+  auto b = testutil::random_vector<std::uint64_t>(1 << 12, 165, 1u << 20);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  binary_search_merge(m, std::span<const std::uint64_t>(a),
+                      std::span<const std::uint64_t>(b));
+  EXPECT_EQ(m.stats().scans, 0u);            // no scans anywhere
+  EXPECT_LE(m.stats().steps, 2u * 2 * 13 + 2);  // ~2 steps x lg n rounds x 2
+  // Identical charge under the EREW: this is the model-independent baseline
+  // the scan primitives don't accelerate.
+  machine::Machine e(machine::Model::EREW);
+  binary_search_merge(e, std::span<const std::uint64_t>(a),
+                      std::span<const std::uint64_t>(b));
+  EXPECT_EQ(e.stats().steps, m.stats().steps);
+}
+
+TEST(HalvingMerge, MergeFlagsReconstructTheMerge) {
+  // §2.5.1: the flag vector alone determines the interleaving. Reconstruct
+  // the merged values from the flags and compare.
+  machine::Machine m;
+  auto g = testutil::rng(162);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = testutil::random_vector<std::uint64_t>(g() % 300, g(), 100);
+    auto b = testutil::random_vector<std::uint64_t>(g() % 300, g(), 100);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const Flags flags = halving_merge_flags(
+        m, std::span<const std::uint64_t>(a), std::span<const std::uint64_t>(b));
+    ASSERT_EQ(flags.size(), a.size() + b.size());
+    std::vector<std::uint64_t> rebuilt(flags.size());
+    std::size_t ia = 0, ib = 0;
+    for (std::size_t k = 0; k < flags.size(); ++k) {
+      rebuilt[k] = flags[k] ? b[ib++] : a[ia++];
+    }
+    ASSERT_EQ(ia, a.size());
+    ASSERT_EQ(ib, b.size());
+    ASSERT_TRUE(std::is_sorted(rebuilt.begin(), rebuilt.end()));
+    std::vector<std::uint64_t> expect(flags.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+    ASSERT_EQ(rebuilt, expect);
+  }
+}
+
+TEST(HalvingMerge, PaperMergeFlagExample) {
+  // §2.5.1: merge-flags of A' = [1 10 15], B' = [3 9 23] are [F T T F F T].
+  machine::Machine m;
+  const std::vector<std::uint64_t> a{1, 10, 15};
+  const std::vector<std::uint64_t> b{3, 9, 23};
+  EXPECT_EQ(halving_merge_flags(m, std::span<const std::uint64_t>(a),
+                                std::span<const std::uint64_t>(b)),
+            (Flags{0, 1, 1, 0, 0, 1}));
+}
+
+TEST(HalvingMerge, RecursionDepthIsLogarithmic) {
+  machine::Machine m;
+  auto a = testutil::random_vector<std::uint64_t>(1 << 14, 158, 1u << 20);
+  auto b = testutil::random_vector<std::uint64_t>(1 << 14, 159, 1u << 20);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const HalvingMergeResult r = halving_merge(
+      m, std::span<const std::uint64_t>(a), std::span<const std::uint64_t>(b));
+  EXPECT_LE(r.levels, 14u);
+  EXPECT_GE(r.levels, 10u);
+}
+
+TEST(HalvingMerge, StepComplexityIsNOverPPlusLgN) {
+  // With p = n / lg n processors the step count stays within a constant
+  // factor of lg n per level: total O(n/p + lg n) ~ O(lg n) · const. We
+  // verify the scaling: quadrupling n with p = n/lg n raises steps by less
+  // than ~4x the lg ratio (i.e. the algorithm is not Θ(n) steps).
+  const auto steps_for = [](std::size_t n) {
+    const std::size_t lg = static_cast<std::size_t>(std::log2(n));
+    machine::Machine m(machine::Model::Scan, n / lg);
+    auto a = testutil::random_vector<std::uint64_t>(n, 160, 1u << 30);
+    auto b = testutil::random_vector<std::uint64_t>(n, 161, 1u << 30);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    halving_merge(m, std::span<const std::uint64_t>(a),
+                  std::span<const std::uint64_t>(b));
+    return m.stats().steps;
+  };
+  const auto s1 = steps_for(1 << 12);
+  const auto s2 = steps_for(1 << 14);
+  // Θ(n)-step behaviour would give s2/s1 ≈ 4; O(n/p + lg n) gives ≈ 7/6.
+  EXPECT_LT(static_cast<double>(s2) / static_cast<double>(s1), 2.0);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,119 @@
+// Luby's maximal independent set on the segmented graph representation
+// (Table 1's MIS row).
+#include "src/algo/independent_set.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> random_graph(std::size_t n, std::size_t m,
+                                       std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::size_t u = g() % n, v = g() % n;
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  return edges;
+}
+
+struct MisCase {
+  std::size_t n;
+  std::size_t m;
+};
+
+class MisSweep : public ::testing::TestWithParam<MisCase> {};
+
+TEST_P(MisSweep, ProducesAMaximalIndependentSet) {
+  const auto [n, edge_count] = GetParam();
+  machine::Machine m;
+  const auto edges = random_graph(n, edge_count, 401 + n);
+  const MisResult r = maximal_independent_set(
+      m, n, std::span<const WeightedEdge>(edges), 7);
+  EXPECT_TRUE(is_maximal_independent_set(n, std::span<const WeightedEdge>(edges),
+                                         r.in_set));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MisSweep,
+    ::testing::Values(MisCase{1, 0}, MisCase{5, 3}, MisCase{20, 60},
+                      MisCase{100, 50}, MisCase{100, 1000},
+                      MisCase{1000, 500}, MisCase{1000, 8000},
+                      MisCase{4000, 20000}));
+
+TEST(MaximalIndependentSet, IsolatedVerticesAlwaysJoin) {
+  machine::Machine m;
+  const std::vector<WeightedEdge> edges{{0, 1, 1}};
+  const MisResult r = maximal_independent_set(
+      m, 5, std::span<const WeightedEdge>(edges), 3);
+  EXPECT_TRUE(r.in_set[2]);
+  EXPECT_TRUE(r.in_set[3]);
+  EXPECT_TRUE(r.in_set[4]);
+  EXPECT_NE(r.in_set[0], r.in_set[1]);  // exactly one endpoint of the edge
+}
+
+TEST(MaximalIndependentSet, CompleteGraphPicksExactlyOne) {
+  machine::Machine m;
+  const std::size_t n = 30;
+  std::vector<WeightedEdge> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) edges.push_back({u, v, 1.0});
+  }
+  const MisResult r = maximal_independent_set(
+      m, n, std::span<const WeightedEdge>(edges), 9);
+  std::size_t members = 0;
+  for (const auto f : r.in_set) members += f;
+  EXPECT_EQ(members, 1u);
+}
+
+TEST(MaximalIndependentSet, PathAlternates) {
+  machine::Machine m;
+  const std::size_t n = 101;
+  std::vector<WeightedEdge> edges;
+  for (std::size_t v = 1; v < n; ++v) edges.push_back({v - 1, v, 1.0});
+  const MisResult r = maximal_independent_set(
+      m, n, std::span<const WeightedEdge>(edges), 11);
+  EXPECT_TRUE(is_maximal_independent_set(n, std::span<const WeightedEdge>(edges),
+                                         r.in_set));
+  // A maximal IS of a path has between ⌈n/3⌉ and ⌈n/2⌉ members.
+  std::size_t members = 0;
+  for (const auto f : r.in_set) members += f;
+  EXPECT_GE(members, (n + 2) / 3);
+  EXPECT_LE(members, (n + 1) / 2);
+}
+
+TEST(MaximalIndependentSet, RoundCountIsLogarithmic) {
+  machine::Machine m;
+  for (const std::size_t n : {256u, 2048u, 16384u}) {
+    const auto edges = random_graph(n, 4 * n, n);
+    const MisResult r = maximal_independent_set(
+        m, n, std::span<const WeightedEdge>(edges), 13);
+    EXPECT_LE(r.rounds, static_cast<std::size_t>(
+                            6.0 * std::log2(static_cast<double>(n))))
+        << n;
+  }
+}
+
+TEST(MaximalIndependentSet, DifferentSeedsDifferentSetsSameProperty) {
+  machine::Machine m;
+  const std::size_t n = 200;
+  const auto edges = random_graph(n, 800, 402);
+  const MisResult a = maximal_independent_set(
+      m, n, std::span<const WeightedEdge>(edges), 1);
+  const MisResult b = maximal_independent_set(
+      m, n, std::span<const WeightedEdge>(edges), 2);
+  EXPECT_TRUE(is_maximal_independent_set(n, std::span<const WeightedEdge>(edges),
+                                         a.in_set));
+  EXPECT_TRUE(is_maximal_independent_set(n, std::span<const WeightedEdge>(edges),
+                                         b.in_set));
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,139 @@
+// Scan-model k-d tree construction (Table 1's row): structure, balance,
+// query correctness, and the O(1)-steps-per-level claim.
+#include "src/algo/kd_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+std::vector<Point2D> random_points(std::size_t n, std::uint64_t seed,
+                                   std::uint64_t grid = 100000) {
+  auto g = testutil::rng(seed);
+  std::vector<Point2D> pts(n);
+  for (auto& p : pts) {
+    p = {static_cast<double>(g() % grid) / 7.0,
+         static_cast<double>(g() % grid) / 7.0};
+  }
+  return pts;
+}
+
+class KdSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KdSweep, TreeIsValid) {
+  machine::Machine m;
+  const auto pts = random_points(GetParam(), 501 + GetParam());
+  const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+  EXPECT_TRUE(validate_kd_tree(t, std::span<const Point2D>(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 100, 1000, 4097,
+                                           30000));
+
+TEST(KdTree, NearestNeighborMatchesBruteForce) {
+  machine::Machine m;
+  const auto pts = random_points(2000, 502);
+  const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+  auto g = testutil::rng(503);
+  for (int q = 0; q < 200; ++q) {
+    const Point2D query{static_cast<double>(g() % 100000) / 7.0,
+                        static_cast<double>(g() % 100000) / 7.0};
+    const std::size_t got = kd_nearest(t, std::span<const Point2D>(pts), query);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : pts) {
+      const double d = (p.x - query.x) * (p.x - query.x) +
+                       (p.y - query.y) * (p.y - query.y);
+      best = std::min(best, d);
+    }
+    const double dg = (pts[got].x - query.x) * (pts[got].x - query.x) +
+                      (pts[got].y - query.y) * (pts[got].y - query.y);
+    ASSERT_NEAR(dg, best, 1e-9);
+  }
+}
+
+TEST(KdTree, DepthIsCeilLgN) {
+  machine::Machine m;
+  for (const std::size_t n : {2u, 64u, 65u, 1000u, 16384u}) {
+    const auto pts = random_points(n, 504 + n);
+    const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+    std::size_t lg = 0;
+    while ((std::size_t{1} << lg) < n) ++lg;
+    EXPECT_LE(t.levels, lg + 1) << n;
+    EXPECT_GE(t.levels, lg) << n;
+  }
+}
+
+TEST(KdTree, DuplicateCoordinatesAreHandled) {
+  machine::Machine m;
+  const auto pts = random_points(3000, 505, 10);  // heavy ties on both axes
+  const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+  EXPECT_TRUE(validate_kd_tree(t, std::span<const Point2D>(pts)));
+}
+
+TEST(KdTree, StepsPerLevelAreConstant) {
+  // O(1) program steps per level in the scan model: total steps / levels
+  // must not depend on n (the point of keeping both sort orders alive).
+  const auto steps_per_level = [](std::size_t n) {
+    machine::Machine m(machine::Model::Scan);
+    const auto pts = random_points(n, 506);
+    m.reset_stats();
+    const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+    return static_cast<double>(m.stats().steps) /
+           static_cast<double>(t.levels);
+  };
+  // Subtract nothing: the initial radix sorts are amortised into the first
+  // level; compare totals per level across a 16x size range.
+  const double small = steps_per_level(1 << 10);
+  const double large = steps_per_level(1 << 14);
+  EXPECT_NEAR(small, large, 0.35 * small);
+}
+
+TEST(KdTree, RangeQueriesMatchBruteForce) {
+  machine::Machine m;
+  const auto pts = random_points(3000, 508);
+  const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+  auto g = testutil::rng(509);
+  for (int q = 0; q < 50; ++q) {
+    double xlo = static_cast<double>(g() % 100000) / 7.0;
+    double xhi = static_cast<double>(g() % 100000) / 7.0;
+    double ylo = static_cast<double>(g() % 100000) / 7.0;
+    double yhi = static_cast<double>(g() % 100000) / 7.0;
+    if (xlo > xhi) std::swap(xlo, xhi);
+    if (ylo > yhi) std::swap(ylo, yhi);
+    auto got = kd_range(t, std::span<const Point2D>(pts), xlo, xhi, ylo, yhi);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> expect;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].x >= xlo && pts[i].x <= xhi && pts[i].y >= ylo &&
+          pts[i].y <= yhi) {
+        expect.push_back(i);
+      }
+    }
+    ASSERT_EQ(got, expect) << "query " << q;
+  }
+  // Whole-plane query returns everything; empty box nothing.
+  EXPECT_EQ(kd_range(t, std::span<const Point2D>(pts), -1e18, 1e18, -1e18,
+                     1e18)
+                .size(),
+            pts.size());
+  EXPECT_TRUE(kd_range(t, std::span<const Point2D>(pts), 1, 0, 1, 0).empty());
+}
+
+TEST(KdTree, NodeCountIs2NMinus1) {
+  machine::Machine m;
+  const auto pts = random_points(777, 507);
+  const KdTree t = build_kd_tree(m, std::span<const Point2D>(pts));
+  EXPECT_EQ(t.nodes.size(), 2 * pts.size() - 1);
+  std::size_t leaves = 0;
+  for (const auto& nd : t.nodes) leaves += nd.axis == 2;
+  EXPECT_EQ(leaves, pts.size());
+}
+
+}  // namespace
+}  // namespace scanprim::algo

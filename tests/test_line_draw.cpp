@@ -1,0 +1,98 @@
+// Parallel line drawing (§2.4.1, Figure 9) against the serial DDA.
+#include "src/algo/line_draw.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+std::vector<LineSegment> random_lines(std::size_t count, std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<LineSegment> lines(count);
+  for (auto& l : lines) {
+    l.a = {static_cast<std::int64_t>(g() % 200),
+           static_cast<std::int64_t>(g() % 200)};
+    l.b = {static_cast<std::int64_t>(g() % 200),
+           static_cast<std::int64_t>(g() % 200)};
+  }
+  return lines;
+}
+
+TEST(LineDraw, MatchesSerialDdaPixelForPixel) {
+  machine::Machine m;
+  const auto lines = random_lines(200, 181);
+  const RasterResult r = draw_lines(m, std::span<const LineSegment>(lines));
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < lines.size(); ++l) {
+    const auto ref = dda_serial(lines[l]);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(r.pixels[off + i], ref[i]) << "line " << l << " pixel " << i;
+      ASSERT_EQ(r.line_of_pixel[off + i], l);
+    }
+    ASSERT_TRUE(r.line_starts[off]);
+    off += ref.size();
+  }
+  EXPECT_EQ(off, r.pixels.size());
+}
+
+TEST(LineDraw, PixelChainsAreEightConnected) {
+  const auto lines = random_lines(100, 182);
+  for (const auto& l : lines) {
+    const auto px = dda_serial(l);
+    EXPECT_EQ(px.front(), l.a);
+    EXPECT_EQ(px.back(), l.b);
+    for (std::size_t i = 1; i < px.size(); ++i) {
+      EXPECT_LE(std::llabs(px[i].x - px[i - 1].x), 1);
+      EXPECT_LE(std::llabs(px[i].y - px[i - 1].y), 1);
+    }
+  }
+}
+
+TEST(LineDraw, DegenerateLines) {
+  machine::Machine m;
+  // A point and a unit step.
+  const std::vector<LineSegment> lines{{{5, 5}, {5, 5}}, {{0, 0}, {1, 0}}};
+  const RasterResult r = draw_lines(m, std::span<const LineSegment>(lines));
+  ASSERT_EQ(r.pixels.size(), 3u);
+  EXPECT_EQ(r.pixels[0], (Point{5, 5}));
+  EXPECT_EQ(r.pixels[1], (Point{0, 0}));
+  EXPECT_EQ(r.pixels[2], (Point{1, 0}));
+}
+
+TEST(LineDraw, StepComplexityIsConstant) {
+  // O(1) program steps regardless of line count and length (§2.4.1).
+  const auto steps_for = [](std::size_t count, std::uint64_t seed) {
+    machine::Machine m(machine::Model::Scan);
+    const auto lines = random_lines(count, seed);
+    draw_lines(m, std::span<const LineSegment>(lines));
+    return m.stats().steps;
+  };
+  EXPECT_EQ(steps_for(10, 1), steps_for(2000, 2));
+}
+
+TEST(LineDraw, AllOrientations) {
+  machine::Machine m;
+  const std::vector<LineSegment> lines{
+      {{0, 0}, {10, 3}},   // shallow right
+      {{0, 0}, {3, 10}},   // steep up
+      {{10, 3}, {0, 0}},   // shallow left (reversed)
+      {{0, 10}, {0, 0}},   // vertical down
+      {{0, 0}, {-7, -7}},  // diagonal into negative quadrant
+  };
+  const RasterResult r = draw_lines(m, std::span<const LineSegment>(lines));
+  std::size_t off = 0;
+  for (const auto& l : lines) {
+    const auto ref = dda_serial(l);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(r.pixels[off + i], ref[i]);
+    }
+    off += ref.size();
+  }
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,62 @@
+// Line of sight: the Table 1 O(1) scan-model geometry entry.
+#include "src/algo/line_of_sight.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+class LosSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LosSweep, MatchesSerial) {
+  machine::Machine m;
+  const auto alt = testutil::random_doubles(GetParam(), 191, 0, 500);
+  EXPECT_EQ(line_of_sight(m, std::span<const double>(alt)),
+            line_of_sight_serial(std::span<const double>(alt)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LosSweep,
+                         ::testing::Values(0, 1, 2, 100, 4097, 50000));
+
+TEST(LineOfSight, MonotoneRidgeIsFullyVisible) {
+  machine::Machine m;
+  std::vector<double> alt(100);
+  for (std::size_t i = 0; i < alt.size(); ++i) {
+    alt[i] = static_cast<double>(i * i);  // convex: every point visible
+  }
+  const Flags v = line_of_sight(m, std::span<const double>(alt));
+  for (const auto f : v) EXPECT_TRUE(f);
+}
+
+TEST(LineOfSight, ValleyBehindPeakIsHidden) {
+  machine::Machine m;
+  // The peak at distance 1 (angle 10) shadows everything up to the far
+  // summit at distance 5, which clears it (angle 60/5 = 12 > 10).
+  const std::vector<double> alt{0, 10, 1, 2, 3, 60};
+  const Flags v = line_of_sight(m, std::span<const double>(alt));
+  EXPECT_EQ(v, (Flags{1, 1, 0, 0, 0, 1}));
+}
+
+TEST(LineOfSight, ObserverHeightUncoversTerrain) {
+  machine::Machine m;
+  const std::vector<double> alt{0, 10, 1};
+  EXPECT_EQ(line_of_sight(m, std::span<const double>(alt), 0.0),
+            (Flags{1, 1, 0}));
+  // From a 30-unit tower everything is visible (the angles now decrease
+  // with distance, so the near peak no longer shadows the valley).
+  EXPECT_EQ(line_of_sight(m, std::span<const double>(alt), 30.0),
+            (Flags{1, 1, 1}));
+}
+
+TEST(LineOfSight, UsesExactlyOneScan) {
+  machine::Machine m(machine::Model::Scan);
+  const auto alt = testutil::random_doubles(10000, 192, 0, 100);
+  line_of_sight(m, std::span<const double>(alt));
+  EXPECT_EQ(m.stats().scans, 1u);
+  EXPECT_LE(m.stats().steps, 4u);  // angle, scan, compare — O(1)
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,133 @@
+// List ranking (Table 5): Wyllie pointer jumping and the work-efficient
+// random-mate contraction, against a serial walk.
+#include "src/algo/list_rank.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+// A random list threaded through a shuffled permutation of [0, n).
+std::vector<std::size_t> random_list(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  auto g = testutil::rng(seed);
+  std::shuffle(perm.begin(), perm.end(), g);
+  std::vector<std::size_t> next(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[perm[i]] = perm[i + 1];
+  if (n > 0) next[perm[n - 1]] = perm[n - 1];
+  return next;
+}
+
+class RankSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RankSweep, WyllieMatchesSerial) {
+  machine::Machine m;
+  const auto next = random_list(GetParam(), 201);
+  EXPECT_EQ(list_rank_wyllie(m, std::span<const std::size_t>(next)),
+            list_rank_serial(std::span<const std::size_t>(next)));
+}
+
+TEST_P(RankSweep, ContractionMatchesSerial) {
+  machine::Machine m;
+  const auto next = random_list(GetParam(), 202);
+  EXPECT_EQ(list_rank_contract(m, std::span<const std::size_t>(next), 7),
+            list_rank_serial(std::span<const std::size_t>(next)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankSweep,
+                         ::testing::Values(1, 2, 3, 31, 32, 33, 1000, 4097,
+                                           50000));
+
+TEST(ListRank, WeightedRanking) {
+  machine::Machine m;
+  const std::size_t n = 5000;
+  const auto next = random_list(n, 203);
+  const auto w = testutil::random_vector<std::uint64_t>(n, 204, 100);
+  const auto got = list_rank_weighted(m, std::span<const std::size_t>(next),
+                                      std::span<const std::uint64_t>(w), true);
+  // Serial reference with weights.
+  std::vector<std::uint64_t> expect(n, 0);
+  for (std::size_t start = 0; start < n; ++start) {
+    std::uint64_t d = 0;
+    std::size_t v = start;
+    while (next[v] != v) {
+      d += w[v];
+      v = next[v];
+    }
+    expect[start] = d;
+  }
+  EXPECT_EQ(got, expect);
+  // Wyllie flavour agrees.
+  EXPECT_EQ(list_rank_weighted(m, std::span<const std::size_t>(next),
+                               std::span<const std::uint64_t>(w), false),
+            expect);
+}
+
+TEST(ListRank, MultipleIndependentLists) {
+  machine::Machine m;
+  // Three lists of different lengths living in one vector.
+  std::vector<std::size_t> next{1, 2, 2,   // 0->1->2 (tail 2)
+                                4, 4,      // 3->4 (tail 4)
+                                5};        // 5 (tail)
+  const auto got = list_rank_wyllie(m, std::span<const std::size_t>(next));
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{2, 1, 0, 1, 0, 0}));
+  EXPECT_EQ(list_rank_contract(m, std::span<const std::size_t>(next), 3), got);
+}
+
+TEST(ListRank, WrappedNegativeWeightsWork) {
+  // The Euler-tour computations rely on mod-2^64 arithmetic: +1 / -1
+  // weights must cancel exactly.
+  machine::Machine m;
+  const std::vector<std::size_t> next{1, 2, 3, 3};
+  const std::vector<std::uint64_t> w{1, ~std::uint64_t{0}, 1, 0};  // +1 -1 +1
+  const auto got = list_rank_weighted(m, std::span<const std::size_t>(next),
+                                      std::span<const std::uint64_t>(w), true);
+  EXPECT_EQ(got[0], 1u);                 // +1 -1 +1
+  EXPECT_EQ(got[1], 0u);                 // -1 +1
+  EXPECT_EQ(got[2], 1u);
+}
+
+TEST(ListRank, WyllieCostsNLgNProcessorSteps) {
+  // Table 5's first column: Wyllie with n processors takes O(lg n) steps,
+  // so ~2 gathers + 1 elementwise per doubling round.
+  machine::Machine m(machine::Model::Scan);
+  const auto next = random_list(1 << 12, 205);
+  list_rank_wyllie(m, std::span<const std::size_t>(next));
+  EXPECT_LE(m.stats().steps, 3u * 12 + 4);
+  EXPECT_GE(m.stats().steps, 12u);
+}
+
+TEST(ListRank, ContractionDoesLinearWork) {
+  // Table 5's point: Wyllie on n processors does Θ(n lg n) work (its
+  // per-element work grows with lg n), while random-mate contraction on
+  // n / lg n processors does Θ(n) work (its per-element work stays flat —
+  // the spliced quarter per level makes the total touched elements ~4n).
+  const auto work_per_element = [](std::size_t lg, bool contraction,
+                                   std::uint64_t seed) {
+    const std::size_t n = std::size_t{1} << lg;
+    const auto next = random_list(n, seed);
+    if (contraction) {
+      machine::Machine m(machine::Model::Scan, n / lg);
+      list_rank_contract(m, std::span<const std::size_t>(next), 5);
+      return static_cast<double>(m.stats().steps) * (n / lg) / n;
+    }
+    machine::Machine m(machine::Model::Scan, n);
+    list_rank_wyllie(m, std::span<const std::size_t>(next));
+    return static_cast<double>(m.stats().steps) * n / n;
+  };
+  const double wc = work_per_element(18, true, 206) /
+                    work_per_element(10, true, 207);
+  const double ww = work_per_element(18, false, 208) /
+                    work_per_element(10, false, 209);
+  EXPECT_LT(wc, 1.5) << "contraction work should stay ~linear";
+  EXPECT_GT(ww, 1.6) << "Wyllie work grows with lg n";
+}
+
+}  // namespace
+}  // namespace scanprim::algo

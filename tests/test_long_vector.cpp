@@ -1,0 +1,96 @@
+// Long vectors and load balancing (§2.5, Figures 10 and 11): simulating
+// more elements than processors and the resulting step charges of Table 5.
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.hpp"
+#include "src/thread/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace scanprim::machine {
+namespace {
+
+TEST(LongVector, Figure10BlockLayout) {
+  // 12 elements on 4 processors: contiguous blocks of 3.
+  for (std::size_t b = 0; b < 4; ++b) {
+    const thread::Block blk = thread::block_of(12, 4, b);
+    EXPECT_EQ(blk.begin, 3 * b);
+    EXPECT_EQ(blk.end, 3 * (b + 1));
+  }
+}
+
+TEST(LongVector, Figure10ScanDecomposition) {
+  // Figure 10: per-block sums [12 7 18 15], +-scan of the sums
+  // [0 12 19 37], then block-local scans with those offsets.
+  const std::vector<int> v{4, 7, 1, 0, 5, 2, 6, 4, 8, 1, 9, 5};
+  std::vector<int> sums(4, 0);
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto blk = thread::block_of(12, 4, b);
+    for (std::size_t i = blk.begin; i < blk.end; ++i) sums[b] += v[i];
+  }
+  EXPECT_EQ(sums, (std::vector<int>{12, 7, 18, 15}));
+  const auto offsets = plus_scan(std::span<const int>(sums));
+  EXPECT_EQ(offsets, (std::vector<int>{0, 12, 19, 37}));
+  // The full scan agrees with the figure's result row.
+  const auto full = plus_scan(std::span<const int>(v));
+  EXPECT_EQ(full, (std::vector<int>{0, 4, 11, 12, 12, 17, 19, 25, 29, 37, 38,
+                                    47}));
+}
+
+TEST(LongVector, Figure11LoadBalancingPack) {
+  // F = [T F F F T T F T T T T T]: pack keeps the flagged elements and
+  // re-blocks them evenly.
+  const Flags f{1, 0, 0, 0, 1, 1, 0, 1, 1, 1, 1, 1};
+  std::vector<char> a(12);
+  for (std::size_t i = 0; i < 12; ++i) a[i] = static_cast<char>('a' + i);
+  const auto packed = pack(std::span<const char>(a), FlagsView(f));
+  EXPECT_EQ(packed, (std::vector<char>{'a', 'e', 'f', 'h', 'i', 'j', 'k', 'l'}));
+  // 8 remaining elements on 4 processors: 2 each.
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(thread::block_of(8, 4, b).size(), 2u);
+  }
+}
+
+TEST(LongVector, ChargesScaleWithCeilNOverP) {
+  Machine m(Model::Scan, 100);
+  const auto v = testutil::random_vector<long>(1000, 251);
+  m.map<long>(std::span<const long>(v), [](long x) { return x; });
+  EXPECT_EQ(m.stats().steps, 10u);
+  m.reset_stats();
+  const auto w = testutil::random_vector<long>(1001, 252);
+  m.map<long>(std::span<const long>(w), [](long x) { return x; });
+  EXPECT_EQ(m.stats().steps, 11u);  // ⌈1001/100⌉
+}
+
+TEST(LongVector, Table5ProcessorStepTradeoff) {
+  // Table 5: a geometrically shrinking workload (like the halving merge's
+  // levels) costs Θ(n lg n) processor-steps with p = n but only Θ(n) with
+  // p = n / lg n, because a load-balanced machine keeps its processors busy
+  // on the early big levels and the late levels are cheap anyway.
+  const std::size_t n = 1 << 12;
+  const std::size_t lg = 12;
+  Machine full(Model::Scan, n), balanced(Model::Scan, n / lg);
+  for (std::size_t len = n; len >= 1; len /= 2) {
+    const auto v = testutil::random_vector<long>(len, 253 + len);
+    full.plus_scan(std::span<const long>(v));
+    balanced.plus_scan(std::span<const long>(v));
+  }
+  const auto ps_full = full.stats().steps * n;
+  const auto ps_balanced = balanced.stats().steps * (n / lg);
+  EXPECT_LT(ps_balanced, ps_full / 3)
+      << "balanced=" << ps_balanced << " full=" << ps_full;
+}
+
+TEST(LongVector, ScanStepFormulaPerModel) {
+  // With p processors and n elements: Scan model ⌈n/p⌉ + 1; EREW
+  // ⌈n/p⌉ - 1 + lg p local-then-tree steps.
+  const std::size_t n = 4096, p = 256;
+  const auto v = testutil::random_vector<long>(n, 254);
+  Machine s(Model::Scan, p), e(Model::EREW, p);
+  s.plus_scan(std::span<const long>(v));
+  e.plus_scan(std::span<const long>(v));
+  EXPECT_EQ(s.stats().steps, n / p - 1 + 1);
+  EXPECT_EQ(e.stats().steps, n / p - 1 + 8);  // lg 256 = 8
+}
+
+}  // namespace
+}  // namespace scanprim::machine

@@ -1,0 +1,199 @@
+// The cost semantics of the machine model: the charges of each operation
+// under EREW / CRCW / Scan, with and without the long-vector (p < n) factor.
+#include "src/machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::machine {
+namespace {
+
+TEST(CeilLg, Values) {
+  EXPECT_EQ(ceil_lg(0), 0u);
+  EXPECT_EQ(ceil_lg(1), 0u);
+  EXPECT_EQ(ceil_lg(2), 1u);
+  EXPECT_EQ(ceil_lg(3), 2u);
+  EXPECT_EQ(ceil_lg(1024), 10u);
+  EXPECT_EQ(ceil_lg(1025), 11u);
+}
+
+TEST(Machine, ScanModelChargesOneStepPerScan) {
+  Machine m(Model::Scan);
+  const auto v = testutil::random_vector<long>(4096, 81);
+  m.plus_scan(std::span<const long>(v));
+  EXPECT_EQ(m.stats().steps, 1u);
+  EXPECT_EQ(m.stats().scans, 1u);
+  m.max_scan(std::span<const long>(v));
+  EXPECT_EQ(m.stats().steps, 2u);
+}
+
+TEST(Machine, ErewChargesLgNPerScan) {
+  Machine m(Model::EREW);
+  const auto v = testutil::random_vector<long>(4096, 82);
+  m.plus_scan(std::span<const long>(v));
+  EXPECT_EQ(m.stats().steps, 12u);  // lg 4096
+}
+
+TEST(Machine, CrcwScanStillCostsLgN) {
+  Machine m(Model::CRCW);
+  const auto v = testutil::random_vector<long>(1 << 16, 83);
+  m.plus_scan(std::span<const long>(v));
+  EXPECT_EQ(m.stats().steps, 16u);
+}
+
+TEST(Machine, BroadcastCosts) {
+  const auto v = testutil::random_vector<long>(4096, 84);
+  Machine crcw(Model::CRCW), erew(Model::EREW), scan(Model::Scan);
+  crcw.copy(std::span<const long>(v));
+  erew.copy(std::span<const long>(v));
+  scan.copy(std::span<const long>(v));
+  EXPECT_EQ(crcw.stats().steps, 1u);
+  EXPECT_EQ(erew.stats().steps, 12u);
+  EXPECT_EQ(scan.stats().steps, 1u);
+}
+
+TEST(Machine, CombineCosts) {
+  const auto v = testutil::random_vector<long>(4096, 85);
+  Machine crcw(Model::CRCW), erew(Model::EREW), scan(Model::Scan);
+  crcw.reduce(std::span<const long>(v), Plus<long>{});
+  erew.reduce(std::span<const long>(v), Plus<long>{});
+  scan.reduce(std::span<const long>(v), Plus<long>{});
+  EXPECT_EQ(crcw.stats().steps, 1u);
+  EXPECT_EQ(erew.stats().steps, 12u);
+  EXPECT_EQ(scan.stats().steps, 1u);
+}
+
+TEST(Machine, ElementwiseAndPermuteAreUnitInAllModels) {
+  const auto v = testutil::random_vector<long>(4096, 86);
+  for (const Model model : {Model::EREW, Model::CRCW, Model::Scan}) {
+    Machine m(model);
+    m.map<long>(std::span<const long>(v), [](long x) { return x + 1; });
+    EXPECT_EQ(m.stats().steps, 1u) << to_string(model);
+  }
+}
+
+TEST(Machine, LongVectorFactorScalesCharges) {
+  // 1024 processors, 8192 elements: ⌈n/p⌉ = 8.
+  Machine m(Model::Scan, 1024);
+  const auto v = testutil::random_vector<long>(8192, 87);
+  m.map<long>(std::span<const long>(v), [](long x) { return x; });
+  EXPECT_EQ(m.stats().steps, 8u);
+  m.reset_stats();
+  m.plus_scan(std::span<const long>(v));
+  EXPECT_EQ(m.stats().steps, 8u);  // 7 local + 1 scan step (Figure 10)
+  Machine e(Model::EREW, 1024);
+  e.plus_scan(std::span<const long>(v));
+  EXPECT_EQ(e.stats().steps, 7u + 10u);  // 7 local + lg 1024 tree steps
+}
+
+TEST(Machine, ResultsAreModelIndependent) {
+  const auto v = testutil::random_vector<long>(10000, 88);
+  Machine a(Model::EREW), b(Model::Scan), c(Model::CRCW, 64);
+  EXPECT_EQ(a.plus_scan(std::span<const long>(v)),
+            b.plus_scan(std::span<const long>(v)));
+  EXPECT_EQ(a.plus_scan(std::span<const long>(v)),
+            c.plus_scan(std::span<const long>(v)));
+}
+
+TEST(Machine, ResetStatsClears) {
+  Machine m(Model::Scan);
+  const auto v = testutil::random_vector<long>(100, 89);
+  m.plus_scan(std::span<const long>(v));
+  EXPECT_GT(m.stats().steps, 0u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().steps, 0u);
+  EXPECT_EQ(m.stats().scans, 0u);
+}
+
+TEST(Machine, BitCyclesAccumulate) {
+  Machine m(Model::Scan);
+  m.bit_cost().field_bits = 16;
+  m.bit_cost().op_overhead = 0.0;  // check the raw per-op formulas
+  const auto v = testutil::random_vector<std::uint64_t>(1 << 16, 90);
+  m.plus_scan(std::span<const std::uint64_t>(v));
+  // d + 2 lg p = 16 + 32 bit cycles for one scan on 64K processors.
+  EXPECT_DOUBLE_EQ(m.stats().bit_cycles, 48.0);
+  m.reset_stats();
+  std::vector<std::size_t> idx(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  m.permute(std::span<const std::uint64_t>(v), std::span<const std::size_t>(idx));
+  // router_factor · d · lg p = 3 · 16 · 16.
+  EXPECT_DOUBLE_EQ(m.stats().bit_cycles, 768.0);
+}
+
+TEST(Machine, ScatterAndPermuteIntoCharges) {
+  Machine m(Model::Scan);
+  const auto v = testutil::random_vector<long>(1000, 93);
+  std::vector<std::size_t> idx(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<long> out(2000, -1);
+  m.scatter(std::span<const long>(v), std::span<const std::size_t>(idx),
+            std::span<long>(out));
+  EXPECT_EQ(m.stats().permutes, 1u);
+  EXPECT_EQ(out[999], v[999]);
+  EXPECT_EQ(out[1000], -1);  // untouched beyond the scatter
+  const auto big = m.permute_into(std::span<const long>(v),
+                                  std::span<const std::size_t>(idx), 1500, 7L);
+  EXPECT_EQ(big.size(), 1500u);
+  EXPECT_EQ(big[1200], 7);
+  EXPECT_EQ(m.stats().permutes, 2u);
+}
+
+TEST(Machine, ShiftRightIsAPermuteWithBoundary) {
+  Machine m(Model::Scan);
+  const std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(m.shift_right(std::span<const int>(v), -9),
+            (std::vector<int>{-9, 1, 2}));
+  EXPECT_EQ(m.stats().permutes, 1u);
+}
+
+TEST(Machine, NeighborExchangeChargesNoRouting) {
+  Machine a(Model::Scan), b(Model::Scan);
+  a.bit_cost().op_overhead = 0;
+  b.bit_cost().op_overhead = 0;
+  a.charge_neighbor_exchange(1 << 16);
+  b.charge_permute(1 << 16);
+  EXPECT_EQ(a.stats().steps, b.stats().steps);  // same program-step cost
+  EXPECT_LT(a.stats().bit_cycles, b.stats().bit_cycles / 10);  // no router
+}
+
+TEST(Machine, ChargingIsDeterministic) {
+  const auto run_once = [](Model model) {
+    Machine m(model);
+    const auto v = testutil::random_vector<long>(5000, 94);
+    const Flags f = testutil::random_flags(5000, 95, 4);
+    m.plus_scan(std::span<const long>(v));
+    m.seg_distribute(std::span<const long>(v), FlagsView(f), Plus<long>{});
+    m.pack(std::span<const long>(v), FlagsView(f));
+    m.split(std::span<const long>(v), FlagsView(f));
+    return m.stats().steps;
+  };
+  for (const Model model : {Model::EREW, Model::CRCW, Model::Scan}) {
+    EXPECT_EQ(run_once(model), run_once(model));
+  }
+  // And the models order as the paper says: EREW >= CRCW >= Scan here.
+  EXPECT_GE(run_once(Model::EREW), run_once(Model::CRCW));
+  EXPECT_GE(run_once(Model::CRCW), run_once(Model::Scan));
+}
+
+TEST(Machine, EmptyVectorsChargeNothing) {
+  Machine m(Model::Scan);
+  const std::vector<long> v;
+  m.plus_scan(std::span<const long>(v));
+  m.map<long>(std::span<const long>(v), [](long x) { return x; });
+  EXPECT_EQ(m.stats().steps, 0u);
+}
+
+TEST(Machine, SegmentedScanCostsTheSameAsUnsegmented) {
+  // §3.4: segmented scans reduce to a constant number of primitive scans,
+  // and the hardware supports them directly — one scan charge.
+  Machine m(Model::Scan);
+  const auto v = testutil::random_vector<long>(4096, 91);
+  const Flags f = testutil::random_flags(v.size(), 92, 4);
+  m.seg_scan(std::span<const long>(v), FlagsView(f), Plus<long>{});
+  EXPECT_EQ(m.stats().steps, 1u);
+}
+
+}  // namespace
+}  // namespace scanprim::machine

@@ -1,0 +1,121 @@
+// The Table 1 matrix operations.
+#include "src/algo/matrix.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix M{r, c, {}};
+  M.a = testutil::random_doubles(r * c, seed, -10, 10);
+  return M;
+}
+
+TEST(VecMat, MatchesSerialOnRectangularMatrices) {
+  machine::Machine m;
+  for (const auto& [r, c] : {std::pair<std::size_t, std::size_t>{1, 1},
+                            {3, 5}, {5, 3}, {32, 32}, {64, 17}}) {
+    const Matrix M = random_matrix(r, c, 221 + r * c);
+    const auto x = testutil::random_doubles(r, 222 + r, -5, 5);
+    const auto y = vec_mat_multiply(m, std::span<const double>(x), M);
+    ASSERT_EQ(y.size(), c);
+    for (std::size_t j = 0; j < c; ++j) {
+      double s = 0;
+      for (std::size_t i = 0; i < r; ++i) s += x[i] * M.at(i, j);
+      ASSERT_NEAR(y[j], s, 1e-9);
+    }
+  }
+}
+
+TEST(VecMat, ConstantStepsInTheScanModel) {
+  const auto steps_for = [](std::size_t n) {
+    machine::Machine m(machine::Model::Scan);
+    const Matrix M = random_matrix(n, n, 223);
+    const auto x = testutil::random_doubles(n, 224, -1, 1);
+    vec_mat_multiply(m, std::span<const double>(x), M);
+    return m.stats().steps;
+  };
+  EXPECT_EQ(steps_for(8), steps_for(64));  // Table 1: O(1)
+}
+
+TEST(MatMat, MatchesSerial) {
+  machine::Machine m;
+  const Matrix A = random_matrix(13, 7, 225);
+  const Matrix B = random_matrix(7, 9, 226);
+  const Matrix C = mat_mat_multiply(m, A, B);
+  ASSERT_EQ(C.rows, 13u);
+  ASSERT_EQ(C.cols, 9u);
+  for (std::size_t i = 0; i < C.rows; ++i) {
+    for (std::size_t j = 0; j < C.cols; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < A.cols; ++k) s += A.at(i, k) * B.at(k, j);
+      ASSERT_NEAR(C.at(i, j), s, 1e-9);
+    }
+  }
+}
+
+TEST(MatMat, LinearStepsInInnerDimension) {
+  const auto steps_for = [](std::size_t k) {
+    machine::Machine m(machine::Model::Scan);
+    const Matrix A = random_matrix(4, k, 227);
+    const Matrix B = random_matrix(k, 4, 228);
+    mat_mat_multiply(m, A, B);
+    return m.stats().steps;
+  };
+  EXPECT_EQ(steps_for(32), 2 * steps_for(16));  // Table 1: O(n)
+}
+
+TEST(LinearSolve, RecoversKnownSolution) {
+  machine::Machine m;
+  for (const std::size_t n : {1u, 2u, 5u, 20u, 60u}) {
+    Matrix A = random_matrix(n, n, 229 + n);
+    for (std::size_t i = 0; i < n; ++i) A.at(i, i) += 50.0;  // well-posed
+    const auto x_true = testutil::random_doubles(n, 230 + n, -3, 3);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += A.at(i, j) * x_true[j];
+    }
+    const auto x = linear_solve(m, A, b);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(x[i], x_true[i], 1e-6);
+  }
+}
+
+TEST(LinearSolve, PivotingHandlesZeroDiagonal) {
+  machine::Machine m;
+  // Without pivoting this matrix fails immediately (A[0][0] = 0).
+  Matrix A{2, 2, {0, 1, 1, 0}};
+  const std::vector<double> b{3, 4};
+  const auto x = linear_solve(m, A, b);
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, SingularMatrixThrows) {
+  machine::Machine m;
+  Matrix A{2, 2, {1, 2, 2, 4}};
+  EXPECT_THROW(linear_solve(m, A, {1, 2}), std::runtime_error);
+}
+
+TEST(LinearSolve, ScanModelBeatsErewByLgFactor) {
+  // Table 1: O(n) scan model vs O(n lg n) EREW — per-pivot step counts
+  // differ by about lg n.
+  const std::size_t n = 64;
+  const Matrix A = [&] {
+    Matrix M = random_matrix(n, n, 231);
+    for (std::size_t i = 0; i < n; ++i) M.at(i, i) += 100.0;
+    return M;
+  }();
+  const auto b = testutil::random_doubles(n, 232, -1, 1);
+  machine::Machine ms(machine::Model::Scan), me(machine::Model::EREW);
+  linear_solve(ms, A, b);
+  linear_solve(me, A, b);
+  EXPECT_GT(me.stats().steps, 2 * ms.stats().steps);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,144 @@
+// The random-mate minimum-spanning-tree algorithm (§2.3.3) against Kruskal.
+#include "src/algo/mst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> random_connected_graph(std::size_t n,
+                                                 std::size_t extra,
+                                                 std::uint64_t seed,
+                                                 bool distinct_weights) {
+  auto g = testutil::rng(seed);
+  std::vector<WeightedEdge> edges;
+  const auto weight = [&](std::size_t i) {
+    return distinct_weights ? static_cast<double>(i) + 0.5
+                            : static_cast<double>(g() % 50);
+  };
+  for (std::size_t v = 1; v < n; ++v) {
+    edges.push_back({g() % v, v, 0});
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t u = g() % n, v = g() % n;
+    if (u != v) edges.push_back({u, v, 0});
+  }
+  // Assign weights after shuffling so edge index != weight order.
+  std::shuffle(edges.begin(), edges.end(), g);
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].w = weight(i);
+  std::shuffle(edges.begin(), edges.end(), g);
+  return edges;
+}
+
+struct MstCase {
+  std::size_t n;
+  std::size_t extra;
+};
+
+class MstSweep : public ::testing::TestWithParam<MstCase> {};
+
+TEST_P(MstSweep, MatchesKruskalWeightOnRandomGraphs) {
+  const auto [n, extra] = GetParam();
+  machine::Machine m;
+  const auto edges = random_connected_graph(n, extra, 1000 + n, false);
+  const MstResult got = minimum_spanning_forest(
+      m, n, std::span<const WeightedEdge>(edges), 42);
+  const MstResult ref = kruskal(n, std::span<const WeightedEdge>(edges));
+  EXPECT_EQ(got.edges.size(), n - 1);
+  EXPECT_NEAR(got.total_weight, ref.total_weight, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, MstSweep,
+                         ::testing::Values(MstCase{2, 0}, MstCase{3, 3},
+                                           MstCase{10, 20}, MstCase{64, 200},
+                                           MstCase{200, 600},
+                                           MstCase{500, 2000}));
+
+TEST(Mst, DistinctWeightsGiveTheUniqueTree) {
+  machine::Machine m;
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const std::size_t n = 120;
+    const auto edges = random_connected_graph(n, 500, seed, true);
+    const MstResult got = minimum_spanning_forest(
+        m, n, std::span<const WeightedEdge>(edges), seed * 11);
+    const MstResult ref = kruskal(n, std::span<const WeightedEdge>(edges));
+    std::set<std::size_t> a(got.edges.begin(), got.edges.end());
+    std::set<std::size_t> b(ref.edges.begin(), ref.edges.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Mst, DisconnectedGraphYieldsAForest) {
+  machine::Machine m;
+  // Two triangles, no edge between them.
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {0, 2, 3},
+                                        {3, 4, 4}, {4, 5, 5}, {3, 5, 6}};
+  const MstResult got =
+      minimum_spanning_forest(m, 6, std::span<const WeightedEdge>(edges), 3);
+  EXPECT_EQ(got.edges.size(), 4u);
+  EXPECT_NEAR(got.total_weight, 1 + 2 + 4 + 5, 1e-9);
+}
+
+TEST(Mst, RoundCountIsLogarithmic) {
+  // Random mate merges an expected quarter of the trees per round, so the
+  // number of star-merge rounds concentrates around c·lg n.
+  machine::Machine m;
+  for (const std::size_t n : {64u, 512u, 4096u}) {
+    const auto edges = random_connected_graph(n, 3 * n, n, false);
+    const MstResult got = minimum_spanning_forest(
+        m, n, std::span<const WeightedEdge>(edges), 17);
+    const double lg = std::log2(static_cast<double>(n));
+    EXPECT_LE(got.rounds, static_cast<std::size_t>(10.0 * lg)) << n;
+  }
+}
+
+TEST(Mst, StepsPerRoundAreConstantInTheScanModel) {
+  const auto steps_per_round = [](std::size_t n) {
+    machine::Machine m(machine::Model::Scan);
+    const auto edges = random_connected_graph(n, 3 * n, n + 1, false);
+    const MstResult got = minimum_spanning_forest(
+        m, n, std::span<const WeightedEdge>(edges), 23);
+    return static_cast<double>(m.stats().steps) /
+           static_cast<double>(got.rounds);
+  };
+  const double small = steps_per_round(1 << 7);
+  const double large = steps_per_round(1 << 11);
+  EXPECT_NEAR(small, large, 0.35 * small);
+}
+
+TEST(Mst, TinyGraphs) {
+  machine::Machine m;
+  const std::vector<WeightedEdge> one{{0, 1, 3.5}};
+  const MstResult got =
+      minimum_spanning_forest(m, 2, std::span<const WeightedEdge>(one), 1);
+  EXPECT_EQ(got.edges, std::vector<std::size_t>{0});
+  EXPECT_EQ(got.total_weight, 3.5);
+  // No edges at all.
+  const MstResult empty =
+      minimum_spanning_forest(m, 5, std::span<const WeightedEdge>{}, 1);
+  EXPECT_TRUE(empty.edges.empty());
+}
+
+TEST(Mst, ParallelEdgesAndHighMultiplicity) {
+  machine::Machine m;
+  std::vector<WeightedEdge> edges;
+  for (int k = 0; k < 10; ++k) {
+    edges.push_back({0, 1, 10.0 - k});
+    edges.push_back({1, 2, 20.0 - k});
+  }
+  const MstResult got =
+      minimum_spanning_forest(m, 3, std::span<const WeightedEdge>(edges), 9);
+  EXPECT_EQ(got.edges.size(), 2u);
+  EXPECT_NEAR(got.total_weight, 1.0 + 11.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,180 @@
+// Golden tests: the worked examples printed in the paper, reproduced
+// verbatim. Each test names the figure or section it comes from.
+#include <gtest/gtest.h>
+
+#include "src/scanprim.hpp"
+
+namespace scanprim {
+namespace {
+
+machine::Machine& scan_machine() {
+  static machine::Machine m(machine::Model::Scan);
+  return m;
+}
+
+TEST(PaperFigures, Section21VectorAddition) {
+  // A + B with A = [5 1 3 4 3 9 2 6], B = [2 5 3 8 1 3 6 2].
+  const std::vector<int> a{5, 1, 3, 4, 3, 9, 2, 6};
+  const std::vector<int> b{2, 5, 3, 8, 1, 3, 6, 2};
+  const auto c = zipped<int>(std::span<const int>(a), std::span<const int>(b),
+                             [](int x, int y) { return x + y; });
+  EXPECT_EQ(c, (std::vector<int>{7, 6, 6, 12, 4, 12, 8, 8}));
+}
+
+TEST(PaperFigures, Section21PlusScan) {
+  const std::vector<int> a{2, 1, 2, 3, 5, 8, 13, 21};
+  EXPECT_EQ(plus_scan(std::span<const int>(a)),
+            (std::vector<int>{0, 2, 3, 5, 8, 13, 21, 34}));
+}
+
+TEST(PaperFigures, Section21Permute) {
+  const std::vector<char> a{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  const std::vector<std::size_t> index{2, 5, 4, 3, 1, 6, 0, 7};
+  EXPECT_EQ(permuted(std::span<const char>(a),
+                     std::span<const std::size_t>(index)),
+            (std::vector<char>{'g', 'e', 'a', 'd', 'c', 'b', 'f', 'h'}));
+}
+
+TEST(PaperFigures, Figure1Enumerate) {
+  const Flags flag{1, 0, 0, 1, 0, 1, 1, 0};
+  EXPECT_EQ(enumerate(FlagsView(flag)),
+            (std::vector<std::size_t>{0, 1, 1, 1, 2, 2, 3, 4}));
+}
+
+TEST(PaperFigures, Figure1CopyAndDistribute) {
+  const std::vector<int> a{5, 1, 3, 4, 3, 9, 2, 6};
+  EXPECT_EQ(copy(std::span<const int>(a)), std::vector<int>(8, 5));
+  const std::vector<int> b{1, 1, 2, 1, 1, 2, 1, 1};
+  EXPECT_EQ(distribute(std::span<const int>(b), Plus<int>{}),
+            std::vector<int>(8, 10));
+}
+
+TEST(PaperFigures, Figure2SplitRadixSortTrace) {
+  machine::Machine m(machine::Model::Scan);
+  // A = [5 7 3 1 4 2 7 2], three-bit keys.
+  std::vector<std::uint64_t> a{5, 7, 3, 1, 4, 2, 7, 2};
+  const auto bit_flags = [&](const std::vector<std::uint64_t>& v, unsigned bit) {
+    Flags f(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) f[i] = (v[i] >> bit) & 1;
+    return f;
+  };
+  a = m.split(std::span<const std::uint64_t>(a),
+              FlagsView(bit_flags(a, 0)));
+  EXPECT_EQ(a, (std::vector<std::uint64_t>{4, 2, 2, 5, 7, 3, 1, 7}));
+  a = m.split(std::span<const std::uint64_t>(a),
+              FlagsView(bit_flags(a, 1)));
+  EXPECT_EQ(a, (std::vector<std::uint64_t>{4, 5, 1, 2, 2, 7, 3, 7}));
+  a = m.split(std::span<const std::uint64_t>(a),
+              FlagsView(bit_flags(a, 2)));
+  EXPECT_EQ(a, (std::vector<std::uint64_t>{1, 2, 2, 3, 4, 5, 7, 7}));
+}
+
+TEST(PaperFigures, Figure3Split) {
+  const std::vector<int> a{5, 7, 3, 1, 4, 2, 7, 2};
+  const Flags flags{1, 1, 1, 1, 0, 0, 1, 0};
+  const Flags not_flags{0, 0, 0, 0, 1, 1, 0, 1};
+  EXPECT_EQ(enumerate(FlagsView(not_flags)),
+            (std::vector<std::size_t>{0, 0, 0, 0, 0, 1, 2, 2}));
+  // I-up = n - back-enumerate(Flags) - 1 = [3 4 5 6 6 6 7 7].
+  const auto be = back_enumerate(FlagsView(flags));
+  std::vector<std::size_t> iup(8);
+  for (std::size_t i = 0; i < 8; ++i) iup[i] = 8 - be[i] - 1;
+  EXPECT_EQ(iup, (std::vector<std::size_t>{3, 4, 5, 6, 6, 6, 7, 7}));
+  EXPECT_EQ(split_index(FlagsView(flags)),
+            (std::vector<std::size_t>{3, 4, 5, 6, 0, 1, 7, 2}));
+  EXPECT_EQ(split(std::span<const int>(a), FlagsView(flags)),
+            (std::vector<int>{4, 2, 2, 5, 7, 3, 1, 7}));
+}
+
+TEST(PaperFigures, Figure4SegmentedScans) {
+  const std::vector<int> a{5, 1, 3, 4, 3, 9, 2, 6};
+  const Flags sb{1, 0, 1, 0, 0, 0, 1, 0};
+  EXPECT_EQ(seg_plus_scan(std::span<const int>(a), FlagsView(sb)),
+            (std::vector<int>{0, 5, 0, 3, 7, 10, 0, 2}));
+}
+
+TEST(PaperFigures, Figure5QuicksortFirstIteration) {
+  machine::Machine& m = scan_machine();
+  // Key = [6.4 9.2 3.4 1.6 8.7 4.1 9.2 3.4], pivot 6.4 (first element).
+  const std::vector<double> key{6.4, 9.2, 3.4, 1.6, 8.7, 4.1, 9.2, 3.4};
+  Flags seg(8, 0);
+  seg[0] = 1;
+  const auto pivots = m.seg_copy(std::span<const double>(key), FlagsView(seg));
+  EXPECT_EQ(pivots, std::vector<double>(8, 6.4));
+  std::vector<std::uint8_t> codes(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    codes[i] = key[i] < pivots[i] ? 0 : (key[i] == pivots[i] ? 1 : 2);
+  }
+  const auto idx = algo::seg_split3_index(m, std::span<const std::uint8_t>(codes),
+                                          FlagsView(seg));
+  const auto moved =
+      m.permute(std::span<const double>(key), std::span<const std::size_t>(idx));
+  EXPECT_EQ(moved, (std::vector<double>{3.4, 1.6, 4.1, 3.4, 6.4, 9.2, 8.7, 9.2}));
+}
+
+TEST(PaperFigures, Figure5QuicksortFullSort) {
+  machine::Machine& m = scan_machine();
+  const std::vector<double> key{6.4, 9.2, 3.4, 1.6, 8.7, 4.1, 9.2, 3.4};
+  const auto r = algo::quicksort(m, std::span<const double>(key),
+                                 algo::PivotRule::First);
+  EXPECT_EQ(r.keys, (std::vector<double>{1.6, 3.4, 3.4, 4.1, 6.4, 8.7, 9.2, 9.2}));
+}
+
+TEST(PaperFigures, Figure8Allocation) {
+  const std::vector<std::size_t> a{4, 1, 3};
+  const Allocation alloc = allocate(std::span<const std::size_t>(a));
+  EXPECT_EQ(alloc.offsets, (std::vector<std::size_t>{0, 4, 5}));
+  EXPECT_EQ(alloc.segment_flags, (Flags{1, 0, 0, 0, 1, 1, 0, 0}));
+  const std::vector<std::string> v{"v1", "v2", "v3"};
+  EXPECT_EQ(distribute_to_segments(std::span<const std::string>(v), alloc),
+            (std::vector<std::string>{"v1", "v1", "v1", "v1", "v2", "v3", "v3",
+                                      "v3"}));
+}
+
+TEST(PaperFigures, Figure12HalvingMergeTrace) {
+  machine::Machine& m = scan_machine();
+  // near-merge = [1 7 3 4 9 22 10 13 15 20 23 26]
+  const std::vector<std::uint64_t> nm{1, 7, 3, 4, 9, 22, 10, 13, 15, 20, 23, 26};
+  EXPECT_EQ(algo::x_near_merge(m, std::span<const std::uint64_t>(nm)),
+            (std::vector<std::uint64_t>{1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23,
+                                        26}));
+  // And the full merge of A and B.
+  const std::vector<std::uint64_t> a{1, 7, 10, 13, 15, 20};
+  const std::vector<std::uint64_t> b{3, 4, 9, 22, 23, 26};
+  const auto r = algo::halving_merge(m, std::span<const std::uint64_t>(a),
+                                     std::span<const std::uint64_t>(b));
+  EXPECT_EQ(r.merged, (std::vector<std::uint64_t>{1, 3, 4, 7, 9, 10, 13, 15, 20,
+                                                  22, 23, 26}));
+}
+
+TEST(PaperFigures, Figure16SegMaxScanSimulation) {
+  const std::vector<std::uint32_t> a{5, 1, 3, 4, 3, 9, 2, 6};
+  const Flags f{1, 0, 1, 0, 0, 0, 1, 0};
+  EXPECT_EQ(sim::seg_max_scan(std::span<const std::uint32_t>(a), FlagsView(f)),
+            (std::vector<std::uint32_t>{0, 5, 0, 3, 4, 4, 0, 2}));
+}
+
+TEST(PaperFigures, Figure9LineDrawingPixelCounts) {
+  machine::Machine& m = scan_machine();
+  // Endpoints (11,2)–(23,14), (2,13)–(13,8), (16,4)–(31,4).
+  const std::vector<algo::LineSegment> lines{
+      {{11, 2}, {23, 14}}, {{2, 13}, {13, 8}}, {{16, 4}, {31, 4}}};
+  const auto r = algo::draw_lines(m, std::span<const algo::LineSegment>(lines));
+  // With both endpoints included the lines hold 13, 12 and 16 pixels (the
+  // paper's caption says 12, 11 and 16 — see EXPERIMENTS.md).
+  std::size_t counts[3] = {0, 0, 0};
+  for (const std::size_t l : r.line_of_pixel) ++counts[l];
+  EXPECT_EQ(counts[0], 13u);
+  EXPECT_EQ(counts[1], 12u);
+  EXPECT_EQ(counts[2], 16u);
+  // Endpoints present, and the third line is horizontal at y = 4.
+  EXPECT_EQ(r.pixels.front(), (algo::Point{11, 2}));
+  for (std::size_t i = 0; i < r.pixels.size(); ++i) {
+    if (r.line_of_pixel[i] == 2) {
+      EXPECT_EQ(r.pixels[i].y, 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanprim

@@ -1,0 +1,93 @@
+// The classical parallel-prefix networks behind Table 2's circuit rows:
+// generated, structurally validated, evaluated, and measured.
+#include "src/circuit/prefix_networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::circuit {
+namespace {
+
+using Factory = PrefixNetwork (*)(std::size_t);
+
+struct NetCase {
+  Factory make;
+  const char* name;
+};
+
+class NetworkSweep
+    : public ::testing::TestWithParam<std::tuple<NetCase, std::size_t>> {};
+
+TEST_P(NetworkSweep, ValidatesAndEvaluates) {
+  const auto& [factory, n] = GetParam();
+  const PrefixNetwork net = factory.make(n);
+  ASSERT_TRUE(validate(net)) << factory.name << " n=" << n;
+  const auto in = testutil::random_vector<long>(n, 1300 + n);
+  const auto got = evaluate(net, std::span<const long>(in), Plus<long>{});
+  ASSERT_EQ(got, testutil::ref_inclusive_scan(std::span<const long>(in),
+                                              Plus<long>{}))
+      << factory.name;
+  // Max works too (any associative operator).
+  const auto gm = evaluate(net, std::span<const long>(in), Max<long>{});
+  ASSERT_EQ(gm, testutil::ref_inclusive_scan(std::span<const long>(in),
+                                             Max<long>{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, NetworkSweep,
+    ::testing::Combine(
+        ::testing::Values(NetCase{serial_network, "serial"},
+                          NetCase{sklansky_network, "sklansky"},
+                          NetCase{brent_kung_network, "brent-kung"},
+                          NetCase{kogge_stone_network, "kogge-stone"}),
+        ::testing::Values(1, 2, 3, 7, 8, 9, 64, 100, 1024, 1337)));
+
+TEST(PrefixNetworks, SizeAndDepthFormulas) {
+  const std::size_t n = 1 << 10;
+  const auto serial = serial_network(n);
+  EXPECT_EQ(serial.size(), n - 1);
+  EXPECT_EQ(serial.depth(), n - 1);
+
+  const auto sk = sklansky_network(n);
+  EXPECT_EQ(sk.depth(), 10u);                 // minimum depth: lg n
+  EXPECT_EQ(sk.size(), (n / 2) * 10);         // (n/2) lg n gates
+
+  const auto bk = brent_kung_network(n);
+  EXPECT_EQ(bk.size(), 2 * n - 2 - 10);       // 2n - lg n - 2
+  EXPECT_EQ(bk.depth(), 2 * 10 - 2);          // 2 lg n - 2
+
+  const auto ks = kogge_stone_network(n);
+  EXPECT_EQ(ks.depth(), 10u);
+  EXPECT_EQ(ks.size(), 10 * n - (n - 1));     // n lg n - n + 1
+  // Kogge-Stone's celebrated fanout-2 is per stage; in the flat gate graph
+  // a low node feeds one gate per level, so ≤ lg n overall — still far
+  // below Sklansky's Θ(n) block-boundary fanout.
+  EXPECT_LE(ks.max_fanout(), 10u);
+}
+
+TEST(PrefixNetworks, SklanskyFanoutGrowsButBrentKungStaysLinearSize) {
+  // The trade Table 2's "circuit size O(n)" row is about: Brent-Kung's
+  // size stays ~2n while minimum-depth networks pay ~n lg n / 2.
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto bk = brent_kung_network(n);
+    const auto sk = sklansky_network(n);
+    EXPECT_LT(bk.size(), 2 * n);
+    EXPECT_GT(sk.size(), bk.size());
+    EXPECT_GT(sk.max_fanout(), bk.max_fanout());
+    EXPECT_EQ(bk.depth(), 2 * sk.depth() - 2);
+  }
+}
+
+TEST(PrefixNetworks, NonPowerOfTwoWidths) {
+  for (const std::size_t n : {5u, 13u, 100u, 1000u}) {
+    for (const auto factory : {sklansky_network, brent_kung_network,
+                               kogge_stone_network}) {
+      const auto net = factory(n);
+      ASSERT_TRUE(validate(net)) << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanprim::circuit

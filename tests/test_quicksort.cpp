@@ -1,0 +1,115 @@
+// Segmented quicksort (§2.3.1): correctness on uniform and adversarial
+// inputs, both pivot rules, the expected O(lg n) iteration count, and the
+// segmented three-way split itself.
+#include "src/algo/quicksort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+void expect_sorts(std::span<const double> keys, PivotRule rule) {
+  machine::Machine m;
+  const QuicksortResult r = quicksort(m, keys, rule);
+  std::vector<double> expect(keys.begin(), keys.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(r.keys, expect);
+}
+
+class QuicksortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuicksortSweep, SortsUniformDoubles) {
+  const auto keys = testutil::random_doubles(GetParam(), 141);
+  expect_sorts(keys, PivotRule::Random);
+  expect_sorts(keys, PivotRule::First);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuicksortSweep,
+                         ::testing::Values(0, 1, 2, 3, 100, 4096, 30000));
+
+TEST(Quicksort, AdversarialInputs) {
+  std::vector<double> asc(5000), desc(5000), equal(5000, 3.25), few(5000);
+  for (std::size_t i = 0; i < asc.size(); ++i) {
+    asc[i] = static_cast<double>(i);
+    desc[i] = static_cast<double>(asc.size() - i);
+    few[i] = static_cast<double>(i % 3);
+  }
+  for (const auto* v : {&asc, &desc, &equal, &few}) {
+    expect_sorts(*v, PivotRule::Random);
+  }
+  // The First rule on pre-sorted input terminates immediately (the paper's
+  // step-1 check).
+  machine::Machine m;
+  const QuicksortResult r = quicksort(m, asc, PivotRule::First);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Quicksort, AllEqualKeysTerminateInstantly) {
+  machine::Machine m;
+  const std::vector<double> keys(10000, 7.0);
+  const QuicksortResult r = quicksort(m, keys);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Quicksort, ExpectedIterationsAreLogarithmic) {
+  // With random pivots, iterations concentrate near c·lg n for small c.
+  for (const std::size_t n : {1000u, 10000u, 100000u}) {
+    machine::Machine m;
+    const auto keys = testutil::random_doubles(n, 142);
+    const QuicksortResult r = quicksort(m, keys, PivotRule::Random, 99);
+    const double lg = std::log2(static_cast<double>(n));
+    EXPECT_LE(r.iterations, static_cast<std::size_t>(6.0 * lg))
+        << "n=" << n << " iterations=" << r.iterations;
+    EXPECT_GE(r.iterations, static_cast<std::size_t>(lg / 2.0));
+  }
+}
+
+TEST(Quicksort, StepsPerIterationAreConstant) {
+  // The whole point of the scan model: each quicksort iteration costs O(1)
+  // steps regardless of n.
+  const auto steps_per_iter = [](std::size_t n) {
+    machine::Machine m(machine::Model::Scan);
+    const auto keys = testutil::random_doubles(n, 143);
+    const QuicksortResult r = quicksort(m, keys, PivotRule::Random, 7);
+    return static_cast<double>(m.stats().steps) /
+           static_cast<double>(r.iterations);
+  };
+  const double small = steps_per_iter(1 << 10);
+  const double large = steps_per_iter(1 << 16);
+  EXPECT_NEAR(small, large, small * 0.25);
+}
+
+TEST(SegSplit3, SplitsEachSegmentIntoThreeStableGroups) {
+  machine::Machine m;
+  const std::size_t n = 20000;
+  const auto codes = testutil::random_vector<std::uint8_t>(n, 144, 3);
+  const Flags segs = testutil::random_flags(n, 145, 11);
+  const auto idx =
+      seg_split3_index(m, std::span<const std::uint8_t>(codes), FlagsView(segs));
+  const auto moved =
+      m.permute(std::span<const std::uint8_t>(codes), std::span<const std::size_t>(idx));
+  // Within each segment: sorted by code.
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i == n || segs[i]) {
+      for (std::size_t j = start; j + 1 < i; ++j) {
+        ASSERT_LE(moved[j], moved[j + 1]) << "segment at " << start;
+      }
+      start = i;
+    }
+  }
+  // And it is a permutation that never crosses segment boundaries.
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_FALSE(seen[idx[i]]);
+    seen[idx[i]] = true;
+  }
+}
+
+}  // namespace
+}  // namespace scanprim::algo

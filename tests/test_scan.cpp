@@ -1,0 +1,134 @@
+// Unsegmented scans (§2.1): every flavour against the serial reference,
+// across a size sweep that exercises both the sequential kernel and the
+// blocked parallel kernel, plus algebraic properties.
+#include "src/core/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim {
+namespace {
+
+using testutil::ref_backward_exclusive_scan;
+using testutil::ref_backward_inclusive_scan;
+using testutil::ref_exclusive_scan;
+using testutil::ref_inclusive_scan;
+
+class ScanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSweep, PlusScanMatchesReference) {
+  const auto in = testutil::random_vector<long>(GetParam(), 1);
+  std::vector<long> out(in.size());
+  exclusive_scan(std::span<const long>(in), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, ref_exclusive_scan(std::span<const long>(in), Plus<long>{}));
+}
+
+TEST_P(ScanSweep, MaxScanMatchesReference) {
+  const auto in = testutil::random_vector<long>(GetParam(), 2);
+  std::vector<long> out(in.size());
+  exclusive_scan(std::span<const long>(in), std::span<long>(out), Max<long>{});
+  EXPECT_EQ(out, ref_exclusive_scan(std::span<const long>(in), Max<long>{}));
+}
+
+TEST_P(ScanSweep, MinScanMatchesReference) {
+  const auto in = testutil::random_vector<long>(GetParam(), 3);
+  std::vector<long> out(in.size());
+  exclusive_scan(std::span<const long>(in), std::span<long>(out), Min<long>{});
+  EXPECT_EQ(out, ref_exclusive_scan(std::span<const long>(in), Min<long>{}));
+}
+
+TEST_P(ScanSweep, OrAndScansMatchReference) {
+  const auto in = testutil::random_vector<std::uint8_t>(GetParam(), 4, 2);
+  EXPECT_EQ(or_scan(std::span<const std::uint8_t>(in)),
+            ref_exclusive_scan(std::span<const std::uint8_t>(in),
+                               Or<std::uint8_t>{}));
+  EXPECT_EQ(and_scan(std::span<const std::uint8_t>(in)),
+            ref_exclusive_scan(std::span<const std::uint8_t>(in),
+                               And<std::uint8_t>{}));
+}
+
+TEST_P(ScanSweep, InclusiveScanMatchesReference) {
+  const auto in = testutil::random_vector<long>(GetParam(), 5);
+  std::vector<long> out(in.size());
+  inclusive_scan(std::span<const long>(in), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, ref_inclusive_scan(std::span<const long>(in), Plus<long>{}));
+}
+
+TEST_P(ScanSweep, BackwardScansMatchReference) {
+  const auto in = testutil::random_vector<long>(GetParam(), 6);
+  std::vector<long> out(in.size());
+  backward_exclusive_scan(std::span<const long>(in), std::span<long>(out),
+                          Plus<long>{});
+  EXPECT_EQ(out,
+            ref_backward_exclusive_scan(std::span<const long>(in), Plus<long>{}));
+  backward_inclusive_scan(std::span<const long>(in), std::span<long>(out),
+                          Min<long>{});
+  EXPECT_EQ(out,
+            ref_backward_inclusive_scan(std::span<const long>(in), Min<long>{}));
+}
+
+TEST_P(ScanSweep, ReduceMatchesAccumulate) {
+  const auto in = testutil::random_vector<long>(GetParam(), 7);
+  long acc = 0;
+  for (long v : in) acc += v;
+  EXPECT_EQ(reduce(std::span<const long>(in), Plus<long>{}), acc);
+}
+
+TEST_P(ScanSweep, InPlaceAliasingIsSupported) {
+  auto v = testutil::random_vector<long>(GetParam(), 8);
+  const auto expect = ref_exclusive_scan(std::span<const long>(v), Plus<long>{});
+  exclusive_scan(std::span<const long>(v), std::span<long>(v), Plus<long>{});
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(ScanSweep, DoubleScansMatchReference) {
+  const auto in = testutil::random_doubles(GetParam(), 9);
+  std::vector<double> out(in.size());
+  exclusive_scan(std::span<const double>(in), std::span<double>(out),
+                 Max<double>{});
+  EXPECT_EQ(out,
+            ref_exclusive_scan(std::span<const double>(in), Max<double>{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSweep,
+                         ::testing::ValuesIn(testutil::sweep_sizes()));
+
+TEST(Scan, PaperSection21Example) {
+  // §2.1: +-scan of [2 1 2 3 5 8 13 21] is [0 2 3 5 8 13 21 34].
+  const std::vector<int> a{2, 1, 2, 3, 5, 8, 13, 21};
+  EXPECT_EQ(plus_scan(std::span<const int>(a)),
+            (std::vector<int>{0, 2, 3, 5, 8, 13, 21, 34}));
+}
+
+TEST(Scan, ExclusiveScanOfOneElementIsIdentity) {
+  const std::vector<int> a{42};
+  EXPECT_EQ(plus_scan(std::span<const int>(a)), std::vector<int>{0});
+  EXPECT_EQ(max_scan(std::span<const int>(a)),
+            std::vector<int>{std::numeric_limits<int>::lowest()});
+}
+
+TEST(Scan, ScanThenDifferenceRecoversInput) {
+  const auto in = testutil::random_vector<long>(10000, 10);
+  const auto s = plus_scan(std::span<const long>(in));
+  for (std::size_t i = 0; i + 1 < in.size(); ++i) {
+    ASSERT_EQ(s[i + 1] - s[i], in[i]);
+  }
+}
+
+TEST(Scan, MaxScanIsMonotone) {
+  const auto in = testutil::random_vector<long>(20000, 11);
+  const auto s = max_scan(std::span<const long>(in));
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) ASSERT_LE(s[i], s[i + 1]);
+}
+
+TEST(Scan, BackscanEqualsScanOfReversedInput) {
+  const auto in = testutil::random_vector<long>(9999, 12);
+  std::vector<long> rev(in.rbegin(), in.rend());
+  auto fwd = plus_scan(std::span<const long>(rev));
+  std::reverse(fwd.begin(), fwd.end());
+  EXPECT_EQ(plus_backscan(std::span<const long>(in)), fwd);
+}
+
+}  // namespace
+}  // namespace scanprim

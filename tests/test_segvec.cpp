@@ -1,0 +1,104 @@
+// The SegVec abstraction: the paper's recursive-segment technique as a
+// typed value. Includes a complete quicksort written against it.
+#include "src/core/segvec.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim {
+namespace {
+
+TEST(SegVec, ConstructionAndBasics) {
+  const SegVec<int> v(std::vector<int>{5, 1, 3, 4, 3, 9, 2, 6},
+                      Flags{1, 0, 1, 0, 0, 0, 1, 0});
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.num_segments(), 3u);
+  EXPECT_EQ(v.rank(), (std::vector<std::size_t>{0, 1, 0, 1, 2, 3, 0, 1}));
+  EXPECT_EQ(v.segment_length(),
+            (std::vector<std::size_t>{2, 2, 4, 4, 4, 4, 2, 2}));
+  EXPECT_EQ(v.head_copy(), (std::vector<int>{5, 5, 3, 3, 3, 3, 2, 2}));
+  EXPECT_EQ(v.distribute(Plus<int>{}),
+            (std::vector<int>{6, 6, 19, 19, 19, 19, 8, 8}));
+  EXPECT_EQ(v.scan(Plus<int>{}), (std::vector<int>{0, 5, 0, 3, 7, 10, 0, 2}));
+}
+
+TEST(SegVec, SingleSegmentConstructor) {
+  const SegVec<int> v(std::vector<int>{4, 2, 7});
+  EXPECT_EQ(v.num_segments(), 1u);
+  EXPECT_EQ(v.flags(), (Flags{1, 0, 0}));
+}
+
+TEST(SegVec, Split3GroupsWithinSegments) {
+  const SegVec<int> v(std::vector<int>{3, 1, 2, 9, 7, 8},
+                      Flags{1, 0, 0, 1, 0, 0});
+  const std::vector<std::uint8_t> codes{2, 0, 1, 2, 0, 1};
+  const auto s = v.split3(codes);
+  EXPECT_EQ(s.result.values(), (std::vector<int>{1, 2, 3, 7, 8, 9}));
+  EXPECT_EQ(s.result.flags(), (Flags{1, 1, 1, 1, 1, 1}));
+  // Index really is the permutation that was applied.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(s.result.values()[s.index[i]], v.values()[i]);
+  }
+}
+
+TEST(SegVec, FilterDropsElementsAndEmptySegments) {
+  const SegVec<int> v(std::vector<int>{1, 2, 3, 4, 5, 6},
+                      Flags{1, 0, 1, 0, 1, 0});
+  const Flags keep{1, 0, 0, 0, 1, 1};  // middle segment vanishes
+  const SegVec<int> f = v.filter(FlagsView(keep));
+  EXPECT_EQ(f.values(), (std::vector<int>{1, 5, 6}));
+  EXPECT_EQ(f.flags(), (Flags{1, 1, 0}));
+  EXPECT_EQ(f.num_segments(), 2u);
+}
+
+// Quicksort in eleven lines against the abstraction — the paper's §2.3.1
+// with the bookkeeping folded away.
+std::vector<double> segvec_quicksort(std::vector<double> keys) {
+  SegVec<double> v(std::move(keys));
+  for (int guard = 0; guard < 4096; ++guard) {
+    const std::vector<double> piv = v.head_copy();
+    std::vector<std::uint8_t> codes(v.size());
+    bool any = false;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      codes[i] = v.values()[i] < piv[i] ? 0 : (v.values()[i] == piv[i] ? 1 : 2);
+      any |= codes[i] != 1;
+    }
+    if (!any) break;
+    v = v.split3(codes).result;
+    if (std::is_sorted(v.values().begin(), v.values().end())) break;
+  }
+  return v.values();
+}
+
+TEST(SegVec, QuicksortAgainstTheAbstraction) {
+  auto g = testutil::rng(3001);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> keys(1 + g() % 3000);
+    for (auto& k : keys) k = static_cast<double>(g() % 500);
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(segvec_quicksort(keys), expect) << "trial " << trial;
+  }
+}
+
+TEST(SegVec, RandomizedConsistencyWithRawPrimitives) {
+  auto g = testutil::rng(3002);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + g() % 5000;
+    const auto vals = testutil::random_vector<long>(n, g());
+    Flags f = testutil::random_flags(n, g(), 5);
+    const SegVec<long> v{std::vector<long>(vals), Flags(f)};
+    ASSERT_EQ(v.head_copy(), seg_copy(std::span<const long>(vals), FlagsView(f)));
+    ASSERT_EQ(v.distribute(Max<long>{}),
+              seg_distribute(std::span<const long>(vals), FlagsView(f),
+                             Max<long>{}));
+    ASSERT_EQ(v.scan(Min<long>{}),
+              seg_min_scan(std::span<const long>(vals), FlagsView(f)));
+  }
+}
+
+}  // namespace
+}  // namespace scanprim

@@ -1,0 +1,167 @@
+// §3.4: all the scans, built from only the two primitives (+-scan and
+// max-scan). Every simulated scan must agree with its directly-implemented
+// counterpart.
+#include "src/core/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim {
+namespace {
+
+class SimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimSweep, MinScanViaInvertedMaxScan) {
+  const auto in = testutil::random_vector<std::int64_t>(GetParam(), 61);
+  const auto simulated = sim::min_scan(std::span<const std::int64_t>(in));
+  EXPECT_EQ(simulated, testutil::ref_exclusive_scan(
+                           std::span<const std::int64_t>(in), Min<std::int64_t>{}));
+}
+
+TEST_P(SimSweep, OrScanViaOneBitMaxScan) {
+  const auto in = testutil::random_vector<std::uint8_t>(GetParam(), 62, 2);
+  EXPECT_EQ(sim::or_scan(std::span<const std::uint8_t>(in)),
+            or_scan(std::span<const std::uint8_t>(in)));
+}
+
+TEST_P(SimSweep, AndScanViaOneBitMinScan) {
+  const auto in = testutil::random_vector<std::uint8_t>(GetParam(), 63, 2);
+  EXPECT_EQ(sim::and_scan(std::span<const std::uint8_t>(in)),
+            and_scan(std::span<const std::uint8_t>(in)));
+}
+
+TEST_P(SimSweep, FloatMaxScanViaBitFlipping) {
+  auto in = testutil::random_doubles(GetParam(), 64);
+  const auto simulated = sim::float_max_scan(std::span<const double>(in));
+  std::vector<double> direct(in.size());
+  exclusive_scan(std::span<const double>(in), std::span<double>(direct),
+                 Max<double>{});
+  ASSERT_EQ(simulated.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    if (i == 0) {
+      EXPECT_EQ(simulated[0], -std::numeric_limits<double>::infinity());
+    } else {
+      ASSERT_EQ(simulated[i], direct[i]) << i;
+    }
+  }
+}
+
+TEST_P(SimSweep, FloatMinScanViaNegation) {
+  auto in = testutil::random_doubles(GetParam(), 65);
+  const auto simulated = sim::float_min_scan(std::span<const double>(in));
+  std::vector<double> direct(in.size());
+  exclusive_scan(std::span<const double>(in), std::span<double>(direct),
+                 Min<double>{});
+  for (std::size_t i = 1; i < direct.size(); ++i) {
+    ASSERT_EQ(simulated[i], direct[i]) << i;
+  }
+}
+
+TEST_P(SimSweep, SegMaxScanViaAppendedSegmentNumbers) {
+  const auto in = testutil::random_vector<std::uint32_t>(GetParam(), 66, 1u << 30);
+  const Flags f = testutil::random_flags(in.size(), 67, 5);
+  const auto simulated =
+      sim::seg_max_scan(std::span<const std::uint32_t>(in), FlagsView(f));
+  // The direct version with unsigned-max identity 0.
+  struct UMax {
+    static std::uint32_t identity() { return 0; }
+    std::uint32_t operator()(std::uint32_t a, std::uint32_t b) const {
+      return a > b ? a : b;
+    }
+  };
+  EXPECT_EQ(simulated, testutil::ref_seg_exclusive_scan(
+                           std::span<const std::uint32_t>(in), FlagsView(f), UMax{}));
+}
+
+TEST_P(SimSweep, SegPlusScanViaUnsegmentedScanAndHeadCopy) {
+  const auto in = testutil::random_vector<std::uint32_t>(GetParam(), 68, 1000);
+  const Flags f = testutil::random_flags(in.size(), 69, 4);
+  const auto simulated =
+      sim::seg_plus_scan(std::span<const std::uint32_t>(in), FlagsView(f));
+  EXPECT_EQ(simulated,
+            testutil::ref_seg_exclusive_scan(std::span<const std::uint32_t>(in),
+                                             FlagsView(f), Plus<std::uint32_t>{}));
+}
+
+TEST_P(SimSweep, BackwardScansViaReversedReads) {
+  const auto in = testutil::random_vector<std::uint64_t>(GetParam(), 70);
+  EXPECT_EQ(sim::plus_backscan(std::span<const std::uint64_t>(in)),
+            testutil::ref_backward_exclusive_scan(
+                std::span<const std::uint64_t>(in), Plus<std::uint64_t>{}));
+  const auto ins = testutil::random_vector<std::int64_t>(GetParam(), 71);
+  EXPECT_EQ(sim::max_backscan(std::span<const std::int64_t>(ins)),
+            testutil::ref_backward_exclusive_scan(
+                std::span<const std::int64_t>(ins), Max<std::int64_t>{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimSweep,
+                         ::testing::Values(1, 2, 3, 8, 100, 4097, 20000));
+
+TEST(Simulate, PaperFigure16SegMaxScan) {
+  const std::vector<std::uint32_t> a{5, 1, 3, 4, 3, 9, 2, 6};
+  const Flags f{1, 0, 1, 0, 0, 0, 1, 0};
+  EXPECT_EQ(sim::seg_max_scan(std::span<const std::uint32_t>(a), FlagsView(f)),
+            (std::vector<std::uint32_t>{0, 5, 0, 3, 4, 4, 0, 2}));
+}
+
+TEST(Simulate, FloatPlusScanMatchesDoubleScan) {
+  // §3.4: "the implementation of the floating-point +-scan is described
+  // elsewhere [7]" — exponent alignment + a wide integer scan. Exact (up to
+  // double rounding of the running sums) when magnitudes are within the
+  // fixed-point window.
+  for (const std::size_t n : {1u, 2u, 100u, 4097u, 20000u}) {
+    const auto in = testutil::random_doubles(n, 74, -1000.0, 1000.0);
+    const auto got = sim::float_plus_scan(std::span<const double>(in));
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // The fixed-point scan is *more* accurate than naive double
+      // accumulation, so compare with a tolerance scaled to the prefix.
+      ASSERT_NEAR(got[i], acc, 1e-6 * (1.0 + std::fabs(acc))) << i;
+      acc += in[i];
+    }
+  }
+}
+
+TEST(Simulate, FloatPlusScanAllZeros) {
+  const std::vector<double> in(100, 0.0);
+  const auto got = sim::float_plus_scan(std::span<const double>(in));
+  for (const double v : got) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Simulate, FloatPlusScanFlushesTinyAddends) {
+  // A value 2^-70 below the maximum vanishes in the alignment — the
+  // documented behaviour of the fixed-point implementation.
+  const std::vector<double> in{1e30, 1.0, 1e30};
+  const auto got = sim::float_plus_scan(std::span<const double>(in));
+  EXPECT_EQ(got[0], 0.0);
+  EXPECT_EQ(got[1], 1e30);
+  EXPECT_EQ(got[2], 1e30);  // the 1.0 flushed
+}
+
+TEST(Simulate, CopyViaScanRestoresFirstElement) {
+  const auto in = testutil::random_vector<std::int64_t>(5000, 72);
+  const auto out = sim::copy_via_scan(std::span<const std::int64_t>(in));
+  for (std::int64_t v : out) ASSERT_EQ(v, in[0]);
+}
+
+TEST(Simulate, FloatKeyIsOrderPreserving) {
+  auto vals = testutil::random_doubles(2000, 73);
+  vals.push_back(0.0);
+  // (-0.0 keys strictly below +0.0 — the usual radix-sort-doubles caveat —
+  // so it is excluded from the strict order check.)
+  vals.push_back(std::numeric_limits<double>::infinity());
+  vals.push_back(-std::numeric_limits<double>::infinity());
+  vals.push_back(1e-300);
+  vals.push_back(-1e-300);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    ASSERT_EQ(sim::float_unkey(sim::float_key(vals[i])), vals[i]);
+    for (std::size_t j = 0; j < vals.size(); ++j) {
+      ASSERT_EQ(vals[i] < vals[j],
+                sim::float_key(vals[i]) < sim::float_key(vals[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanprim

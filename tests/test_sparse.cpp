@@ -1,0 +1,108 @@
+// Sparse matrix-vector multiplication as a segmented sum.
+#include "src/algo/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+void expect_matches(const CsrMatrix& M, std::uint64_t seed) {
+  machine::Machine m;
+  const auto x = testutil::random_doubles(M.cols, seed, -5, 5);
+  const auto got = spmv(m, M, std::span<const double>(x));
+  const auto ref = spmv_serial(M, std::span<const double>(x));
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], ref[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(Spmv, RandomMatrices) {
+  auto g = testutil::rng(601);
+  for (int trial = 0; trial < 15; ++trial) {
+    expect_matches(random_csr(1 + g() % 500, 1 + g() % 300, 1.0 + g() % 8,
+                              g()),
+                   g());
+  }
+}
+
+TEST(Spmv, EmptyRowsYieldZero) {
+  CsrMatrix M;
+  M.rows = 4;
+  M.cols = 3;
+  M.row_offsets = {0, 2, 2, 2, 3};  // rows 1 and 2 empty
+  M.col_index = {0, 2, 1};
+  M.values = {2.0, 3.0, 5.0};
+  machine::Machine m;
+  const std::vector<double> x{1, 10, 100};
+  const auto y = spmv(m, M, std::span<const double>(x));
+  EXPECT_EQ(y, (std::vector<double>{302, 0, 0, 50}));
+}
+
+TEST(Spmv, HighlySkewedRowLengths) {
+  // One row holds almost every nonzero — the workload that defeats a
+  // row-per-processor formulation and that segments shrug off.
+  CsrMatrix M;
+  M.rows = 100;
+  M.cols = 5000;
+  M.row_offsets.push_back(0);
+  for (std::size_t c = 0; c < 5000; ++c) {
+    M.col_index.push_back(c);
+    M.values.push_back(1.0);
+  }
+  M.row_offsets.push_back(M.col_index.size());
+  for (std::size_t r = 1; r < 100; ++r) {
+    M.col_index.push_back(r);
+    M.values.push_back(2.0);
+    M.row_offsets.push_back(M.col_index.size());
+  }
+  expect_matches(M, 602);
+}
+
+TEST(Spmv, StepCountIndependentOfSkew) {
+  // Same nnz, wildly different row-length distributions: identical steps.
+  const auto steps_for = [](const CsrMatrix& M) {
+    machine::Machine m(machine::Model::Scan);
+    std::vector<double> x(M.cols, 1.0);
+    spmv(m, M, std::span<const double>(x));
+    return m.stats().steps;
+  };
+  const std::size_t rows = 256, nnz = 4096;
+  CsrMatrix uniform, skewed;
+  uniform.rows = skewed.rows = rows;
+  uniform.cols = skewed.cols = rows;
+  uniform.row_offsets.push_back(0);
+  skewed.row_offsets.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = 0; k < nnz / rows; ++k) {
+      uniform.col_index.push_back((r + k) % rows);
+      uniform.values.push_back(1.0);
+    }
+    uniform.row_offsets.push_back(uniform.col_index.size());
+    // skewed: everything in row 0
+    if (r == 0) {
+      for (std::size_t k = 0; k < nnz; ++k) {
+        skewed.col_index.push_back(k % rows);
+        skewed.values.push_back(1.0);
+      }
+    }
+    skewed.row_offsets.push_back(skewed.col_index.size());
+  }
+  EXPECT_EQ(steps_for(uniform), steps_for(skewed));
+}
+
+TEST(Spmv, EmptyMatrix) {
+  CsrMatrix M;
+  M.rows = 3;
+  M.cols = 3;
+  M.row_offsets = {0, 0, 0, 0};
+  machine::Machine m;
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_EQ(spmv(m, M, std::span<const double>(x)),
+            (std::vector<double>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace scanprim::algo

@@ -1,0 +1,164 @@
+// Star merging (§2.3.3, Figure 7): the paper's worked example and
+// structural invariants on randomized stars.
+#include "src/graph/star_merge.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::graph {
+namespace {
+
+// Multiset of weights per segment, a representation-independent fingerprint.
+std::vector<std::vector<double>> segment_weights(const SegGraph& g) {
+  std::vector<std::vector<double>> segs;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.segment_desc[s]) segs.emplace_back();
+    segs.back().push_back(g.weight[s]);
+  }
+  for (auto& v : segs) std::sort(v.begin(), v.end());
+  return segs;
+}
+
+TEST(StarMerge, Figure7Example) {
+  machine::Machine m;
+  // The Figure 6 graph again: w_k = k+1, 0-based vertices.
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {1, 4, 3},
+                                        {2, 3, 4}, {2, 4, 5}, {3, 4, 6}};
+  const SegGraph g = build_seg_graph(m, 5, edges);
+  // Figure 7: parents are vertices 0, 2, 4; children 1 and 3; star edges
+  // w2 = (1,2) and w4 = (2,3) (edge ids 1 and 3).
+  Flags star(g.num_slots(), 0), parent(g.num_slots(), 0);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    star[s] = (g.edge_id[s] == 1 || g.edge_id[s] == 3) ? 1 : 0;
+    parent[s] =
+        (g.vertex[s] == 0 || g.vertex[s] == 2 || g.vertex[s] == 4) ? 1 : 0;
+  }
+  const SegGraph merged = star_merge(m, g, FlagsView(star), FlagsView(parent));
+  ASSERT_TRUE(validate(merged));
+  // After the merge (Figure 7): 8 slots, 3 segments, weights
+  // {w1}, {w1, w3, w5, w6}, {w3, w5, w6}.
+  EXPECT_EQ(merged.num_slots(), 8u);
+  const auto segs = segment_weights(merged);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (std::vector<double>{1}));
+  EXPECT_EQ(segs[1], (std::vector<double>{1, 3, 5, 6}));
+  EXPECT_EQ(segs[2], (std::vector<double>{3, 5, 6}));
+  // The merged vertex carries the parent's id (2); v0 and v4 keep theirs.
+  EXPECT_EQ(merged.vertex[0], 0u);
+  EXPECT_EQ(merged.vertex[1], 2u);
+  EXPECT_EQ(merged.vertex.back(), 4u);
+}
+
+TEST(StarMerge, NoStarsIsANearNoOp) {
+  machine::Machine m;
+  const std::vector<WeightedEdge> edges{{0, 1, 5}, {1, 2, 6}, {0, 2, 7}};
+  const SegGraph g = build_seg_graph(m, 3, edges);
+  const Flags star(g.num_slots(), 0);
+  const Flags parent(g.num_slots(), 1);
+  const SegGraph merged = star_merge(m, g, FlagsView(star), FlagsView(parent));
+  ASSERT_TRUE(validate(merged));
+  EXPECT_EQ(merged.num_slots(), g.num_slots());
+  EXPECT_EQ(segment_weights(merged), segment_weights(g));
+}
+
+TEST(StarMerge, SingleStarConsumesInternalEdges) {
+  machine::Machine m;
+  // A triangle where vertex 1 merges into vertex 0: the star edge (0,1)
+  // disappears, the parallel paths (1,2) and (0,2) both survive as edges of
+  // the merged vertex.
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+  const SegGraph g = build_seg_graph(m, 3, edges);
+  Flags star(g.num_slots(), 0), parent(g.num_slots(), 0);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    star[s] = g.edge_id[s] == 0 ? 1 : 0;
+    parent[s] = g.vertex[s] != 1 ? 1 : 0;  // 0 and 2 are parents
+  }
+  const SegGraph merged = star_merge(m, g, FlagsView(star), FlagsView(parent));
+  ASSERT_TRUE(validate(merged));
+  const auto segs = segment_weights(merged);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (std::vector<double>{2, 3}));  // merged {0,1}
+  EXPECT_EQ(segs[1], (std::vector<double>{2, 3}));  // vertex 2
+}
+
+TEST(StarMerge, ChainOfStarsReducesToNothing) {
+  machine::Machine m;
+  // Two vertices, one edge; the only child merges into the only parent and
+  // the edge becomes internal: the graph vanishes.
+  const std::vector<WeightedEdge> edges{{0, 1, 9}};
+  const SegGraph g = build_seg_graph(m, 2, edges);
+  Flags star(g.num_slots(), 1), parent(g.num_slots(), 0);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    parent[s] = g.vertex[s] == 0 ? 1 : 0;
+  }
+  const SegGraph merged = star_merge(m, g, FlagsView(star), FlagsView(parent));
+  ASSERT_TRUE(validate(merged));
+  EXPECT_EQ(merged.num_slots(), 0u);
+}
+
+TEST(StarMerge, RandomizedStarsPreserveExternalEdges) {
+  machine::Machine m;
+  auto rng = testutil::rng(171);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 40;
+    std::vector<WeightedEdge> edges;
+    for (std::size_t v = 1; v < n; ++v) {
+      edges.push_back({rng() % v, v, static_cast<double>(100 + edges.size())});
+    }
+    for (int e = 0; e < 60; ++e) {
+      const std::size_t u = rng() % n, v = rng() % n;
+      if (u != v) {
+        edges.push_back({u, v, static_cast<double>(100 + edges.size())});
+      }
+    }
+    const SegGraph g = build_seg_graph(m, n, edges);
+    // Random parent coins per vertex; each child picks its first edge whose
+    // other end is a parent (if any) as its star edge.
+    std::vector<std::uint8_t> is_parent(n);
+    for (auto& p : is_parent) p = rng() & 1;
+    Flags star(g.num_slots(), 0), parent(g.num_slots(), 0);
+    std::map<std::size_t, std::size_t> chosen;  // child vertex -> slot
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      parent[s] = is_parent[g.vertex[s]];
+      if (!is_parent[g.vertex[s]] && is_parent[g.vertex[g.cross[s]]] &&
+          !chosen.count(g.vertex[s])) {
+        chosen[g.vertex[s]] = s;
+      }
+    }
+    std::size_t merged_children = 0;
+    for (const auto& [child, slot] : chosen) {
+      star[slot] = 1;
+      star[g.cross[slot]] = 1;
+      ++merged_children;
+    }
+    const SegGraph merged =
+        star_merge(m, g, FlagsView(star), FlagsView(parent));
+    ASSERT_TRUE(validate(merged));
+    // Every surviving edge joins two distinct merged vertices; every edge
+    // whose endpoints ended in different merged vertices survives (weights
+    // are unique, so compare multisets).
+    std::vector<std::size_t> rep(n);
+    for (std::size_t v = 0; v < n; ++v) rep[v] = v;
+    for (const auto& [child, slot] : chosen) {
+      rep[child] = g.vertex[g.cross[slot]];
+    }
+    std::vector<double> expect;
+    for (const auto& e : edges) {
+      if (rep[e.u] != rep[e.v]) {
+        expect.push_back(e.w);
+        expect.push_back(e.w);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    std::vector<double> got(merged.weight);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace scanprim::graph

@@ -1,0 +1,169 @@
+// Randomized stress: many seeds, random sizes, random operations — every
+// scan flavour and data-movement primitive against its reference in one
+// sweep, plus adversarial shapes (empty, huge segments, all-flags,
+// power-of-two boundaries around the parallel cutoff).
+#include <gtest/gtest.h>
+
+#include "src/core/primitives.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+#include "test_util.hpp"
+
+namespace scanprim {
+namespace {
+
+class StressSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSeed, AllScanFlavoursAgainstReferences) {
+  auto g = testutil::rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = g() % 9000;
+    const auto in = testutil::random_vector<long>(n, g());
+    const Flags f = testutil::random_flags(n, g(), 1 + g() % 40);
+    std::vector<long> out(n);
+
+    exclusive_scan(std::span<const long>(in), std::span<long>(out), Plus<long>{});
+    ASSERT_EQ(out, testutil::ref_exclusive_scan(std::span<const long>(in),
+                                                Plus<long>{}));
+    inclusive_scan(std::span<const long>(in), std::span<long>(out), Max<long>{});
+    ASSERT_EQ(out, testutil::ref_inclusive_scan(std::span<const long>(in),
+                                                Max<long>{}));
+    backward_exclusive_scan(std::span<const long>(in), std::span<long>(out),
+                            Min<long>{});
+    ASSERT_EQ(out, testutil::ref_backward_exclusive_scan(
+                       std::span<const long>(in), Min<long>{}));
+    backward_inclusive_scan(std::span<const long>(in), std::span<long>(out),
+                            Plus<long>{});
+    ASSERT_EQ(out, testutil::ref_backward_inclusive_scan(
+                       std::span<const long>(in), Plus<long>{}));
+
+    seg_exclusive_scan(std::span<const long>(in), FlagsView(f),
+                       std::span<long>(out), Plus<long>{});
+    ASSERT_EQ(out, testutil::ref_seg_exclusive_scan(std::span<const long>(in),
+                                                    FlagsView(f), Plus<long>{}));
+    seg_inclusive_scan(std::span<const long>(in), FlagsView(f),
+                       std::span<long>(out), Max<long>{});
+    ASSERT_EQ(out, testutil::ref_seg_inclusive_scan(std::span<const long>(in),
+                                                    FlagsView(f), Max<long>{}));
+    seg_backward_exclusive_scan(std::span<const long>(in), FlagsView(f),
+                                std::span<long>(out), Min<long>{});
+    ASSERT_EQ(out,
+              testutil::ref_seg_backward_exclusive_scan(
+                  std::span<const long>(in), FlagsView(f), Min<long>{}));
+    seg_backward_inclusive_scan(std::span<const long>(in), FlagsView(f),
+                                std::span<long>(out), Plus<long>{});
+    ASSERT_EQ(out,
+              testutil::ref_seg_backward_inclusive_scan(
+                  std::span<const long>(in), FlagsView(f), Plus<long>{}));
+  }
+}
+
+TEST_P(StressSeed, DataMovementPrimitives) {
+  auto g = testutil::rng(GetParam() ^ 0xabc);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 1 + g() % 6000;
+    const auto in = testutil::random_vector<long>(n, g());
+    const Flags f = testutil::random_flags(n, g(), 1 + g() % 5);
+
+    // split: F-part then T-part, both order-preserving.
+    const auto s = split(std::span<const long>(in), FlagsView(f));
+    std::vector<long> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!f[i]) expect.push_back(in[i]);
+    }
+    const std::size_t zeros = expect.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f[i]) expect.push_back(in[i]);
+    }
+    ASSERT_EQ(s, expect);
+
+    // pack == the bottom of split restricted to kept elements, inverted.
+    const auto p = pack(std::span<const long>(in), FlagsView(f));
+    ASSERT_EQ(p, std::vector<long>(expect.begin() + zeros, expect.end()));
+
+    // enumerate + count are consistent.
+    const auto e = enumerate(FlagsView(f));
+    ASSERT_EQ(e.back() + (f.back() ? 1 : 0), count_flags(FlagsView(f)));
+
+    // seg_copy of an inclusive-scan's segment heads reproduces seg totals.
+    const auto dist =
+        seg_distribute(std::span<const long>(in), FlagsView(f), Plus<long>{});
+    long seg_total = 0;
+    std::size_t seg_start = 0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == n || (i > 0 && f[i])) {
+        for (std::size_t j = seg_start; j < i; ++j) {
+          ASSERT_EQ(dist[j], seg_total);
+        }
+        seg_total = 0;
+        seg_start = i;
+      }
+      if (i < n) seg_total += in[i];
+    }
+  }
+}
+
+TEST_P(StressSeed, AllocationRoundTrips) {
+  auto g = testutil::rng(GetParam() ^ 0xdef);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t k = 1 + g() % 500;
+    const auto sizes = testutil::random_vector<std::size_t>(k, g(), 6);
+    const Allocation a = allocate(std::span<const std::size_t>(sizes));
+    const auto ids = [&] {
+      std::vector<long> v(k);
+      for (std::size_t i = 0; i < k; ++i) v[i] = static_cast<long>(i);
+      return v;
+    }();
+    const auto spread = distribute_to_segments(std::span<const long>(ids), a);
+    // Element j of the allocation belongs to position spread[j]; counts
+    // must match the requested sizes exactly, contiguously, in order.
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t c = 0; c < sizes[i]; ++c, ++j) {
+        ASSERT_EQ(spread[j], static_cast<long>(i));
+      }
+    }
+    ASSERT_EQ(j, a.total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+TEST(Stress, CutoffBoundarySizes) {
+  // The serial/parallel dispatch boundary (kSerialCutoff = 4096) gets the
+  // full treatment at n = cutoff - 1, cutoff, cutoff + 1.
+  for (const std::size_t n : {4095u, 4096u, 4097u}) {
+    const auto in = testutil::random_vector<long>(n, 999 + n);
+    const Flags f = testutil::random_flags(n, 998 + n, 3);
+    std::vector<long> out(n);
+    exclusive_scan(std::span<const long>(in), std::span<long>(out), Plus<long>{});
+    ASSERT_EQ(out, testutil::ref_exclusive_scan(std::span<const long>(in),
+                                                Plus<long>{}));
+    seg_backward_inclusive_scan(std::span<const long>(in), FlagsView(f),
+                                std::span<long>(out), Max<long>{});
+    ASSERT_EQ(out,
+              testutil::ref_seg_backward_inclusive_scan(
+                  std::span<const long>(in), FlagsView(f), Max<long>{}));
+  }
+}
+
+TEST(Stress, SingleGiantSegmentAndAllSingletons) {
+  const std::size_t n = 100000;
+  const auto in = testutil::random_vector<long>(n, 777);
+  std::vector<long> out(n);
+  Flags one(n, 0);
+  one[0] = 1;
+  seg_exclusive_scan(std::span<const long>(in), FlagsView(one),
+                     std::span<long>(out), Plus<long>{});
+  ASSERT_EQ(out, testutil::ref_exclusive_scan(std::span<const long>(in),
+                                              Plus<long>{}));
+  const Flags all(n, 1);
+  seg_backward_exclusive_scan(std::span<const long>(in), FlagsView(all),
+                              std::span<long>(out), Plus<long>{});
+  for (const long v : out) ASSERT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace scanprim

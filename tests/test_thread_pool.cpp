@@ -1,0 +1,98 @@
+#include "src/thread/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scanprim::thread {
+namespace {
+
+TEST(ThreadPool, GlobalPoolHasAtLeastOneWorker) {
+  EXPECT_GE(num_workers(), 1u);
+}
+
+TEST(ThreadPool, RunInvokesEveryWorkerExactlyOnce) {
+  std::vector<std::atomic<int>> hits(num_workers());
+  pool().run([&](std::size_t w) { hits[w]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunPropagatesTheFirstException) {
+  EXPECT_THROW(
+      pool().run([](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool().run([&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), static_cast<int>(num_workers()));
+}
+
+TEST(ThreadPool, DedicatedPoolRunsRequestedWidth) {
+  ThreadPool p(3);
+  EXPECT_EQ(p.size(), 3u);
+  std::vector<std::atomic<int>> hits(3);
+  p.run([&](std::size_t w) { hits[w]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerRequestClampsToOne) {
+  ThreadPool p(0);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(BlockOf, PartitionsExactlyAndBalanced) {
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u, 12345u}) {
+    for (std::size_t nb : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t min_sz = n + 1, max_sz = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t b = 0; b < nb; ++b) {
+        const Block blk = block_of(n, nb, b);
+        EXPECT_EQ(blk.begin, expected_begin);
+        expected_begin = blk.end;
+        covered += blk.size();
+        min_sz = std::min(min_sz, blk.size());
+        max_sz = std::max(max_sz, blk.size());
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(expected_begin, n);
+      EXPECT_LE(max_sz - min_sz, 1u) << "n=" << n << " nb=" << nb;
+    }
+  }
+}
+
+TEST(ParallelFor, TouchesEveryIndexOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsFine) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelBlocks, NestedCallsDegradeSerially) {
+  // A parallel region that itself calls parallel_for must not deadlock.
+  std::atomic<long> total{0};
+  parallel_blocks(100000, [&](Block blk, std::size_t) {
+    parallel_for(blk.size(), [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 100000);
+}
+
+TEST(ParallelFor, ComputesPrefixConsistentState) {
+  // Data race check fodder: each index writes a pure function of i.
+  const std::size_t n = 50000;
+  std::vector<std::uint64_t> v(n);
+  parallel_for(n, [&](std::size_t i) { v[i] = i * i; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(v[i], i * i);
+}
+
+}  // namespace
+}  // namespace scanprim::thread

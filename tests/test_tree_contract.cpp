@@ -1,0 +1,145 @@
+// Tree computations via Euler tours (the Table 5 tree-contraction workload).
+#include "src/algo/tree_contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::algo {
+namespace {
+
+std::vector<std::size_t> random_parents(std::size_t n, std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<std::size_t> parent(n);
+  parent[0] = 0;
+  for (std::size_t v = 1; v < n; ++v) parent[v] = g() % v;
+  return parent;
+}
+
+class TreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSweep, DepthsMatchSerial) {
+  machine::Machine m;
+  const auto t = tree_from_parents(random_parents(GetParam(), 211));
+  EXPECT_EQ(node_depths(m, t, true), node_depths_serial(t));
+  EXPECT_EQ(node_depths(m, t, false), node_depths_serial(t));
+}
+
+TEST_P(TreeSweep, SubtreeSizesMatchSerial) {
+  machine::Machine m;
+  const auto t = tree_from_parents(random_parents(GetParam(), 212));
+  EXPECT_EQ(subtree_sizes(m, t, true), subtree_sizes_serial(t));
+  EXPECT_EQ(subtree_sizes(m, t, false), subtree_sizes_serial(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 4097, 20000));
+
+TEST(TreeContract, ChainTree) {
+  machine::Machine m;
+  // 0 <- 1 <- 2 <- ... <- n-1: depth v = v, size v = n - v.
+  const std::size_t n = 300;
+  std::vector<std::size_t> parent(n);
+  parent[0] = 0;
+  for (std::size_t v = 1; v < n; ++v) parent[v] = v - 1;
+  const auto t = tree_from_parents(parent);
+  const auto depth = node_depths(m, t);
+  const auto size = subtree_sizes(m, t);
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(depth[v], v);
+    ASSERT_EQ(size[v], n - v);
+  }
+}
+
+TEST(TreeContract, StarTree) {
+  machine::Machine m;
+  const std::size_t n = 500;
+  std::vector<std::size_t> parent(n, 0);
+  const auto t = tree_from_parents(parent);
+  const auto depth = node_depths(m, t);
+  const auto size = subtree_sizes(m, t);
+  EXPECT_EQ(depth[0], 0u);
+  EXPECT_EQ(size[0], n);
+  for (std::size_t v = 1; v < n; ++v) {
+    ASSERT_EQ(depth[v], 1u);
+    ASSERT_EQ(size[v], 1u);
+  }
+}
+
+TEST(TreeContract, CsrConstruction) {
+  // parent = [0, 0, 0, 1, 1, 2]: root 0, children {1,2} of 0, {3,4} of 1,
+  // {5} of 2.
+  const std::vector<std::size_t> parent{0, 0, 0, 1, 1, 2};
+  const auto t = tree_from_parents(parent);
+  EXPECT_EQ(t.root, 0u);
+  EXPECT_EQ(t.child_offsets, (std::vector<std::size_t>{0, 2, 4, 5, 5, 5, 5}));
+  EXPECT_EQ(t.children, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(TreeContract, EulerTourVisitsEveryEdgeTwice) {
+  machine::Machine m;
+  const auto t = tree_from_parents(random_parents(200, 213));
+  const EulerTour tour = euler_tour(m, t);
+  // Walk the tour from its start; it must traverse 2(n-1) arcs and then
+  // reach the self-loop tail.
+  std::size_t steps = 0, a = tour.first;
+  while (tour.next[a] != a) {
+    a = tour.next[a];
+    ++steps;
+    ASSERT_LE(steps, 2 * t.num_nodes());
+  }
+  EXPECT_EQ(steps + 1, 2 * (t.num_nodes() - 1));
+}
+
+TEST(TreeContract, RootfixMatchesSerial) {
+  machine::Machine m;
+  for (const std::size_t n : {1u, 2u, 5u, 300u, 5000u}) {
+    const auto t = tree_from_parents(random_parents(n, 214 + n));
+    const auto values = testutil::random_vector<std::uint64_t>(n, 215, 100);
+    EXPECT_EQ(rootfix_sum(m, t, std::span<const std::uint64_t>(values), true),
+              rootfix_sum_serial(t, std::span<const std::uint64_t>(values)))
+        << n;
+    EXPECT_EQ(rootfix_sum(m, t, std::span<const std::uint64_t>(values), false),
+              rootfix_sum_serial(t, std::span<const std::uint64_t>(values)));
+  }
+}
+
+TEST(TreeContract, LeaffixMatchesSerial) {
+  machine::Machine m;
+  for (const std::size_t n : {1u, 2u, 5u, 300u, 5000u}) {
+    const auto t = tree_from_parents(random_parents(n, 216 + n));
+    const auto values = testutil::random_vector<std::uint64_t>(n, 217, 100);
+    EXPECT_EQ(leaffix_sum(m, t, std::span<const std::uint64_t>(values), true),
+              leaffix_sum_serial(t, std::span<const std::uint64_t>(values)))
+        << n;
+    EXPECT_EQ(leaffix_sum(m, t, std::span<const std::uint64_t>(values), false),
+              leaffix_sum_serial(t, std::span<const std::uint64_t>(values)));
+  }
+}
+
+TEST(TreeContract, RootfixOfOnesIsDepthPlusOne) {
+  machine::Machine m;
+  const auto t = tree_from_parents(random_parents(400, 218));
+  const std::vector<std::uint64_t> ones(400, 1);
+  const auto rf = rootfix_sum(m, t, std::span<const std::uint64_t>(ones));
+  const auto depth = node_depths(m, t);
+  for (std::size_t v = 0; v < 400; ++v) ASSERT_EQ(rf[v], depth[v] + 1);
+}
+
+TEST(TreeContract, LeaffixOfOnesIsSubtreeSize) {
+  machine::Machine m;
+  const auto t = tree_from_parents(random_parents(400, 219));
+  const std::vector<std::uint64_t> ones(400, 1);
+  EXPECT_EQ(leaffix_sum(m, t, std::span<const std::uint64_t>(ones)),
+            subtree_sizes(m, t));
+}
+
+TEST(TreeContract, SingleNodeTree) {
+  machine::Machine m;
+  const auto t = tree_from_parents(std::vector<std::size_t>{0});
+  EXPECT_EQ(node_depths(m, t), std::vector<std::uint64_t>{0});
+  EXPECT_EQ(subtree_sizes(m, t), std::vector<std::uint64_t>{1});
+}
+
+}  // namespace
+}  // namespace scanprim::algo

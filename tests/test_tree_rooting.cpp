@@ -1,0 +1,133 @@
+// Parallel tree rooting via the Euler-tour technique on the segmented graph
+// representation.
+#include "src/graph/tree_rooting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::graph {
+namespace {
+
+// Serial re-rooting reference (BFS from the chosen root).
+struct SerialLabels {
+  std::vector<std::size_t> parent, depth, subtree;
+};
+
+SerialLabels serial_root(std::size_t n,
+                         const std::vector<WeightedEdge>& edges,
+                         std::size_t root) {
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& e : edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  SerialLabels s;
+  s.parent.assign(n, ~std::size_t{0});
+  s.depth.assign(n, 0);
+  s.subtree.assign(n, 1);
+  std::vector<std::size_t> order{root};
+  s.parent[root] = root;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t v = order[i];
+    for (const std::size_t w : adj[v]) {
+      if (s.parent[w] == ~std::size_t{0} && w != root) {
+        s.parent[w] = v;
+        s.depth[w] = s.depth[v] + 1;
+        order.push_back(w);
+      }
+    }
+  }
+  for (std::size_t i = order.size(); i-- > 1;) {
+    s.subtree[s.parent[order[i]]] += s.subtree[order[i]];
+  }
+  return s;
+}
+
+std::vector<WeightedEdge> random_tree(std::size_t n, std::uint64_t seed) {
+  auto g = testutil::rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (std::size_t v = 1; v < n; ++v) edges.push_back({g() % v, v, 1.0});
+  return edges;
+}
+
+class RootSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RootSweep, MatchesSerialReRooting) {
+  machine::Machine m;
+  const std::size_t n = GetParam();
+  const auto edges = random_tree(n, 701 + n);
+  const SegGraph tree = build_seg_graph(m, n, edges);
+  const RootedLabels lbl = root_tree(m, tree, n);
+  const SerialLabels ref = serial_root(n, edges, lbl.root);
+  EXPECT_EQ(lbl.parent, ref.parent);
+  EXPECT_EQ(lbl.depth, ref.depth);
+  EXPECT_EQ(lbl.subtree, ref.subtree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RootSweep,
+                         ::testing::Values(2, 3, 4, 10, 100, 1000, 20000));
+
+TEST(TreeRooting, PreorderIsADfsNumbering) {
+  machine::Machine m;
+  const std::size_t n = 500;
+  const auto edges = random_tree(n, 702);
+  const SegGraph tree = build_seg_graph(m, n, edges);
+  const RootedLabels lbl = root_tree(m, tree, n);
+  EXPECT_EQ(lbl.preorder[lbl.root], 0u);
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(lbl.by_preorder[lbl.preorder[v]], v);
+    if (v == lbl.root) continue;
+    const std::size_t p = lbl.parent[v];
+    // A child's preorder lies inside its parent's subtree interval.
+    ASSERT_GT(lbl.preorder[v], lbl.preorder[p]);
+    ASSERT_LT(lbl.preorder[v], lbl.preorder[p] + lbl.subtree[p]);
+    // And its own subtree interval nests within the parent's.
+    ASSERT_LE(lbl.preorder[v] + lbl.subtree[v],
+              lbl.preorder[p] + lbl.subtree[p]);
+  }
+}
+
+TEST(TreeRooting, PathAndStar) {
+  machine::Machine m;
+  // Path 0-1-2-...-9.
+  std::vector<WeightedEdge> path;
+  for (std::size_t v = 1; v < 10; ++v) path.push_back({v - 1, v, 1.0});
+  const SegGraph pg = build_seg_graph(m, 10, path);
+  const RootedLabels pl = root_tree(m, pg, 10);
+  EXPECT_EQ(pl.subtree[pl.root], 10u);
+  // The root is the vertex owning slot 0 — vertex 0, an end of the path —
+  // so depths run 0..9.
+  EXPECT_EQ(pl.root, 0u);
+  for (std::size_t v = 0; v < 10; ++v) ASSERT_EQ(pl.depth[v], v);
+  // Star centered at 0.
+  std::vector<WeightedEdge> star;
+  for (std::size_t v = 1; v < 10; ++v) star.push_back({0, v, 1.0});
+  const SegGraph sg = build_seg_graph(m, 10, star);
+  const RootedLabels sl = root_tree(m, sg, 10);
+  for (std::size_t v = 0; v < 10; ++v) {
+    if (v != sl.root) {
+      EXPECT_LE(sl.depth[v], 2u);
+      EXPECT_GE(sl.subtree[sl.root], sl.subtree[v]);
+    }
+  }
+}
+
+TEST(TreeRooting, SingleVertex) {
+  machine::Machine m;
+  const SegGraph empty = build_seg_graph(m, 1, {});
+  const RootedLabels lbl = root_tree(m, empty, 1);
+  EXPECT_EQ(lbl.root, 0u);
+  EXPECT_EQ(lbl.subtree, std::vector<std::size_t>{1});
+}
+
+TEST(TreeRooting, RejectsNonTrees) {
+  machine::Machine m;
+  // A triangle has n edges, not n-1.
+  const std::vector<WeightedEdge> tri{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const SegGraph g = build_seg_graph(m, 3, tri);
+  EXPECT_THROW(root_tree(m, g, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scanprim::graph

@@ -1,0 +1,84 @@
+// The word-level two-sweep tree scan of §3.1 (Figure 13).
+#include "src/circuit/tree_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace scanprim::circuit {
+namespace {
+
+class TreeScanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeScanSweep, MatchesReferenceForPlus) {
+  const auto in = testutil::random_vector<long>(GetParam(), 111);
+  std::vector<long> out(in.size());
+  tree_scan(std::span<const long>(in), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, testutil::ref_exclusive_scan(std::span<const long>(in),
+                                              Plus<long>{}));
+}
+
+TEST_P(TreeScanSweep, MatchesReferenceForMax) {
+  const auto in = testutil::random_vector<long>(GetParam(), 112);
+  std::vector<long> out(in.size());
+  tree_scan(std::span<const long>(in), std::span<long>(out), Max<long>{});
+  EXPECT_EQ(out, testutil::ref_exclusive_scan(std::span<const long>(in),
+                                              Max<long>{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeScanSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 63, 64, 65, 1000,
+                                           65536));
+
+TEST(TreeScan, Figure13Example) {
+  // The two-sweep method on any input must match the serial scan; the trace
+  // must report 2 lg n parallel steps.
+  std::vector<int> in{3, 1, 7, 0, 4, 1, 6, 3};
+  std::vector<int> out(8);
+  const TreeScanTrace t =
+      tree_scan(std::span<const int>(in), std::span<int>(out), Plus<int>{});
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 4, 11, 11, 15, 16, 22}));
+  EXPECT_EQ(t.levels, 3u);
+  EXPECT_EQ(t.parallel_steps, 6u);
+}
+
+TEST(SegTreeScan, MatchesDirectSegmentedScan) {
+  // The pair-operator tree (the "little additional hardware" direct
+  // implementation) against the carry-resetting kernel.
+  for (const std::size_t n : {1u, 2u, 100u, 4097u, 30000u}) {
+    const auto in = testutil::random_vector<long>(n, 113);
+    const Flags f = testutil::random_flags(n, 114, 6);
+    std::vector<long> out(n);
+    seg_tree_scan(std::span<const long>(in), FlagsView(f), std::span<long>(out),
+                  Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_seg_exclusive_scan(std::span<const long>(in),
+                                                    FlagsView(f), Plus<long>{}));
+    seg_tree_scan(std::span<const long>(in), FlagsView(f), std::span<long>(out),
+                  Max<long>{});
+    EXPECT_EQ(out, testutil::ref_seg_exclusive_scan(std::span<const long>(in),
+                                                    FlagsView(f), Max<long>{}));
+  }
+}
+
+TEST(SegTreeScan, StillTwoLgNSteps) {
+  const std::size_t n = 1 << 12;
+  const auto in = testutil::random_vector<long>(n, 115);
+  const Flags f = testutil::random_flags(n, 116, 4);
+  std::vector<long> out(n);
+  const TreeScanTrace t = seg_tree_scan(std::span<const long>(in), FlagsView(f),
+                                        std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(t.levels, 12u);
+  EXPECT_EQ(t.parallel_steps, 24u);
+}
+
+TEST(TreeScan, WorkIsLinear) {
+  std::vector<long> in(1 << 14, 1), out(1 << 14);
+  const TreeScanTrace t =
+      tree_scan(std::span<const long>(in), std::span<long>(out), Plus<long>{});
+  // Exactly 2(n-1) operator applications for a power-of-two input.
+  EXPECT_EQ(t.applications, 2u * ((1u << 14) - 1));
+  EXPECT_EQ(t.levels, 14u);
+}
+
+}  // namespace
+}  // namespace scanprim::circuit

@@ -1,0 +1,152 @@
+// Shared helpers for the scanprim test suite: seeded random data and slow,
+// obviously-correct reference implementations to test against.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+
+namespace scanprim::testutil {
+
+inline std::mt19937_64 rng(std::uint64_t seed) { return std::mt19937_64(seed); }
+
+template <class T>
+std::vector<T> random_vector(std::size_t n, std::uint64_t seed,
+                             std::uint64_t bound = 1000) {
+  std::mt19937_64 g(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(g() % bound);
+  return v;
+}
+
+inline std::vector<double> random_doubles(std::size_t n, std::uint64_t seed,
+                                          double lo = -1000.0,
+                                          double hi = 1000.0) {
+  std::mt19937_64 g(seed);
+  std::uniform_real_distribution<double> d(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = d(g);
+  return v;
+}
+
+/// Random segment flags with roughly one segment per `avg_len` elements.
+/// Position 0 is always flagged.
+inline Flags random_flags(std::size_t n, std::uint64_t seed,
+                          std::size_t avg_len = 7) {
+  std::mt19937_64 g(seed);
+  Flags f(n, 0);
+  if (n > 0) f[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) f[i] = (g() % avg_len) == 0 ? 1 : 0;
+  return f;
+}
+
+// --- reference scans --------------------------------------------------------
+
+template <class T, class Op>
+std::vector<T> ref_exclusive_scan(std::span<const T> in, Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc = op(acc, in[i]);
+  }
+  return out;
+}
+
+template <class T, class Op>
+std::vector<T> ref_inclusive_scan(std::span<const T> in, Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc = op(acc, in[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+template <class T, class Op>
+std::vector<T> ref_backward_exclusive_scan(std::span<const T> in, Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    out[i] = acc;
+    acc = op(acc, in[i]);
+  }
+  return out;
+}
+
+template <class T, class Op>
+std::vector<T> ref_backward_inclusive_scan(std::span<const T> in, Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    acc = op(acc, in[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+// Segmented references (segments restart at flags; direction-aware).
+template <class T, class Op>
+std::vector<T> ref_seg_exclusive_scan(std::span<const T> in, FlagsView f,
+                                      Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (f[i]) acc = Op::identity();
+    out[i] = acc;
+    acc = op(acc, in[i]);
+  }
+  return out;
+}
+
+template <class T, class Op>
+std::vector<T> ref_seg_inclusive_scan(std::span<const T> in, FlagsView f,
+                                      Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (f[i]) acc = Op::identity();
+    acc = op(acc, in[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+template <class T, class Op>
+std::vector<T> ref_seg_backward_exclusive_scan(std::span<const T> in,
+                                               FlagsView f, Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    out[i] = acc;
+    acc = op(acc, in[i]);
+    if (f[i]) acc = Op::identity();
+  }
+  return out;
+}
+
+template <class T, class Op>
+std::vector<T> ref_seg_backward_inclusive_scan(std::span<const T> in,
+                                               FlagsView f, Op op) {
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    acc = op(acc, in[i]);
+    out[i] = acc;
+    if (f[i]) acc = Op::identity();
+  }
+  return out;
+}
+
+/// The sizes the parameterised suites sweep: around the serial cutoff and
+/// well past it so both the sequential and the blocked parallel kernels run.
+inline std::vector<std::size_t> sweep_sizes() {
+  return {0, 1, 2, 3, 5, 16, 100, 1000, 4095, 4096, 4097, 20000, 100001};
+}
+
+}  // namespace scanprim::testutil
