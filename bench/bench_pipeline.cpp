@@ -1,0 +1,149 @@
+// Fused vs eager pipeline execution (docs/PIPELINE.md): the same recorded
+// programs run through the fusing executor and through an op-by-op plan
+// (Executor::Options{.fuse = false}), at n = 2^20 .. 2^24. The fused plan
+// must win by cutting passes over memory: a map | +-scan | map chain is two
+// blocked passes fused (one below the serial cutoff) versus one-plus per
+// stage eager.
+//
+// Results go to stdout as a table and to BENCH_pipeline.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/primitives.hpp"
+#include "src/exec/executor.hpp"
+
+namespace scanprim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using U = std::uint32_t;
+
+double best_of_ms(int reps, const auto& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+struct Row {
+  const char* workload;
+  std::size_t n;
+  double fused_ms = 0;
+  double eager_ms = 0;
+  std::uint64_t fused_dispatches = 0;
+  std::uint64_t eager_dispatches = 0;
+  bool match = false;
+
+  double speedup() const { return fused_ms > 0 ? eager_ms / fused_ms : 0; }
+};
+
+// Time one recorded program under both plans and check the outputs agree.
+template <class Build>
+Row compare(const char* workload, std::size_t n, int reps, Build build) {
+  Row r{workload, n};
+  exec::Executor fused;
+  exec::Executor eager{exec::Executor::Options{.fuse = false}};
+  r.match = fused.run(build()) == eager.run(build());
+  r.fused_dispatches = fused.stats().pool_dispatches;
+  r.eager_dispatches = eager.stats().pool_dispatches;
+  r.fused_ms = best_of_ms(reps, [&] { fused.run(build()); });
+  r.eager_ms = best_of_ms(reps, [&] { eager.run(build()); });
+  return r;
+}
+
+}  // namespace
+}  // namespace scanprim
+
+int main() {
+  using namespace scanprim;
+  bench::header("pipeline executor: fused vs eager (op-by-op) plans");
+  bench::row({"workload", "n", "fused ms", "eager ms", "speedup",
+              "disp f/e", "match"});
+
+  bench::JsonLog json;
+  bool all_match = true;
+  const std::size_t sizes[] = {std::size_t{1} << 20, std::size_t{1} << 22,
+                               std::size_t{1} << 24};
+  for (const std::size_t n : sizes) {
+    const int reps = n >= (std::size_t{1} << 24) ? 3 : 5;
+    const auto in = bench::random_keys<U>(n, 7 + n, 1u << 20);
+    const auto keep = bench::random_keys<std::uint8_t>(n, 11 + n, 2);
+    const std::span<const U> s(in);
+    const FlagsView kv(keep);
+
+    std::vector<Row> rows;
+    // The acceptance workload: map -> +-scan -> map.
+    rows.push_back(compare("map_scan_map", n, reps, [&] {
+      return exec::source(s) | exec::map([](U v) { return v + 3; }) |
+             exec::scan<Plus>() | exec::map([](U v) { return 2 * v; });
+    }));
+    // Scan feeding a pack (quicksort's rank-then-compact shape).
+    rows.push_back(compare("scan_pack", n, reps, [&] {
+      return exec::source(s) | exec::scan<Plus>() | exec::pack(kv);
+    }));
+    // Backward scan with fused arithmetic (split's up-enumerate shape).
+    rows.push_back(compare("map_backscan_map", n, reps, [&] {
+      return exec::source(s) | exec::map([](U v) { return v & 1; }) |
+             exec::backscan<Plus>() | exec::map([](U v) { return v ^ 5; });
+    }));
+
+    for (const Row& r : rows) {
+      all_match = all_match && r.match;
+      bench::row({r.workload, bench::fmt_u(r.n), bench::fmt(r.fused_ms, 3),
+                  bench::fmt(r.eager_ms, 3), bench::fmt(r.speedup(), 2),
+                  bench::fmt_u(r.fused_dispatches) + "/" +
+                      bench::fmt_u(r.eager_dispatches),
+                  r.match ? "yes" : "NO"});
+      json.field("workload", r.workload)
+          .field("n", r.n)
+          .field("fused_ms", r.fused_ms)
+          .field("eager_ms", r.eager_ms)
+          .field("speedup", r.speedup())
+          .field("fused_dispatches", r.fused_dispatches)
+          .field("eager_dispatches", r.eager_dispatches)
+          .field("match", r.match)
+          .end_object();
+    }
+  }
+
+  // The fused split against its eager Fig. 3 formulation (different code
+  // paths end to end, so timed separately rather than via compare()).
+  for (const std::size_t n : sizes) {
+    const int reps = n >= (std::size_t{1} << 24) ? 3 : 5;
+    const auto in = bench::random_keys<U>(n, 13 + n, 1u << 20);
+    const auto flags = bench::random_keys<std::uint8_t>(n, 17 + n, 2);
+    const std::span<const U> s(in);
+    const FlagsView fv(flags);
+    exec::Executor ex;
+    const bool match = exec::fused::split(ex, s, fv) == split(s, fv);
+    all_match = all_match && match;
+    const double fused_ms =
+        best_of_ms(reps, [&] { exec::fused::split(ex, s, fv); });
+    const double eager_ms = best_of_ms(reps, [&] { split(s, fv); });
+    bench::row({"split", bench::fmt_u(n), bench::fmt(fused_ms, 3),
+                bench::fmt(eager_ms, 3), bench::fmt(eager_ms / fused_ms, 2),
+                "-", match ? "yes" : "NO"});
+    json.field("workload", "split")
+        .field("n", n)
+        .field("fused_ms", fused_ms)
+        .field("eager_ms", eager_ms)
+        .field("speedup", eager_ms / fused_ms)
+        .field("match", match)
+        .end_object();
+  }
+
+  if (!json.write("BENCH_pipeline.json")) {
+    std::fprintf(stderr, "failed to write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_pipeline.json\n");
+  return all_match ? 0 : 1;
+}

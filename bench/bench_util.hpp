@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/graph/seg_graph.hpp"
@@ -74,5 +75,69 @@ std::vector<T> random_keys(std::size_t n, std::uint64_t seed,
   for (auto& x : v) x = static_cast<T>(g() % bound);
   return v;
 }
+
+// --- minimal JSON emission ---------------------------------------------------
+// Benches collect flat objects and write them as a `BENCH_<name>.json` array
+// in the working directory, so runs can be diffed or plotted without parsing
+// the text tables. Values are pre-rendered; strings are escaped.
+
+class JsonLog {
+ public:
+  JsonLog& field(const char* k, const std::string& v) {
+    return raw(k, '"' + escape(v) + '"');
+  }
+  JsonLog& field(const char* k, const char* v) {
+    return field(k, std::string(v));
+  }
+  JsonLog& field(const char* k, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(k, buf);
+  }
+  JsonLog& field(const char* k, std::uint64_t v) { return raw(k, fmt_u(v)); }
+  JsonLog& field(const char* k, bool v) { return raw(k, v ? "true" : "false"); }
+
+  /// Close the object under construction and append it to the array.
+  JsonLog& end_object() {
+    std::string o = "{";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      if (i) o += ", ";
+      o += '"' + kv_[i].first + "\": " + kv_[i].second;
+    }
+    o += "}";
+    objects_.push_back(std::move(o));
+    kv_.clear();
+    return *this;
+  }
+
+  /// Write the collected array to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", objects_[i].c_str(),
+                   i + 1 < objects_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  JsonLog& raw(const char* k, std::string v) {
+    kv_.emplace_back(k, std::move(v));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> objects_;
+};
 
 }  // namespace scanprim::bench

@@ -133,14 +133,18 @@ KdTree build_kd_tree(machine::Machine& m, std::span<const Point2D> points) {
         next_seg_node.push_back(seg_node[k]);
         continue;
       }
+      // The push_backs below may reallocate t.nodes and invalidate `node`:
+      // finish every access through it first.
+      const std::size_t left = t.nodes.size();
+      const std::size_t right = left + 1;
       node.axis = axis;
       node.split = head_med[k].v;
-      node.left = t.nodes.size();
-      node.right = t.nodes.size() + 1;
+      node.left = left;
+      node.right = right;
       t.nodes.push_back(KdNode{});
       t.nodes.push_back(KdNode{});
-      next_seg_node.push_back(node.left);
-      next_seg_node.push_back(node.right);
+      next_seg_node.push_back(left);
+      next_seg_node.push_back(right);
       if (head_len[k] > 2) any_split = true;
     }
     seg_node = std::move(next_seg_node);

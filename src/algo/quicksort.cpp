@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/rng.hpp"
+#include "src/exec/executor.hpp"
 
 namespace scanprim::algo {
 
@@ -28,23 +29,36 @@ std::vector<std::size_t> seg_split3_index(machine::Machine& m,
                                           FlagsView segments) {
   const std::size_t n = codes.size();
   using Sz = std::size_t;
-  std::vector<Sz> ind[3];
-  for (std::uint8_t k = 0; k < 3; ++k) {
-    ind[k] = m.map<Sz>(codes,
-                       [k](std::uint8_t c) -> Sz { return c == k ? 1 : 0; });
-  }
-  // Rank of each element within its group, within its segment.
+  exec::Executor ex;
+  // Rank of each element within its group, within its segment, and the
+  // per-segment group counts. The compute path runs through the fusing
+  // pipeline executor: the indicator map rides inside the segmented scan
+  // passes, so the ind[k] temporaries are never materialised. Charges stay
+  // those of the eager formulation (map, seg_scan, seg_distribute =
+  // combine + broadcast per group).
   std::vector<Sz> rank[3];
   std::vector<Sz> count[3];
-  for (int k = 0; k < 3; ++k) {
-    rank[k] = m.seg_scan(std::span<const Sz>(ind[k]), segments, Plus<Sz>{});
-    count[k] = m.seg_distribute(std::span<const Sz>(ind[k]), segments,
-                                Plus<Sz>{});
+  for (std::uint8_t k = 0; k < 3; ++k) {
+    const auto indicator = [k](std::uint8_t c) -> Sz { return c == k ? 1 : 0; };
+    m.charge_elementwise(n);
+    m.charge_scan(n);
+    rank[k] = ex.run(exec::source_as<Sz>(codes, indicator) |
+                     exec::seg_scan<Plus>(segments));
+    // seg_distribute = backward inclusive scan (leaves each segment's total
+    // at its head) + segmented copy; the backward half fuses with the
+    // indicator, the copy stays on the machine path.
+    m.charge_combine(n);
+    const std::vector<Sz> totals =
+        ex.run(exec::source_as<Sz>(codes, indicator) |
+               exec::seg_back_inclusive_scan<Plus>(segments));
+    count[k] = m.seg_copy(std::span<const Sz>(totals), segments);
   }
-  // Offset of each segment: own index minus rank within segment.
-  const std::vector<Sz> ones(n, 1);
+  // Offset of each segment: own index minus rank within segment. The vector
+  // of ones is generated, not stored.
+  m.charge_scan(n);
   const std::vector<Sz> seg_rank =
-      m.seg_scan(std::span<const Sz>(ones), segments, Plus<Sz>{});
+      ex.run(exec::source_fn<Sz>(n, [](std::size_t) -> Sz { return 1; }) |
+             exec::seg_scan<Plus>(segments));
   std::vector<Sz> index(n);
   m.charge_elementwise(n);
   thread::parallel_for(n, [&](std::size_t i) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/simulate.hpp"
+#include "src/exec/executor.hpp"
 
 #include <string>
 
@@ -25,31 +26,54 @@ Flags bit_of(machine::Machine& m, std::span<const std::uint64_t> keys,
   });
 }
 
+// The split compute path runs through the fusing pipeline executor
+// (exec::fused::split_index), but the cost model must charge exactly what
+// Machine::split_index charges: flag inversion, two enumerate scans, select.
+void charge_split_index(machine::Machine& m, std::size_t n) {
+  m.charge_elementwise(n);
+  m.charge_scan(n);
+  m.charge_scan(n);
+  m.charge_elementwise(n);
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> split_radix_sort(machine::Machine& m,
                                             std::span<const std::uint64_t> keys,
                                             unsigned bits) {
+  exec::Executor ex;
   std::vector<std::uint64_t> a(keys.begin(), keys.end());
+  const std::size_t n = a.size();
   for (unsigned bit = 0; bit < bits; ++bit) {
     const Flags flags = bit_of(m, std::span<const std::uint64_t>(a), bit);
-    a = m.split(std::span<const std::uint64_t>(a), FlagsView(flags));
+    charge_split_index(m, n);
+    const std::vector<std::size_t> index =
+        exec::fused::split_index(ex, FlagsView(flags));
+    m.charge_permute(n);
+    a = ex.run(exec::source(std::span<const std::uint64_t>(a)) |
+               exec::permute(std::span<const std::size_t>(index)));
   }
   return a;
 }
 
 SortWithOrigin split_radix_sort_with_origin(
     machine::Machine& m, std::span<const std::uint64_t> keys, unsigned bits) {
+  exec::Executor ex;
   SortWithOrigin r;
   r.keys.assign(keys.begin(), keys.end());
   r.origin = m.iota(keys.size());
+  const std::size_t n = keys.size();
   for (unsigned bit = 0; bit < bits; ++bit) {
     const Flags flags = bit_of(m, std::span<const std::uint64_t>(r.keys), bit);
-    const std::vector<std::size_t> index = m.split_index(FlagsView(flags));
-    r.keys = m.permute(std::span<const std::uint64_t>(r.keys),
-                       std::span<const std::size_t>(index));
-    r.origin = m.permute(std::span<const std::size_t>(r.origin),
-                         std::span<const std::size_t>(index));
+    charge_split_index(m, n);
+    const std::vector<std::size_t> index =
+        exec::fused::split_index(ex, FlagsView(flags));
+    m.charge_permute(n);
+    r.keys = ex.run(exec::source(std::span<const std::uint64_t>(r.keys)) |
+                    exec::permute(std::span<const std::size_t>(index)));
+    m.charge_permute(n);
+    r.origin = ex.run(exec::source(std::span<const std::size_t>(r.origin)) |
+                      exec::permute(std::span<const std::size_t>(index)));
   }
   return r;
 }

@@ -1,11 +1,34 @@
 #include "src/core/runtime.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
 
-const char* version() { return "1.0.0"; }
+const char* version() { return "1.1.0"; }
 
 std::size_t runtime_workers() { return thread::num_workers(); }
+
+std::size_t sanitize_worker_spec(const char* spec, std::size_t fallback) {
+  if (fallback == 0) fallback = 1;
+  if (fallback > kMaxWorkers) fallback = kMaxWorkers;
+  if (spec == nullptr) return fallback;
+
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(spec, &end, 10);
+  if (end == spec) return fallback;  // empty or non-numeric
+  while (*end != '\0') {             // allow trailing whitespace only
+    if (!std::isspace(static_cast<unsigned char>(*end))) return fallback;
+    ++end;
+  }
+  if (errno == ERANGE) return fallback;  // over/underflow
+  if (v <= 0) return fallback;           // zero or negative
+  if (static_cast<unsigned long long>(v) > kMaxWorkers) return kMaxWorkers;
+  return static_cast<std::size_t>(v);
+}
 
 }  // namespace scanprim

@@ -12,4 +12,16 @@ const char* version();
 /// overrides the hardware default).
 std::size_t runtime_workers();
 
+/// Largest worker count SCANPRIM_THREADS may request; bigger (but otherwise
+/// valid) values clamp here instead of spawning an absurd number of threads.
+inline constexpr std::size_t kMaxWorkers = 512;
+
+/// Parse a SCANPRIM_THREADS-style spec into a worker count.
+///
+/// Accepts a decimal integer with optional surrounding whitespace. Returns
+/// `fallback` (clamped into [1, kMaxWorkers]) when `spec` is null, empty,
+/// non-numeric, has trailing garbage, is zero or negative, or overflows;
+/// valid values larger than kMaxWorkers clamp to kMaxWorkers.
+std::size_t sanitize_worker_spec(const char* spec, std::size_t fallback);
+
 }  // namespace scanprim

@@ -1,0 +1,459 @@
+// The pipeline executor: runs a fused plan (fuser.hpp) over the existing
+// ThreadPool, one blocked kernel per fused group.
+//
+// A group with a scan runs the same two-phase decomposition as
+// core/scan.hpp — per-block reduce, serial scan of block summaries, per-block
+// rescan with a carry — but the fused group's map/zip lambdas are carried
+// *into* the reduce and rescan loops, and a trailing pack writes compacted
+// output directly from the rescan tile. A chain like
+// `map | +-scan | map | map` therefore touches memory twice (once per phase)
+// instead of once per stage, and with one worker (or below the serial
+// cutoff) the reduce phase is skipped entirely: one pass.
+//
+// Intermediate buffers between groups come from a BufferArena that reuses
+// previous temporaries instead of allocating per stage.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/exec/fuser.hpp"
+#include "src/exec/graph.hpp"
+#include "src/exec/stats.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim::exec {
+
+namespace detail {
+
+/// Reusable raw buffers for inter-group temporaries. Buffers are aligned to
+/// __STDCPP_DEFAULT_NEW_ALIGNMENT__, which covers every trivially copyable
+/// element type the executor accepts.
+class BufferArena {
+ public:
+  /// A buffer of at least `bytes`; `*reused` reports whether a previously
+  /// released buffer was recycled (an arena hit).
+  std::byte* acquire(std::size_t bytes, bool* reused);
+  void release(std::byte* p);
+  std::size_t buffers() const { return bufs_.size(); }
+
+ private:
+  struct Buf {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t cap = 0;
+    bool in_use = false;
+  };
+  std::vector<Buf> bufs_;
+};
+
+// Visit the tiles of [lo, hi) in scan order (forward, or back-to-front for
+// backward scans), calling fn(begin, count). Tiles are aligned from `lo` so
+// both directions visit identical tile boundaries.
+template <class Fn>
+void for_tiles(std::size_t lo, std::size_t hi, std::size_t tile, bool backward,
+               Fn&& fn) {
+  if (lo >= hi) return;
+  if (!backward) {
+    for (std::size_t b = lo; b < hi; b += tile) {
+      fn(b, hi - b < tile ? hi - b : tile);
+    }
+  } else {
+    std::size_t count = (hi - lo + tile - 1) / tile;
+    while (count-- > 0) {
+      const std::size_t b = lo + count * tile;
+      fn(b, hi - b < tile ? hi - b : tile);
+    }
+  }
+}
+
+/// Runs one group over input of length n, writing to `out` (length n, or the
+/// pack count when the group packs — returned). `prev` is the previous
+/// group's buffer, or null when the group reads through the source node.
+template <class T>
+std::size_t execute_group(const std::vector<Node<T>>& nodes, const Group& g,
+                          const T* prev, std::size_t n, T* out,
+                          std::size_t tile, Stats& s) {
+  const Node<T>& src = nodes[0];
+  const T* direct_in = prev ? prev : src.direct;
+  const auto load = [&](std::size_t begin, std::size_t c, T* dst) {
+    if (direct_in) {
+      std::memcpy(dst, direct_in + begin, c * sizeof(T));
+    } else {
+      src.load(begin, c, dst);
+    }
+  };
+
+  const std::size_t workers = thread::num_workers();
+  const std::size_t nblocks =
+      (workers == 1 || n < thread::kSerialCutoff) ? 1 : workers;
+
+  // --- permute: always a singleton group, one scatter pass -------------------
+  if (g.is_permute) {
+    const Node<T>& pm = nodes[g.first];
+    assert(pm.index.size() == n);
+    const std::size_t* idx = pm.index.data();
+    thread::parallel_blocks(n, [&](thread::Block blk, std::size_t) {
+      if (direct_in) {
+        for (std::size_t i = blk.begin; i < blk.end; ++i) {
+          out[idx[i]] = direct_in[i];
+        }
+        return;
+      }
+      std::vector<T> scratch(tile);
+      for_tiles(blk.begin, blk.end, tile, false, [&](std::size_t b,
+                                                     std::size_t c) {
+        src.load(b, c, scratch.data());
+        for (std::size_t j = 0; j < c; ++j) out[idx[b + j]] = scratch[j];
+      });
+    });
+    s.pool_dispatches += 1;
+    s.bytes_read += n * (sizeof(T) + sizeof(std::size_t));
+    s.bytes_written += n * sizeof(T);
+    return n;
+  }
+
+  // Elementwise stage range: pre-scan stages [g.first, pre_end), post-scan
+  // stages [post_begin, ew_end). For scan-less groups pre covers everything.
+  const std::size_t ew_end = g.has_pack ? g.last : g.last + 1;
+  const std::size_t pre_end = g.has_scan ? g.scan_at : ew_end;
+  const std::size_t post_begin = g.has_scan ? g.scan_at + 1 : ew_end;
+  const auto apply_range = [&](std::size_t from, std::size_t to, T* d,
+                               std::size_t begin, std::size_t c) {
+    for (std::size_t i = from; i < to; ++i) nodes[i].apply(d, begin, c);
+  };
+
+  const Node<T>* sc = g.has_scan ? &nodes[g.scan_at] : nullptr;
+  const std::uint8_t* segf = nullptr;
+  if (sc && sc->segmented) {
+    assert(sc->segments.size() == n);
+    segf = sc->segments.data();
+  }
+  const bool backward = sc && sc->dir == ScanDir::Backward;
+  const std::uint8_t* pf = nullptr;
+  if (g.has_pack) {
+    assert(nodes[g.last].flags.size() == n);
+    pf = nodes[g.last].flags.data();
+  }
+  const auto seg_at = [&](std::size_t b) -> const std::uint8_t* {
+    return segf ? segf + b : nullptr;
+  };
+
+  // --- elementwise-only group: one pass, in place in `out` -------------------
+  if (!g.has_scan && !g.has_pack) {
+    thread::parallel_blocks(n, [&](thread::Block blk, std::size_t) {
+      for_tiles(blk.begin, blk.end, tile, false,
+                [&](std::size_t b, std::size_t c) {
+                  load(b, c, out + b);
+                  apply_range(g.first, ew_end, out + b, b, c);
+                });
+    });
+    s.pool_dispatches += 1;
+    s.bytes_read += n * sizeof(T);
+    s.bytes_written += n * sizeof(T);
+    return n;
+  }
+
+  // --- single block: no reduce phase needed ----------------------------------
+  if (nblocks == 1) {
+    if (!g.has_pack) {
+      // Scan group, full length: scan in place in `out`.
+      T carry = sc->identity;
+      for_tiles(0, n, tile, backward, [&](std::size_t b, std::size_t c) {
+        load(b, c, out + b);
+        apply_range(g.first, pre_end, out + b, b, c);
+        carry = sc->scan_tile(out + b, seg_at(b), c, carry);
+        apply_range(post_begin, ew_end, out + b, b, c);
+      });
+      s.pool_dispatches += 1;
+      s.bytes_read += n * sizeof(T) + (segf ? n : 0);
+      s.bytes_written += n * sizeof(T);
+      return n;
+    }
+    std::vector<T> scratch(tile);
+    T carry = sc ? sc->identity : T{};
+    std::size_t total = 0;
+    if (!backward) {
+      // Forward (or scan-less) pack: append as flags pass by. One pass.
+      std::size_t pos = 0;
+      for_tiles(0, n, tile, false, [&](std::size_t b, std::size_t c) {
+        load(b, c, scratch.data());
+        apply_range(g.first, pre_end, scratch.data(), b, c);
+        if (sc) carry = sc->scan_tile(scratch.data(), seg_at(b), c, carry);
+        apply_range(post_begin, ew_end, scratch.data(), b, c);
+        for (std::size_t j = 0; j < c; ++j) {
+          if (pf[b + j]) out[pos++] = scratch[j];
+        }
+      });
+      total = pos;
+      s.pool_dispatches += 1;
+    } else {
+      // Backward scan + pack: the output offset of the *last* kept element
+      // is the total count, so count first, then fill top-down.
+      for (std::size_t i = 0; i < n; ++i) total += pf[i] ? 1 : 0;
+      std::size_t pos = total;
+      for_tiles(0, n, tile, true, [&](std::size_t b, std::size_t c) {
+        load(b, c, scratch.data());
+        apply_range(g.first, pre_end, scratch.data(), b, c);
+        carry = sc->scan_tile(scratch.data(), seg_at(b), c, carry);
+        apply_range(post_begin, ew_end, scratch.data(), b, c);
+        for (std::size_t j = c; j-- > 0;) {
+          if (pf[b + j]) out[--pos] = scratch[j];
+        }
+      });
+      s.pool_dispatches += 2;
+    }
+    s.bytes_read += n * sizeof(T) + (segf ? n : 0) + n;
+    s.bytes_written += total * sizeof(T);
+    return total;
+  }
+
+  // --- two-phase blocked kernel ----------------------------------------------
+  // Phase 1: per-block scan summaries (carrying the pre-scan lambdas into the
+  // reduce loop) and per-block pack counts, in one dispatch.
+  std::vector<T> sums(nblocks, sc ? sc->identity : T{});
+  std::vector<std::uint8_t> flagged(nblocks, 0);
+  std::vector<std::size_t> base(nblocks, 0), cnt(nblocks, 0);
+  thread::pool().run([&](std::size_t w) {
+    const thread::Block blk = thread::block_of(n, nblocks, w);
+    if (blk.empty()) return;
+    if (pf) {
+      std::size_t c = 0;
+      for (std::size_t i = blk.begin; i < blk.end; ++i) c += pf[i] ? 1 : 0;
+      cnt[w] = c;
+    }
+    if (!sc) return;
+    std::vector<T> scratch(tile);
+    T carry = sc->identity;
+    bool saw = false;
+    const bool no_pre = pre_end == g.first;
+    for_tiles(blk.begin, blk.end, tile, backward,
+              [&](std::size_t b, std::size_t c) {
+                const T* d;
+                if (no_pre && direct_in) {
+                  d = direct_in + b;
+                } else {
+                  load(b, c, scratch.data());
+                  apply_range(g.first, pre_end, scratch.data(), b, c);
+                  d = scratch.data();
+                }
+                carry = sc->reduce_tile(d, seg_at(b), c, carry, &saw);
+              });
+    sums[w] = carry;
+    flagged[w] = saw ? 1 : 0;
+  });
+
+  // Serial combine: each block's carry-in. The `flagged` reset logic makes
+  // this the segmented combination of core/segmented.hpp; with no segment
+  // flags it degenerates to the plain exclusive scan of block sums.
+  if (sc) {
+    T run = sc->identity;
+    if (!backward) {
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        const T mine = run;
+        run = flagged[b] ? sums[b] : sc->combine(run, sums[b]);
+        sums[b] = mine;
+      }
+    } else {
+      for (std::size_t b = nblocks; b-- > 0;) {
+        const T mine = run;
+        run = flagged[b] ? sums[b] : sc->combine(run, sums[b]);
+        sums[b] = mine;
+      }
+    }
+  }
+  std::size_t total = 0;
+  if (pf) {
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      base[b] = total;
+      total += cnt[b];
+    }
+  }
+
+  // Phase 2: rescan with carries, post-scan lambdas applied in the same
+  // loop, output written dense or packed.
+  thread::pool().run([&](std::size_t w) {
+    const thread::Block blk = thread::block_of(n, nblocks, w);
+    if (blk.empty()) return;
+    T carry = sc ? sums[w] : T{};
+    if (!pf) {
+      for_tiles(blk.begin, blk.end, tile, backward,
+                [&](std::size_t b, std::size_t c) {
+                  load(b, c, out + b);
+                  apply_range(g.first, pre_end, out + b, b, c);
+                  carry = sc->scan_tile(out + b, seg_at(b), c, carry);
+                  apply_range(post_begin, ew_end, out + b, b, c);
+                });
+      return;
+    }
+    std::vector<T> scratch(tile);
+    std::size_t pos = backward ? base[w] + cnt[w] : base[w];
+    for_tiles(blk.begin, blk.end, tile, backward,
+              [&](std::size_t b, std::size_t c) {
+                load(b, c, scratch.data());
+                apply_range(g.first, pre_end, scratch.data(), b, c);
+                if (sc) {
+                  carry = sc->scan_tile(scratch.data(), seg_at(b), c, carry);
+                }
+                apply_range(post_begin, ew_end, scratch.data(), b, c);
+                if (!backward) {
+                  for (std::size_t j = 0; j < c; ++j) {
+                    if (pf[b + j]) out[pos++] = scratch[j];
+                  }
+                } else {
+                  for (std::size_t j = c; j-- > 0;) {
+                    if (pf[b + j]) out[--pos] = scratch[j];
+                  }
+                }
+              });
+  });
+  s.pool_dispatches += 2;
+  s.bytes_read += (sc ? 2 : 1) * n * sizeof(T) + (segf ? 2 * n : 0) +
+                  (pf ? 2 * n : 0);
+  s.bytes_written += (pf ? total : n) * sizeof(T);
+  return pf ? total : n;
+}
+
+}  // namespace detail
+
+/// Runs recorded pipelines over the global ThreadPool, reusing intermediate
+/// buffers across groups and across runs.
+class Executor {
+ public:
+  struct Options {
+    bool fuse = true;         ///< false: eager op-by-op plan (bench baseline)
+    std::size_t tile = 4096;  ///< elements per fused tile
+  };
+
+  Executor() = default;
+  explicit Executor(Options opts) : opts_(opts) {}
+
+  template <class T>
+  std::vector<T> run(const Pipeline<T>& p) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pipeline elements flow through raw arena buffers");
+    assert(!p.nodes.empty() && p.nodes.front().kind == StageKind::Source);
+    Stats s;
+    s.stages_recorded = p.nodes.size();
+    const auto kinds = p.kinds();
+    FuseOptions fo;
+    fo.enabled = opts_.fuse;
+    fo.tile = opts_.tile;
+    const auto groups = fuse(std::span<const StageKind>(kinds), fo);
+    s.groups = groups.size();
+    for (const Group& g : groups) {
+      if (g.stages() >= 2) ++s.fused_groups;
+    }
+
+    std::size_t cur_len = p.nodes.front().length;
+    const T* prev = nullptr;
+    std::byte* prev_raw = nullptr;
+    std::vector<T> result;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const Group& g = groups[gi];
+      const bool last = gi + 1 == groups.size();
+      T* out_ptr = nullptr;
+      std::byte* out_raw = nullptr;
+      if (last) {
+        result.resize(cur_len);
+        out_ptr = result.data();
+      } else {
+        bool reused = false;
+        out_raw = arena_.acquire(cur_len * sizeof(T), &reused);
+        (reused ? s.arena_hits : s.arena_misses) += 1;
+        out_ptr = reinterpret_cast<T*>(out_raw);
+      }
+      cur_len = detail::execute_group<T>(p.nodes, g, prev, cur_len, out_ptr,
+                                         fo.tile, s);
+      if (prev_raw) arena_.release(prev_raw);
+      prev_raw = out_raw;
+      prev = out_ptr;
+    }
+    if (prev_raw) arena_.release(prev_raw);
+    result.resize(cur_len);  // a pack in the final group shrinks the result
+    last_ = s;
+    total_ += s;
+    return result;
+  }
+
+  /// Stats of the most recent run.
+  const Stats& stats() const { return last_; }
+  /// Stats accumulated over the executor's lifetime.
+  const Stats& total_stats() const { return total_; }
+  void reset_stats() {
+    last_ = Stats{};
+    total_ = Stats{};
+  }
+
+ private:
+  Options opts_{};
+  detail::BufferArena arena_;
+  Stats last_{};
+  Stats total_{};
+};
+
+/// One-shot convenience: run `p` on a fresh executor.
+template <class T>
+std::vector<T> run(const Pipeline<T>& p, Stats* stats = nullptr) {
+  Executor ex;
+  auto out = ex.run(p);
+  if (stats) *stats = ex.stats();
+  return out;
+}
+
+// --- fused formulations of the paper's compound operations -------------------
+// These are the pipeline ports the algorithm layer uses (radix sort's split,
+// quicksort's segmented ranking); they are also golden-tested against the
+// eager primitives in tests/test_exec_pipeline.cpp.
+namespace fused {
+
+/// split_index (Fig. 3) as two fused pipelines: the down-enumerate is one
+/// scan group, and the up-enumerate, top-index arithmetic, and final select
+/// all fuse into a single backward-scan group.
+inline std::vector<std::size_t> split_index(Executor& ex, FlagsView flags) {
+  const std::size_t n = flags.size();
+  const auto down = ex.run(
+      source_as<std::size_t>(flags,
+                             [](std::uint8_t f) -> std::size_t {
+                               return f ? 0 : 1;
+                             }) |
+      exec::scan<Plus>());
+  constexpr std::size_t kTakeDown = static_cast<std::size_t>(-1);
+  return ex.run(
+      source_as<std::size_t>(flags,
+                             [](std::uint8_t f) -> std::size_t {
+                               return f ? 1 : 0;
+                             }) |
+      exec::backscan<Plus>() |
+      exec::zip(flags,
+                [n](std::size_t up, std::uint8_t f) -> std::size_t {
+                  return f ? n - up - 1 : kTakeDown;
+                }) |
+      exec::zip(std::span<const std::size_t>(down),
+                [](std::size_t top, std::size_t d) {
+                  return top == kTakeDown ? d : top;
+                }));
+}
+
+/// split (Fig. 3) through the pipeline path.
+template <class T>
+std::vector<T> split(Executor& ex, std::span<const T> in, FlagsView flags) {
+  assert(in.size() == flags.size());
+  const auto index = split_index(ex, flags);
+  return ex.run(exec::source(in) |
+                exec::permute(std::span<const std::size_t>(index)));
+}
+
+/// pack (Fig. 11) through the pipeline path.
+template <class T>
+std::vector<T> pack(Executor& ex, std::span<const T> in, FlagsView flags) {
+  assert(in.size() == flags.size());
+  return ex.run(exec::source(in) | exec::pack(flags));
+}
+
+}  // namespace fused
+
+}  // namespace scanprim::exec

@@ -1,0 +1,89 @@
+#include "src/exec/fuser.hpp"
+
+#include <cassert>
+
+namespace scanprim::exec {
+
+bool breaks_fusion(StageKind k) { return k == StageKind::Permute; }
+
+namespace {
+
+bool is_elementwise(StageKind k) {
+  return k == StageKind::Map || k == StageKind::Zip;
+}
+
+bool is_scan(StageKind k) {
+  return k == StageKind::Scan || k == StageKind::SegScan;
+}
+
+}  // namespace
+
+std::vector<Group> fuse(std::span<const StageKind> kinds,
+                        const FuseOptions& opts) {
+  assert(!kinds.empty() && kinds[0] == StageKind::Source);
+  std::vector<Group> out;
+  Group cur;
+  bool open = false;
+  const auto close = [&] {
+    if (open) {
+      out.push_back(cur);
+      open = false;
+    }
+  };
+  const auto start = [&](std::size_t i) {
+    cur = Group{};
+    cur.first = i;
+    cur.last = i;
+    open = true;
+  };
+
+  for (std::size_t i = 1; i < kinds.size(); ++i) {
+    const StageKind k = kinds[i];
+    if (breaks_fusion(k)) {
+      close();
+      Group g;
+      g.first = i;
+      g.last = i;
+      g.is_permute = true;
+      out.push_back(g);
+      continue;
+    }
+    if (!opts.enabled) close();
+    if (is_elementwise(k)) {
+      if (open) {
+        cur.last = i;
+      } else {
+        start(i);
+      }
+      if (!opts.enabled) close();
+      continue;
+    }
+    if (is_scan(k)) {
+      if (open && cur.has_scan) close();  // one scan per group
+      if (!open) start(i);
+      cur.last = i;
+      cur.has_scan = true;
+      cur.scan_at = i;
+      if (!opts.enabled) close();
+      continue;
+    }
+    // Pack: joins the open group and ends it.
+    assert(k == StageKind::Pack);
+    if (!open) start(i);
+    cur.last = i;
+    cur.has_pack = true;
+    close();
+  }
+  close();
+
+  if (out.empty()) {
+    // Source-only pipeline: one pure copy pass.
+    Group g;
+    g.first = 1;
+    g.last = 0;
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace scanprim::exec

@@ -1,0 +1,173 @@
+// The lazy pipeline graph: `pipeline = source(v) | map(f) | scan<Plus>() |
+// map(g) | pack(flags)` records nodes instead of executing. Nothing runs
+// until an `Executor` (executor.hpp) is handed the pipeline; the fuser
+// (fuser.hpp) then merges producer-consumer chains into single blocked
+// passes.
+//
+// All spans recorded into a pipeline (source data, zip operands, pack flags,
+// permute indices, segment flags) must stay alive until the pipeline runs.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "src/exec/node.hpp"
+
+namespace scanprim::exec {
+
+/// A recorded scan-vector program over element type T. Built with `source`
+/// and `operator|`; executed by `exec::Executor` or `exec::run`.
+template <class T>
+class Pipeline {
+ public:
+  std::vector<Node<T>> nodes;
+
+  /// Length of the source vector (stage outputs keep this length until a
+  /// pack stage shrinks it).
+  std::size_t source_length() const { return nodes.front().length; }
+
+  std::vector<StageKind> kinds() const {
+    std::vector<StageKind> out;
+    out.reserve(nodes.size());
+    for (const auto& n : nodes) out.push_back(n.kind);
+    return out;
+  }
+};
+
+/// Pipeline head reading an existing vector (zero conversion: tiles are
+/// memcpy'd or, where possible, consumed in place).
+template <class T>
+Pipeline<T> source(std::span<const T> in) {
+  Pipeline<T> p;
+  Node<T> n;
+  n.kind = StageKind::Source;
+  n.length = in.size();
+  const T* base = in.data();
+  n.direct = base;
+  n.load = [base](std::size_t b, std::size_t c, T* dst) {
+    std::memcpy(dst, base + b, c * sizeof(T));
+  };
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+/// Pipeline head reading a span of a different element type through a
+/// converting load (`dst[i] = fn(in[i])`) — the conversion is fused into the
+/// first pass over the data.
+template <class T, class U, class F>
+Pipeline<T> source_as(std::span<const U> in, F fn) {
+  Pipeline<T> p;
+  Node<T> n;
+  n.kind = StageKind::Source;
+  n.length = in.size();
+  const U* base = in.data();
+  n.load = [base, fn](std::size_t b, std::size_t c, T* dst) {
+    for (std::size_t j = 0; j < c; ++j) dst[j] = fn(base[b + j]);
+  };
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+/// Pipeline head generating `fn(i)` for i in [0, n) — no input vector at all
+/// (e.g. a vector of ones, or iota).
+template <class T, class F>
+Pipeline<T> source_fn(std::size_t n, F fn) {
+  Pipeline<T> p;
+  Node<T> node;
+  node.kind = StageKind::Source;
+  node.length = n;
+  node.load = [fn](std::size_t b, std::size_t c, T* dst) {
+    for (std::size_t j = 0; j < c; ++j) dst[j] = fn(b + j);
+  };
+  p.nodes.push_back(std::move(node));
+  return p;
+}
+
+// --- stage recording ---------------------------------------------------------
+
+template <class T, class F>
+Pipeline<T> operator|(Pipeline<T> p, MapStage<F> s) {
+  Node<T> n;
+  n.kind = StageKind::Map;
+  n.apply = [fn = std::move(s.fn)](T* d, std::size_t, std::size_t c) {
+    for (std::size_t j = 0; j < c; ++j) d[j] = fn(d[j]);
+  };
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+template <class T, class U, class F>
+Pipeline<T> operator|(Pipeline<T> p, ZipStage<U, F> s) {
+  Node<T> n;
+  n.kind = StageKind::Zip;
+  const U* other = s.other.data();
+  const std::size_t limit = s.other.size();
+  n.apply = [other, limit, fn = std::move(s.fn)](T* d, std::size_t b,
+                                                 std::size_t c) {
+    assert(b + c <= limit);
+    (void)limit;
+    for (std::size_t j = 0; j < c; ++j) d[j] = fn(d[j], other[b + j]);
+  };
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+namespace detail {
+
+template <class T, template <class> class Op, ScanDir Dir, bool Inclusive>
+Node<T> make_scan_node() {
+  using OpT = Op<T>;
+  constexpr bool backward = Dir == ScanDir::Backward;
+  Node<T> n;
+  n.kind = StageKind::Scan;
+  n.dir = Dir;
+  n.inclusive = Inclusive;
+  n.identity = OpT::identity();
+  n.combine = [](T a, T b) { return OpT{}(a, b); };
+  n.reduce_tile = [](const T* d, const std::uint8_t* f, std::size_t c, T carry,
+                     bool* saw) {
+    return tile_reduce<T, OpT, backward>(d, f, c, carry, saw);
+  };
+  n.scan_tile = [](T* d, const std::uint8_t* f, std::size_t c, T carry) {
+    return tile_scan<T, OpT, Inclusive, backward>(d, f, c, carry);
+  };
+  return n;
+}
+
+}  // namespace detail
+
+template <class T, template <class> class Op, ScanDir Dir, bool Inclusive>
+Pipeline<T> operator|(Pipeline<T> p, ScanStage<Op, Dir, Inclusive>) {
+  p.nodes.push_back(detail::make_scan_node<T, Op, Dir, Inclusive>());
+  return p;
+}
+
+template <class T, template <class> class Op, ScanDir Dir, bool Inclusive>
+Pipeline<T> operator|(Pipeline<T> p, SegScanStage<Op, Dir, Inclusive> s) {
+  Node<T> n = detail::make_scan_node<T, Op, Dir, Inclusive>();
+  n.kind = StageKind::SegScan;
+  n.segmented = true;
+  n.segments = s.segments;
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+template <class T>
+Pipeline<T> operator|(Pipeline<T> p, PackStage s) {
+  Node<T> n;
+  n.kind = StageKind::Pack;
+  n.flags = s.flags;
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+template <class T>
+Pipeline<T> operator|(Pipeline<T> p, PermuteStage s) {
+  Node<T> n;
+  n.kind = StageKind::Permute;
+  n.index = s.index;
+  p.nodes.push_back(std::move(n));
+  return p;
+}
+
+}  // namespace scanprim::exec

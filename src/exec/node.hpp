@@ -1,0 +1,234 @@
+// Expression-graph nodes for the fusing pipeline executor.
+//
+// A pipeline stage is recorded, not executed: `map(f)`, `scan<Plus>()`,
+// `pack(flags)` build small tag objects that `operator|` (graph.hpp) turns
+// into `Node<T>`s. Each node carries *tile kernels* — type-erased
+// `std::function`s whose bodies were compiled with the user's lambda and the
+// scan operator inlined — so the executor pays one indirect call per tile
+// (kTileElements elements), not per element, when it fuses a chain of stages
+// into a single blocked pass.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/core/ops.hpp"
+#include "src/core/segmented.hpp"
+
+namespace scanprim::exec {
+
+enum class StageKind : std::uint8_t {
+  Source,   ///< loads tiles from an external span or generator
+  Map,      ///< elementwise T -> T
+  Zip,      ///< elementwise combine with a second, positionally aligned span
+  Scan,     ///< exclusive/inclusive, forward/backward scan (one per group)
+  SegScan,  ///< segmented scan: restarts at flag positions
+  Pack,     ///< keeps flagged elements, compacting; ends its fused group
+  Permute,  ///< out[index[i]] = in[i]; always its own group (fusion barrier)
+};
+
+enum class ScanDir : std::uint8_t { Forward, Backward };
+
+namespace detail {
+
+// --- tile kernels ------------------------------------------------------------
+// `f` is the segment-flag pointer for segmented scans, null otherwise. The
+// segmented reset placement mirrors the sequential kernels in
+// core/segmented.hpp exactly (reset *before* combining going forward, *after*
+// combining going backward) so fused results bit-match the eager scans.
+
+template <class T, class Op, bool Backward>
+T tile_reduce(const T* d, const std::uint8_t* f, std::size_t n, T carry,
+              bool* saw_flag) {
+  Op op;
+  if constexpr (!Backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f && f[i]) {
+        carry = Op::identity();
+        *saw_flag = true;
+      }
+      carry = op(carry, d[i]);
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      carry = op(carry, d[i]);
+      if (f && f[i]) {
+        carry = Op::identity();
+        *saw_flag = true;
+      }
+    }
+  }
+  return carry;
+}
+
+template <class T, class Op, bool Inclusive, bool Backward>
+T tile_scan(T* d, const std::uint8_t* f, std::size_t n, T carry) {
+  Op op;
+  if constexpr (!Backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f && f[i]) carry = Op::identity();
+      if constexpr (Inclusive) {
+        carry = op(carry, d[i]);
+        d[i] = carry;
+      } else {
+        const T next = op(carry, d[i]);
+        d[i] = carry;
+        carry = next;
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if constexpr (Inclusive) {
+        carry = op(carry, d[i]);
+        d[i] = carry;
+      } else {
+        const T next = op(carry, d[i]);
+        d[i] = carry;
+        carry = next;
+      }
+      if (f && f[i]) carry = Op::identity();
+    }
+  }
+  return carry;
+}
+
+}  // namespace detail
+
+/// One recorded stage. Only the members of the node's kind are populated;
+/// the executor never consults the others.
+template <class T>
+struct Node {
+  StageKind kind = StageKind::Source;
+  ScanDir dir = ScanDir::Forward;
+  bool inclusive = false;
+  bool segmented = false;
+
+  // Source: `load(begin, n, dst)` materialises input[begin, begin+n).
+  // `direct` is set when the source is a plain same-type span, letting the
+  // executor read it in place instead of copying tiles.
+  std::size_t length = 0;
+  std::function<void(std::size_t begin, std::size_t n, T* dst)> load;
+  const T* direct = nullptr;
+
+  // Map / Zip: in-place tile transform; `begin` is the tile's offset in the
+  // stage's input vector (zip indexes its second operand with it).
+  std::function<void(T* data, std::size_t begin, std::size_t n)> apply;
+
+  // Scan / SegScan tile kernels (operator inlined at record time).
+  T identity{};
+  std::function<T(T, T)> combine;
+  std::function<T(const T* d, const std::uint8_t* f, std::size_t n, T carry,
+                  bool* saw_flag)>
+      reduce_tile;
+  std::function<T(T* d, const std::uint8_t* f, std::size_t n, T carry)>
+      scan_tile;
+  FlagsView segments{};
+
+  // Pack.
+  FlagsView flags{};
+
+  // Permute.
+  std::span<const std::size_t> index{};
+};
+
+// --- stage tags (what the user writes on the right of `|`) -------------------
+
+template <class F>
+struct MapStage {
+  F fn;
+};
+
+/// Elementwise stage: `out[i] = fn(in[i])`. Fuses freely.
+template <class F>
+MapStage<F> map(F fn) {
+  return {std::move(fn)};
+}
+
+template <class U, class F>
+struct ZipStage {
+  std::span<const U> other;
+  F fn;
+};
+
+/// Elementwise combine with a second span of the same length:
+/// `out[i] = fn(in[i], other[i])`. Fuses freely.
+template <class U, class F>
+ZipStage<U, F> zip(std::span<const U> other, F fn) {
+  return {other, std::move(fn)};
+}
+
+template <template <class> class Op, ScanDir Dir, bool Inclusive>
+struct ScanStage {};
+
+/// The paper's scan: exclusive, forward.
+template <template <class> class Op>
+constexpr ScanStage<Op, ScanDir::Forward, false> scan() {
+  return {};
+}
+
+template <template <class> class Op>
+constexpr ScanStage<Op, ScanDir::Forward, true> inclusive_scan() {
+  return {};
+}
+
+template <template <class> class Op>
+constexpr ScanStage<Op, ScanDir::Backward, false> backscan() {
+  return {};
+}
+
+template <template <class> class Op>
+constexpr ScanStage<Op, ScanDir::Backward, true> back_inclusive_scan() {
+  return {};
+}
+
+template <template <class> class Op, ScanDir Dir, bool Inclusive>
+struct SegScanStage {
+  FlagsView segments;
+};
+
+/// Segmented exclusive forward scan: restarts at set flags.
+template <template <class> class Op>
+SegScanStage<Op, ScanDir::Forward, false> seg_scan(FlagsView segments) {
+  return {segments};
+}
+
+template <template <class> class Op>
+SegScanStage<Op, ScanDir::Forward, true> seg_inclusive_scan(
+    FlagsView segments) {
+  return {segments};
+}
+
+template <template <class> class Op>
+SegScanStage<Op, ScanDir::Backward, false> seg_backscan(FlagsView segments) {
+  return {segments};
+}
+
+template <template <class> class Op>
+SegScanStage<Op, ScanDir::Backward, true> seg_back_inclusive_scan(
+    FlagsView segments) {
+  return {segments};
+}
+
+struct PackStage {
+  FlagsView flags;
+};
+
+/// Keep the flagged elements, compacted and in order. Ends its fused group
+/// (the vector length changes).
+inline PackStage pack(FlagsView flags) { return {flags}; }
+
+struct PermuteStage {
+  std::span<const std::size_t> index;
+};
+
+/// EREW permute `out[index[i]] = in[i]`; a fusion barrier.
+inline PermuteStage permute(std::span<const std::size_t> index) {
+  return {index};
+}
+
+}  // namespace scanprim::exec

@@ -1,0 +1,38 @@
+// Observability for the fusing pipeline executor (src/exec). Every
+// `Executor::run` fills one `Stats` record; future PRs (adaptive fusion,
+// scheduling heuristics, perf regression gates) build on these counters.
+#pragma once
+
+#include <cstddef>
+
+namespace scanprim::exec {
+
+/// Counters for one pipeline run (and, accumulated, for an Executor's
+/// lifetime). Byte counts are analytic estimates — each pass is charged the
+/// elements it streams, not measured hardware traffic.
+struct Stats {
+  std::size_t stages_recorded = 0;  ///< nodes in the pipeline, source included
+  std::size_t groups = 0;           ///< execution groups after fusion
+  std::size_t fused_groups = 0;     ///< groups that merged >= 2 compute stages
+  std::size_t pool_dispatches = 0;  ///< fork-join rounds (passes) executed;
+                                    ///< a pass degraded to serial by a small
+                                    ///< input or a 1-worker pool still counts
+  std::size_t bytes_read = 0;       ///< estimated bytes streamed in
+  std::size_t bytes_written = 0;    ///< estimated bytes streamed out
+  std::size_t arena_hits = 0;       ///< temporaries served from a reused buffer
+  std::size_t arena_misses = 0;     ///< temporaries that had to allocate
+
+  Stats& operator+=(const Stats& o) {
+    stages_recorded += o.stages_recorded;
+    groups += o.groups;
+    fused_groups += o.fused_groups;
+    pool_dispatches += o.pool_dispatches;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    arena_hits += o.arena_hits;
+    arena_misses += o.arena_misses;
+    return *this;
+  }
+};
+
+}  // namespace scanprim::exec

@@ -2,6 +2,7 @@
 // Blelloch's "Scans as Primitive Parallel Operations".
 //
 //   core/      the scan primitives and vector operations (§2.1–§2.5, §3.4)
+//   exec/      the lazy, fusing pipeline executor (docs/PIPELINE.md)
 //   machine/   the instrumented EREW / CRCW / scan-model cost semantics
 //   circuit/   the bit-pipelined tree-scan hardware of §3
 //   graph/     the segmented graph representation and star-merge (§2.3)
@@ -16,6 +17,12 @@
 #include "src/core/segmented.hpp"
 #include "src/core/segvec.hpp"
 #include "src/core/simulate.hpp"
+
+#include "src/exec/executor.hpp"
+#include "src/exec/fuser.hpp"
+#include "src/exec/graph.hpp"
+#include "src/exec/node.hpp"
+#include "src/exec/stats.hpp"
 
 #include "src/machine/machine.hpp"
 

@@ -1,7 +1,8 @@
 #include "src/thread/thread_pool.hpp"
 
 #include <cstdlib>
-#include <string>
+
+#include "src/core/runtime.hpp"
 
 namespace scanprim::thread {
 namespace {
@@ -9,13 +10,9 @@ namespace {
 thread_local bool tls_inside_worker = false;
 
 std::size_t configured_workers() {
-  if (const char* env = std::getenv("SCANPRIM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return sanitize_worker_spec(std::getenv("SCANPRIM_THREADS"),
+                              hw == 0 ? 1 : hw);
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+#include "src/core/runtime.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace scanprim {
+namespace {
+
+TEST(SanitizeWorkerSpec, NullAndEmptyFallBack) {
+  EXPECT_EQ(sanitize_worker_spec(nullptr, 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("   ", 4), 4u);
+}
+
+TEST(SanitizeWorkerSpec, NonNumericFallsBack) {
+  EXPECT_EQ(sanitize_worker_spec("abc", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("four", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("0x10", 4), 4u);  // trailing garbage
+  EXPECT_EQ(sanitize_worker_spec("8 threads", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("1e9", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("3.5", 4), 4u);
+}
+
+TEST(SanitizeWorkerSpec, ZeroAndNegativeFallBack) {
+  EXPECT_EQ(sanitize_worker_spec("0", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("-1", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("-300", 4), 4u);
+}
+
+TEST(SanitizeWorkerSpec, OverflowFallsBack) {
+  EXPECT_EQ(sanitize_worker_spec("99999999999999999999999999", 4), 4u);
+  EXPECT_EQ(sanitize_worker_spec("-99999999999999999999999999", 4), 4u);
+}
+
+TEST(SanitizeWorkerSpec, ValidValuesParse) {
+  EXPECT_EQ(sanitize_worker_spec("1", 4), 1u);
+  EXPECT_EQ(sanitize_worker_spec("16", 4), 16u);
+  EXPECT_EQ(sanitize_worker_spec("  8  ", 4), 8u);  // surrounding whitespace
+  EXPECT_EQ(sanitize_worker_spec("512", 4), 512u);
+}
+
+TEST(SanitizeWorkerSpec, AbsurdValuesClampToMax) {
+  EXPECT_EQ(sanitize_worker_spec("513", 4), kMaxWorkers);
+  EXPECT_EQ(sanitize_worker_spec("1000000", 4), kMaxWorkers);
+  EXPECT_EQ(sanitize_worker_spec(std::to_string(kMaxWorkers).c_str(), 4),
+            kMaxWorkers);
+}
+
+TEST(SanitizeWorkerSpec, DegenerateFallbackIsRepaired) {
+  EXPECT_EQ(sanitize_worker_spec("junk", 0), 1u);
+  EXPECT_EQ(sanitize_worker_spec(nullptr, 100000), kMaxWorkers);
+}
+
+TEST(Runtime, WorkersIsPositive) { EXPECT_GE(runtime_workers(), 1u); }
+
+TEST(Runtime, VersionIsNonEmpty) {
+  ASSERT_NE(version(), nullptr);
+  EXPECT_FALSE(std::string(version()).empty());
+}
+
+}  // namespace
+}  // namespace scanprim

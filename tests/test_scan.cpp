@@ -122,6 +122,30 @@ TEST(Scan, MaxScanIsMonotone) {
   for (std::size_t i = 0; i + 1 < s.size(); ++i) ASSERT_LE(s[i], s[i + 1]);
 }
 
+// The sequential kernel is the building block every parallel path leans on,
+// and several call sites re-scan a buffer in place (e.g. the block-summary
+// scan inside parallel_scan_impl). It must stay correct when out aliases in.
+template <class T, class Op>
+void check_alias_safe(std::vector<T> v, Op op) {
+  const std::vector<T> expected =
+      ref_exclusive_scan(std::span<const T>(v), op);
+  detail::sequential_exclusive_scan(std::span<const T>(v), std::span<T>(v),
+                                    op, Op::identity());
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Scan, SequentialExclusiveScanIsAliasSafeForAllOperators) {
+  for (std::size_t n : {0u, 1u, 2u, 17u, 4096u, 10000u}) {
+    check_alias_safe(testutil::random_vector<long>(n, 21), Plus<long>{});
+    check_alias_safe(testutil::random_vector<long>(n, 22), Max<long>{});
+    check_alias_safe(testutil::random_vector<long>(n, 23), Min<long>{});
+    check_alias_safe(testutil::random_vector<std::uint8_t>(n, 24, 2),
+                     Or<std::uint8_t>{});
+    check_alias_safe(testutil::random_vector<std::uint8_t>(n, 25, 2),
+                     And<std::uint8_t>{});
+  }
+}
+
 TEST(Scan, BackscanEqualsScanOfReversedInput) {
   const auto in = testutil::random_vector<long>(9999, 12);
   std::vector<long> rev(in.rbegin(), in.rend());

@@ -43,6 +43,31 @@ TEST(ThreadPool, ZeroWorkerRequestClampsToOne) {
   EXPECT_EQ(p.size(), 1u);
 }
 
+TEST(ThreadPool, NestedRunDegradesToSerialWithoutDeadlock) {
+  // run() from inside a running job must not re-enter the dispatch
+  // machinery; every nested invocation executes all indices on the calling
+  // thread, so the grand total is workers * workers.
+  std::atomic<int> inner{0};
+  pool().run([&](std::size_t) {
+    pool().run([&](std::size_t) { inner++; });
+  });
+  const int w = static_cast<int>(num_workers());
+  EXPECT_EQ(inner.load(), w * w);
+}
+
+TEST(ThreadPool, NestedRunRethrowsWorkerExceptions) {
+  EXPECT_THROW(pool().run([&](std::size_t) {
+    pool().run([](std::size_t w) {
+      if (w == 0) throw std::runtime_error("nested boom");
+    });
+  }),
+               std::runtime_error);
+  // Outer and inner dispatch paths both stay usable afterwards.
+  std::atomic<int> count{0};
+  pool().run([&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), static_cast<int>(num_workers()));
+}
+
 TEST(BlockOf, PartitionsExactlyAndBalanced) {
   for (std::size_t n : {0u, 1u, 7u, 64u, 1000u, 12345u}) {
     for (std::size_t nb : {1u, 2u, 3u, 7u, 16u}) {
