@@ -3,7 +3,8 @@
 // (Executor::Options{.fuse = false}), at n = 2^20 .. 2^24. The fused plan
 // must win by cutting passes over memory: a map | +-scan | map chain is two
 // blocked passes fused (one below the serial cutoff) versus one-plus per
-// stage eager.
+// stage eager. A second table compares the fused plan itself under the
+// chained (single-pass) and two-phase scan engines.
 //
 // Results go to stdout as a table and to BENCH_pipeline.json.
 #include <chrono>
@@ -14,6 +15,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/core/primitives.hpp"
+#include "src/core/runtime.hpp"
 #include "src/exec/executor.hpp"
 
 namespace scanprim {
@@ -138,6 +140,57 @@ int main() {
         .field("speedup", eager_ms / fused_ms)
         .field("match", match)
         .end_object();
+  }
+
+  // Fused scan groups under both scan engines: the chained engine turns the
+  // fused map|scan|map group into one dispatch and ~2n traffic instead of two
+  // dispatches and ~3n.
+  bench::header("fused scan groups: chained vs two-phase engine");
+  bench::row({"workload", "n", "chained ms", "twophase ms", "speedup",
+              "disp c/t", "match"});
+  for (const std::size_t n : sizes) {
+    const int reps = n >= (std::size_t{1} << 24) ? 3 : 5;
+    const auto in = bench::random_keys<U>(n, 7 + n, 1u << 20);
+    const std::span<const U> s(in);
+    const auto workloads = {
+        std::pair{"map_scan_map", +[](std::span<const U> v) {
+          return exec::source(v) | exec::map([](U x) { return x + 3; }) |
+                 exec::scan<Plus>() | exec::map([](U x) { return 2 * x; });
+        }},
+        std::pair{"map_backscan_map", +[](std::span<const U> v) {
+          return exec::source(v) | exec::map([](U x) { return x & 1; }) |
+                 exec::backscan<Plus>() | exec::map([](U x) { return x ^ 5; });
+        }},
+    };
+    for (const auto& [name, build] : workloads) {
+      const ScanEngine prev = scan_engine();
+      exec::Executor ex;
+      set_scan_engine(ScanEngine::kChained);
+      const auto chained_out = ex.run(build(s));
+      const std::uint64_t chained_disp = ex.stats().pool_dispatches;
+      const double chained_ms = best_of_ms(reps, [&] { ex.run(build(s)); });
+      set_scan_engine(ScanEngine::kTwoPhase);
+      const auto twophase_out = ex.run(build(s));
+      const std::uint64_t twophase_disp = ex.stats().pool_dispatches;
+      const double twophase_ms = best_of_ms(reps, [&] { ex.run(build(s)); });
+      set_scan_engine(prev);
+      const bool match = chained_out == twophase_out;
+      all_match = all_match && match;
+      bench::row({name, bench::fmt_u(n), bench::fmt(chained_ms, 3),
+                  bench::fmt(twophase_ms, 3),
+                  bench::fmt(chained_ms > 0 ? twophase_ms / chained_ms : 0, 2),
+                  bench::fmt_u(chained_disp) + "/" + bench::fmt_u(twophase_disp),
+                  match ? "yes" : "NO"});
+      json.field("workload", std::string("engine_") + name)
+          .field("n", n)
+          .field("chained_ms", chained_ms)
+          .field("twophase_ms", twophase_ms)
+          .field("speedup", chained_ms > 0 ? twophase_ms / chained_ms : 0)
+          .field("chained_dispatches", chained_disp)
+          .field("twophase_dispatches", twophase_disp)
+          .field("match", match)
+          .end_object();
+    }
   }
 
   if (!json.write("BENCH_pipeline.json")) {

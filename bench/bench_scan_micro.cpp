@@ -1,14 +1,20 @@
 // Wall-clock microbenchmarks of the raw scan library on the host machine —
 // the practical half of the paper's claim that scans should be treated as
 // cheap as memory operations. Compares the library's scans against
-// std::inclusive_scan and a plain memory pass, across sizes and flavours.
+// std::inclusive_scan and a plain memory pass, across sizes and flavours,
+// and the chained engine against the two-phase engine at n = 2^20..2^26
+// (results also written to BENCH_scan_engine.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <random>
 
+#include "bench/bench_util.hpp"
 #include "src/core/primitives.hpp"
+#include "src/core/runtime.hpp"
 #include "src/core/scan.hpp"
 #include "src/core/segmented.hpp"
 
@@ -45,6 +51,21 @@ void BM_PlusScan(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * in.size() * sizeof(in[0]));
 }
 BENCHMARK(BM_PlusScan)->Range(1 << 10, 1 << 22);
+
+void BM_PlusScanTwoPhase(benchmark::State& state) {
+  const ScanEngine prev = scan_engine();
+  set_scan_engine(ScanEngine::kTwoPhase);
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    exclusive_scan(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), Plus<std::int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * in.size() * sizeof(in[0]));
+  set_scan_engine(prev);
+}
+BENCHMARK(BM_PlusScanTwoPhase)->Range(1 << 10, 1 << 22);
 
 void BM_StdInclusiveScan(benchmark::State& state) {
   const auto in = make_input(static_cast<std::size_t>(state.range(0)));
@@ -127,6 +148,124 @@ void BM_Split(benchmark::State& state) {
 }
 BENCHMARK(BM_Split)->Range(1 << 12, 1 << 20);
 
+// --- chained vs two-phase engine sweep ---------------------------------------
+// Times each +-scan flavour under both engines at n = 2^20..2^26, counts
+// actual pool dispatch rounds via ThreadPool::dispatch_count(), checks the
+// engines agree bit-for-bit, and writes BENCH_scan_engine.json.
+
+struct EngineRow {
+  const char* op;
+  std::size_t n;
+  double chained_ms = 0;
+  double twophase_ms = 0;
+  std::uint64_t chained_dispatches = 0;
+  std::uint64_t twophase_dispatches = 0;
+  bool match = false;
+
+  double speedup() const {
+    return chained_ms > 0 ? twophase_ms / chained_ms : 0;
+  }
+};
+
+template <class Run>
+EngineRow compare_engines(const char* op, std::size_t n, int reps, Run run) {
+  using Clock = std::chrono::steady_clock;
+  EngineRow r{op, n};
+  std::vector<std::int64_t> chained(n), twophase(n);
+  const ScanEngine prev = scan_engine();
+
+  const auto timed = [&](ScanEngine e, std::span<std::int64_t> out) {
+    set_scan_engine(e);
+    const auto t0 = Clock::now();
+    run(out);
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    return dt.count();
+  };
+  // Warmup passes also count the dispatch rounds each engine needs.
+  set_scan_engine(ScanEngine::kChained);
+  const std::uint64_t d0 = thread::pool().dispatch_count();
+  run(std::span<std::int64_t>(chained));
+  r.chained_dispatches = thread::pool().dispatch_count() - d0;
+  set_scan_engine(ScanEngine::kTwoPhase);
+  const std::uint64_t d1 = thread::pool().dispatch_count();
+  run(std::span<std::int64_t>(twophase));
+  r.twophase_dispatches = thread::pool().dispatch_count() - d1;
+  r.match = chained == twophase;
+  // Interleave the engines rep by rep so drift in background host load
+  // lands on both sides equally; report best-of.
+  r.chained_ms = r.twophase_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    r.chained_ms = std::min(
+        r.chained_ms,
+        timed(ScanEngine::kChained, std::span<std::int64_t>(chained)));
+    r.twophase_ms = std::min(
+        r.twophase_ms,
+        timed(ScanEngine::kTwoPhase, std::span<std::int64_t>(twophase)));
+  }
+  set_scan_engine(prev);
+  return r;
+}
+
+void run_engine_sweep() {
+  bench::header("scan engine: chained (single-pass) vs two-phase blocked");
+  std::printf("workers=%zu  tile=%zu\n", thread::num_workers(),
+              detail::kChainedTileElements);
+  bench::row({"op", "n", "chained ms", "twophase ms", "speedup", "disp c/t",
+              "match"});
+
+  bench::JsonLog json;
+  const std::size_t sizes[] = {std::size_t{1} << 20, std::size_t{1} << 22,
+                               std::size_t{1} << 24, std::size_t{1} << 26};
+  for (const std::size_t n : sizes) {
+    const int reps = n >= (std::size_t{1} << 24) ? 3 : 5;
+    const auto in = make_input(n);
+    const std::span<const std::int64_t> s(in);
+    Flags f(n, 0);
+    std::mt19937_64 g(7);
+    f[0] = 1;
+    for (std::size_t i = 1; i < n; ++i) f[i] = (g() % 4096) == 0;
+
+    std::vector<EngineRow> rows;
+    rows.push_back(compare_engines("+-scan", n, reps, [&](auto out) {
+      exclusive_scan(s, out, Plus<std::int64_t>{});
+    }));
+    rows.push_back(compare_engines("+-backscan", n, reps, [&](auto out) {
+      backward_exclusive_scan(s, out, Plus<std::int64_t>{});
+    }));
+    rows.push_back(compare_engines("seg-+-scan", n, reps, [&](auto out) {
+      seg_exclusive_scan(s, FlagsView(f), out, Plus<std::int64_t>{});
+    }));
+
+    for (const EngineRow& r : rows) {
+      bench::row({r.op, bench::fmt_u(r.n), bench::fmt(r.chained_ms, 3),
+                  bench::fmt(r.twophase_ms, 3), bench::fmt(r.speedup(), 2),
+                  bench::fmt_u(r.chained_dispatches) + "/" +
+                      bench::fmt_u(r.twophase_dispatches),
+                  r.match ? "yes" : "NO"});
+      json.field("op", r.op)
+          .field("n", r.n)
+          .field("workers", static_cast<std::uint64_t>(thread::num_workers()))
+          .field("chained_ms", r.chained_ms)
+          .field("twophase_ms", r.twophase_ms)
+          .field("speedup", r.speedup())
+          .field("chained_dispatches", r.chained_dispatches)
+          .field("twophase_dispatches", r.twophase_dispatches)
+          .field("match", r.match)
+          .end_object();
+    }
+  }
+  if (!json.write("BENCH_scan_engine.json")) {
+    std::fprintf(stderr, "failed to write BENCH_scan_engine.json\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_engine_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Single-pass chained scan engine (docs/SCAN_ENGINE.md).
+//
+// The two-phase blocked decomposition of core/scan.hpp costs two pool
+// dispatches and reads the input twice (~3n memory traffic). This engine
+// reaches the ~2n lower bound the way LightScan (Liu & Aluru) and Träff's
+// exclusive-scan algorithms do: the input is cut into cache-sized tiles that
+// workers claim in order through an atomic counter. A worker summarises its
+// tile while the tile is cold (one read from DRAM), publishes the tile
+// aggregate through an atomic status word, resolves its carry-in by looking
+// back across predecessor tiles — accumulating published aggregates until it
+// meets a resolved inclusive prefix — then re-scans the tile with the carry
+// while the tile is still resident in cache. One dispatch, one DRAM read.
+//
+// Tile status protocol (the X/P states of decoupled lookback):
+//   kInvalid   not yet summarised — lookback spins
+//   kAggregate `aggregate` holds the tile's local ⊕-summary        (X)
+//   kPrefix    `prefix` holds the inclusive prefix through the tile (P)
+// Logical tile 0 publishes kPrefix immediately (its carry-in is the
+// identity), so every lookback terminates. A segmented tile that contains a
+// flag also publishes kPrefix immediately — nothing crosses a segment
+// boundary, so its outflow is independent of its carry-in. That is exactly
+// the segmented-carry rule of the paper's Figure 4, and it short-circuits
+// the lookback chain at every segment boundary.
+//
+// Backward scans run the same protocol with the logical tile order reversed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim::detail {
+
+/// Elements per chained tile. 4096 × 8-byte elements = 32 KiB: small enough
+/// that the rescan's second pass over the tile hits L1/L2 instead of DRAM,
+/// large enough that the per-tile status-word traffic is noise.
+inline constexpr std::size_t kChainedTileElements = 4096;
+
+enum class TileStatus : std::uint32_t {
+  kInvalid = 0,
+  kAggregate = 1,
+  kPrefix = 2,
+};
+
+/// Per-tile descriptor, cacheline-aligned so workers publishing adjacent
+/// tiles do not false-share.
+template <class C>
+struct alignas(64) ChainedTileState {
+  std::atomic<TileStatus> status{TileStatus::kInvalid};
+  C aggregate{};  ///< valid once status is kAggregate
+  C prefix{};     ///< valid once status is kPrefix (inclusive through tile)
+};
+
+inline void chained_spin_pause(unsigned& spins) {
+  if (++spins >= 128) {
+    std::this_thread::yield();
+    spins = 0;
+  }
+}
+
+/// Runs one chained scan over `[0, n)` in a single pool dispatch.
+///
+/// `summarize(worker, begin, count, &agg)` computes the tile's local
+/// ⊕-summary (one pass, starting from the identity) and returns true when
+/// the tile contains a segment flag — i.e. when `agg` is already the tile's
+/// outflow regardless of carry-in. `rescan(worker, begin, count, carry)`
+/// writes the tile's final output given its resolved carry-in; the tile is
+/// expected to still be cache-resident from `summarize`. `combine` must be
+/// associative with `identity` as a two-sided identity; lookback accumulates
+/// strictly in logical order, so non-commutative operators (e.g. the
+/// "latest valid value" operator behind seg_copy) are safe.
+///
+/// Callers gate on workers/size themselves: below the serial cutoff a plain
+/// sequential kernel is cheaper than any protocol.
+template <class C, class Combine, class Summarize, class Rescan>
+void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
+                      C identity, Combine combine, Summarize summarize,
+                      Rescan rescan) {
+  if (n == 0) return;
+  const std::size_t ntiles = (n + tile - 1) / tile;
+  std::vector<ChainedTileState<C>> states(ntiles);
+  std::atomic<std::size_t> next{0};
+  // If a tile callback throws, its descriptor would stay kInvalid and every
+  // successor would spin forever. The thrower poisons the run instead: it
+  // publishes an identity prefix to unblock in-flight lookbacks, flips
+  // `aborted` so idle workers stop claiming tiles, and rethrows through the
+  // pool (which propagates the first error to the caller).
+  std::atomic<bool> aborted{false};
+
+  thread::pool().run([&](std::size_t w) {
+    for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) return;
+      const std::size_t lt = next.fetch_add(1, std::memory_order_relaxed);
+      if (lt >= ntiles) return;
+      ChainedTileState<C>& st = states[lt];
+      try {
+        const std::size_t p = backward ? ntiles - 1 - lt : lt;
+        const std::size_t begin = p * tile;
+        const std::size_t count = n - begin < tile ? n - begin : tile;
+        C agg = identity;
+        const bool cut = summarize(w, begin, count, &agg);
+        if (lt == 0 || cut) {
+          // Carry-in identity (tile 0) or irrelevant (flagged tile): the
+          // summary already is the inclusive prefix through this tile.
+          st.prefix = agg;
+          st.status.store(TileStatus::kPrefix, std::memory_order_release);
+        } else {
+          st.aggregate = agg;
+          st.status.store(TileStatus::kAggregate, std::memory_order_release);
+        }
+
+        C carry = identity;
+        if (lt > 0) {
+          // Lookback: walk predecessors until a resolved prefix, combining
+          // aggregates in logical order. Tile 0 (and any flagged tile) is
+          // always kPrefix, so `i` cannot underflow.
+          C acc{};
+          bool have_acc = false;
+          std::size_t i = lt - 1;
+          unsigned spins = 0;
+          for (;;) {
+            const TileStatus s = states[i].status.load(std::memory_order_acquire);
+            if (s == TileStatus::kPrefix) {
+              carry = have_acc ? combine(states[i].prefix, acc)
+                               : states[i].prefix;
+              break;
+            }
+            if (s == TileStatus::kAggregate) {
+              acc = have_acc ? combine(states[i].aggregate, acc)
+                             : states[i].aggregate;
+              have_acc = true;
+              --i;
+              spins = 0;
+              continue;
+            }
+            if (aborted.load(std::memory_order_relaxed)) return;
+            chained_spin_pause(spins);
+          }
+          if (!cut) {
+            st.prefix = combine(carry, agg);
+            st.status.store(TileStatus::kPrefix, std::memory_order_release);
+          }
+        }
+
+        rescan(w, begin, count, carry);
+      } catch (...) {
+        aborted.store(true, std::memory_order_relaxed);
+        st.prefix = identity;
+        st.status.store(TileStatus::kPrefix, std::memory_order_release);
+        throw;
+      }
+    }
+  });
+}
+
+}  // namespace scanprim::detail

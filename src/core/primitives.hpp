@@ -8,10 +8,12 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "src/core/ops.hpp"
+#include "src/core/runtime.hpp"
 #include "src/core/scan.hpp"
 #include "src/core/segmented.hpp"
 #include "src/thread/thread_pool.hpp"
@@ -58,11 +60,21 @@ std::vector<V> zipped(std::span<const T> a, std::span<const U> b, Fn fn) {
 
 /// out[index[i]] = in[i]. All indices must be unique (EREW write); the
 /// destination may be longer than the source.
+///
+/// Out-of-range indices throw std::out_of_range before anything is written
+/// at the bad position — an assert alone vanishes under NDEBUG and would let
+/// a bad index vector silently corrupt memory. Callers who have proven their
+/// indices can opt out of the check via SCANPRIM_CHECK_BOUNDS=0 (or
+/// set_bounds_checking(false)).
 template <class T>
 void permute(std::span<const T> in, std::span<const std::size_t> index,
              std::span<T> out) {
   assert(in.size() == index.size());
-  thread::parallel_for(in.size(), [&](std::size_t i) {
+  const bool check = bounds_checking();
+  thread::parallel_for(in.size(), [&, check](std::size_t i) {
+    if (check && index[i] >= out.size()) {
+      throw std::out_of_range("scanprim::permute: index out of range");
+    }
     assert(index[i] < out.size());
     out[index[i]] = in[i];
   });
@@ -82,7 +94,11 @@ template <class T>
 void gather(std::span<const T> in, std::span<const std::size_t> index,
             std::span<T> out) {
   assert(index.size() == out.size());
-  thread::parallel_for(index.size(), [&](std::size_t i) {
+  const bool check = bounds_checking();
+  thread::parallel_for(index.size(), [&, check](std::size_t i) {
+    if (check && index[i] >= in.size()) {
+      throw std::out_of_range("scanprim::gather: index out of range");
+    }
     assert(index[i] < in.size());
     out[i] = in[index[i]];
   });
@@ -122,12 +138,17 @@ inline std::vector<std::size_t> back_enumerate(FlagsView flags) {
   return ints;
 }
 
-/// Number of set flags.
+/// Number of set flags: one pass over the flags, no n-element temporary.
 inline std::size_t count_flags(FlagsView flags) {
-  std::vector<std::size_t> ints(flags.size());
-  map(flags, std::span<std::size_t>(ints),
-      [](std::uint8_t f) -> std::size_t { return f ? 1 : 0; });
-  return reduce(std::span<const std::size_t>(ints), Plus<std::size_t>{});
+  std::vector<std::size_t> partial(thread::num_workers(), 0);
+  thread::parallel_blocks(flags.size(), [&](thread::Block blk, std::size_t w) {
+    std::size_t c = 0;
+    for (std::size_t i = blk.begin; i < blk.end; ++i) c += flags[i] ? 1 : 0;
+    partial[w] = c;
+  });
+  std::size_t total = 0;
+  for (std::size_t c : partial) total += c;
+  return total;
 }
 
 /// Segmented enumerate: numbers flagged elements relative to the start of
@@ -226,14 +247,25 @@ std::vector<T> split(std::span<const T> in, FlagsView flags) {
   return permuted(in, std::span<const std::size_t>(index));
 }
 
+namespace detail {
+
+/// The number of set flags, read off the enumerate scan's final carry (the
+/// last exclusive prefix plus the last flag) instead of a second full pass.
+inline std::size_t kept_from_enumerate(const std::vector<std::size_t>& dest,
+                                       FlagsView flags) {
+  const std::size_t n = flags.size();
+  return n == 0 ? 0 : dest[n - 1] + (flags[n - 1] ? 1 : 0);
+}
+
+}  // namespace detail
+
 /// pack: drops unflagged elements, compacting the flagged ones into a new,
 /// shorter vector (the load-balancing step of Fig. 11).
 template <class T>
 std::vector<T> pack(std::span<const T> in, FlagsView flags) {
   assert(in.size() == flags.size());
   const std::vector<std::size_t> index = enumerate(flags);
-  const std::size_t kept = count_flags(flags);
-  std::vector<T> out(kept);
+  std::vector<T> out(detail::kept_from_enumerate(index, flags));
   thread::parallel_for(in.size(), [&](std::size_t i) {
     if (flags[i]) out[index[i]] = in[i];
   });
@@ -243,8 +275,7 @@ std::vector<T> pack(std::span<const T> in, FlagsView flags) {
 /// pack_index: the original indices of the flagged elements, in order.
 inline std::vector<std::size_t> pack_index(FlagsView flags) {
   const std::vector<std::size_t> dest = enumerate(flags);
-  const std::size_t kept = count_flags(flags);
-  std::vector<std::size_t> out(kept);
+  std::vector<std::size_t> out(detail::kept_from_enumerate(dest, flags));
   thread::parallel_for(flags.size(), [&](std::size_t i) {
     if (flags[i]) out[dest[i]] = i;
   });
@@ -270,7 +301,9 @@ inline Allocation allocate(std::span<const std::size_t> sizes) {
   a.offsets.resize(sizes.size());
   exclusive_scan(sizes, std::span<std::size_t>(a.offsets),
                  Plus<std::size_t>{});
-  a.total = reduce(sizes, Plus<std::size_t>{});
+  // The +-scan already did the work: the total is the last exclusive prefix
+  // plus the last size. A second full reduce over `sizes` is redundant.
+  a.total = sizes.empty() ? 0 : a.offsets.back() + sizes.back();
   a.segment_flags.assign(a.total, 0);
   thread::parallel_for(sizes.size(), [&](std::size_t i) {
     if (sizes[i] > 0) a.segment_flags[a.offsets[i]] = 1;

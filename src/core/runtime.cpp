@@ -1,12 +1,43 @@
 #include "src/core/runtime.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <string>
 
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
+
+namespace {
+
+// Lower-cased copy of `spec` with surrounding whitespace stripped.
+std::string normalized_spec(const char* spec) {
+  if (spec == nullptr) return {};
+  std::string s(spec);
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::atomic<ScanEngine>& engine_state() {
+  static std::atomic<ScanEngine> engine{
+      sanitize_engine_spec(std::getenv("SCANPRIM_SCAN_ENGINE"))};
+  return engine;
+}
+
+std::atomic<bool>& bounds_state() {
+  static std::atomic<bool> enabled{
+      sanitize_bounds_spec(std::getenv("SCANPRIM_CHECK_BOUNDS"))};
+  return enabled;
+}
+
+}  // namespace
 
 const char* version() { return "1.1.0"; }
 
@@ -29,6 +60,35 @@ std::size_t sanitize_worker_spec(const char* spec, std::size_t fallback) {
   if (v <= 0) return fallback;           // zero or negative
   if (static_cast<unsigned long long>(v) > kMaxWorkers) return kMaxWorkers;
   return static_cast<std::size_t>(v);
+}
+
+ScanEngine scan_engine() {
+  return engine_state().load(std::memory_order_relaxed);
+}
+
+void set_scan_engine(ScanEngine engine) {
+  engine_state().store(engine, std::memory_order_relaxed);
+}
+
+ScanEngine sanitize_engine_spec(const char* spec) {
+  const std::string s = normalized_spec(spec);
+  if (s == "twophase" || s == "two-phase" || s == "2phase") {
+    return ScanEngine::kTwoPhase;
+  }
+  return ScanEngine::kChained;
+}
+
+bool bounds_checking() {
+  return bounds_state().load(std::memory_order_relaxed);
+}
+
+void set_bounds_checking(bool enabled) {
+  bounds_state().store(enabled, std::memory_order_relaxed);
+}
+
+bool sanitize_bounds_spec(const char* spec) {
+  const std::string s = normalized_spec(spec);
+  return !(s == "0" || s == "off" || s == "false");
 }
 
 }  // namespace scanprim

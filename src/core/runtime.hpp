@@ -24,4 +24,40 @@ inline constexpr std::size_t kMaxWorkers = 512;
 /// valid values larger than kMaxWorkers clamp to kMaxWorkers.
 std::size_t sanitize_worker_spec(const char* spec, std::size_t fallback);
 
+/// Which parallel decomposition the scans use above the serial cutoff.
+///
+/// kChained (the default) is the single-pass engine of core/chained_scan.hpp:
+/// one pool dispatch, one read of the input from memory. kTwoPhase is the
+/// classic blocked decomposition (per-block reduce, serial scan of the block
+/// summaries, per-block rescan): two dispatches, two reads.
+enum class ScanEngine : int { kChained = 0, kTwoPhase = 1 };
+
+/// The active engine. Initialised from SCANPRIM_SCAN_ENGINE on first use
+/// ("twophase" selects kTwoPhase; anything else, including unset, selects
+/// kChained).
+ScanEngine scan_engine();
+
+/// Override the active engine (used by tests and benches to compare both).
+void set_scan_engine(ScanEngine engine);
+
+/// Parse a SCANPRIM_SCAN_ENGINE-style spec: "twophase" / "two-phase" /
+/// "2phase" (any case, surrounding whitespace ignored) selects kTwoPhase;
+/// everything else is the chained default.
+ScanEngine sanitize_engine_spec(const char* spec);
+
+/// Whether permute/gather validate their index vectors (and throw
+/// std::out_of_range) instead of relying on assert-only checks that vanish
+/// under NDEBUG. Initialised from SCANPRIM_CHECK_BOUNDS on first use;
+/// checking is on unless the variable opts out with "0", "off" or "false".
+bool bounds_checking();
+
+/// Override bounds checking (used by tests; callers who have proven their
+/// index vectors can opt out for the branch-free inner loop).
+void set_bounds_checking(bool enabled);
+
+/// Parse a SCANPRIM_CHECK_BOUNDS-style spec: "0" / "off" / "false" (any
+/// case, surrounding whitespace ignored) disables checking; everything else,
+/// including unset, leaves it enabled.
+bool sanitize_bounds_spec(const char* spec);
+
 }  // namespace scanprim

@@ -5,9 +5,12 @@
 //     [i, a0, a0⊕a1, ..., a0⊕a1⊕...⊕a(n-2)].
 // Backward scans run over the reversed processor order (§2.1, §3.4).
 //
-// Every scan has a sequential kernel and a two-phase blocked parallel kernel
-// (per-block reduce, scan the block sums, per-block rescan with a carry) —
-// the same decomposition the paper uses for long vectors in Figure 10.
+// Every scan has a sequential kernel and two parallel engines selected by
+// scan_engine() (SCANPRIM_SCAN_ENGINE): the single-pass chained engine of
+// core/chained_scan.hpp (the default — one dispatch, one read of the input)
+// and the two-phase blocked kernel (per-block reduce, scan the block sums,
+// per-block rescan with a carry) — the same decomposition the paper uses for
+// long vectors in Figure 10, kept as the `twophase` fallback.
 #pragma once
 
 #include <cassert>
@@ -15,7 +18,9 @@
 #include <span>
 #include <vector>
 
+#include "src/core/chained_scan.hpp"
 #include "src/core/ops.hpp"
+#include "src/core/runtime.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
@@ -51,7 +56,25 @@ void sequential_inclusive_scan(std::span<const T> in, std::span<T> out,
   }
 }
 
-// Shared two-phase driver: `scan_block(in_block, out_block, carry)` must run
+// Chained driver shared by the forward and backward flavours: tiles resolve
+// their carries through the lookback protocol of core/chained_scan.hpp and
+// `scan_block` finishes each tile in place. Safe when out aliases in: a tile
+// is only ever written by its owner, after its own summary read.
+template <class T, class Op, class BlockScan>
+void chained_scan_dispatch(std::span<const T> in, std::span<T> out, Op op,
+                           bool backward, BlockScan scan_block) {
+  chained_scan_run<T>(
+      in.size(), kChainedTileElements, backward, Op::identity(), op,
+      [&](std::size_t, std::size_t b, std::size_t c, T* agg) {
+        *agg = sequential_reduce(in.subspan(b, c), op);
+        return false;
+      },
+      [&](std::size_t, std::size_t b, std::size_t c, T carry) {
+        scan_block(in.subspan(b, c), out.subspan(b, c), carry);
+      });
+}
+
+// Shared parallel driver: `scan_block(in_block, out_block, carry)` must run
 // the sequential kernel of the desired flavour.
 template <class T, class Op, class BlockScan>
 void parallel_scan_impl(std::span<const T> in, std::span<T> out, Op op,
@@ -61,6 +84,10 @@ void parallel_scan_impl(std::span<const T> in, std::span<T> out, Op op,
   const std::size_t workers = thread::num_workers();
   if (workers == 1 || n < thread::kSerialCutoff) {
     scan_block(in, out, Op::identity());
+    return;
+  }
+  if (scan_engine() == ScanEngine::kChained) {
+    chained_scan_dispatch(in, out, op, /*backward=*/false, scan_block);
     return;
   }
   std::vector<T> sums(workers, Op::identity());
@@ -150,6 +177,10 @@ void parallel_backward_scan_impl(std::span<const T> in, std::span<T> out,
   const std::size_t workers = thread::num_workers();
   if (workers == 1 || n < thread::kSerialCutoff) {
     scan_block(in, out, Op::identity());
+    return;
+  }
+  if (scan_engine() == ScanEngine::kChained) {
+    chained_scan_dispatch(in, out, op, /*backward=*/true, scan_block);
     return;
   }
   std::vector<T> sums(workers, Op::identity());

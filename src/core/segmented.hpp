@@ -87,8 +87,7 @@ T seg_forward_summary(std::span<const T> in, FlagsView f, Op op) {
   return carry;
 }
 
-template <class T, class Op>
-bool block_has_flag(FlagsView f) {
+inline bool block_has_flag(FlagsView f) {
   for (std::uint8_t v : f) {
     if (v) return true;
   }
@@ -107,6 +106,27 @@ T seg_backward_summary(std::span<const T> in, FlagsView f, Op op) {
 
 // --- parallel drivers --------------------------------------------------------
 
+// Chained driver (core/chained_scan.hpp): a tile containing a flag publishes
+// its summary as a resolved prefix immediately — its outflow is independent
+// of the carry-in — which short-circuits the lookback at segment boundaries
+// exactly the way the `flagged` reset does in the two-phase combine below.
+template <class T, class Op, class Summary, class Kernel>
+void chained_seg_dispatch(std::span<const T> in, FlagsView f, std::span<T> out,
+                          Op op, bool backward, Summary summary,
+                          Kernel kernel) {
+  chained_scan_run<T>(
+      in.size(), kChainedTileElements, backward, Op::identity(), op,
+      [&](std::size_t, std::size_t b, std::size_t c, T* agg) {
+        auto bf = f.subspan(b, c);
+        *agg = summary(in.subspan(b, c), bf, op);
+        return block_has_flag(bf);
+      },
+      [&](std::size_t, std::size_t b, std::size_t c, T carry) {
+        kernel(in.subspan(b, c), f.subspan(b, c), out.subspan(b, c), op,
+               carry);
+      });
+}
+
 // Forward driver shared by the exclusive and inclusive flavours.
 template <class T, class Op, class Kernel>
 void parallel_seg_scan(std::span<const T> in, FlagsView f, std::span<T> out,
@@ -118,6 +138,15 @@ void parallel_seg_scan(std::span<const T> in, FlagsView f, std::span<T> out,
     kernel(in, f, out, op, Op::identity());
     return;
   }
+  if (scan_engine() == ScanEngine::kChained) {
+    chained_seg_dispatch(
+        in, f, out, op, /*backward=*/false,
+        [](std::span<const T> bi, FlagsView bf, Op o) {
+          return seg_forward_summary(bi, bf, o);
+        },
+        kernel);
+    return;
+  }
   std::vector<T> carry(workers, Op::identity());
   std::vector<std::uint8_t> flagged(workers, 0);
   thread::pool().run([&](std::size_t w) {
@@ -125,7 +154,7 @@ void parallel_seg_scan(std::span<const T> in, FlagsView f, std::span<T> out,
     auto bi = in.subspan(blk.begin, blk.size());
     auto bf = f.subspan(blk.begin, blk.size());
     carry[w] = seg_forward_summary(bi, bf, op);
-    flagged[w] = block_has_flag<T, Op>(bf) ? 1 : 0;
+    flagged[w] = block_has_flag(bf) ? 1 : 0;
   });
   // Carry into block b: the summary of block b-1 if that block restarted a
   // segment, else the incoming carry combined with block b-1's summary.
@@ -153,6 +182,15 @@ void parallel_seg_backscan(std::span<const T> in, FlagsView f,
     kernel(in, f, out, op, Op::identity());
     return;
   }
+  if (scan_engine() == ScanEngine::kChained) {
+    chained_seg_dispatch(
+        in, f, out, op, /*backward=*/true,
+        [](std::span<const T> bi, FlagsView bf, Op o) {
+          return seg_backward_summary(bi, bf, o);
+        },
+        kernel);
+    return;
+  }
   std::vector<T> carry(workers, Op::identity());
   std::vector<std::uint8_t> flagged(workers, 0);
   thread::pool().run([&](std::size_t w) {
@@ -160,7 +198,7 @@ void parallel_seg_backscan(std::span<const T> in, FlagsView f,
     auto bi = in.subspan(blk.begin, blk.size());
     auto bf = f.subspan(blk.begin, blk.size());
     carry[w] = seg_backward_summary(bi, bf, op);
-    flagged[w] = block_has_flag<T, Op>(bf) ? 1 : 0;
+    flagged[w] = block_has_flag(bf) ? 1 : 0;
   });
   T run = Op::identity();
   for (std::size_t b = workers; b-- > 0;) {

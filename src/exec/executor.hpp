@@ -1,14 +1,17 @@
 // The pipeline executor: runs a fused plan (fuser.hpp) over the existing
 // ThreadPool, one blocked kernel per fused group.
 //
-// A group with a scan runs the same two-phase decomposition as
-// core/scan.hpp — per-block reduce, serial scan of block summaries, per-block
-// rescan with a carry — but the fused group's map/zip lambdas are carried
-// *into* the reduce and rescan loops, and a trailing pack writes compacted
-// output directly from the rescan tile. A chain like
-// `map | +-scan | map | map` therefore touches memory twice (once per phase)
-// instead of once per stage, and with one worker (or below the serial
-// cutoff) the reduce phase is skipped entirely: one pass.
+// A group with a scan runs the same engines as core/scan.hpp, selected by
+// scan_engine(). Under the default chained engine a fused group without a
+// pack is genuinely one pass: tiles resolve their carries through the
+// lookback protocol of core/chained_scan.hpp in a single dispatch, with the
+// group's map/zip lambdas carried into the summarise and rescan loops. The
+// two-phase decomposition — per-block reduce, serial scan of block
+// summaries, per-block rescan with a carry — remains for pack groups (the
+// packed output offset needs the barrier) and as the SCANPRIM_SCAN_ENGINE=
+// twophase fallback; there a chain like `map | +-scan | map | map` touches
+// memory twice (once per phase) instead of once per stage, and with one
+// worker (or below the serial cutoff) the reduce phase is skipped entirely.
 //
 // Intermediate buffers between groups come from a BufferArena that reuses
 // previous temporaries instead of allocating per stage.
@@ -21,6 +24,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/core/chained_scan.hpp"
+#include "src/core/runtime.hpp"
 #include "src/exec/fuser.hpp"
 #include "src/exec/graph.hpp"
 #include "src/exec/stats.hpp"
@@ -209,6 +214,47 @@ std::size_t execute_group(const std::vector<Node<T>>& nodes, const Group& g,
     s.bytes_read += n * sizeof(T) + (segf ? n : 0) + n;
     s.bytes_written += total * sizeof(T);
     return total;
+  }
+
+  // --- chained single-pass kernel (core/chained_scan.hpp) --------------------
+  // A fused scan group without a trailing pack resolves tile carries through
+  // the lookback protocol in ONE dispatch: summarise the tile (pre-scan
+  // lambdas applied on the way), publish the aggregate, look back for the
+  // carry, then rescan the still-cached tile with the post-scan lambdas into
+  // `out`. Pack groups stay on the two-phase path: the packed output offset
+  // needs a full prefix of the kept counts, which the two-phase barrier
+  // already provides.
+  if (sc && !pf && scan_engine() == ScanEngine::kChained) {
+    const bool no_pre = pre_end == g.first;
+    std::vector<std::vector<T>> scratch(workers);
+    scanprim::detail::chained_scan_run<T>(
+        n, tile, backward, sc->identity,
+        [&](T a, T b) { return sc->combine(a, b); },
+        [&](std::size_t w, std::size_t b, std::size_t c, T* agg) {
+          bool saw = false;
+          const T* d;
+          if (no_pre && direct_in) {
+            d = direct_in + b;
+          } else {
+            if (scratch[w].size() < tile) scratch[w].resize(tile);
+            load(b, c, scratch[w].data());
+            apply_range(g.first, pre_end, scratch[w].data(), b, c);
+            d = scratch[w].data();
+          }
+          *agg = sc->reduce_tile(d, seg_at(b), c, sc->identity, &saw);
+          return saw;
+        },
+        [&](std::size_t, std::size_t b, std::size_t c, T carry) {
+          load(b, c, out + b);
+          apply_range(g.first, pre_end, out + b, b, c);
+          carry = sc->scan_tile(out + b, seg_at(b), c, carry);
+          apply_range(post_begin, ew_end, out + b, b, c);
+        });
+    s.pool_dispatches += 1;
+    // The rescan's reload of the tile hits cache, not DRAM: account one read.
+    s.bytes_read += n * sizeof(T) + (segf ? n : 0);
+    s.bytes_written += n * sizeof(T);
+    return n;
   }
 
   // --- two-phase blocked kernel ----------------------------------------------

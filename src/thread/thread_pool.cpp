@@ -68,6 +68,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     for (std::size_t w = 0; w < workers_; ++w) fn(w);
     return;
   }
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
     job_ = &fn;

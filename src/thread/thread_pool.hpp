@@ -4,8 +4,10 @@
 // program step becomes one parallel_blocks dispatch across the pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -33,6 +35,13 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_; }
 
+  /// Number of parallel fan-outs `run` has performed (serial fallbacks —
+  /// one worker or nested calls — are not dispatches). Benches difference
+  /// this around a workload to count its dispatch rounds.
+  std::uint64_t dispatch_count() const noexcept {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
   void run(const std::function<void(std::size_t)>& fn);
 
  private:
@@ -50,6 +59,7 @@ class ThreadPool {
   std::size_t remaining_ = 0;
   std::exception_ptr first_error_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> dispatches_{0};
 };
 
 /// The process-wide pool. Sized from the SCANPRIM_THREADS environment

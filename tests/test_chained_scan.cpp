@@ -1,0 +1,319 @@
+// The single-pass chained scan engine (core/chained_scan.hpp) against the
+// two-phase engine and the serial references: both engines must produce
+// bit-identical output for every operator x direction x segmentation, and
+// the chained engine must handle the protocol's boundary cases — empty and
+// length-1 inputs, segment flags landing exactly on tile and worker-block
+// boundaries, all-flags / no-flags inputs, and out == in aliasing.
+#include "src/core/chained_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/primitives.hpp"
+#include "src/core/runtime.hpp"
+#include "src/core/scan.hpp"
+#include "src/core/segmented.hpp"
+#include "src/exec/executor.hpp"
+#include "test_util.hpp"
+
+namespace scanprim {
+namespace {
+
+// Forces an engine for a scope and restores the previous one on exit.
+class EngineGuard {
+ public:
+  explicit EngineGuard(ScanEngine engine) : prev_(scan_engine()) {
+    set_scan_engine(engine);
+  }
+  ~EngineGuard() { set_scan_engine(prev_); }
+
+ private:
+  ScanEngine prev_;
+};
+
+template <class T, class Op, class Scan>
+void expect_engines_agree(std::span<const T> in, Op, Scan scan) {
+  std::vector<T> chained(in.size()), twophase(in.size());
+  {
+    EngineGuard g(ScanEngine::kChained);
+    scan(in, std::span<T>(chained));
+  }
+  {
+    EngineGuard g(ScanEngine::kTwoPhase);
+    scan(in, std::span<T>(twophase));
+  }
+  ASSERT_EQ(chained, twophase);
+}
+
+// Sizes around the serial cutoff, the tile size, and well past both, so the
+// protocol runs with one tile, a partial last tile, and many tiles.
+std::vector<std::size_t> engine_sizes() {
+  const std::size_t tile = detail::kChainedTileElements;
+  return {0,        1,        2,         tile - 1,    tile,
+          tile + 1, 3 * tile, 4 * tile + 123, 100001, 1u << 17};
+}
+
+class ChainedSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainedSweep, AllOperatorsAllDirectionsAgreeWithTwoPhase) {
+  const std::size_t n = GetParam();
+  const auto longs = testutil::random_vector<long>(n, 31);
+  const auto bytes = testutil::random_vector<std::uint8_t>(n, 32, 2);
+  const std::span<const long> ls(longs);
+  const std::span<const std::uint8_t> bs(bytes);
+
+  const auto check = [](auto in, auto op) {
+    using T = typename decltype(op)::value_type;
+    using OpT = decltype(op);
+    expect_engines_agree(in, op, [](std::span<const T> i, std::span<T> o) {
+      exclusive_scan(i, o, OpT{});
+    });
+    expect_engines_agree(in, op, [](std::span<const T> i, std::span<T> o) {
+      inclusive_scan(i, o, OpT{});
+    });
+    expect_engines_agree(in, op, [](std::span<const T> i, std::span<T> o) {
+      backward_exclusive_scan(i, o, OpT{});
+    });
+    expect_engines_agree(in, op, [](std::span<const T> i, std::span<T> o) {
+      backward_inclusive_scan(i, o, OpT{});
+    });
+  };
+  check(ls, Plus<long>{});
+  check(ls, Max<long>{});
+  check(ls, Min<long>{});
+  check(bs, Or<std::uint8_t>{});
+  check(bs, And<std::uint8_t>{});
+}
+
+TEST_P(ChainedSweep, SegmentedScansAgreeWithTwoPhaseAndReference) {
+  const std::size_t n = GetParam();
+  const auto in = testutil::random_vector<long>(n, 33);
+  const Flags f = testutil::random_flags(n, 34, 97);
+  const std::span<const long> s(in);
+  const FlagsView fv(f);
+
+  std::vector<long> chained(n), twophase(n);
+  const auto both = [&](auto run) {
+    {
+      EngineGuard g(ScanEngine::kChained);
+      run(std::span<long>(chained));
+    }
+    {
+      EngineGuard g(ScanEngine::kTwoPhase);
+      run(std::span<long>(twophase));
+    }
+    ASSERT_EQ(chained, twophase);
+  };
+  both([&](std::span<long> o) { seg_exclusive_scan(s, fv, o, Plus<long>{}); });
+  ASSERT_EQ(chained, testutil::ref_seg_exclusive_scan(s, fv, Plus<long>{}));
+  both([&](std::span<long> o) { seg_inclusive_scan(s, fv, o, Max<long>{}); });
+  both([&](std::span<long> o) {
+    seg_backward_exclusive_scan(s, fv, o, Plus<long>{});
+  });
+  ASSERT_EQ(chained,
+            testutil::ref_seg_backward_exclusive_scan(s, fv, Plus<long>{}));
+  both([&](std::span<long> o) {
+    seg_backward_inclusive_scan(s, fv, o, Min<long>{});
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChainedSweep,
+                         ::testing::ValuesIn(engine_sizes()));
+
+TEST(ChainedScan, EmptyAndLengthOneEveryFlavour) {
+  EngineGuard g(ScanEngine::kChained);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    const auto in = testutil::random_vector<long>(n, 35);
+    const Flags f = testutil::random_flags(n, 36);
+    const std::span<const long> s(in);
+    std::vector<long> out(n);
+    const std::span<long> o(out);
+
+    exclusive_scan(s, o, Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_exclusive_scan(s, Plus<long>{}));
+    inclusive_scan(s, o, Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_inclusive_scan(s, Plus<long>{}));
+    backward_exclusive_scan(s, o, Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_backward_exclusive_scan(s, Plus<long>{}));
+    backward_inclusive_scan(s, o, Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_backward_inclusive_scan(s, Plus<long>{}));
+    seg_exclusive_scan(s, FlagsView(f), o, Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_seg_exclusive_scan(s, FlagsView(f),
+                                                    Plus<long>{}));
+    seg_backward_inclusive_scan(s, FlagsView(f), o, Plus<long>{});
+    EXPECT_EQ(out, testutil::ref_seg_backward_inclusive_scan(s, FlagsView(f),
+                                                             Plus<long>{}));
+  }
+}
+
+// Flags exactly on tile boundaries exercise the lookback short-circuit: a
+// flagged tile publishes its prefix immediately, and a flag as a tile's
+// first element makes the whole tile independent of its carry-in.
+TEST(ChainedScan, FlagsOnTileAndWorkerBoundaries) {
+  const std::size_t tile = detail::kChainedTileElements;
+  const std::size_t n = 6 * tile + 17;
+  const auto in = testutil::random_vector<long>(n, 37);
+  const std::span<const long> s(in);
+
+  Flags f(n, 0);
+  f[0] = 1;
+  for (std::size_t t = 1; t * tile < n; ++t) f[t * tile] = 1;      // tile starts
+  for (std::size_t t = 1; t * tile < n; ++t) f[t * tile - 1] = 1;  // tile ends
+  // Worker-block boundaries for the forced 8-worker runs (block_of splits
+  // differently from tiles, so these land mid-tile).
+  for (std::size_t w = 1; w < 8; ++w) {
+    f[thread::block_of(n, 8, w).begin] = 1;
+  }
+
+  std::vector<long> out(n);
+  EngineGuard g(ScanEngine::kChained);
+  seg_exclusive_scan(s, FlagsView(f), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out,
+            testutil::ref_seg_exclusive_scan(s, FlagsView(f), Plus<long>{}));
+  seg_backward_exclusive_scan(s, FlagsView(f), std::span<long>(out),
+                              Plus<long>{});
+  EXPECT_EQ(out, testutil::ref_seg_backward_exclusive_scan(s, FlagsView(f),
+                                                           Plus<long>{}));
+}
+
+TEST(ChainedScan, AllFlagsAndNoFlags) {
+  const std::size_t n = 3 * detail::kChainedTileElements + 5;
+  const auto in = testutil::random_vector<long>(n, 38);
+  const std::span<const long> s(in);
+  std::vector<long> out(n);
+  EngineGuard g(ScanEngine::kChained);
+
+  const Flags all(n, 1);
+  seg_exclusive_scan(s, FlagsView(all), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, std::vector<long>(n, 0));  // every element starts a segment
+  seg_inclusive_scan(s, FlagsView(all), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, in);
+
+  Flags none(n, 0);  // no flag at all: one segment, equals the plain scan
+  seg_exclusive_scan(s, FlagsView(none), std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, testutil::ref_exclusive_scan(s, Plus<long>{}));
+  seg_backward_inclusive_scan(s, FlagsView(none), std::span<long>(out),
+                              Plus<long>{});
+  EXPECT_EQ(out, testutil::ref_backward_inclusive_scan(s, Plus<long>{}));
+}
+
+// A tile is only written by its owner after its own summary read, so the
+// chained engine keeps the library's out-may-alias-in contract.
+TEST(ChainedScan, InPlaceAliasingForwardAndBackward) {
+  const std::size_t n = 5 * detail::kChainedTileElements + 321;
+  EngineGuard g(ScanEngine::kChained);
+
+  auto v = testutil::random_vector<long>(n, 39);
+  const auto fwd = testutil::ref_exclusive_scan(std::span<const long>(v),
+                                                Plus<long>{});
+  exclusive_scan(std::span<const long>(v), std::span<long>(v), Plus<long>{});
+  EXPECT_EQ(v, fwd);
+
+  v = testutil::random_vector<long>(n, 40);
+  const auto bwd = testutil::ref_backward_exclusive_scan(
+      std::span<const long>(v), Plus<long>{});
+  backward_exclusive_scan(std::span<const long>(v), std::span<long>(v),
+                          Plus<long>{});
+  EXPECT_EQ(v, bwd);
+
+  v = testutil::random_vector<long>(n, 41);
+  const Flags f = testutil::random_flags(n, 42, 53);
+  const auto seg = testutil::ref_seg_inclusive_scan(std::span<const long>(v),
+                                                    FlagsView(f), Plus<long>{});
+  seg_inclusive_scan(std::span<const long>(v), FlagsView(f), std::span<long>(v),
+                     Plus<long>{});
+  EXPECT_EQ(v, seg);
+}
+
+// seg_copy scans a non-commutative "latest valid value" operator through
+// inclusive_scan; the chained lookback must preserve combination order.
+TEST(ChainedScan, NonCommutativeSegCopyOperator) {
+  const std::size_t n = 4 * detail::kChainedTileElements + 77;
+  const auto in = testutil::random_vector<int>(n, 43);
+  const Flags f = testutil::random_flags(n, 44, 211);
+  std::vector<int> chained, twophase;
+  {
+    EngineGuard g(ScanEngine::kChained);
+    chained = seg_copy(std::span<const int>(in), FlagsView(f));
+  }
+  {
+    EngineGuard g(ScanEngine::kTwoPhase);
+    twophase = seg_copy(std::span<const int>(in), FlagsView(f));
+  }
+  EXPECT_EQ(chained, twophase);
+}
+
+// The fused executor's scan groups run the same protocol: one dispatch for a
+// map | scan | map group, identical output to the two-phase plan.
+TEST(ChainedScan, ExecutorScanGroupsMatchTwoPhase) {
+  const std::size_t n = 200000;
+  const auto in = testutil::random_vector<std::uint32_t>(n, 45, 1u << 20);
+  const Flags f = testutil::random_flags(n, 46, 999);
+  const std::span<const std::uint32_t> s(in);
+
+  const auto build = [&] {
+    return exec::source(s) |
+           exec::map([](std::uint32_t v) { return v + 3; }) |
+           exec::scan<Plus>() |
+           exec::map([](std::uint32_t v) { return 2 * v; });
+  };
+  const auto build_seg = [&] {
+    return exec::source(s) | exec::seg_scan<Plus>(FlagsView(f)) |
+           exec::map([](std::uint32_t v) { return v ^ 5; });
+  };
+  const auto build_back = [&] {
+    return exec::source(s) | exec::backscan<Plus>() |
+           exec::map([](std::uint32_t v) { return v + 1; });
+  };
+
+  std::vector<std::uint32_t> c1, c2, c3, t1, t2, t3;
+  exec::Stats chained_stats;
+  {
+    EngineGuard g(ScanEngine::kChained);
+    exec::Executor ex;
+    c1 = ex.run(build());
+    chained_stats = ex.stats();
+    c2 = ex.run(build_seg());
+    c3 = ex.run(build_back());
+  }
+  {
+    EngineGuard g(ScanEngine::kTwoPhase);
+    t1 = exec::run(build());
+    t2 = exec::run(build_seg());
+    t3 = exec::run(build_back());
+  }
+  EXPECT_EQ(c1, t1);
+  EXPECT_EQ(c2, t2);
+  EXPECT_EQ(c3, t3);
+  if (thread::num_workers() > 1) {
+    EXPECT_EQ(chained_stats.pool_dispatches, 1u);  // fused group: one pass
+  }
+}
+
+TEST(ChainedScan, PrimitivesBuiltOnScansWorkUnderChained) {
+  EngineGuard g(ScanEngine::kChained);
+  const std::size_t n = 100000;
+  const auto in = testutil::random_vector<long>(n, 47);
+  Flags f(n);
+  for (std::size_t i = 0; i < n; ++i) f[i] = in[i] & 1;
+
+  const auto packed = pack(std::span<const long>(in), FlagsView(f));
+  EXPECT_EQ(packed.size(), count_flags(FlagsView(f)));
+  for (long v : packed) EXPECT_TRUE(v & 1);
+
+  const auto s = split(std::span<const long>(in), FlagsView(f));
+  const std::size_t evens = n - packed.size();
+  for (std::size_t i = 0; i < evens; ++i) EXPECT_FALSE(s[i] & 1);
+  for (std::size_t i = evens; i < n; ++i) EXPECT_TRUE(s[i] & 1);
+}
+
+TEST(ChainedScan, EngineSelectionRoundTrips) {
+  const ScanEngine prev = scan_engine();
+  set_scan_engine(ScanEngine::kTwoPhase);
+  EXPECT_EQ(scan_engine(), ScanEngine::kTwoPhase);
+  set_scan_engine(ScanEngine::kChained);
+  EXPECT_EQ(scan_engine(), ScanEngine::kChained);
+  set_scan_engine(prev);
+}
+
+}  // namespace
+}  // namespace scanprim

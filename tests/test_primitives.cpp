@@ -64,6 +64,66 @@ TEST(Permute, IsTheInverseOfItsIndexVector) {
             in);
 }
 
+// The bounds checks must survive release builds: assert-only checking
+// vanishes under NDEBUG and a bad index vector would silently scribble over
+// memory. Out-of-range indices throw; duplicate (non-EREW) indices are
+// memory-safe — some write wins, nothing lands outside the destination.
+TEST(Permute, OutOfRangeIndexThrows) {
+  const std::vector<long> in{1, 2, 3};
+  std::vector<long> out(3);
+  const std::vector<std::size_t> bad{0, 7, 2};  // 7 >= out.size()
+  EXPECT_THROW(permute(std::span<const long>(in),
+                       std::span<const std::size_t>(bad),
+                       std::span<long>(out)),
+               std::out_of_range);
+  // Parallel path too: one bad index deep inside a large vector.
+  const std::size_t n = 50000;
+  const auto big = testutil::random_vector<long>(n, 71);
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  idx[n - 7] = n + 1000;
+  std::vector<long> big_out(n);
+  EXPECT_THROW(permute(std::span<const long>(big),
+                       std::span<const std::size_t>(idx),
+                       std::span<long>(big_out)),
+               std::out_of_range);
+}
+
+TEST(Gather, OutOfRangeIndexThrows) {
+  const std::vector<long> in{1, 2, 3};
+  std::vector<long> out(2);
+  const std::vector<std::size_t> bad{1, 3};  // 3 >= in.size()
+  EXPECT_THROW(gather(std::span<const long>(in),
+                      std::span<const std::size_t>(bad), std::span<long>(out)),
+               std::out_of_range);
+}
+
+TEST(Permute, DuplicateIndicesAreMemorySafe) {
+  const std::vector<long> in{10, 20, 30, 40};
+  std::vector<long> out(4, -1);
+  const std::vector<std::size_t> dup{2, 2, 2, 2};
+  permute(std::span<const long>(in), std::span<const std::size_t>(dup),
+          std::span<long>(out));
+  EXPECT_TRUE(out[2] == 10 || out[2] == 20 || out[2] == 30 || out[2] == 40);
+  EXPECT_EQ(out[0], -1);
+  EXPECT_EQ(out[1], -1);
+  EXPECT_EQ(out[3], -1);
+}
+
+TEST(Permute, BoundsCheckingCanBeDisabled) {
+  ASSERT_TRUE(bounds_checking());  // on by default
+  set_bounds_checking(false);
+  EXPECT_FALSE(bounds_checking());
+  // In-range traffic still works with the check compiled out of the loop.
+  const std::vector<long> in{5, 6};
+  std::vector<long> out(2);
+  const std::vector<std::size_t> idx{1, 0};
+  permute(std::span<const long>(in), std::span<const std::size_t>(idx),
+          std::span<long>(out));
+  EXPECT_EQ(out, (std::vector<long>{6, 5}));
+  set_bounds_checking(true);
+}
+
 TEST(Split, PaperFigure3) {
   const std::vector<int> a{5, 7, 3, 1, 4, 2, 7, 2};
   const Flags flags{1, 1, 1, 1, 0, 0, 1, 0};
@@ -103,6 +163,33 @@ TEST(Pack, KeepsExactlyTheFlaggedElementsInOrder) {
   const auto idx = pack_index(FlagsView(f));
   ASSERT_EQ(idx.size(), expect.size());
   for (std::size_t j = 0; j < idx.size(); ++j) ASSERT_EQ(in[idx[j]], expect[j]);
+}
+
+TEST(Pack, EmptyAndBoundaryKeptCounts) {
+  // `kept` comes from the enumerate scan's final carry; the edges are the
+  // empty input and a set/unset last flag.
+  const std::vector<long> none;
+  EXPECT_TRUE(pack(std::span<const long>(none), FlagsView(Flags{})).empty());
+  EXPECT_TRUE(pack_index(FlagsView(Flags{})).empty());
+  EXPECT_EQ(count_flags(FlagsView(Flags{})), 0u);
+
+  const std::vector<long> in{1, 2, 3, 4};
+  EXPECT_EQ(pack(std::span<const long>(in), FlagsView(Flags{0, 1, 0, 1})),
+            (std::vector<long>{2, 4}));
+  EXPECT_EQ(pack(std::span<const long>(in), FlagsView(Flags{1, 0, 1, 0})),
+            (std::vector<long>{1, 3}));
+  EXPECT_EQ(pack(std::span<const long>(in), FlagsView(Flags{0, 0, 0, 0})),
+            std::vector<long>{});
+  EXPECT_EQ(pack(std::span<const long>(in), FlagsView(Flags{1, 1, 1, 1})), in);
+}
+
+TEST(CountFlags, MatchesSerialCountAcrossSizes) {
+  for (const std::size_t n : {0u, 1u, 4095u, 4096u, 100001u}) {
+    const Flags f = testutil::random_flags(n, 72 + n, 3);
+    std::size_t expect = 0;
+    for (auto v : f) expect += v ? 1 : 0;
+    EXPECT_EQ(count_flags(FlagsView(f)), expect);
+  }
 }
 
 TEST(SegCopy, SpreadsSegmentHeads) {
@@ -154,6 +241,26 @@ TEST(Allocate, ZeroSizedRequestsVanish) {
   const std::vector<int> v{10, 20, 30, 40, 50, 60};
   EXPECT_EQ(distribute_to_segments(std::span<const int>(v), alloc),
             (std::vector<int>{10, 10, 40, 40, 40, 60}));
+}
+
+TEST(Allocate, EmptyInput) {
+  const Allocation alloc = allocate(std::span<const std::size_t>{});
+  EXPECT_TRUE(alloc.offsets.empty());
+  EXPECT_EQ(alloc.total, 0u);
+  EXPECT_TRUE(alloc.segment_flags.empty());
+  EXPECT_TRUE(
+      distribute_to_segments(std::span<const int>{}, alloc).empty());
+}
+
+TEST(Allocate, AllZeroSizes) {
+  const std::vector<std::size_t> sizes(100, 0);
+  const Allocation alloc = allocate(std::span<const std::size_t>(sizes));
+  EXPECT_EQ(alloc.total, 0u);
+  EXPECT_EQ(alloc.offsets, std::vector<std::size_t>(100, 0));
+  EXPECT_TRUE(alloc.segment_flags.empty());
+  const std::vector<int> values(100, 7);
+  EXPECT_TRUE(
+      distribute_to_segments(std::span<const int>(values), alloc).empty());
 }
 
 TEST(Allocate, RandomizedTotalsAndSegments) {

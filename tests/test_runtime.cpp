@@ -52,6 +52,44 @@ TEST(SanitizeWorkerSpec, DegenerateFallbackIsRepaired) {
   EXPECT_EQ(sanitize_worker_spec(nullptr, 100000), kMaxWorkers);
 }
 
+TEST(SanitizeEngineSpec, TwoPhaseSpellings) {
+  EXPECT_EQ(sanitize_engine_spec("twophase"), ScanEngine::kTwoPhase);
+  EXPECT_EQ(sanitize_engine_spec("TwoPhase"), ScanEngine::kTwoPhase);
+  EXPECT_EQ(sanitize_engine_spec("  two-phase "), ScanEngine::kTwoPhase);
+  EXPECT_EQ(sanitize_engine_spec("2phase"), ScanEngine::kTwoPhase);
+}
+
+TEST(SanitizeEngineSpec, EverythingElseIsChained) {
+  EXPECT_EQ(sanitize_engine_spec(nullptr), ScanEngine::kChained);
+  EXPECT_EQ(sanitize_engine_spec(""), ScanEngine::kChained);
+  EXPECT_EQ(sanitize_engine_spec("chained"), ScanEngine::kChained);
+  EXPECT_EQ(sanitize_engine_spec("CHAINED"), ScanEngine::kChained);
+  EXPECT_EQ(sanitize_engine_spec("junk"), ScanEngine::kChained);
+}
+
+TEST(SanitizeBoundsSpec, OptOutSpellings) {
+  EXPECT_FALSE(sanitize_bounds_spec("0"));
+  EXPECT_FALSE(sanitize_bounds_spec("off"));
+  EXPECT_FALSE(sanitize_bounds_spec(" FALSE "));
+}
+
+TEST(SanitizeBoundsSpec, DefaultsOn) {
+  EXPECT_TRUE(sanitize_bounds_spec(nullptr));
+  EXPECT_TRUE(sanitize_bounds_spec(""));
+  EXPECT_TRUE(sanitize_bounds_spec("1"));
+  EXPECT_TRUE(sanitize_bounds_spec("on"));
+  EXPECT_TRUE(sanitize_bounds_spec("junk"));
+}
+
+TEST(Runtime, BoundsCheckingRoundTrips) {
+  const bool prev = bounds_checking();
+  set_bounds_checking(false);
+  EXPECT_FALSE(bounds_checking());
+  set_bounds_checking(true);
+  EXPECT_TRUE(bounds_checking());
+  set_bounds_checking(prev);
+}
+
 TEST(Runtime, WorkersIsPositive) { EXPECT_GE(runtime_workers(), 1u); }
 
 TEST(Runtime, VersionIsNonEmpty) {
