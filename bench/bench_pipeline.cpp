@@ -21,19 +21,8 @@
 namespace scanprim {
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using U = std::uint32_t;
-
-double best_of_ms(int reps, const auto& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = Clock::now();
-    fn();
-    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
-    if (dt.count() < best) best = dt.count();
-  }
-  return best;
-}
+using bench::best_of_ms;
 
 struct Row {
   const char* workload;

@@ -169,17 +169,13 @@ struct EngineRow {
 
 template <class Run>
 EngineRow compare_engines(const char* op, std::size_t n, int reps, Run run) {
-  using Clock = std::chrono::steady_clock;
   EngineRow r{op, n};
   std::vector<std::int64_t> chained(n), twophase(n);
   const ScanEngine prev = scan_engine();
 
   const auto timed = [&](ScanEngine e, std::span<std::int64_t> out) {
     set_scan_engine(e);
-    const auto t0 = Clock::now();
-    run(out);
-    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
-    return dt.count();
+    return bench::time_once_ms([&] { run(out); });
   };
   // Warmup passes also count the dispatch rounds each engine needs.
   set_scan_engine(ScanEngine::kChained);

@@ -1,0 +1,221 @@
+// The batching scan service vs a per-request front-end (docs/SERVE.md).
+//
+// Workload: S concurrent submitters each issue J independent 4096-element
+// scan requests (mixed operators, flavours, directions, some segmented).
+//   unbatched — every request runs as its own chained-engine dispatch from
+//               its submitter thread (dispatches serialize on the pool);
+//   batched   — every request goes through serve::Service, which coalesces
+//               the wave into a handful of segment-flagged mega-dispatches.
+// Reports wall-clock throughput, pool dispatches per request, batch
+// occupancy, and service latency percentiles; every batched result is
+// diffed against its sequential reference. Results go to stdout and
+// BENCH_serve.json.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/segmented.hpp"
+#include "src/serve/service.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim {
+namespace {
+
+using serve::Value;
+
+struct Req {
+  serve::ScanJob job;
+  std::vector<std::uint8_t> meta;  // request-local meta (unbatched path)
+  std::vector<Value> ref;          // sequential reference output
+};
+
+Req make_request(std::mt19937_64& g, std::size_t n) {
+  Req r;
+  r.job.data.resize(n);
+  for (auto& v : r.job.data) v = static_cast<Value>(g() % 100);
+  r.job.op = static_cast<batch::Op>(g() % batch::kOpCount);
+  r.job.inclusive = (g() & 1) != 0;
+  r.job.backward = g() % 4 == 0;  // a quarter backward: both directions live
+  if (g() % 3 == 0) {
+    r.job.flags.assign(n, 0);
+    for (auto& f : r.job.flags) f = g() % 9 == 0 ? 1 : 0;
+  }
+  r.meta.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool flag = i == 0 || (!r.job.flags.empty() && r.job.flags[i] != 0);
+    r.meta[i] = batch::make_meta(flag, r.job.op, r.job.inclusive);
+  }
+  // Sequential reference: the serial kernel over this one request.
+  r.ref = r.job.data;
+  if (r.job.backward) {
+    batch::batch_backward_kernel(r.ref.data(), r.meta.data(), n,
+                                 batch::BatchCarry{});
+  } else {
+    batch::batch_forward_kernel(r.ref.data(), r.meta.data(), n,
+                                batch::BatchCarry{});
+  }
+  return r;
+}
+
+struct WaveResult {
+  double ms = 0;
+  std::uint64_t dispatches = 0;
+  std::size_t diffs = 0;
+};
+
+// Every submitter thread runs its requests itself: one chained-engine
+// dispatch per request, serialized on the pool — the front-end the service
+// replaces. Input buffers are cloned before the clock starts (the same
+// courtesy run_batched gets); each request scans its buffer in place.
+WaveResult run_unbatched(const std::vector<std::vector<Req>>& per_thread) {
+  WaveResult w;
+  std::vector<std::vector<std::vector<Value>>> bufs(per_thread.size());
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    for (const Req& r : per_thread[t]) bufs[t].push_back(r.job.data);
+  }
+  const std::uint64_t d0 = thread::pool().dispatch_count();
+  w.ms = bench::time_once_ms([&] {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < per_thread.size(); ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = 0; i < per_thread[t].size(); ++i) {
+          const Req& r = per_thread[t][i];
+          batch::seg_scan_batch(std::span<Value>(bufs[t][i]),
+                                std::span<const std::uint8_t>(r.meta),
+                                r.job.backward);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+  w.dispatches = thread::pool().dispatch_count() - d0;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    for (std::size_t i = 0; i < per_thread[t].size(); ++i) {
+      if (bufs[t][i] != per_thread[t][i].ref) ++w.diffs;
+    }
+  }
+  return w;
+}
+
+// The same wave through the service: input buffers are cloned before the
+// clock starts and each submission MOVES its buffer in (the zero-copy hand-
+// off the in-place batch path exists for); results come back the same way.
+WaveResult run_batched(serve::Service& svc,
+                       const std::vector<std::vector<Req>>& per_thread) {
+  WaveResult w;
+  std::vector<std::vector<serve::ScanJob>> jobs(per_thread.size());
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    for (const Req& r : per_thread[t]) jobs[t].push_back(r.job);
+  }
+  std::vector<std::vector<std::future<serve::Result>>> futs(per_thread.size());
+  const std::uint64_t before = svc.metrics().pool_dispatches;
+  std::vector<std::vector<serve::Result>> results(per_thread.size());
+  w.ms = bench::time_once_ms([&] {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < per_thread.size(); ++t) {
+      threads.emplace_back([&, t] {
+        for (serve::ScanJob& j : jobs[t]) {
+          futs[t].push_back(svc.submit(std::move(j)));
+        }
+        for (auto& f : futs[t]) results[t].push_back(f.get());
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+  w.dispatches = svc.metrics().pool_dispatches - before;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    for (std::size_t i = 0; i < per_thread[t].size(); ++i) {
+      const serve::Result& res = results[t][i];
+      if (res.status != serve::Status::kOk ||
+          res.values != per_thread[t][i].ref) {
+        ++w.diffs;
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+}  // namespace scanprim
+
+int main() {
+  using namespace scanprim;
+  // The container may expose a single core; the dispatch-amortisation story
+  // needs a real pool. Explicit SCANPRIM_THREADS still wins (overwrite=0).
+  setenv("SCANPRIM_THREADS", "8", 0);
+
+  constexpr std::size_t kReqElements = 4096;
+  bench::header("serve: batched mega-dispatch vs per-request dispatch");
+  bench::row({"submitters", "requests", "unbatch ms", "batch ms", "speedup",
+              "disp/req u", "disp/req b", "occupancy", "diffs"});
+
+  bench::JsonLog json;
+  bool ok = true;
+  const struct {
+    std::size_t submitters;
+    std::size_t jobs_each;
+  } waves[] = {{64, 16}, {128, 8}};
+
+  for (const auto& wave : waves) {
+    std::mt19937_64 g(2024);
+    std::vector<std::vector<Req>> per_thread(wave.submitters);
+    for (std::size_t t = 0; t < wave.submitters; ++t) {
+      for (std::size_t j = 0; j < wave.jobs_each; ++j) {
+        per_thread[t].push_back(make_request(g, kReqElements));
+      }
+    }
+    const std::size_t total = wave.submitters * wave.jobs_each;
+
+    const WaveResult ub = run_unbatched(per_thread);
+
+    serve::Service::Options o;
+    o.window_us = 2'000;
+    o.byte_budget = std::size_t{64} << 20;  // the window, not bytes, flushes
+    o.queue_capacity = total;
+    serve::Service svc(o);
+    const WaveResult b = run_batched(svc, per_thread);
+    const serve::Metrics m = svc.metrics();
+    svc.shutdown();
+
+    const double speedup = b.ms > 0 ? ub.ms / b.ms : 0;
+    const double disp_u = static_cast<double>(ub.dispatches) /
+                          static_cast<double>(total);
+    const double disp_b = static_cast<double>(b.dispatches) /
+                          static_cast<double>(total);
+    bench::row({bench::fmt_u(wave.submitters), bench::fmt_u(total),
+                bench::fmt(ub.ms, 1), bench::fmt(b.ms, 1),
+                bench::fmt(speedup, 2), bench::fmt(disp_u, 3),
+                bench::fmt(disp_b, 4), bench::fmt(m.mean_occupancy, 1),
+                bench::fmt_u(ub.diffs + b.diffs)});
+    json.field("submitters", static_cast<std::uint64_t>(wave.submitters))
+        .field("requests", static_cast<std::uint64_t>(total))
+        .field("request_elements", static_cast<std::uint64_t>(kReqElements))
+        .field("unbatched_ms", ub.ms)
+        .field("batched_ms", b.ms)
+        .field("speedup", speedup)
+        .field("unbatched_dispatches_per_request", disp_u)
+        .field("batched_dispatches_per_request", disp_b)
+        .field("batches", m.batches)
+        .field("mean_occupancy", m.mean_occupancy)
+        .field("mean_batch_elements", m.mean_batch_elements)
+        .field("p50_us", static_cast<double>(m.p50_ns) / 1000.0)
+        .field("p95_us", static_cast<double>(m.p95_ns) / 1000.0)
+        .field("p99_us", static_cast<double>(m.p99_ns) / 1000.0)
+        .field("diffs", static_cast<std::uint64_t>(ub.diffs + b.diffs))
+        .end_object();
+    ok = ok && ub.diffs == 0 && b.diffs == 0;
+  }
+
+  if (!json.write("BENCH_serve.json")) {
+    std::fprintf(stderr, "failed to write BENCH_serve.json\n");
+    return 1;
+  }
+  std::printf("\n(acceptance: speedup >= 3x at >= 64 submitters, batched\n"
+              " dispatches/request < 0.1, diffs == 0)\n");
+  return ok ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 // complexity exponents.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +15,32 @@
 #include "src/graph/seg_graph.hpp"
 
 namespace scanprim::bench {
+
+// --- wall-clock timing -------------------------------------------------------
+// Every bench used to hand-roll these; keep one definition so they all report
+// milliseconds from the same steady clock.
+
+/// Milliseconds one invocation of `fn` takes.
+template <class Fn>
+double time_once_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-`reps` milliseconds for `fn` — the standard bench protocol here
+/// (minimum filters out host noise better than the mean on shared machines).
+template <class Fn>
+double best_of_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double ms = time_once_ms(fn);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
 
 inline void header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

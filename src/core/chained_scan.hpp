@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -62,6 +63,32 @@ inline void chained_spin_pause(unsigned& spins) {
   }
 }
 
+/// Reusable tile-descriptor storage for repeated chained scans (the serve
+/// batcher runs one mega-scan per batch, thousands per second — reallocating
+/// and faulting in the descriptor array each time is pure overhead). Not
+/// thread-safe: one scratch belongs to one dispatching thread.
+template <class C>
+class ChainedScratch {
+ public:
+  /// Storage for `ntiles` descriptors, every status reset to kInvalid. The
+  /// reset is relaxed: the pool dispatch that follows publishes it to the
+  /// workers.
+  ChainedTileState<C>* prepare(std::size_t ntiles) {
+    if (ntiles > cap_) {
+      states_ = std::make_unique<ChainedTileState<C>[]>(ntiles);
+      cap_ = ntiles;
+    }
+    for (std::size_t i = 0; i < ntiles; ++i) {
+      states_[i].status.store(TileStatus::kInvalid, std::memory_order_relaxed);
+    }
+    return states_.get();
+  }
+
+ private:
+  std::unique_ptr<ChainedTileState<C>[]> states_;
+  std::size_t cap_ = 0;
+};
+
 /// Runs one chained scan over `[0, n)` in a single pool dispatch.
 ///
 /// `summarize(worker, begin, count, &agg)` computes the tile's local
@@ -76,13 +103,24 @@ inline void chained_spin_pause(unsigned& spins) {
 ///
 /// Callers gate on workers/size themselves: below the serial cutoff a plain
 /// sequential kernel is cheaper than any protocol.
+///
+/// `scratch`, when given, supplies the tile-descriptor storage so repeated
+/// runs (the serve batcher's per-batch mega-scans) skip the allocation; when
+/// null a run-local array is used.
 template <class C, class Combine, class Summarize, class Rescan>
 void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
                       C identity, Combine combine, Summarize summarize,
-                      Rescan rescan) {
+                      Rescan rescan, ChainedScratch<C>* scratch = nullptr) {
   if (n == 0) return;
   const std::size_t ntiles = (n + tile - 1) / tile;
-  std::vector<ChainedTileState<C>> states(ntiles);
+  std::vector<ChainedTileState<C>> local_states;
+  ChainedTileState<C>* states;
+  if (scratch != nullptr) {
+    states = scratch->prepare(ntiles);
+  } else {
+    local_states = std::vector<ChainedTileState<C>>(ntiles);
+    states = local_states.data();
+  }
   std::atomic<std::size_t> next{0};
   // If a tile callback throws, its descriptor would stay kInvalid and every
   // successor would spin forever. The thrower poisons the run instead: it

@@ -44,22 +44,29 @@ const char* version() { return "1.1.0"; }
 std::size_t runtime_workers() { return thread::num_workers(); }
 
 std::size_t sanitize_worker_spec(const char* spec, std::size_t fallback) {
-  if (fallback == 0) fallback = 1;
-  if (fallback > kMaxWorkers) fallback = kMaxWorkers;
-  if (spec == nullptr) return fallback;
+  return sanitize_size_spec(spec, fallback, 1, kMaxWorkers);
+}
+
+std::size_t sanitize_size_spec(const char* spec, std::size_t fallback,
+                               std::size_t min, std::size_t max) {
+  const auto clamp = [min, max](std::size_t v) {
+    return v < min ? min : (v > max ? max : v);
+  };
+  if (spec == nullptr) return clamp(fallback);
 
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(spec, &end, 10);
-  if (end == spec) return fallback;  // empty or non-numeric
-  while (*end != '\0') {             // allow trailing whitespace only
-    if (!std::isspace(static_cast<unsigned char>(*end))) return fallback;
+  if (end == spec) return clamp(fallback);  // empty or non-numeric
+  while (*end != '\0') {                    // allow trailing whitespace only
+    if (!std::isspace(static_cast<unsigned char>(*end))) {
+      return clamp(fallback);
+    }
     ++end;
   }
-  if (errno == ERANGE) return fallback;  // over/underflow
-  if (v <= 0) return fallback;           // zero or negative
-  if (static_cast<unsigned long long>(v) > kMaxWorkers) return kMaxWorkers;
-  return static_cast<std::size_t>(v);
+  if (errno == ERANGE) return clamp(fallback);  // over/underflow
+  if (v <= 0) return clamp(fallback);           // zero or negative
+  return clamp(static_cast<std::size_t>(v));
 }
 
 ScanEngine scan_engine() {

@@ -24,6 +24,13 @@ inline constexpr std::size_t kMaxWorkers = 512;
 /// valid values larger than kMaxWorkers clamp to kMaxWorkers.
 std::size_t sanitize_worker_spec(const char* spec, std::size_t fallback);
 
+/// Parse a positive decimal size from an environment-variable spec (the
+/// SCANPRIM_SERVE_* knobs). Returns `fallback` (clamped into [min, max])
+/// when `spec` is null, empty, non-numeric, has trailing garbage, is zero
+/// or negative, or overflows; valid values clamp into [min, max].
+std::size_t sanitize_size_spec(const char* spec, std::size_t fallback,
+                               std::size_t min, std::size_t max);
+
 /// Which parallel decomposition the scans use above the serial cutoff.
 ///
 /// kChained (the default) is the single-pass engine of core/chained_scan.hpp:

@@ -8,8 +8,11 @@
 // exactly as §3.4 prescribes. Tests check the two agree.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -287,5 +290,467 @@ std::vector<T> seg_min_scan(std::span<const T> in, FlagsView flags) {
   seg_exclusive_scan(in, flags, std::span<T>(out), Min<T>{});
   return out;
 }
+
+// --- batched multi-operator segmented scan (src/serve's mega-vector) ---------
+// The serving front-end (docs/SERVE.md) concatenates many independent small
+// scan requests into one vector and runs them as ONE chained-engine dispatch.
+// Requests may differ in operator and in inclusive/exclusive flavour, so the
+// per-element segment metadata carries all three: a meta byte per element
+// holds the segment-start flag, the operator tag, and the inclusive bit.
+// Within a segment the operator is uniform (a segment never spans requests),
+// so the lookback combine is always applied between carries of the same
+// operator — associativity holds exactly where the protocol needs it.
+
+namespace batch {
+
+/// Element type of the batched scan path. The five paper operators over one
+/// fixed word type keep the mega-vector contiguous and the kernels branchy
+/// only on the meta byte.
+using Value = std::int64_t;
+
+/// The five operators of the paper (§1, §3.4). kOr/kAnd are bitwise over
+/// Value (identities 0 and ~0), which restricted to 0/1 inputs is the
+/// boolean or-/and-scan.
+enum class Op : std::uint8_t { kPlus = 0, kMax, kMin, kOr, kAnd };
+inline constexpr std::size_t kOpCount = 5;
+
+/// Operator tag meaning "no live carry": the initial state, and the state
+/// after a backward pass crosses a segment start. The next element
+/// materialises its own operator's identity lazily.
+inline constexpr std::uint8_t kNoCarryOp = 0xff;
+
+// Meta byte layout: bit 0 = segment-start flag, bits 1-3 = Op, bit 4 =
+// inclusive (exclusive otherwise).
+constexpr std::uint8_t make_meta(bool flag, Op op, bool inclusive) {
+  return static_cast<std::uint8_t>((flag ? 1u : 0u) |
+                                   (static_cast<unsigned>(op) << 1) |
+                                   (inclusive ? 16u : 0u));
+}
+constexpr bool meta_flag(std::uint8_t m) { return (m & 1u) != 0; }
+constexpr Op meta_op(std::uint8_t m) { return static_cast<Op>((m >> 1) & 7u); }
+constexpr bool meta_inclusive(std::uint8_t m) { return (m & 16u) != 0; }
+
+constexpr Value op_identity(Op op) {
+  switch (op) {
+    case Op::kPlus:
+      return 0;
+    case Op::kMax:
+      return std::numeric_limits<Value>::lowest();
+    case Op::kMin:
+      return std::numeric_limits<Value>::max();
+    case Op::kOr:
+      return 0;
+    case Op::kAnd:
+      return static_cast<Value>(-1);
+  }
+  return 0;
+}
+
+constexpr Value op_apply(Op op, Value a, Value b) {
+  switch (op) {
+    case Op::kPlus:
+      return a + b;
+    case Op::kMax:
+      return a > b ? a : b;
+    case Op::kMin:
+      return a < b ? a : b;
+    case Op::kOr:
+      return a | b;
+    case Op::kAnd:
+      return a & b;
+  }
+  return b;
+}
+
+/// The carry flowing between elements, tiles, and (via lookback) workers:
+/// the running value plus the operator it was accumulated under. `op ==
+/// kNoCarryOp` marks a fresh/reset carry with no value yet.
+struct BatchCarry {
+  Value v = 0;
+  std::uint8_t op = kNoCarryOp;
+};
+
+/// Lookback combine, logical order `a` then `b`. A reset on either side
+/// short-circuits: a carry that ends in a reset contributes nothing to what
+/// follows, and a fresh summary already starts from its own identity.
+inline BatchCarry batch_combine(BatchCarry a, BatchCarry b) {
+  if (b.op == kNoCarryOp || a.op == kNoCarryOp) return b;
+  return {op_apply(static_cast<Op>(b.op), a.v, b.v), b.op};
+}
+
+// Sequential kernels, in place over d[0, n) under meta m[0, n). The reset
+// placement mirrors the single-operator kernels above exactly: forward
+// resets *before* combining at a flag, backward resets *after* (nothing
+// crosses a segment start from above). The carry is always the inclusive
+// running value; the inclusive bit only changes what is written out.
+
+inline BatchCarry batch_forward_kernel(Value* d, const std::uint8_t* m,
+                                       std::size_t n, BatchCarry c) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op op = meta_op(m[i]);
+    if (meta_flag(m[i]) || c.op == kNoCarryOp) c.v = op_identity(op);
+    c.op = static_cast<std::uint8_t>(op);
+    if (meta_inclusive(m[i])) {
+      c.v = op_apply(op, c.v, d[i]);
+      d[i] = c.v;
+    } else {
+      const Value next = op_apply(op, c.v, d[i]);
+      d[i] = c.v;
+      c.v = next;
+    }
+  }
+  return c;
+}
+
+inline BatchCarry batch_backward_kernel(Value* d, const std::uint8_t* m,
+                                        std::size_t n, BatchCarry c) {
+  for (std::size_t i = n; i-- > 0;) {
+    const Op op = meta_op(m[i]);
+    if (c.op == kNoCarryOp) c.v = op_identity(op);
+    c.op = static_cast<std::uint8_t>(op);
+    if (meta_inclusive(m[i])) {
+      c.v = op_apply(op, c.v, d[i]);
+      d[i] = c.v;
+    } else {
+      const Value next = op_apply(op, c.v, d[i]);
+      d[i] = c.v;
+      c.v = next;
+    }
+    if (meta_flag(m[i])) c.op = kNoCarryOp;  // i starts a segment
+  }
+  return c;
+}
+
+// Summary-only versions (the chained engine's phase-1 pass): accumulate the
+// inclusive carry without writing, reporting whether a flag was seen (a
+// flagged tile's outflow is carry-independent, so it publishes kPrefix).
+
+inline BatchCarry batch_forward_summary(const Value* d, const std::uint8_t* m,
+                                        std::size_t n, bool* saw_flag) {
+  BatchCarry c;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op op = meta_op(m[i]);
+    if (meta_flag(m[i])) {
+      c.v = op_identity(op);
+      *saw_flag = true;
+    } else if (c.op == kNoCarryOp) {
+      c.v = op_identity(op);
+    }
+    c.op = static_cast<std::uint8_t>(op);
+    c.v = op_apply(op, c.v, d[i]);
+  }
+  return c;
+}
+
+inline BatchCarry batch_backward_summary(const Value* d, const std::uint8_t* m,
+                                         std::size_t n, bool* saw_flag) {
+  BatchCarry c;
+  for (std::size_t i = n; i-- > 0;) {
+    const Op op = meta_op(m[i]);
+    if (c.op == kNoCarryOp) c.v = op_identity(op);
+    c.op = static_cast<std::uint8_t>(op);
+    c.v = op_apply(op, c.v, d[i]);
+    if (meta_flag(m[i])) {
+      *saw_flag = true;
+      c.op = kNoCarryOp;
+    }
+  }
+  return c;
+}
+
+/// Scan a whole batch of concatenated independent requests in place, in a
+/// single chained-engine dispatch (or one sequential pass below the cutoff).
+/// `meta[i]` supplies each element's segment flag, operator, and flavour;
+/// every request's first element must be flagged so no carry crosses request
+/// boundaries. All requests in one call share a direction — mixed-direction
+/// batches dispatch once per direction present.
+inline void seg_scan_batch(std::span<Value> data,
+                           std::span<const std::uint8_t> meta, bool backward,
+                           detail::ChainedScratch<BatchCarry>* scratch =
+                               nullptr) {
+  assert(data.size() == meta.size());
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (thread::num_workers() == 1 || n < thread::kSerialCutoff) {
+    if (backward) {
+      batch_backward_kernel(data.data(), meta.data(), n, BatchCarry{});
+    } else {
+      batch_forward_kernel(data.data(), meta.data(), n, BatchCarry{});
+    }
+    return;
+  }
+  Value* d = data.data();
+  const std::uint8_t* m = meta.data();
+  detail::chained_scan_run<BatchCarry>(
+      n, detail::kChainedTileElements, backward, BatchCarry{}, batch_combine,
+      [d, m, backward](std::size_t, std::size_t b, std::size_t c,
+                       BatchCarry* agg) {
+        bool saw = false;
+        *agg = backward ? batch_backward_summary(d + b, m + b, c, &saw)
+                        : batch_forward_summary(d + b, m + b, c, &saw);
+        return saw;
+      },
+      [d, m, backward](std::size_t, std::size_t b, std::size_t c,
+                       BatchCarry carry) {
+        if (backward) {
+          batch_backward_kernel(d + b, m + b, c, carry);
+        } else {
+          batch_forward_kernel(d + b, m + b, c, carry);
+        }
+      },
+      scratch);
+}
+
+// --- scatter-gather job scans ------------------------------------------------
+//
+// The copy-in/copy-out cost of seg_scan_batch is pure overhead when the
+// requests already live in caller-owned buffers: the serve batcher would pay
+// one pass to build the mega-vector, one to scan it, and one to scatter the
+// slices back. seg_scan_jobs instead runs the same protocol over the LOGICAL
+// concatenation of per-job buffers — an iovec-style segmented scan. Because
+// operator and flavour are uniform within a job, the per-element meta byte
+// disappears and the inner loops specialise per operator (one switch per
+// piece instead of per element).
+
+/// One request in a job-list scan: `n` values scanned in place under `op`,
+/// with optional per-element segment flags (`flags == nullptr` means the job
+/// is a single segment). Every job implicitly starts a segment, so no carry
+/// ever crosses a job boundary.
+struct JobSlice {
+  Value* data = nullptr;
+  const std::uint8_t* flags = nullptr;
+  std::size_t n = 0;
+  Op op = Op::kPlus;
+  bool inclusive = false;
+};
+
+/// Calls `fn` with the operator's combine functor, letting kernels
+/// specialise per operator once per piece instead of switching per element.
+template <class Fn>
+inline decltype(auto) with_op(Op op, Fn&& fn) {
+  switch (op) {
+    case Op::kPlus:
+      return fn([](Value a, Value b) { return a + b; });
+    case Op::kMax:
+      return fn([](Value a, Value b) { return a > b ? a : b; });
+    case Op::kMin:
+      return fn([](Value a, Value b) { return a < b ? a : b; });
+    case Op::kOr:
+      return fn([](Value a, Value b) { return a | b; });
+    case Op::kAnd:
+      return fn([](Value a, Value b) { return a & b; });
+  }
+  return fn([](Value a, Value b) { return a + b; });
+}
+
+// Piece kernels: job-local range [a, b), carry in/out, semantics identical
+// to the meta-byte kernels above with the operator and flavour hoisted out
+// of the loop. Element 0 of a job is always an implicit segment start.
+
+template <class OpFn>
+inline BatchCarry job_forward_scan(const JobSlice& j, std::size_t a,
+                                   std::size_t b, BatchCarry c, OpFn op) {
+  if (b <= a) return c;
+  const Value id = op_identity(j.op);
+  Value* const d = j.data;
+  const std::uint8_t* const f = j.flags;
+  if (c.op == kNoCarryOp) c.v = id;
+  c.op = static_cast<std::uint8_t>(j.op);
+  if (j.inclusive) {
+    for (std::size_t i = a; i < b; ++i) {
+      if (i == 0 || (f != nullptr && f[i] != 0)) c.v = id;
+      c.v = op(c.v, d[i]);
+      d[i] = c.v;
+    }
+  } else {
+    for (std::size_t i = a; i < b; ++i) {
+      if (i == 0 || (f != nullptr && f[i] != 0)) c.v = id;
+      const Value next = op(c.v, d[i]);
+      d[i] = c.v;
+      c.v = next;
+    }
+  }
+  return c;
+}
+
+template <class OpFn>
+inline BatchCarry job_backward_scan(const JobSlice& j, std::size_t a,
+                                    std::size_t b, BatchCarry c, OpFn op) {
+  if (b <= a) return c;
+  const Value id = op_identity(j.op);
+  Value* const d = j.data;
+  const std::uint8_t* const f = j.flags;
+  if (c.op == kNoCarryOp) c.v = id;
+  for (std::size_t i = b; i-- > a;) {
+    c.op = static_cast<std::uint8_t>(j.op);
+    if (j.inclusive) {
+      c.v = op(c.v, d[i]);
+      d[i] = c.v;
+    } else {
+      const Value next = op(c.v, d[i]);
+      d[i] = c.v;
+      c.v = next;
+    }
+    if (i == 0 || (f != nullptr && f[i] != 0)) {  // i starts a segment
+      c.v = id;
+      c.op = kNoCarryOp;
+    }
+  }
+  return c;
+}
+
+template <class OpFn>
+inline BatchCarry job_forward_summary(const JobSlice& j, std::size_t a,
+                                      std::size_t b, BatchCarry c, bool* saw,
+                                      OpFn op) {
+  if (b <= a) return c;
+  const Value id = op_identity(j.op);
+  const Value* const d = j.data;
+  const std::uint8_t* const f = j.flags;
+  if (c.op == kNoCarryOp) c.v = id;
+  c.op = static_cast<std::uint8_t>(j.op);
+  for (std::size_t i = a; i < b; ++i) {
+    if (i == 0 || (f != nullptr && f[i] != 0)) {
+      c.v = id;
+      *saw = true;
+    }
+    c.v = op(c.v, d[i]);
+  }
+  return c;
+}
+
+template <class OpFn>
+inline BatchCarry job_backward_summary(const JobSlice& j, std::size_t a,
+                                       std::size_t b, BatchCarry c, bool* saw,
+                                       OpFn op) {
+  if (b <= a) return c;
+  const Value id = op_identity(j.op);
+  const Value* const d = j.data;
+  const std::uint8_t* const f = j.flags;
+  if (c.op == kNoCarryOp) c.v = id;
+  for (std::size_t i = b; i-- > a;) {
+    c.op = static_cast<std::uint8_t>(j.op);
+    c.v = op(c.v, d[i]);
+    if (i == 0 || (f != nullptr && f[i] != 0)) {
+      *saw = true;
+      c.v = id;
+      c.op = kNoCarryOp;
+    }
+  }
+  return c;
+}
+
+/// Execution policy for seg_scan_jobs. kAuto picks the chained dispatch when
+/// the pool is real parallel hardware and a sequential pass when it is not
+/// (single worker, small batch, or an oversubscribed pool whose lookback
+/// spinning would time-share one core). The forced modes exist for tests and
+/// measurement.
+enum class JobsMode : std::uint8_t { kAuto, kForceParallel, kSerial };
+
+namespace jobs_detail {
+
+/// Walk the pieces of `jobs` overlapping global range [gb, ge) in logical
+/// order (forward or reverse), calling `piece(job, a, b)` with job-local
+/// bounds. `offs` holds the exclusive prefix of job lengths plus the total.
+template <class Piece>
+inline void for_pieces(std::span<const JobSlice> jobs,
+                       std::span<const std::size_t> offs, std::size_t gb,
+                       std::size_t ge, bool backward, Piece&& piece) {
+  if (backward) {
+    std::size_t g = ge;
+    auto it = std::upper_bound(offs.begin(), offs.end(), g - 1);
+    std::size_t ji = static_cast<std::size_t>(it - offs.begin()) - 1;
+    while (g > gb) {
+      while (offs[ji] >= g) --ji;  // skips zero-length jobs
+      const std::size_t a = (gb > offs[ji] ? gb : offs[ji]) - offs[ji];
+      const std::size_t b = g - offs[ji];
+      piece(jobs[ji], a, b);
+      g = offs[ji] + a;
+    }
+  } else {
+    auto it = std::upper_bound(offs.begin(), offs.end(), gb);
+    std::size_t ji = static_cast<std::size_t>(it - offs.begin()) - 1;
+    std::size_t g = gb;
+    while (g < ge) {
+      while (offs[ji + 1] <= g) ++ji;  // skips zero-length jobs
+      const std::size_t a = g - offs[ji];
+      const std::size_t cap = ge - offs[ji];
+      const std::size_t b = jobs[ji].n < cap ? jobs[ji].n : cap;
+      piece(jobs[ji], a, b);
+      g = offs[ji] + b;
+    }
+  }
+}
+
+}  // namespace jobs_detail
+
+/// Scan a batch of independent jobs in place, each in its own buffer, as one
+/// logical segmented mega-scan — one chained-engine dispatch over the
+/// concatenation, or one sequential pass per job under kSerial/kAuto
+/// fallback. All jobs in a call share a direction.
+inline void seg_scan_jobs(std::span<const JobSlice> jobs, bool backward,
+                          detail::ChainedScratch<BatchCarry>* scratch = nullptr,
+                          JobsMode mode = JobsMode::kAuto) {
+  std::size_t total = 0;
+  for (const JobSlice& j : jobs) total += j.n;
+  if (total == 0) return;
+
+  bool serial = thread::num_workers() == 1 || total < thread::kSerialCutoff;
+  if (mode == JobsMode::kSerial) serial = true;
+  if (mode == JobsMode::kAuto && thread::oversubscribed()) serial = true;
+  if (mode == JobsMode::kForceParallel && thread::num_workers() > 1) {
+    serial = false;
+  }
+  if (serial) {
+    for (const JobSlice& j : jobs) {
+      with_op(j.op, [&](auto op) {
+        if (backward) {
+          job_backward_scan(j, 0, j.n, BatchCarry{}, op);
+        } else {
+          job_forward_scan(j, 0, j.n, BatchCarry{}, op);
+        }
+      });
+    }
+    return;
+  }
+
+  std::vector<std::size_t> offs(jobs.size() + 1, 0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) offs[i + 1] = offs[i] + jobs[i].n;
+  const std::span<const std::size_t> ov(offs);
+
+  detail::chained_scan_run<BatchCarry>(
+      total, detail::kChainedTileElements, backward, BatchCarry{},
+      batch_combine,
+      [jobs, ov, backward](std::size_t, std::size_t b, std::size_t c,
+                           BatchCarry* agg) {
+        BatchCarry acc;
+        bool saw = false;
+        jobs_detail::for_pieces(
+            jobs, ov, b, b + c, backward,
+            [&](const JobSlice& j, std::size_t a, std::size_t e) {
+              with_op(j.op, [&](auto op) {
+                acc = backward
+                          ? job_backward_summary(j, a, e, acc, &saw, op)
+                          : job_forward_summary(j, a, e, acc, &saw, op);
+              });
+            });
+        *agg = acc;
+        return saw;
+      },
+      [jobs, ov, backward](std::size_t, std::size_t b, std::size_t c,
+                           BatchCarry carry) {
+        jobs_detail::for_pieces(
+            jobs, ov, b, b + c, backward,
+            [&](const JobSlice& j, std::size_t a, std::size_t e) {
+              with_op(j.op, [&](auto op) {
+                carry = backward ? job_backward_scan(j, a, e, carry, op)
+                                 : job_forward_scan(j, a, e, carry, op);
+              });
+            });
+      },
+      scratch);
+}
+
+}  // namespace batch
 
 }  // namespace scanprim

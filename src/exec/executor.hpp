@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <memory>
@@ -382,6 +383,7 @@ class Executor {
     static_assert(std::is_trivially_copyable_v<T>,
                   "pipeline elements flow through raw arena buffers");
     assert(!p.nodes.empty() && p.nodes.front().kind == StageKind::Source);
+    const auto t0 = std::chrono::steady_clock::now();
     Stats s;
     s.stages_recorded = p.nodes.size();
     const auto kinds = p.kinds();
@@ -420,6 +422,10 @@ class Executor {
     }
     if (prev_raw) arena_.release(prev_raw);
     result.resize(cur_len);  // a pack in the final group shrinks the result
+    s.elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     last_ = s;
     total_ += s;
     return result;

@@ -4,12 +4,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace scanprim::exec {
 
 /// Counters for one pipeline run (and, accumulated, for an Executor's
 /// lifetime). Byte counts are analytic estimates — each pass is charged the
-/// elements it streams, not measured hardware traffic.
+/// elements it streams, not measured hardware traffic. `elapsed_ns` is
+/// measured wall-clock: executor runs and serve batches (src/serve) both
+/// report their latency through this same record.
 struct Stats {
   std::size_t stages_recorded = 0;  ///< nodes in the pipeline, source included
   std::size_t groups = 0;           ///< execution groups after fusion
@@ -21,6 +24,8 @@ struct Stats {
   std::size_t bytes_written = 0;    ///< estimated bytes streamed out
   std::size_t arena_hits = 0;       ///< temporaries served from a reused buffer
   std::size_t arena_misses = 0;     ///< temporaries that had to allocate
+  std::uint64_t elapsed_ns = 0;     ///< wall-clock time of the run (summed
+                                    ///< across runs when accumulated)
 
   Stats& operator+=(const Stats& o) {
     stages_recorded += o.stages_recorded;
@@ -31,6 +36,7 @@ struct Stats {
     bytes_written += o.bytes_written;
     arena_hits += o.arena_hits;
     arena_misses += o.arena_misses;
+    elapsed_ns += o.elapsed_ns;
     return *this;
   }
 };

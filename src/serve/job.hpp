@@ -1,0 +1,102 @@
+// Request types for the batching scan service (docs/SERVE.md).
+//
+// A job is one small independent piece of scan-vector work: a (possibly
+// segmented) scan under one of the paper's five operators, a pack, an
+// enumerate, or a recorded exec pipeline. Callers hand a job to
+// serve::Service and get a std::future<Result> back; the service coalesces
+// every job admitted within its batching window into one segment-flagged
+// mega-vector and runs the whole batch as a single chained-engine dispatch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+
+namespace scanprim::serve {
+
+/// The batched path runs over one fixed word type (core/segmented.hpp's
+/// batch::Value) so requests with different operators still concatenate into
+/// one contiguous mega-vector.
+using Value = batch::Value;
+using Op = batch::Op;
+
+/// Terminal state of a request.
+enum class Status : std::uint8_t {
+  kOk = 0,     ///< executed; `values` holds the output
+  kRejected,   ///< admission control: the service was at queue capacity
+  kTimeout,    ///< the per-request deadline expired before execution
+  kCancelled,  ///< the request's cancel token was set before execution
+  kShutdown,   ///< submitted after shutdown began
+};
+
+constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kCancelled:
+      return "cancelled";
+    case Status::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+/// Shared cancellation token: set it to true any time before the job's batch
+/// executes and the job resolves to kCancelled instead of running.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken make_cancel_token() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+/// Per-submission knobs. The deadline is relative to submission time;
+/// zero means no deadline.
+struct SubmitOptions {
+  std::chrono::nanoseconds deadline{0};
+  CancelToken cancel;
+};
+
+/// One scan request. `flags` empty means unsegmented (the whole request is
+/// one segment); non-empty it must match `data` in length and marks segment
+/// starts, exactly like core/segmented.hpp.
+struct ScanJob {
+  std::vector<Value> data;
+  Op op = Op::kPlus;
+  bool inclusive = false;
+  bool backward = false;
+  std::vector<std::uint8_t> flags;
+};
+
+/// Keep the elements of `data` whose `keep` flag is set, compacted in order
+/// (the paper's pack, Figure 11). `keep` must match `data` in length.
+struct PackJob {
+  std::vector<Value> data;
+  std::vector<std::uint8_t> keep;
+};
+
+/// Enumerate (Figure 5): `values[i]` is the number of set flags strictly
+/// before position `i` — the output slot each kept element would pack into.
+struct EnumerateJob {
+  std::vector<std::uint8_t> keep;
+};
+
+/// What the future resolves to.
+struct Result {
+  Status status = Status::kOk;
+  std::vector<Value> values;  ///< scan output / packed values / enumerate ids
+  std::size_t kept = 0;       ///< pack & enumerate: number of set keep flags
+  std::uint64_t latency_ns = 0;  ///< submission to fulfilment
+  std::uint64_t batch_seq = 0;   ///< 1-based id of the batch that served it
+  std::size_t batch_jobs = 0;    ///< how many jobs shared that batch
+};
+
+}  // namespace scanprim::serve

@@ -1,0 +1,50 @@
+// Observability for the batching scan service. One Metrics snapshot is a
+// consistent-enough view for dashboards and benches: counters are relaxed
+// atomics underneath, latency percentiles come from a bounded reservoir of
+// recent requests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/exec/stats.hpp"
+
+namespace scanprim::serve {
+
+/// Snapshot returned by Service::metrics().
+struct Metrics {
+  // Request accounting. submitted = accepted + rejected + shutdown-refused;
+  // accepted requests end as completed, timeouts, or cancelled.
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;   ///< backpressure: queue was at capacity
+  std::uint64_t completed = 0;  ///< resolved kOk
+  std::uint64_t timeouts = 0;   ///< deadline expired before execution
+  std::uint64_t cancelled = 0;  ///< cancel token set before execution
+
+  // Batch shape.
+  std::uint64_t batches = 0;           ///< mega-dispatches executed
+  std::uint64_t batched_jobs = 0;      ///< jobs carried by those batches
+  std::uint64_t batched_elements = 0;  ///< mega-vector elements scanned
+  double mean_occupancy = 0.0;         ///< batched_jobs / batches
+  double mean_batch_elements = 0.0;    ///< batched_elements / batches
+
+  /// ThreadPool fan-outs consumed executing batches (delta of
+  /// thread::pool().dispatch_count() across batch execution). Dividing by
+  /// completed gives the dispatches-per-request amortisation the service
+  /// exists to provide.
+  std::uint64_t pool_dispatches = 0;
+
+  /// Request latency (submission to fulfilment) over the most recent
+  /// requests, from a bounded reservoir.
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  /// Accumulated executor counters for pipeline jobs (exec::Stats now carries
+  /// wall-clock elapsed_ns, so pipeline latency is visible here too).
+  exec::Stats pipeline_stats{};
+};
+
+}  // namespace scanprim::serve

@@ -1,0 +1,504 @@
+#include "src/serve/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "src/core/runtime.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim::serve {
+
+namespace {
+
+enum class JobKind : std::uint8_t { kScan, kPack, kEnumerate, kPipeline };
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+/// One queued request. Allocated at submit, owned by the intrusive queue
+/// until the batcher resolves (and deletes) it. Refused submissions never
+/// enter the queue: the submitter resolves and deletes the node itself.
+struct Service::JobNode {
+  JobNode* next = nullptr;
+  JobKind kind = JobKind::kScan;
+
+  // Scan / pack / enumerate payload. For pack and enumerate, `flags` holds
+  // the keep flags and (for pack) `data` the values to compact.
+  std::vector<Value> data;
+  std::vector<std::uint8_t> flags;
+  Op op = Op::kPlus;
+  bool inclusive = false;
+  bool backward = false;
+
+  exec::Pipeline<Value> pipeline;  // kPipeline only
+
+  std::promise<Result> promise;
+  CancelToken cancel;
+  Clock::time_point submitted_at{};
+  Clock::time_point deadline = Clock::time_point::max();
+
+  std::size_t offset = 0;  ///< slice start in the batch mega-vector
+
+  /// Payload bytes this job contributes to a batch (budget accounting).
+  std::size_t cost_bytes() const {
+    switch (kind) {
+      case JobKind::kScan:
+      case JobKind::kPack:
+        return data.size() * sizeof(Value) + flags.size();
+      case JobKind::kEnumerate:
+        return flags.size() * (sizeof(Value) + 1);
+      case JobKind::kPipeline:
+        return pipeline.nodes.empty()
+                   ? 0
+                   : pipeline.source_length() * sizeof(Value);
+    }
+    return 0;
+  }
+
+};
+
+Service::Options Service::Options::from_env() {
+  Options o;
+  o.queue_capacity =
+      sanitize_size_spec(std::getenv("SCANPRIM_SERVE_QUEUE_CAP"),
+                         o.queue_capacity, 1, std::size_t{1} << 24);
+  o.window_us = sanitize_size_spec(std::getenv("SCANPRIM_SERVE_WINDOW_US"),
+                                   o.window_us, 1, 10'000'000);
+  o.byte_budget =
+      sanitize_size_spec(std::getenv("SCANPRIM_SERVE_BYTE_BUDGET"),
+                         o.byte_budget, 4096, std::size_t{1} << 32);
+  if (const char* p = std::getenv("SCANPRIM_SERVE_PARALLEL")) {
+    const std::string_view v(p);
+    if (v == "force") {
+      o.parallel = batch::JobsMode::kForceParallel;
+    } else if (v == "serial") {
+      o.parallel = batch::JobsMode::kSerial;
+    }  // anything else (including "auto") keeps kAuto
+  }
+  return o;
+}
+
+Service::Service(Options opts) : opts_(opts) {
+  latencies_.reserve(kLatencyReservoir);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+Service::~Service() { shutdown(); }
+
+// --- submission --------------------------------------------------------------
+
+std::future<Result> Service::submit(ScanJob job, SubmitOptions opts) {
+  assert(job.flags.empty() || job.flags.size() == job.data.size());
+  auto* n = new JobNode;
+  n->kind = JobKind::kScan;
+  n->data = std::move(job.data);
+  n->flags = std::move(job.flags);
+  n->op = job.op;
+  n->inclusive = job.inclusive;
+  n->backward = job.backward;
+  return enqueue(n, opts);
+}
+
+std::future<Result> Service::submit(PackJob job, SubmitOptions opts) {
+  assert(job.keep.size() == job.data.size());
+  auto* n = new JobNode;
+  n->kind = JobKind::kPack;
+  n->data = std::move(job.data);
+  n->flags = std::move(job.keep);
+  return enqueue(n, opts);
+}
+
+std::future<Result> Service::submit(EnumerateJob job, SubmitOptions opts) {
+  auto* n = new JobNode;
+  n->kind = JobKind::kEnumerate;
+  n->flags = std::move(job.keep);
+  return enqueue(n, opts);
+}
+
+std::future<Result> Service::submit(exec::Pipeline<Value> job,
+                                    SubmitOptions opts) {
+  assert(!job.nodes.empty());
+  auto* n = new JobNode;
+  n->kind = JobKind::kPipeline;
+  n->pipeline = std::move(job);
+  return enqueue(n, opts);
+}
+
+std::future<Result> Service::enqueue(JobNode* n, const SubmitOptions& opts) {
+  auto fut = n->promise.get_future();
+  n->submitted_at = Clock::now();
+  if (opts.deadline.count() > 0) n->deadline = n->submitted_at + opts.deadline;
+  n->cancel = opts.cancel;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto refuse = [&](Status st) {
+    Result r;
+    r.status = st;
+    n->promise.set_value(std::move(r));
+    delete n;
+    return std::move(fut);
+  };
+
+  // The in-flight window makes shutdown's drain sound: shutdown() flips
+  // `accepting_` and then waits for this count to reach zero, so every push
+  // that passed the admission check below is in the queue before the batcher
+  // is told to stop — no request can be accepted yet never resolved.
+  in_flight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    in_flight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    return refuse(Status::kShutdown);
+  }
+  if (outstanding_.fetch_add(1, std::memory_order_relaxed) >=
+      opts_.queue_capacity) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return refuse(Status::kRejected);
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Everything the wakeup decision needs is read before the push: once the
+  // node is on the stack the batcher may pop and delete it.
+  const std::size_t cost = n->cost_bytes();
+  const bool has_deadline = n->deadline != Clock::time_point::max();
+
+  JobNode* h = head_.load(std::memory_order_relaxed);
+  do {
+    n->next = h;
+  } while (!head_.compare_exchange_weak(h, n, std::memory_order_release,
+                                        std::memory_order_relaxed));
+  const bool was_empty = h == nullptr;
+  const std::size_t bytes_before =
+      pending_bytes_.fetch_add(cost, std::memory_order_relaxed);
+  in_flight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+
+  // Wake the batcher only when this push changes what it should do: the
+  // stack went empty->nonempty (it may be in its indefinite wait), the job
+  // carries a deadline (the window wait must be recomputed), or the queued
+  // payload just crossed the byte budget (flush early). Steady-state pushes
+  // inside an open window stay silent — the batcher collects them when the
+  // window closes instead of being context-switched awake per request.
+  const bool urgent = has_deadline || (bytes_before < opts_.byte_budget &&
+                                       bytes_before + cost >= opts_.byte_budget);
+  if (was_empty || urgent) {
+    // Taking the mutex before notifying pairs with the batcher's predicate
+    // check under the same mutex so the wakeup cannot be lost.
+    {
+      std::lock_guard<std::mutex> lk(wake_mutex_);
+      if (urgent) urgent_ = true;
+    }
+    wake_cv_.notify_one();
+  }
+  return fut;
+}
+
+// --- shutdown ----------------------------------------------------------------
+
+void Service::shutdown() {
+  if (accepting_.exchange(false, std::memory_order_seq_cst)) {
+    // Wait out submissions that passed the admission check but have not yet
+    // pushed: after this loop the queue holds every accepted request.
+    while (in_flight_submits_.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  std::lock_guard<std::mutex> jl(shutdown_mutex_);
+  if (batcher_.joinable()) batcher_.join();
+}
+
+// --- batcher -----------------------------------------------------------------
+
+void Service::resolve(JobNode* n, Status st) {
+  Result r;
+  r.status = st;
+  r.latency_ns = ns_between(n->submitted_at, Clock::now());
+  if (st == Status::kTimeout) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+  } else if (st == Status::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  n->promise.set_value(std::move(r));
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  delete n;
+}
+
+void Service::record_latency(std::uint64_t ns) {
+  std::lock_guard<std::mutex> lk(lat_mutex_);
+  if (latencies_.size() < kLatencyReservoir) {
+    latencies_.push_back(ns);
+  } else {
+    latencies_[lat_next_] = ns;
+    lat_next_ = (lat_next_ + 1) % kLatencyReservoir;
+  }
+  if (ns > lat_max_) lat_max_ = ns;
+}
+
+void Service::batcher_loop() {
+  std::vector<JobNode*> pending;  // submission order
+  std::vector<JobNode*> batch;
+  std::vector<JobNode*> popped;
+
+  const auto pop_all = [&] {
+    JobNode* n = head_.exchange(nullptr, std::memory_order_acquire);
+    popped.clear();
+    for (; n != nullptr; n = n->next) popped.push_back(n);
+    // The stack pops newest-first; append oldest-first.
+    pending.insert(pending.end(), popped.rbegin(), popped.rend());
+  };
+
+  for (;;) {
+    pop_all();
+
+    // Abandon what expired or was cancelled while queued.
+    const auto now = Clock::now();
+    std::size_t w = 0;
+    for (JobNode* n : pending) {
+      if (n->cancel && n->cancel->load(std::memory_order_relaxed)) {
+        pending_bytes_.fetch_sub(n->cost_bytes(), std::memory_order_relaxed);
+        resolve(n, Status::kCancelled);
+      } else if (n->deadline <= now) {
+        pending_bytes_.fetch_sub(n->cost_bytes(), std::memory_order_relaxed);
+        resolve(n, Status::kTimeout);
+      } else {
+        pending[w++] = n;
+      }
+    }
+    pending.resize(w);
+
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lk(wake_mutex_);
+      stopping = stop_;
+    }
+
+    if (pending.empty()) {
+      if (stopping && head_.load(std::memory_order_acquire) == nullptr) break;
+      std::unique_lock<std::mutex> lk(wake_mutex_);
+      wake_cv_.wait(lk, [&] {
+        return stop_ || head_.load(std::memory_order_acquire) != nullptr;
+      });
+      continue;
+    }
+
+    // The window runs from the oldest pending job's admission. Wake earlier
+    // if a queued job's deadline lands first (it must be timed out promptly,
+    // not discovered when the window closes), or if the payload already
+    // fills the byte budget.
+    std::size_t bytes = 0;
+    auto wake_at = pending.front()->submitted_at +
+                   std::chrono::microseconds(opts_.window_us);
+    for (const JobNode* n : pending) {
+      bytes += n->cost_bytes();
+      if (n->deadline < wake_at) wake_at = n->deadline;
+    }
+    if (!stopping && bytes < opts_.byte_budget && now < wake_at) {
+      // Sleep out the window. Ordinary pushes do not interrupt it (their
+      // payload is collected when it closes); only urgent pushes — a
+      // deadline to honour or a byte budget crossed — and shutdown do.
+      std::unique_lock<std::mutex> lk(wake_mutex_);
+      wake_cv_.wait_until(lk, wake_at, [&] { return stop_ || urgent_; });
+      urgent_ = false;
+      continue;
+    }
+
+    // Form one batch from the front of the queue, bounded by the byte
+    // budget (always at least one job, so oversized requests still run).
+    batch.clear();
+    std::size_t batch_bytes = 0;
+    std::size_t take = 0;
+    while (take < pending.size()) {
+      const std::size_t c = pending[take]->cost_bytes();
+      if (!batch.empty() && batch_bytes + c > opts_.byte_budget) break;
+      batch_bytes += c;
+      batch.push_back(pending[take]);
+      ++take;
+    }
+    pending.erase(pending.begin(), pending.begin() + take);
+    pending_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+    execute_batch(batch);
+  }
+}
+
+void Service::execute_batch(std::vector<JobNode*>& jobs) {
+  // Register every job as one slice of the logical forward or backward
+  // mega-scan. Scan jobs run IN PLACE in the buffer the submitter handed
+  // over (their result later moves out — no copy-in, no scatter). Pack and
+  // enumerate jobs scan derived 0/1 keep values, not their payload, so they
+  // stage those into a shared reused buffer first. Each slice starts a
+  // segment, so no carry crosses a request boundary.
+  slices_fwd_.clear();
+  slices_bwd_.clear();
+  std::size_t stage_n = 0;
+  for (const JobNode* n : jobs) {
+    if (n->kind == JobKind::kPack || n->kind == JobKind::kEnumerate) {
+      stage_n += n->flags.size();
+    }
+  }
+  stage_.resize(stage_n);
+
+  std::size_t fwd_n = 0, bwd_n = 0, stage_at = 0;
+  for (JobNode* n : jobs) {
+    switch (n->kind) {
+      case JobKind::kScan: {
+        batch::JobSlice s;
+        s.data = n->data.data();
+        s.flags = n->flags.empty() ? nullptr : n->flags.data();
+        s.n = n->data.size();
+        s.op = n->op;
+        s.inclusive = n->inclusive;
+        (n->backward ? slices_bwd_ : slices_fwd_).push_back(s);
+        (n->backward ? bwd_n : fwd_n) += s.n;
+        break;
+      }
+      case JobKind::kPack:
+      case JobKind::kEnumerate: {
+        // keep flags become 0/1 values under an exclusive +-scan: each
+        // element learns its packed destination (enumerate, Figure 5).
+        const std::size_t len = n->flags.size();
+        n->offset = stage_at;
+        Value* d = stage_.data() + stage_at;
+        const std::uint8_t* f = n->flags.data();
+        for (std::size_t i = 0; i < len; ++i) d[i] = f[i] ? 1 : 0;
+        batch::JobSlice s;  // defaults: kPlus, exclusive, single segment
+        s.data = d;
+        s.n = len;
+        slices_fwd_.push_back(s);
+        fwd_n += len;
+        stage_at += len;
+        break;
+      }
+      case JobKind::kPipeline:
+        break;
+    }
+  }
+
+  // One chained-engine dispatch per direction present (or the adaptive
+  // sequential pass, per opts_.parallel), plus the pipeline jobs through
+  // the (arena-reusing) executor. The pool dispatch delta over this region
+  // is the batch's whole dispatch bill.
+  const std::uint64_t d0 = thread::pool().dispatch_count();
+  batch::seg_scan_jobs(slices_fwd_, false, &scratch_fwd_, opts_.parallel);
+  batch::seg_scan_jobs(slices_bwd_, true, &scratch_bwd_, opts_.parallel);
+  for (JobNode*& n : jobs) {
+    if (n->kind != JobKind::kPipeline) continue;
+    try {
+      n->data = executor_.run(n->pipeline);
+      std::lock_guard<std::mutex> lk(lat_mutex_);
+      pipeline_stats_ += executor_.stats();
+    } catch (...) {
+      // A throwing pipeline resolves its own future exceptionally; null the
+      // slot so the scatter below skips it.
+      n->promise.set_exception(std::current_exception());
+      outstanding_.fetch_sub(1, std::memory_order_relaxed);
+      delete n;
+      n = nullptr;
+    }
+  }
+  const std::uint64_t d1 = thread::pool().dispatch_count();
+  pool_dispatches_.fetch_add(d1 - d0, std::memory_order_relaxed);
+
+  ++batch_seq_;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
+  batched_elements_.fetch_add(fwd_n + bwd_n, std::memory_order_relaxed);
+
+  // Fulfil. Scan results are already in the job's own buffer and move out;
+  // pack/enumerate read their scanned destinations from the staging buffer.
+  for (JobNode* n : jobs) {
+    if (n == nullptr) continue;  // pipeline job that resolved exceptionally
+    Result r;
+    r.status = Status::kOk;
+    r.batch_seq = batch_seq_;
+    r.batch_jobs = jobs.size();
+    switch (n->kind) {
+      case JobKind::kScan:
+      case JobKind::kPipeline:
+        r.values = std::move(n->data);
+        break;
+      case JobKind::kEnumerate: {
+        const std::size_t len = n->flags.size();
+        const Value* d = stage_.data() + n->offset;
+        r.values.assign(d, d + len);
+        r.kept = len == 0 ? 0
+                          : static_cast<std::size_t>(d[len - 1]) +
+                                (n->flags[len - 1] ? 1 : 0);
+        break;
+      }
+      case JobKind::kPack: {
+        const std::size_t len = n->flags.size();
+        const Value* d = stage_.data() + n->offset;
+        r.kept = len == 0 ? 0
+                          : static_cast<std::size_t>(d[len - 1]) +
+                                (n->flags[len - 1] ? 1 : 0);
+        r.values.resize(r.kept);
+        for (std::size_t i = 0; i < len; ++i) {
+          if (n->flags[i]) r.values[static_cast<std::size_t>(d[i])] = n->data[i];
+        }
+        break;
+      }
+    }
+    r.latency_ns = ns_between(n->submitted_at, Clock::now());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    record_latency(r.latency_ns);
+    n->promise.set_value(std::move(r));
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    delete n;
+  }
+}
+
+// --- metrics -----------------------------------------------------------------
+
+Metrics Service::metrics() const {
+  Metrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.accepted = accepted_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.timeouts = timeouts_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.batches = batches_.load(std::memory_order_relaxed);
+  m.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
+  m.batched_elements = batched_elements_.load(std::memory_order_relaxed);
+  m.pool_dispatches = pool_dispatches_.load(std::memory_order_relaxed);
+  if (m.batches > 0) {
+    m.mean_occupancy =
+        static_cast<double>(m.batched_jobs) / static_cast<double>(m.batches);
+    m.mean_batch_elements = static_cast<double>(m.batched_elements) /
+                            static_cast<double>(m.batches);
+  }
+  std::vector<std::uint64_t> lat;
+  {
+    std::lock_guard<std::mutex> lk(lat_mutex_);
+    lat = latencies_;
+    m.max_ns = lat_max_;
+    m.pipeline_stats = pipeline_stats_;
+  }
+  if (!lat.empty()) {
+    const auto pct = [&](double p) {
+      const std::size_t k = static_cast<std::size_t>(
+          p * static_cast<double>(lat.size() - 1) + 0.5);
+      std::nth_element(lat.begin(), lat.begin() + k, lat.end());
+      return lat[k];
+    };
+    m.p50_ns = pct(0.50);
+    m.p95_ns = pct(0.95);
+    m.p99_ns = pct(0.99);
+  }
+  return m;
+}
+
+}  // namespace scanprim::serve

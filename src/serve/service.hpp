@@ -1,0 +1,152 @@
+// The batching scan service (docs/SERVE.md).
+//
+// Motivation: the chained engine amortises beautifully over long vectors,
+// but a request-per-dispatch front-end wastes it — a 4096-element scan costs
+// a full pool fork-join, and concurrent callers serialize on the pool. The
+// paper's own lesson applies at the serving layer: many small independent
+// scans ARE one segmented scan (§2.3). So the service coalesces every
+// request admitted within a batching window into one logical segmented
+// mega-scan over the requests' own buffers (an iovec-style job list,
+// batch::seg_scan_jobs) — each request one or more segments — executed as a
+// single chained-engine dispatch (or an adaptive sequential pass when the
+// pool would time-share cores), with results moved, not copied, back to the
+// callers' futures.
+//
+// Concurrency shape:
+//   submitters --> lock-free MPSC intrusive stack --> batcher thread
+//   (lock-light: one CAS per submit; the batcher pops the whole stack with
+//   one exchange). The batcher owns batch formation, the mega-dispatch,
+//   scatter, and future fulfilment. Admission control is a bounded count of
+//   outstanding requests: at capacity, submissions resolve immediately to
+//   Status::kRejected (callers see backpressure instead of unbounded queue
+//   growth). Per-request deadlines and cancel tokens are honoured up to the
+//   moment the job's batch executes. shutdown() stops admissions, then
+//   drains everything already accepted before joining the batcher.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+#include "src/exec/executor.hpp"
+#include "src/exec/graph.hpp"
+#include "src/serve/job.hpp"
+#include "src/serve/metrics.hpp"
+
+namespace scanprim::serve {
+
+class Service {
+ public:
+  struct Options {
+    /// Max outstanding accepted requests (admitted but not yet resolved).
+    /// Submissions beyond this resolve to Status::kRejected.
+    std::size_t queue_capacity = 1024;
+    /// Coalescing window: a batch flushes when its oldest job has waited
+    /// this long (0 = flush as soon as the batcher sees work).
+    std::uint64_t window_us = 200;
+    /// A batch also flushes early once its mega-vector payload reaches this
+    /// many bytes, bounding batch memory and tail latency under load.
+    std::size_t byte_budget = std::size_t{8} << 20;
+    /// How the batch scan executes: kAuto lets batch::seg_scan_jobs choose
+    /// (chained dispatch on real parallel hardware, sequential pass on a
+    /// single-worker or oversubscribed pool); the forced modes pin it.
+    batch::JobsMode parallel = batch::JobsMode::kAuto;
+
+    /// Reads SCANPRIM_SERVE_QUEUE_CAP / SCANPRIM_SERVE_WINDOW_US /
+    /// SCANPRIM_SERVE_BYTE_BUDGET / SCANPRIM_SERVE_PARALLEL (auto|force|
+    /// serial) over the defaults above.
+    static Options from_env();
+  };
+
+  Service() : Service(Options::from_env()) {}
+  explicit Service(Options opts);
+  ~Service();  ///< graceful: drains accepted work, then joins the batcher
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Submission. The future always resolves: with the job's output (kOk), a
+  // refusal (kRejected/kShutdown), or an abandonment (kTimeout/kCancelled).
+  // Pipeline jobs must keep any spans recorded into the pipeline alive until
+  // the future resolves (the usual exec::Pipeline lifetime rule).
+  std::future<Result> submit(ScanJob job, SubmitOptions opts = {});
+  std::future<Result> submit(PackJob job, SubmitOptions opts = {});
+  std::future<Result> submit(EnumerateJob job, SubmitOptions opts = {});
+  std::future<Result> submit(exec::Pipeline<Value> job,
+                             SubmitOptions opts = {});
+
+  /// Stops admitting (later submissions resolve to kShutdown), drains every
+  /// accepted request — executing, timing out, or cancelling each — then
+  /// joins the batcher. Idempotent.
+  void shutdown();
+
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+  const Options& options() const { return opts_; }
+  Metrics metrics() const;
+
+ private:
+  struct JobNode;
+  using Clock = std::chrono::steady_clock;
+
+  std::future<Result> enqueue(JobNode* node, const SubmitOptions& opts);
+  void batcher_loop();
+  void execute_batch(std::vector<JobNode*>& jobs);
+  void resolve(JobNode* node, Status status);
+  void record_latency(std::uint64_t ns);
+
+  Options opts_;
+
+  // Submission side.
+  std::atomic<JobNode*> head_{nullptr};  ///< Treiber stack (MPSC: CAS push,
+                                         ///< batcher exchange-pops it whole)
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::size_t> in_flight_submits_{0};
+  std::atomic<std::size_t> pending_bytes_{0};  ///< payload queued + pending
+
+  // Batcher side.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;    ///< guarded by wake_mutex_
+  bool urgent_ = false;  ///< guarded by wake_mutex_: cut the window short
+  std::thread batcher_;
+  exec::Executor executor_;  ///< runs pipeline jobs (arena reuse across them)
+  detail::ChainedScratch<batch::BatchCarry> scratch_fwd_;
+  detail::ChainedScratch<batch::BatchCarry> scratch_bwd_;
+  std::vector<Value> stage_;  ///< reused 0/1 staging for pack/enumerate jobs
+  std::vector<batch::JobSlice> slices_fwd_;  ///< reused per-batch job lists
+  std::vector<batch::JobSlice> slices_bwd_;
+  std::uint64_t batch_seq_ = 0;  ///< batcher-only
+  std::mutex shutdown_mutex_;            ///< makes shutdown() re-entrant
+
+  // Metrics. Counters are relaxed atomics; the latency reservoir and the
+  // accumulated pipeline stats are written by the batcher under lat_mutex_.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_jobs_{0};
+  std::atomic<std::uint64_t> batched_elements_{0};
+  std::atomic<std::uint64_t> pool_dispatches_{0};
+
+  static constexpr std::size_t kLatencyReservoir = 8192;
+  mutable std::mutex lat_mutex_;
+  std::vector<std::uint64_t> latencies_;  ///< ring of recent request latencies
+  std::size_t lat_next_ = 0;
+  std::uint64_t lat_max_ = 0;
+  exec::Stats pipeline_stats_{};
+};
+
+}  // namespace scanprim::serve

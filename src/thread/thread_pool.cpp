@@ -68,6 +68,11 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     for (std::size_t w = 0; w < workers_; ++w) fn(w);
     return;
   }
+  // One external dispatch at a time: a second thread calling run() while a
+  // fan-out is in flight would clobber job_/generation_. Workers never reach
+  // here (the tls check above sends them down the serial path), so holding
+  // run_mutex_ across the whole fork-join cannot deadlock.
+  std::lock_guard run_lock(run_mutex_);
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
@@ -101,5 +106,13 @@ ThreadPool& pool() {
 }
 
 std::size_t num_workers() { return pool().size(); }
+
+bool oversubscribed() {
+  static const bool value = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 && num_workers() > hw;
+  }();
+  return value;
+}
 
 }  // namespace scanprim::thread

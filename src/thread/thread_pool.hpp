@@ -23,6 +23,9 @@ namespace scanprim::thread {
 ///
 /// Calls to `run` from inside a worker (nested parallelism) degrade to a
 /// serial loop on the calling thread, which keeps composed algorithms safe.
+/// Calls from *distinct external threads* (e.g. request threads running
+/// scans while the serve batcher dispatches) serialize on an internal mutex:
+/// each caller gets the whole pool for its dispatch, in arrival order.
 class ThreadPool {
  public:
   /// Spawns `workers - 1` threads (worker 0 is the caller of `run`).
@@ -51,6 +54,7 @@ class ThreadPool {
   std::size_t workers_;
   std::vector<std::thread> threads_;
 
+  std::mutex run_mutex_;  ///< serializes dispatches from external threads
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
@@ -68,6 +72,12 @@ ThreadPool& pool();
 
 /// Number of workers in the global pool.
 std::size_t num_workers();
+
+/// True when the pool has more workers than the host has hardware threads
+/// (e.g. SCANPRIM_THREADS=8 on a one-core container). Spin-heavy protocols
+/// like the chained engine's lookback degrade badly when workers time-share
+/// cores; adaptive callers use this to fall back to a sequential pass.
+bool oversubscribed();
 
 /// Half-open index range assigned to one worker.
 struct Block {

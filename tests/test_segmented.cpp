@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "src/core/primitives.hpp"
+#include "src/core/runtime.hpp"
 #include "test_util.hpp"
 
 namespace scanprim {
@@ -114,6 +118,95 @@ TEST(Segmented, AllFlagsMakesEverySegmentAUnit) {
   EXPECT_EQ(out, in);
 }
 
+// --- degenerate segment shapes under the chained engine ----------------------
+// The chained engine's flagged-tile short-circuit (a tile containing any flag
+// publishes kPrefix immediately) is most stressed when flags are everywhere
+// or exactly at tile seams. Sweep the five paper operators, both directions,
+// both flavours, over shapes built from zero-length and single-element
+// segments, at sizes that put several tiles in flight.
+
+class ChainedEngineGuard {
+ public:
+  ChainedEngineGuard() : prev_(scan_engine()) {
+    set_scan_engine(ScanEngine::kChained);
+  }
+  ~ChainedEngineGuard() { set_scan_engine(prev_); }
+
+ private:
+  ScanEngine prev_;
+};
+
+template <class Op>
+void expect_all_directions_match(std::span<const long> in, FlagsView f,
+                                 Op op) {
+  std::vector<long> out(in.size());
+  seg_exclusive_scan(in, f, std::span<long>(out), op);
+  ASSERT_EQ(out, testutil::ref_seg_exclusive_scan(in, f, op));
+  seg_inclusive_scan(in, f, std::span<long>(out), op);
+  ASSERT_EQ(out, testutil::ref_seg_inclusive_scan(in, f, op));
+  seg_backward_exclusive_scan(in, f, std::span<long>(out), op);
+  ASSERT_EQ(out, testutil::ref_seg_backward_exclusive_scan(in, f, op));
+  seg_backward_inclusive_scan(in, f, std::span<long>(out), op);
+  ASSERT_EQ(out, testutil::ref_seg_backward_inclusive_scan(in, f, op));
+}
+
+void expect_all_ops_match(std::span<const long> in, FlagsView f) {
+  expect_all_directions_match(in, f, Plus<long>{});
+  expect_all_directions_match(in, f, Max<long>{});
+  expect_all_directions_match(in, f, Min<long>{});
+  expect_all_directions_match(in, f, Or<long>{});
+  expect_all_directions_match(in, f, And<long>{});
+}
+
+class DegenerateSegments : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DegenerateSegments, AllSingleElementSegments) {
+  ChainedEngineGuard g;
+  const std::size_t n = GetParam();
+  const auto in = testutil::random_vector<long>(n, 41, 2);
+  const Flags f(n, 1);  // every element its own segment
+  expect_all_ops_match(std::span<const long>(in), FlagsView(f));
+}
+
+TEST_P(DegenerateSegments, SingleElementSegmentsAtTheEnds) {
+  ChainedEngineGuard g;
+  const std::size_t n = GetParam();
+  const auto in = testutil::random_vector<long>(n, 42, 2);
+  Flags f(n, 0);
+  // A single-element segment at each end (and one just past the first tile
+  // seam), the rest of the vector one long middle segment.
+  f[0] = 1;
+  f[1] = 1;
+  f[n - 1] = 1;
+  if (n > 4097) f[4097] = 1;
+  expect_all_ops_match(std::span<const long>(in), FlagsView(f));
+}
+
+TEST_P(DegenerateSegments, ZeroLengthSegmentsVanishFromAllocation) {
+  ChainedEngineGuard g;
+  const std::size_t n = GetParam();
+  // Segment sizes with zero-length requests interleaved: allocate() writes
+  // no flag for them, so they must not perturb their neighbours' scans.
+  std::vector<std::size_t> sizes;
+  std::size_t total = 0;
+  std::mt19937_64 gen(43);
+  while (total < n) {
+    const std::size_t s = gen() % 4 == 0 ? 0 : 1 + gen() % 9;
+    sizes.push_back(s);
+    total += s;
+  }
+  const Allocation a = allocate(std::span<const std::size_t>(sizes));
+  ASSERT_EQ(a.total, total);
+  const auto in = testutil::random_vector<long>(total, 44, 2);
+  expect_all_ops_match(std::span<const long>(in), FlagsView(a.segment_flags));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DegenerateSegments,
+                         ::testing::Values(std::size_t{2}, std::size_t{4096},
+                                           std::size_t{4097},
+                                           std::size_t{12289},
+                                           std::size_t{40000}));
+
 TEST(Segmented, InPlaceAliasingIsSupported) {
   auto v = testutil::random_vector<long>(30000, 33);
   const Flags f = testutil::random_flags(v.size(), 34, 11);
@@ -122,6 +215,142 @@ TEST(Segmented, InPlaceAliasingIsSupported) {
   seg_exclusive_scan(std::span<const long>(v), FlagsView(f), std::span<long>(v),
                      Plus<long>{});
   EXPECT_EQ(v, expect);
+}
+
+// --- scatter-gather job scans (batch::seg_scan_jobs) -------------------------
+// The serve batcher's entry point: a list of independent jobs, each a
+// caller-owned buffer with its own operator/flavour/flags, scanned in place
+// as one logical segmented mega-scan. The serial pass and the chained
+// dispatch must agree with a direct per-job reference — including when tiles
+// split jobs (one huge job) and when jobs split tiles (thousands of tiny
+// jobs), with zero-length jobs interleaved.
+
+struct OwnedJob {
+  std::vector<batch::Value> data;
+  std::vector<std::uint8_t> flags;  // empty = the job is one segment
+  batch::Op op = batch::Op::kPlus;
+  bool inclusive = false;
+};
+
+std::vector<batch::Value> job_reference(const OwnedJob& j, bool backward) {
+  const std::size_t n = j.data.size();
+  std::vector<batch::Value> out(n);
+  batch::Value acc = batch::op_identity(j.op);
+  if (!backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!j.flags.empty() && j.flags[i]) acc = batch::op_identity(j.op);
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+      if (!j.flags.empty() && j.flags[i]) acc = batch::op_identity(j.op);
+    }
+  }
+  return out;
+}
+
+OwnedJob random_owned_job(std::mt19937_64& g, std::size_t n) {
+  OwnedJob j;
+  j.data.resize(n);
+  for (auto& v : j.data) v = static_cast<batch::Value>(g() % 100);
+  j.op = static_cast<batch::Op>(g() % batch::kOpCount);
+  j.inclusive = (g() & 1) != 0;
+  if ((g() & 1) != 0 && n > 0) {
+    j.flags.assign(n, 0);
+    for (auto& f : j.flags) f = g() % 6 == 0 ? 1 : 0;
+  }
+  return j;
+}
+
+void expect_jobs_match(const std::vector<OwnedJob>& jobs, bool backward,
+                       batch::JobsMode mode) {
+  std::vector<OwnedJob> work = jobs;
+  std::vector<batch::JobSlice> slices;
+  for (OwnedJob& j : work) {
+    batch::JobSlice s;
+    s.data = j.data.data();
+    s.flags = j.flags.empty() ? nullptr : j.flags.data();
+    s.n = j.data.size();
+    s.op = j.op;
+    s.inclusive = j.inclusive;
+    slices.push_back(s);
+  }
+  batch::seg_scan_jobs(slices, backward, nullptr, mode);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(work[i].data, job_reference(jobs[i], backward))
+        << "job " << i << " backward=" << backward
+        << " mode=" << static_cast<int>(mode);
+  }
+}
+
+void expect_jobs_match_all_modes(const std::vector<OwnedJob>& jobs) {
+  for (const bool backward : {false, true}) {
+    for (const batch::JobsMode mode :
+         {batch::JobsMode::kSerial, batch::JobsMode::kForceParallel,
+          batch::JobsMode::kAuto}) {
+      expect_jobs_match(jobs, backward, mode);
+    }
+  }
+}
+
+TEST(SegScanJobs, MixedSizesOpsAndFlavoursMatchPerJobReferences) {
+  std::mt19937_64 g(51);
+  std::vector<OwnedJob> jobs;
+  // Tile-seam sizes, zero-length jobs, and a random tail of small ones.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{4095}, std::size_t{4096},
+                              std::size_t{4097}, std::size_t{9000},
+                              std::size_t{0}}) {
+    jobs.push_back(random_owned_job(g, n));
+  }
+  for (int i = 0; i < 40; ++i) jobs.push_back(random_owned_job(g, g() % 200));
+  expect_jobs_match_all_modes(jobs);
+}
+
+TEST(SegScanJobs, ThousandsOfTinyJobsSplitEveryTile) {
+  // Far more jobs than tiles: each chained tile spans many whole jobs, so
+  // the piece walk's job binary search and zero-length skipping get no rest.
+  std::mt19937_64 g(52);
+  std::vector<OwnedJob> jobs;
+  for (int i = 0; i < 3000; ++i) {
+    jobs.push_back(random_owned_job(g, g() % 4));  // sizes 0..3
+  }
+  expect_jobs_match_all_modes(jobs);
+}
+
+TEST(SegScanJobs, OneJobSpansManyTiles) {
+  // The inverse shape: one 40000-element segmented job split across ~10
+  // tiles (carries must flow through the lookback within the job), flanked
+  // by small neighbours of different operators.
+  std::mt19937_64 g(53);
+  std::vector<OwnedJob> jobs;
+  jobs.push_back(random_owned_job(g, 17));
+  OwnedJob big;
+  big.data.resize(40000);
+  for (auto& v : big.data) v = static_cast<batch::Value>(g() % 100);
+  big.op = batch::Op::kPlus;
+  big.flags.assign(big.data.size(), 0);
+  for (auto& f : big.flags) f = g() % 4096 == 0 ? 1 : 0;
+  jobs.push_back(big);
+  big.op = batch::Op::kMax;
+  big.inclusive = true;
+  big.flags.clear();  // one 40000-element segment: pure cross-tile carry
+  jobs.push_back(big);
+  jobs.push_back(random_owned_job(g, 5));
+  expect_jobs_match_all_modes(jobs);
 }
 
 }  // namespace

@@ -1,0 +1,397 @@
+// The batching scan service (src/serve): correctness of every job kind
+// against references, coalescing behaviour, backpressure, deadlines,
+// cancellation, and shutdown semantics.
+#include "src/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+#include "src/exec/executor.hpp"
+#include "test_util.hpp"
+
+namespace scanprim::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Obviously-correct sequential reference for a ScanJob, written directly
+// against the batch:: operator semantics (not the production kernels).
+std::vector<Value> ref_scan(const ScanJob& j) {
+  const std::size_t n = j.data.size();
+  std::vector<Value> out(n);
+  const bool seg = !j.flags.empty();
+  Value acc = batch::op_identity(j.op);
+  if (!j.backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+    }
+  }
+  return out;
+}
+
+ScanJob random_scan_job(std::mt19937_64& g, std::size_t n) {
+  ScanJob j;
+  j.data.resize(n);
+  for (auto& v : j.data) v = static_cast<Value>(g() % 100);
+  j.op = static_cast<Op>(g() % batch::kOpCount);
+  j.inclusive = (g() & 1) != 0;
+  j.backward = (g() & 1) != 0;
+  if ((g() & 1) != 0 && n > 0) {
+    j.flags.assign(n, 0);
+    for (auto& f : j.flags) f = g() % 5 == 0 ? 1 : 0;
+  }
+  return j;
+}
+
+Service::Options quick_options() {
+  Service::Options o;
+  o.window_us = 500;  // flush fast: keeps the suite snappy
+  return o;
+}
+
+// --- correctness -------------------------------------------------------------
+
+TEST(Serve, EveryOpDirectionAndFlavourMatchesReference) {
+  Service svc(quick_options());
+  std::mt19937_64 g(7);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (Op op : {Op::kPlus, Op::kMax, Op::kMin, Op::kOr, Op::kAnd}) {
+    for (bool inclusive : {false, true}) {
+      for (bool backward : {false, true}) {
+        for (bool segmented : {false, true}) {
+          ScanJob j;
+          j.data.resize(257);
+          for (auto& v : j.data) v = static_cast<Value>(g() % 2);
+          j.op = op;
+          j.inclusive = inclusive;
+          j.backward = backward;
+          if (segmented) {
+            j.flags.assign(j.data.size(), 0);
+            for (auto& f : j.flags) f = g() % 7 == 0 ? 1 : 0;
+          }
+          jobs.push_back(j);
+          futs.push_back(svc.submit(std::move(j)));
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.values, ref_scan(jobs[i])) << "job " << i;
+  }
+}
+
+TEST(Serve, LargeMixedConcurrentBatchHasZeroDiffs) {
+  // Requests big enough that the mega-vector spans many chained tiles; under
+  // the _mt8 variant this drives the multi-operator lookback protocol hard.
+  Service svc(quick_options());
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 24;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<ScanJob>> jobs(kThreads);
+  std::vector<std::vector<std::future<Result>>> futs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 g(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        const std::size_t n = 1 + g() % 6000;
+        jobs[t].push_back(random_scan_job(g, n));
+        futs[t].push_back(svc.submit(jobs[t].back()));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < futs[t].size(); ++i) {
+      Result r = futs[t][i].get();
+      ASSERT_EQ(r.status, Status::kOk);
+      ASSERT_EQ(r.values, ref_scan(jobs[t][i])) << "thread " << t << " job "
+                                                << i;
+    }
+  }
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.completed, kThreads * kJobsPerThread);
+  EXPECT_EQ(m.rejected, 0u);
+}
+
+TEST(Serve, ForcedParallelAndSerialModesAgreeWithReferences) {
+  // opts.parallel pins the batch execution path. On a multi-worker pool the
+  // forced-parallel service runs every batch through the chained dispatch
+  // even where kAuto would fall back to the sequential pass (oversubscribed
+  // hosts) — both must produce identical, reference-correct results.
+  for (const batch::JobsMode mode :
+       {batch::JobsMode::kForceParallel, batch::JobsMode::kSerial}) {
+    Service::Options o = quick_options();
+    o.parallel = mode;
+    Service svc(o);
+    std::mt19937_64 g(77);
+    std::vector<ScanJob> jobs;
+    std::vector<std::future<Result>> futs;
+    for (int i = 0; i < 32; ++i) {
+      jobs.push_back(random_scan_job(g, 1 + g() % 5000));
+      futs.push_back(svc.submit(jobs.back()));
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      Result r = futs[i].get();
+      ASSERT_EQ(r.status, Status::kOk);
+      ASSERT_EQ(r.values, ref_scan(jobs[i]))
+          << "job " << i << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(Serve, PackMatchesReference) {
+  Service svc(quick_options());
+  std::mt19937_64 g(9);
+  PackJob j;
+  j.data.resize(5000);
+  j.keep.resize(5000);
+  for (auto& v : j.data) v = static_cast<Value>(g() % 1000);
+  for (auto& k : j.keep) k = g() % 3 == 0 ? 1 : 0;
+  std::vector<Value> expect;
+  for (std::size_t i = 0; i < j.data.size(); ++i) {
+    if (j.keep[i]) expect.push_back(j.data[i]);
+  }
+  Result r = svc.submit(std::move(j)).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.kept, expect.size());
+  EXPECT_EQ(r.values, expect);
+}
+
+TEST(Serve, EnumerateMatchesReference) {
+  Service svc(quick_options());
+  std::mt19937_64 g(11);
+  EnumerateJob j;
+  j.keep.resize(4200);
+  for (auto& k : j.keep) k = g() % 2;
+  std::vector<Value> expect(j.keep.size());
+  Value c = 0;
+  for (std::size_t i = 0; i < j.keep.size(); ++i) {
+    expect[i] = c;
+    c += j.keep[i] ? 1 : 0;
+  }
+  const std::size_t kept = static_cast<std::size_t>(c);
+  Result r = svc.submit(std::move(j)).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.values, expect);
+  EXPECT_EQ(r.kept, kept);
+}
+
+TEST(Serve, EmptyJobsResolveOk) {
+  Service svc(quick_options());
+  Result a = svc.submit(ScanJob{}).get();
+  Result b = svc.submit(PackJob{}).get();
+  Result c = svc.submit(EnumerateJob{}).get();
+  EXPECT_EQ(a.status, Status::kOk);
+  EXPECT_TRUE(a.values.empty());
+  EXPECT_EQ(b.status, Status::kOk);
+  EXPECT_EQ(b.kept, 0u);
+  EXPECT_EQ(c.status, Status::kOk);
+  EXPECT_EQ(c.kept, 0u);
+}
+
+TEST(Serve, PipelineJobRunsThroughTheExecutor) {
+  Service svc(quick_options());
+  const auto in = testutil::random_vector<Value>(10000, 13);
+  auto p = exec::source(std::span<const Value>(in)) |
+           exec::map([](Value v) { return v + 1; }) |
+           exec::inclusive_scan<Plus>();
+  Result r = svc.submit(std::move(p)).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  Value acc = 0;
+  std::vector<Value> expect(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i] + 1;
+    expect[i] = acc;
+  }
+  EXPECT_EQ(r.values, expect);
+  const Metrics m = svc.metrics();
+  EXPECT_GT(m.pipeline_stats.stages_recorded, 0u);
+  EXPECT_GT(m.pipeline_stats.elapsed_ns, 0u);  // wall-clock satellite
+}
+
+// --- batching behaviour ------------------------------------------------------
+
+TEST(Serve, WindowCoalescesConcurrentSubmissionsIntoFewBatches) {
+  Service::Options o;
+  o.window_us = 200'000;  // 200 ms: far longer than it takes to submit
+  Service svc(o);
+  std::mt19937_64 g(17);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 64; ++i) {
+    jobs.push_back(random_scan_job(g, 512));
+    futs.push_back(svc.submit(jobs.back()));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.values, ref_scan(jobs[i]));
+    EXPECT_GT(r.batch_jobs, 1u);  // nobody rode alone
+  }
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.completed, 64u);
+  EXPECT_LE(m.batches, 4u);  // 64 jobs in at most a handful of flushes
+  EXPECT_GE(m.mean_occupancy, 16.0);
+}
+
+TEST(Serve, ByteBudgetFlushesEarlyAndSplitsBatches) {
+  Service::Options o;
+  o.window_us = 200'000;
+  o.byte_budget = 64 * 1024;  // ~8 jobs of 1024 Values each
+  Service svc(o);
+  std::mt19937_64 g(19);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back(random_scan_job(g, 1024));
+    futs.push_back(svc.submit(jobs.back()));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.values, ref_scan(jobs[i]));
+  }
+  const Metrics m = svc.metrics();
+  EXPECT_GE(m.batches, 2u);  // the budget forced splits
+  // The mean batch payload respected the budget (plus one job of slack for
+  // the always-take-one rule).
+  EXPECT_LE(m.mean_batch_elements * sizeof(Value),
+            static_cast<double>(o.byte_budget) + 1024 * sizeof(Value));
+}
+
+// --- admission control, deadlines, cancellation ------------------------------
+
+TEST(Serve, BackpressureRejectsBeyondQueueCapacity) {
+  Service::Options o;
+  o.queue_capacity = 2;
+  o.window_us = 10'000'000;  // park accepted jobs so the queue stays full
+  Service svc(o);
+  std::mt19937_64 g(23);
+  auto j0 = random_scan_job(g, 64);
+  auto j1 = random_scan_job(g, 64);
+  auto f0 = svc.submit(j0);
+  auto f1 = svc.submit(j1);
+  auto f2 = svc.submit(random_scan_job(g, 64));
+  Result r2 = f2.get();  // resolved inline by the submitter
+  EXPECT_EQ(r2.status, Status::kRejected);
+  svc.shutdown();  // drains the two parked jobs
+  Result r0 = f0.get();
+  Result r1 = f1.get();
+  EXPECT_EQ(r0.status, Status::kOk);
+  EXPECT_EQ(r0.values, ref_scan(j0));
+  EXPECT_EQ(r1.status, Status::kOk);
+  EXPECT_EQ(r1.values, ref_scan(j1));
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.completed, 2u);
+}
+
+TEST(Serve, DeadlineExpiresQueuedJobBeforeTheWindowCloses) {
+  Service::Options o;
+  o.window_us = 10'000'000;  // 10 s window: only the deadline can fire first
+  Service svc(o);
+  std::mt19937_64 g(29);
+  SubmitOptions so;
+  so.deadline = 30ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fut = svc.submit(random_scan_job(g, 64), so);
+  Result r = fut.get();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_LT(waited, 5s);  // resolved at the deadline, not at window close
+  EXPECT_EQ(svc.metrics().timeouts, 1u);
+}
+
+TEST(Serve, CancelTokenAbandonsQueuedJob) {
+  Service::Options o;
+  o.window_us = 100'000;
+  Service svc(o);
+  std::mt19937_64 g(31);
+  auto token = make_cancel_token();
+  token->store(true);  // cancelled before it can possibly run
+  SubmitOptions so;
+  so.cancel = token;
+  Result r = svc.submit(random_scan_job(g, 64), so).get();
+  EXPECT_EQ(r.status, Status::kCancelled);
+  EXPECT_EQ(svc.metrics().cancelled, 1u);
+}
+
+// --- shutdown ----------------------------------------------------------------
+
+TEST(Serve, ShutdownDrainsAcceptedWorkThenRefuses) {
+  Service::Options o;
+  o.window_us = 10'000'000;  // jobs would park forever without the drain
+  Service svc(o);
+  std::mt19937_64 g(37);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(random_scan_job(g, 300));
+    futs.push_back(svc.submit(jobs.back()));
+  }
+  svc.shutdown();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);  // drained, not dropped
+    EXPECT_EQ(r.values, ref_scan(jobs[i]));
+  }
+  EXPECT_FALSE(svc.accepting());
+  Result late = svc.submit(random_scan_job(g, 16)).get();
+  EXPECT_EQ(late.status, Status::kShutdown);
+  svc.shutdown();  // idempotent
+}
+
+TEST(Serve, OptionsFromEnvParsesAndClamps) {
+  // Only exercises the parser plumbing; the suite must not depend on real
+  // environment state, so set and restore.
+  setenv("SCANPRIM_SERVE_QUEUE_CAP", "32", 1);
+  setenv("SCANPRIM_SERVE_WINDOW_US", "1234", 1);
+  setenv("SCANPRIM_SERVE_BYTE_BUDGET", "65536", 1);
+  const Service::Options o = Service::Options::from_env();
+  EXPECT_EQ(o.queue_capacity, 32u);
+  EXPECT_EQ(o.window_us, 1234u);
+  EXPECT_EQ(o.byte_budget, 65536u);
+  setenv("SCANPRIM_SERVE_BYTE_BUDGET", "12", 1);  // below the floor: clamped
+  EXPECT_EQ(Service::Options::from_env().byte_budget, 4096u);
+  setenv("SCANPRIM_SERVE_PARALLEL", "force", 1);
+  EXPECT_EQ(Service::Options::from_env().parallel,
+            batch::JobsMode::kForceParallel);
+  setenv("SCANPRIM_SERVE_PARALLEL", "serial", 1);
+  EXPECT_EQ(Service::Options::from_env().parallel, batch::JobsMode::kSerial);
+  setenv("SCANPRIM_SERVE_PARALLEL", "nonsense", 1);
+  EXPECT_EQ(Service::Options::from_env().parallel, batch::JobsMode::kAuto);
+  unsetenv("SCANPRIM_SERVE_QUEUE_CAP");
+  unsetenv("SCANPRIM_SERVE_WINDOW_US");
+  unsetenv("SCANPRIM_SERVE_BYTE_BUDGET");
+  unsetenv("SCANPRIM_SERVE_PARALLEL");
+}
+
+}  // namespace
+}  // namespace scanprim::serve

@@ -1,0 +1,202 @@
+// Concurrency soak for the batching scan service: 8 submitter threads
+// hammer one Service with mixed job kinds, operators, directions, deadlines,
+// and cancellations while the main thread shuts the service down mid-flight.
+// Every future must resolve to a coherent terminal state and every kOk
+// result must match its sequential reference. Run under TSan in CI (the
+// short-soak job in .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/serve/service.hpp"
+#include "test_util.hpp"
+
+namespace scanprim::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<Value> ref_scan(const ScanJob& j) {
+  const std::size_t n = j.data.size();
+  std::vector<Value> out(n);
+  const bool seg = !j.flags.empty();
+  Value acc = batch::op_identity(j.op);
+  if (!j.backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+    }
+  }
+  return out;
+}
+
+struct Submitted {
+  ScanJob job;  // empty data => was a pack/enumerate (checked by kind)
+  std::vector<Value> pack_expect;
+  std::size_t enum_kept = 0;
+  int kind = 0;  // 0 scan, 1 pack, 2 enumerate
+  std::future<Result> fut;
+};
+
+TEST(ServeSoak, MixedLoadWithMidFlightShutdown) {
+  // from_env so CI can pin the batch execution mode (the forced-parallel
+  // TSan soak step sets SCANPRIM_SERVE_PARALLEL=force).
+  Service::Options o = Service::Options::from_env();
+  o.window_us = 300;
+  o.queue_capacity = 4096;
+  Service svc(o);
+
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 60;
+  std::vector<std::vector<Submitted>> work(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> submitted_total{0};
+
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 g(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        Submitted s;
+        SubmitOptions so;
+        if (g() % 5 == 0) so.deadline = std::chrono::microseconds(g() % 400);
+        if (g() % 7 == 0) {
+          so.cancel = make_cancel_token();
+          if (g() % 2 == 0) so.cancel->store(true);
+        }
+        const std::size_t n = g() % 3000;
+        const int kind = static_cast<int>(g() % 3);
+        s.kind = kind;
+        if (kind == 0) {
+          s.job.data.resize(n);
+          for (auto& v : s.job.data) v = static_cast<Value>(g() % 50);
+          s.job.op = static_cast<Op>(g() % batch::kOpCount);
+          s.job.inclusive = (g() & 1) != 0;
+          s.job.backward = (g() & 1) != 0;
+          if ((g() & 1) != 0) {
+            s.job.flags.assign(n, 0);
+            for (auto& f : s.job.flags) f = g() % 6 == 0 ? 1 : 0;
+          }
+          s.fut = svc.submit(s.job, so);
+        } else if (kind == 1) {
+          PackJob p;
+          p.data.resize(n);
+          p.keep.resize(n);
+          for (auto& v : p.data) v = static_cast<Value>(g() % 50);
+          for (auto& k : p.keep) k = g() % 3 == 0 ? 1 : 0;
+          for (std::size_t x = 0; x < n; ++x) {
+            if (p.keep[x]) s.pack_expect.push_back(p.data[x]);
+          }
+          s.fut = svc.submit(std::move(p), so);
+        } else {
+          EnumerateJob e;
+          e.keep.resize(n);
+          std::size_t kept = 0;
+          for (auto& k : e.keep) {
+            k = g() % 2;
+            kept += k;
+          }
+          s.enum_kept = kept;
+          s.fut = svc.submit(std::move(e), so);
+        }
+        work[t].push_back(std::move(s));
+        submitted_total.fetch_add(1, std::memory_order_relaxed);
+        if (g() % 16 == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Shut down while submitters are still going: late submissions must
+  // resolve kShutdown, everything accepted before must drain.
+  while (submitted_total.load(std::memory_order_relaxed) <
+         kThreads * kJobsPerThread / 2) {
+    std::this_thread::yield();
+  }
+  svc.shutdown();
+  for (auto& th : threads) th.join();
+
+  int ok = 0, refused = 0, abandoned = 0;
+  for (auto& per_thread : work) {
+    for (auto& s : per_thread) {
+      Result r = s.fut.get();  // every future must resolve
+      switch (r.status) {
+        case Status::kOk:
+          ++ok;
+          if (s.kind == 0) {
+            ASSERT_EQ(r.values, ref_scan(s.job));
+          } else if (s.kind == 1) {
+            ASSERT_EQ(r.values, s.pack_expect);
+            ASSERT_EQ(r.kept, s.pack_expect.size());
+          } else {
+            ASSERT_EQ(r.kept, s.enum_kept);
+          }
+          break;
+        case Status::kRejected:
+        case Status::kShutdown:
+          ++refused;
+          break;
+        case Status::kTimeout:
+        case Status::kCancelled:
+          ++abandoned;
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(ok + refused + abandoned, kThreads * kJobsPerThread);
+  EXPECT_GT(ok, 0);  // the service did real work before the shutdown
+
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.submitted, static_cast<std::uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(m.completed, static_cast<std::uint64_t>(ok));
+  // Everything accepted was resolved exactly once.
+  EXPECT_EQ(m.accepted, m.completed + m.timeouts + m.cancelled);
+}
+
+TEST(ServeSoak, RepeatedConstructionAndTeardown) {
+  // Service lifetime churn under load: catches join/drain races that a
+  // single long-lived service never sees.
+  std::mt19937_64 g(55);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::future<Result>> futs;
+    {
+      Service::Options o;
+      o.window_us = 100;
+      Service svc(o);
+      for (int i = 0; i < 16; ++i) {
+        ScanJob j;
+        j.data.resize(64 + g() % 512);
+        for (auto& v : j.data) v = static_cast<Value>(g() % 10);
+        j.op = static_cast<Op>(g() % batch::kOpCount);
+        futs.push_back(svc.submit(std::move(j)));
+      }
+    }  // destructor shuts down and drains
+    for (auto& f : futs) {
+      const Result r = f.get();
+      EXPECT_EQ(r.status, Status::kOk);  // drained, not dropped
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanprim::serve
