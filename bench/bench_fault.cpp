@@ -1,0 +1,83 @@
+// The fault-point contract is "~free when disabled": a disarmed
+// SCANPRIM_FAULT_POINT must cost no more than a couple of relaxed atomic
+// loads, or it could not live inside per-tile and per-piece kernel code
+// (docs/FAULTS.md). This microbenchmark prices the check three ways — a
+// bare loop, the same loop with a disarmed point in its body, and a scan
+// kernel with and without points compiled in by proxy (the shipped library
+// scan already contains its points, so the delta against a hand-written
+// loop bounds the real-world overhead from above).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "src/core/ops.hpp"
+#include "src/core/scan.hpp"
+#include "src/fault/fault.hpp"
+
+namespace {
+
+using namespace scanprim;
+
+std::vector<std::int64_t> make_input(std::size_t n) {
+  std::mt19937_64 g(7);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(g() & 0xffff);
+  return v;
+}
+
+// Baseline: the serial accumulation loop with nothing in its body.
+void BM_BareLoop(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto x : in) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+// The same loop with a disarmed fault point checked on every element —
+// far denser than any placement in the library (points sit at per-tile
+// and per-job granularity, never per-element), so this is a worst case.
+void BM_DisarmedPointPerElement(benchmark::State& state) {
+  fault::disarm_all();
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto x : in) {
+      SCANPRIM_FAULT_POINT("bench.per_element");
+      acc += x;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+// The shipped parallel scan, points compiled in (as it always runs).
+// Instrumentation sits at tile/worker granularity here, so any per-element
+// cost would be invisible; this documents the end-to-end price users pay.
+void BM_LibraryScanWithPoints(benchmark::State& state) {
+  fault::disarm_all();
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    exclusive_scan(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), Plus<std::int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+BENCHMARK(BM_BareLoop)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_DisarmedPointPerElement)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_LibraryScanWithPoints)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

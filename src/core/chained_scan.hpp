@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/fault/fault.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim::detail {
@@ -81,12 +82,28 @@ class ChainedScratch {
     for (std::size_t i = 0; i < ntiles; ++i) {
       states_[i].status.store(TileStatus::kInvalid, std::memory_order_relaxed);
     }
+    prepared_ = ntiles;
     return states_.get();
+  }
+
+  /// Re-invalidates every descriptor of the most recent run. An
+  /// abort-poisoned run (a tile callback threw) leaves stale kPrefix /
+  /// kAggregate statuses and a fabricated identity prefix behind;
+  /// chained_scan_run calls this before rethrowing so a scratch handed back
+  /// to the caller is always clean. prepare() also re-invalidates on the
+  /// next run, so reuse is safe even for scratches poisoned through the
+  /// run-local (scratch == nullptr) path — this method just makes the
+  /// repair explicit and immediate.
+  void reset() {
+    for (std::size_t i = 0; i < prepared_; ++i) {
+      states_[i].status.store(TileStatus::kInvalid, std::memory_order_relaxed);
+    }
   }
 
  private:
   std::unique_ptr<ChainedTileState<C>[]> states_;
   std::size_t cap_ = 0;
+  std::size_t prepared_ = 0;  ///< descriptor count of the most recent run
 };
 
 /// Runs one chained scan over `[0, n)` in a single pool dispatch.
@@ -129,7 +146,7 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
   // pool (which propagates the first error to the caller).
   std::atomic<bool> aborted{false};
 
-  thread::pool().run([&](std::size_t w) {
+  const auto body = [&](std::size_t w) {
     for (;;) {
       if (aborted.load(std::memory_order_relaxed)) return;
       const std::size_t lt = next.fetch_add(1, std::memory_order_relaxed);
@@ -140,6 +157,7 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
         const std::size_t begin = p * tile;
         const std::size_t count = n - begin < tile ? n - begin : tile;
         C agg = identity;
+        SCANPRIM_FAULT_POINT("chained.summarize");
         const bool cut = summarize(w, begin, count, &agg);
         if (lt == 0 || cut) {
           // Carry-in identity (tile 0) or irrelevant (flagged tile): the
@@ -184,6 +202,7 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
           }
         }
 
+        SCANPRIM_FAULT_POINT("chained.rescan");
         rescan(w, begin, count, carry);
       } catch (...) {
         aborted.store(true, std::memory_order_relaxed);
@@ -192,7 +211,22 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
         throw;
       }
     }
-  });
+  };
+  if (scratch == nullptr) {
+    thread::pool().run(body);
+    return;
+  }
+  // With a caller-owned scratch, repair it before letting the error out of
+  // an abort-poisoned run: the pool has joined every worker by the time run()
+  // rethrows, so nothing references the descriptors any more, and the caller
+  // gets its scratch back clean (reusable immediately, not only after the
+  // next prepare()).
+  try {
+    thread::pool().run(body);
+  } catch (...) {
+    scratch->reset();
+    throw;
+  }
 }
 
 }  // namespace scanprim::detail

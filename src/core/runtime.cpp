@@ -98,4 +98,11 @@ bool sanitize_bounds_spec(const char* spec) {
   return !(s == "0" || s == "off" || s == "false");
 }
 
+bool sanitize_flag_spec(const char* spec, bool fallback) {
+  const std::string s = normalized_spec(spec);
+  if (s == "0" || s == "off" || s == "false") return false;
+  if (s == "1" || s == "on" || s == "true") return true;
+  return fallback;
+}
+
 }  // namespace scanprim

@@ -67,4 +67,9 @@ void set_bounds_checking(bool enabled);
 /// including unset, leaves it enabled.
 bool sanitize_bounds_spec(const char* spec);
 
+/// Parse a boolean on/off env spec: "0" / "off" / "false" → false, "1" /
+/// "on" / "true" → true (any case, surrounding whitespace ignored);
+/// anything else — including null/unset — returns `fallback`.
+bool sanitize_flag_spec(const char* spec, bool fallback);
+
 }  // namespace scanprim

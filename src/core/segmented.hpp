@@ -18,6 +18,7 @@
 
 #include "src/core/ops.hpp"
 #include "src/core/scan.hpp"
+#include "src/fault/fault.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
@@ -703,6 +704,7 @@ inline void seg_scan_jobs(std::span<const JobSlice> jobs, bool backward,
   }
   if (serial) {
     for (const JobSlice& j : jobs) {
+      SCANPRIM_FAULT_POINT("batch.serial_job");
       with_op(j.op, [&](auto op) {
         if (backward) {
           job_backward_scan(j, 0, j.n, BatchCarry{}, op);
@@ -728,6 +730,7 @@ inline void seg_scan_jobs(std::span<const JobSlice> jobs, bool backward,
         jobs_detail::for_pieces(
             jobs, ov, b, b + c, backward,
             [&](const JobSlice& j, std::size_t a, std::size_t e) {
+              SCANPRIM_FAULT_POINT("batch.piece");
               with_op(j.op, [&](auto op) {
                 acc = backward
                           ? job_backward_summary(j, a, e, acc, &saw, op)
@@ -742,6 +745,7 @@ inline void seg_scan_jobs(std::span<const JobSlice> jobs, bool backward,
         jobs_detail::for_pieces(
             jobs, ov, b, b + c, backward,
             [&](const JobSlice& j, std::size_t a, std::size_t e) {
+              SCANPRIM_FAULT_POINT("batch.piece");
               with_op(j.op, [&](auto op) {
                 carry = backward ? job_backward_scan(j, a, e, carry, op)
                                  : job_forward_scan(j, a, e, carry, op);

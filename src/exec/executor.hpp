@@ -28,6 +28,7 @@
 #include "src/core/chained_scan.hpp"
 #include "src/core/runtime.hpp"
 #include "src/exec/fuser.hpp"
+#include "src/fault/fault.hpp"
 #include "src/exec/graph.hpp"
 #include "src/exec/stats.hpp"
 #include "src/thread/thread_pool.hpp"
@@ -399,26 +400,38 @@ class Executor {
     std::size_t cur_len = p.nodes.front().length;
     const T* prev = nullptr;
     std::byte* prev_raw = nullptr;
+    std::byte* out_raw = nullptr;
     std::vector<T> result;
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-      const Group& g = groups[gi];
-      const bool last = gi + 1 == groups.size();
-      T* out_ptr = nullptr;
-      std::byte* out_raw = nullptr;
-      if (last) {
-        result.resize(cur_len);
-        out_ptr = result.data();
-      } else {
-        bool reused = false;
-        out_raw = arena_.acquire(cur_len * sizeof(T), &reused);
-        (reused ? s.arena_hits : s.arena_misses) += 1;
-        out_ptr = reinterpret_cast<T*>(out_raw);
+    // Release held arena buffers even when a group throws: the executor is
+    // long-lived (the serve batcher reuses one across batches), and a buffer
+    // stranded in-use by an unwind would be unreusable for the rest of the
+    // executor's life.
+    try {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        SCANPRIM_FAULT_POINT("exec.group");
+        const Group& g = groups[gi];
+        const bool last = gi + 1 == groups.size();
+        T* out_ptr = nullptr;
+        if (last) {
+          result.resize(cur_len);
+          out_ptr = result.data();
+        } else {
+          bool reused = false;
+          out_raw = arena_.acquire(cur_len * sizeof(T), &reused);
+          (reused ? s.arena_hits : s.arena_misses) += 1;
+          out_ptr = reinterpret_cast<T*>(out_raw);
+        }
+        cur_len = detail::execute_group<T>(p.nodes, g, prev, cur_len, out_ptr,
+                                           fo.tile, s);
+        if (prev_raw) arena_.release(prev_raw);
+        prev_raw = out_raw;
+        out_raw = nullptr;
+        prev = out_ptr;
       }
-      cur_len = detail::execute_group<T>(p.nodes, g, prev, cur_len, out_ptr,
-                                         fo.tile, s);
+    } catch (...) {
+      if (out_raw) arena_.release(out_raw);
       if (prev_raw) arena_.release(prev_raw);
-      prev_raw = out_raw;
-      prev = out_ptr;
+      throw;
     }
     if (prev_raw) arena_.release(prev_raw);
     result.resize(cur_len);  // a pack in the final group shrinks the result

@@ -1,0 +1,222 @@
+#include "src/fault/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace scanprim::fault {
+
+namespace detail {
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+}  // namespace detail
+
+namespace {
+
+/// One point's arming. Lives in the registry, keyed by point name, so every
+/// Point instance with the same name (headers can instantiate one per inline
+/// function) shares a single hit counter and trigger window.
+struct Arming {
+  std::uint64_t nth = 1;
+  std::uint64_t count = 1;
+  std::uint64_t hits = 0;
+  std::shared_ptr<const std::function<void()>> handler;  ///< null: throw
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Arming> armed;   // by point name
+  std::unordered_map<std::string, std::uint64_t> last_hits;  // survives disarm
+  std::vector<const Point*> registered;
+  bool env_parsed = false;
+};
+
+/// Intentionally leaked: fault points are function-local statics whose
+/// destruction order against a registry static is unknowable, and worker
+/// threads may still pass points during teardown.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void bump_epoch() {
+  detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// First-use hook: apply SCANPRIM_FAULT before any point syncs, so a fault
+/// armed from the environment fires on the very first reach of its point.
+void parse_env_locked(Registry& r) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  if (const char* spec = std::getenv("SCANPRIM_FAULT")) {
+    std::string_view sv(spec);
+    std::size_t start = 0;
+    while (start <= sv.size()) {
+      const std::size_t comma = sv.find(',', start);
+      const std::string_view one =
+          sv.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+      if (!one.empty()) {
+        // Re-entrancy: arm_from_spec locks the registry itself, so apply the
+        // parsed pieces inline here instead of calling it.
+        std::string_view rest = one;
+        const std::size_t c1 = rest.find(':');
+        if (c1 != std::string_view::npos) {
+          const std::string_view point = rest.substr(0, c1);
+          rest.remove_prefix(c1 + 1);
+          const std::size_t c2 = rest.find(':');
+          const std::string_view nth_s =
+              c2 == std::string_view::npos ? rest : rest.substr(0, c2);
+          const std::string_view cnt_s =
+              c2 == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(c2 + 1);
+          std::uint64_t nth = 0, count = 1;
+          const auto parse_u64 = [](std::string_view s, std::uint64_t* out) {
+            const auto [p, ec] =
+                std::from_chars(s.data(), s.data() + s.size(), *out);
+            return ec == std::errc() && p == s.data() + s.size();
+          };
+          if (!point.empty() && parse_u64(nth_s, &nth) && nth > 0 &&
+              (cnt_s.empty() || (parse_u64(cnt_s, &count) && count > 0))) {
+            r.armed[std::string(point)] = Arming{nth, count, 0, nullptr};
+          }
+        } else if (!one.empty()) {
+          r.armed[std::string(one)] = Arming{1, 1, 0, nullptr};
+        }
+      }
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+  }
+}
+
+}  // namespace
+
+Point::Point(const char* name) : name_(name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  parse_env_locked(r);
+  r.registered.push_back(this);
+}
+
+void Point::sync() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  parse_env_locked(r);
+  // Read the epoch *before* the lookup: if an arm races in after this load
+  // it bumps the epoch again and the next maybe_fire re-syncs.
+  const std::uint64_t e = detail::g_epoch.load(std::memory_order_relaxed);
+  armed_.store(r.armed.count(name_) != 0, std::memory_order_relaxed);
+  epoch_seen_.store(e, std::memory_order_relaxed);
+}
+
+void Point::fire() {
+  Registry& r = registry();
+  std::shared_ptr<const std::function<void()>> handler;
+  std::uint64_t hit = 0;
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto it = r.armed.find(name_);
+    if (it == r.armed.end()) return;  // disarmed between sync and fire
+    Arming& a = it->second;
+    hit = ++a.hits;
+    r.last_hits[name_] = a.hits;
+    trigger = hit >= a.nth && hit < a.nth + a.count;
+    if (trigger) handler = a.handler;
+  }
+  if (!trigger) return;
+  // Outside the lock: a handler may arm/disarm or reach other points.
+  if (handler != nullptr) {
+    (*handler)();
+    return;
+  }
+  throw Injected("injected fault at " + std::string(name_) + " (hit " +
+                 std::to_string(hit) + ")");
+}
+
+void arm(std::string_view point, std::uint64_t nth, std::uint64_t count) {
+  arm_handler(point, nullptr, nth, count);
+}
+
+void arm_handler(std::string_view point, std::function<void()> handler,
+                 std::uint64_t nth, std::uint64_t count) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  parse_env_locked(r);
+  Arming a;
+  a.nth = nth == 0 ? 1 : nth;
+  a.count = count == 0 ? 1 : count;
+  if (handler != nullptr) {
+    a.handler =
+        std::make_shared<const std::function<void()>>(std::move(handler));
+  }
+  r.armed[std::string(point)] = std::move(a);
+  r.last_hits[std::string(point)] = 0;
+  bump_epoch();
+}
+
+void disarm(std::string_view point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.armed.erase(std::string(point));
+  bump_epoch();
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  parse_env_locked(r);  // mark parsed so a later sync cannot resurrect specs
+  r.armed.clear();
+  bump_epoch();
+}
+
+std::uint64_t hits(std::string_view point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.last_hits.find(std::string(point));
+  return it == r.last_hits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> points() {
+  Registry& r = registry();
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    out.reserve(r.registered.size());
+    for (const Point* p : r.registered) out.emplace_back(p->name());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool arm_from_spec(std::string_view spec) {
+  // point[:nth[:count]] — the environment grammar, usable from tests too.
+  const std::size_t c1 = spec.find(':');
+  const std::string_view point = spec.substr(0, c1);
+  if (point.empty()) return false;
+  std::uint64_t nth = 1, count = 1;
+  const auto parse_u64 = [](std::string_view s, std::uint64_t* out) {
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+    return ec == std::errc() && p == s.data() + s.size();
+  };
+  if (c1 != std::string_view::npos) {
+    std::string_view rest = spec.substr(c1 + 1);
+    const std::size_t c2 = rest.find(':');
+    const std::string_view nth_s =
+        c2 == std::string_view::npos ? rest : rest.substr(0, c2);
+    if (!parse_u64(nth_s, &nth) || nth == 0) return false;
+    if (c2 != std::string_view::npos) {
+      if (!parse_u64(rest.substr(c2 + 1), &count) || count == 0) return false;
+    }
+  }
+  arm(point, nth, count);
+  return true;
+}
+
+}  // namespace scanprim::fault

@@ -1,0 +1,131 @@
+// Deterministic fault injection (docs/FAULTS.md).
+//
+// A production scan service lives or dies by what happens on its *worst*
+// path: a worker that throws mid-dispatch, an allocation that fails inside a
+// tile callback, a poisoned chained run. Those paths are nearly impossible
+// to hit on demand from outside, so the failure surfaces declare named
+// *fault points* — `SCANPRIM_FAULT_POINT("serve.dispatch")` — that cost
+// ~nothing when disabled and, when armed, deterministically throw
+// `fault::Injected` (or run a test-installed handler) on an exact hit
+// number. Tests and CI arm them via `fault::arm()` or the `SCANPRIM_FAULT`
+// environment variable and then assert that recovery machinery (the serve
+// batcher's bisection, the pool's run-all-then-rethrow, the chained engine's
+// abort poisoning) actually isolates the blast radius.
+//
+// Hot-path cost: `maybe_fire()` is two relaxed atomic loads and two
+// predictable branches when nothing is armed anywhere in the process — a
+// point re-reads its configuration from the registry only when the global
+// arming epoch has moved. Arming, disarming, and firing are rare and take
+// the registry mutex.
+//
+// SCANPRIM_FAULT grammar (parsed once, at first fault-point use):
+//   spec     := arming ("," arming)*
+//   arming   := point ":" nth [":" count]
+//   point    := registered point name, e.g. "serve.dispatch"
+//   nth      := 1-based hit number of the first fire (counted from arming)
+//   count    := how many consecutive hits fire (default 1)
+// Example: SCANPRIM_FAULT="serve.dispatch:1:3,batch.piece:5" fires the first
+// three serve dispatches and the fifth batch piece kernel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scanprim::fault {
+
+/// The exception an armed fault point throws. Derives from runtime_error so
+/// generic `catch (const std::exception&)` boundaries report its message
+/// ("injected fault at <point> (hit N)").
+class Injected : public std::runtime_error {
+ public:
+  explicit Injected(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Bumped on every arm/disarm. Points compare their cached value against it
+/// on each maybe_fire; a stale cache is the (rare) signal to re-sync from
+/// the registry.
+extern std::atomic<std::uint64_t> g_epoch;
+
+}  // namespace detail
+
+/// One named fault point. Instances are function-local statics created by
+/// SCANPRIM_FAULT_POINT; they register with the process-wide registry on
+/// construction and stay registered for the life of the process (the
+/// registry is intentionally leaked so static-destruction order cannot
+/// invalidate it).
+class Point {
+ public:
+  explicit Point(const char* name);
+
+  Point(const Point&) = delete;
+  Point& operator=(const Point&) = delete;
+
+  const char* name() const noexcept { return name_; }
+
+  /// The hot-path check. Disabled cost: one relaxed load of the global
+  /// epoch, one relaxed load of the cached armed flag.
+  void maybe_fire() {
+    if (epoch_seen_.load(std::memory_order_relaxed) !=
+        detail::g_epoch.load(std::memory_order_relaxed)) {
+      sync();
+    }
+    if (armed_.load(std::memory_order_relaxed)) fire();
+  }
+
+ private:
+  void sync();  ///< re-reads this point's arming from the registry
+  void fire();  ///< counts the hit; throws Injected / runs the handler
+
+  const char* name_;
+  std::atomic<std::uint64_t> epoch_seen_{0};  ///< 0 is never a live epoch
+  std::atomic<bool> armed_{false};
+};
+
+/// Arm `point` to throw Injected on its `nth` hit (1-based, counted from
+/// this call) and the `count - 1` hits after it. Re-arming an armed point
+/// resets its hit counter.
+void arm(std::string_view point, std::uint64_t nth = 1,
+         std::uint64_t count = 1);
+
+/// Arm `point` to run `handler` instead of throwing — a test seam for
+/// side effects at exact execution moments (set a cancel token mid-batch,
+/// stall past a deadline). The handler may itself throw.
+void arm_handler(std::string_view point, std::function<void()> handler,
+                 std::uint64_t nth = 1, std::uint64_t count = 1);
+
+/// Disarm one point / all points. Hit counters survive (so a test can
+/// disarm and then assert how many times the point was reached); only
+/// re-arming resets the count to zero.
+void disarm(std::string_view point);
+void disarm_all();
+
+/// Hits `point` has taken since it was last armed (0 when never armed).
+/// Tests use this to assert a fault actually fired.
+std::uint64_t hits(std::string_view point);
+
+/// Names of every fault point the process has reached so far, sorted.
+/// (A point registers the first time control flow passes it.)
+std::vector<std::string> points();
+
+/// Parse and apply one SCANPRIM_FAULT-style spec (see the grammar above).
+/// Returns false (arming nothing) on a malformed spec. The environment
+/// variable goes through exactly this function.
+bool arm_from_spec(std::string_view spec);
+
+}  // namespace scanprim::fault
+
+/// Declares (once) and checks a named fault point at the call site. Place it
+/// at the top of the code whose failure you want to be able to inject.
+#define SCANPRIM_FAULT_POINT(name_literal)                          \
+  do {                                                              \
+    static ::scanprim::fault::Point scanprim_fault_point_{          \
+        name_literal};                                              \
+    scanprim_fault_point_.maybe_fire();                             \
+  } while (0)

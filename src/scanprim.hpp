@@ -61,4 +61,5 @@
 #include "src/vm/interpreter.hpp"
 #include "src/vm/isa.hpp"
 
+#include "src/fault/fault.hpp"
 #include "src/thread/thread_pool.hpp"

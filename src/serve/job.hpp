@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/segmented.hpp"
@@ -29,9 +30,10 @@ using Op = batch::Op;
 enum class Status : std::uint8_t {
   kOk = 0,     ///< executed; `values` holds the output
   kRejected,   ///< admission control: the service was at queue capacity
-  kTimeout,    ///< the per-request deadline expired before execution
-  kCancelled,  ///< the request's cancel token was set before execution
+  kTimeout,    ///< the per-request deadline expired before fulfilment
+  kCancelled,  ///< the request's cancel token was set before fulfilment
   kShutdown,   ///< submitted after shutdown began
+  kError,      ///< execution threw; `error` carries the exception message
 };
 
 constexpr const char* status_name(Status s) {
@@ -46,6 +48,8 @@ constexpr const char* status_name(Status s) {
       return "cancelled";
     case Status::kShutdown:
       return "shutdown";
+    case Status::kError:
+      return "error";
   }
   return "?";
 }
@@ -94,6 +98,8 @@ struct Result {
   Status status = Status::kOk;
   std::vector<Value> values;  ///< scan output / packed values / enumerate ids
   std::size_t kept = 0;       ///< pack & enumerate: number of set keep flags
+  std::string error;  ///< kError only: what() of the exception that killed
+                      ///< this job (never its innocent batch-mates)
   std::uint64_t latency_ns = 0;  ///< submission to fulfilment
   std::uint64_t batch_seq = 0;   ///< 1-based id of the batch that served it
   std::size_t batch_jobs = 0;    ///< how many jobs shared that batch

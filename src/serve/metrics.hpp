@@ -14,13 +14,20 @@ namespace scanprim::serve {
 /// Snapshot returned by Service::metrics().
 struct Metrics {
   // Request accounting. submitted = accepted + rejected + shutdown-refused;
-  // accepted requests end as completed, timeouts, or cancelled.
+  // accepted requests end as completed, timeouts, cancelled, or errors.
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;   ///< backpressure: queue was at capacity
   std::uint64_t completed = 0;  ///< resolved kOk
-  std::uint64_t timeouts = 0;   ///< deadline expired before execution
-  std::uint64_t cancelled = 0;  ///< cancel token set before execution
+  std::uint64_t timeouts = 0;   ///< deadline expired before fulfilment
+  std::uint64_t cancelled = 0;  ///< cancel token set before fulfilment
+  std::uint64_t errors = 0;     ///< resolved kError (execution threw)
+
+  // Fault isolation (docs/FAULTS.md). A batch whose mega-dispatch throws is
+  // recovered by bisection: split, re-run halves, terminating in per-job
+  // serial execution, so only genuinely faulty jobs resolve kError.
+  std::uint64_t recovery_batches = 0;   ///< batches that entered recovery
+  std::uint64_t bisection_reruns = 0;   ///< re-dispatches recovery performed
 
   // Batch shape.
   std::uint64_t batches = 0;           ///< mega-dispatches executed

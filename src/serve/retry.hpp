@@ -1,0 +1,82 @@
+// Client-side retry for the batching scan service (docs/SERVE.md).
+//
+// Admission control resolves over-capacity submissions to Status::kRejected
+// immediately — backpressure, not failure. The polite client response is to
+// back off and resubmit; submit_with_retry packages that loop: bounded
+// attempts, exponential backoff with jitter (so a herd of rejected clients
+// does not resubmit in lockstep), and a final kRejected result when the
+// budget is exhausted. Only kRejected retries: every other status — kOk,
+// kError, kTimeout, kCancelled, kShutdown — is a terminal answer about THIS
+// request, not about service load.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <random>
+#include <thread>
+#include <utility>
+
+#include "src/serve/job.hpp"
+#include "src/serve/service.hpp"
+
+namespace scanprim::serve {
+
+struct RetryOptions {
+  /// Total submission attempts (first try included). At least 1.
+  std::size_t max_attempts = 5;
+  /// Sleep before the second attempt; each later attempt multiplies it.
+  std::chrono::microseconds initial_backoff{200};
+  double multiplier = 2.0;
+  /// Each sleep is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter = 0.25;
+  /// Ceiling on any single sleep (applied before jitter).
+  std::chrono::microseconds max_backoff{100'000};
+  /// RNG seed for the jitter; 0 derives one from the clock and thread id,
+  /// so concurrent callers de-synchronise. Fix it for reproducible tests.
+  std::uint64_t seed = 0;
+};
+
+/// Submit `job`, blocking on the future; on kRejected, back off and resubmit
+/// up to `ro.max_attempts` times total. Returns the first non-rejected
+/// Result, or the last kRejected one when attempts run out. The job is
+/// copied for every attempt except the last, which moves it.
+template <class JobT>
+Result submit_with_retry(Service& service, JobT job, SubmitOptions so = {},
+                         RetryOptions ro = {}) {
+  if (ro.max_attempts == 0) ro.max_attempts = 1;
+  std::uint64_t seed = ro.seed;
+  if (seed == 0) {
+    seed = static_cast<std::uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           std::hash<std::thread::id>{}(std::this_thread::get_id());
+  }
+  std::mt19937_64 rng(seed);
+
+  double backoff_us =
+      static_cast<double>(ro.initial_backoff.count());
+  const double cap_us = static_cast<double>(ro.max_backoff.count());
+  Result r;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const bool last = attempt == ro.max_attempts;
+    auto fut = last ? service.submit(std::move(job), so)
+                    : service.submit(JobT(job), so);
+    r = fut.get();
+    if (r.status != Status::kRejected || last) return r;
+
+    double sleep_us = backoff_us > cap_us ? cap_us : backoff_us;
+    if (ro.jitter > 0.0) {
+      std::uniform_real_distribution<double> scale(1.0 - ro.jitter,
+                                                   1.0 + ro.jitter);
+      sleep_us *= scale(rng);
+    }
+    if (sleep_us > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+          sleep_us));
+    }
+    backoff_us *= ro.multiplier;
+  }
+}
+
+}  // namespace scanprim::serve

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/core/runtime.hpp"
+#include "src/fault/fault.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim::serve {
@@ -47,6 +48,9 @@ struct Service::JobNode {
   Clock::time_point deadline = Clock::time_point::max();
 
   std::size_t offset = 0;  ///< slice start in the batch mega-vector
+  std::size_t backup_offset = 0;  ///< kScan: slice start in the backup copy
+  bool failed = false;            ///< execution threw; resolve kError
+  std::string error;              ///< what() of the exception that failed it
 
   /// Payload bytes this job contributes to a batch (budget accounting).
   std::size_t cost_bytes() const {
@@ -84,6 +88,8 @@ Service::Options Service::Options::from_env() {
       o.parallel = batch::JobsMode::kSerial;
     }  // anything else (including "auto") keeps kAuto
   }
+  o.recovery =
+      sanitize_flag_spec(std::getenv("SCANPRIM_SERVE_RECOVERY"), o.recovery);
   return o;
 }
 
@@ -236,6 +242,18 @@ void Service::resolve(JobNode* n, Status st) {
   delete n;
 }
 
+void Service::resolve_error(JobNode*& n, std::string message) {
+  Result r;
+  r.status = Status::kError;
+  r.error = std::move(message);
+  r.latency_ns = ns_between(n->submitted_at, Clock::now());
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  n->promise.set_value(std::move(r));
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  delete n;
+  n = nullptr;
+}
+
 void Service::record_latency(std::uint64_t ns) {
   std::lock_guard<std::mutex> lk(lat_mutex_);
   if (latencies_.size() < kLatencyReservoir) {
@@ -254,13 +272,25 @@ void Service::batcher_loop() {
 
   const auto pop_all = [&] {
     JobNode* n = head_.exchange(nullptr, std::memory_order_acquire);
-    popped.clear();
     for (; n != nullptr; n = n->next) popped.push_back(n);
-    // The stack pops newest-first; append oldest-first.
+    // The stack pops newest-first; append oldest-first. Clear `popped` only
+    // after a successful insert (insert of pointers has the strong
+    // guarantee) so an allocation failure here never strands a node — the
+    // survivors are re-appended on the next iteration.
     pending.insert(pending.end(), popped.rbegin(), popped.rend());
+    popped.clear();
   };
 
-  for (;;) {
+  // The crash-proof boundary: one iteration of the loop body runs inside a
+  // catch-all, so no exception — an injected fault escaping execute_batch,
+  // a bad_alloc forming the batch — can ever terminate this thread. A dead
+  // batcher is the worst failure mode the service has: every accepted
+  // future strands and shutdown() joins forever. On an escaped exception,
+  // anything still unresolved in the current batch resolves kError
+  // (execute_batch nulls entries as it fulfils them) and the loop carries
+  // on serving.
+  enum class Step : std::uint8_t { kContinue, kStop };
+  const auto step = [&]() -> Step {
     pop_all();
 
     // Abandon what expired or was cancelled while queued.
@@ -286,12 +316,14 @@ void Service::batcher_loop() {
     }
 
     if (pending.empty()) {
-      if (stopping && head_.load(std::memory_order_acquire) == nullptr) break;
+      if (stopping && head_.load(std::memory_order_acquire) == nullptr) {
+        return Step::kStop;
+      }
       std::unique_lock<std::mutex> lk(wake_mutex_);
       wake_cv_.wait(lk, [&] {
         return stop_ || head_.load(std::memory_order_acquire) != nullptr;
       });
-      continue;
+      return Step::kContinue;
     }
 
     // The window runs from the oldest pending job's admission. Wake earlier
@@ -312,7 +344,7 @@ void Service::batcher_loop() {
       std::unique_lock<std::mutex> lk(wake_mutex_);
       wake_cv_.wait_until(lk, wake_at, [&] { return stop_ || urgent_; });
       urgent_ = false;
-      continue;
+      return Step::kContinue;
     }
 
     // Form one batch from the front of the queue, bounded by the byte
@@ -330,28 +362,69 @@ void Service::batcher_loop() {
     pending.erase(pending.begin(), pending.begin() + take);
     pending_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
     execute_batch(batch);
+    return Step::kContinue;
+  };
+
+  for (;;) {
+    Step s = Step::kContinue;
+    try {
+      s = step();
+    } catch (const std::exception& e) {
+      for (JobNode*& n : batch) {
+        if (n != nullptr) {
+          resolve_error(n, std::string("batch execution failed: ") + e.what());
+        }
+      }
+      batch.clear();
+    } catch (...) {
+      for (JobNode*& n : batch) {
+        if (n != nullptr) {
+          resolve_error(n, "batch execution failed: unknown exception");
+        }
+      }
+      batch.clear();
+    }
+    if (s == Step::kStop) break;
   }
 }
 
-void Service::execute_batch(std::vector<JobNode*>& jobs) {
-  // Register every job as one slice of the logical forward or backward
-  // mega-scan. Scan jobs run IN PLACE in the buffer the submitter handed
-  // over (their result later moves out — no copy-in, no scatter). Pack and
-  // enumerate jobs scan derived 0/1 keep values, not their payload, so they
-  // stage those into a shared reused buffer first. Each slice starts a
-  // segment, so no carry crosses a request boundary.
-  slices_fwd_.clear();
-  slices_bwd_.clear();
-  std::size_t stage_n = 0;
-  for (const JobNode* n : jobs) {
-    if (n->kind == JobKind::kPack || n->kind == JobKind::kEnumerate) {
-      stage_n += n->flags.size();
+// Rebuild the derived inputs a (sub-)group's dispatch consumes. Scan jobs
+// run IN PLACE in the submitter's buffer, so a re-attempt after a throwing
+// dispatch must first restore them from the pristine snapshot. Pack and
+// enumerate jobs scan derived 0/1 keep values, which are always re-derivable
+// from their (never-written) flags.
+void Service::stage_group(std::span<JobNode* const> group, bool restore_scans) {
+  for (JobNode* n : group) {
+    switch (n->kind) {
+      case JobKind::kScan:
+        if (restore_scans && opts_.recovery && !n->data.empty()) {
+          std::memcpy(n->data.data(), backup_.data() + n->backup_offset,
+                      n->data.size() * sizeof(Value));
+        }
+        break;
+      case JobKind::kPack:
+      case JobKind::kEnumerate: {
+        // keep flags become 0/1 values under an exclusive +-scan: each
+        // element learns its packed destination (enumerate, Figure 5).
+        const std::size_t len = n->flags.size();
+        Value* d = stage_.data() + n->offset;
+        const std::uint8_t* f = n->flags.data();
+        for (std::size_t i = 0; i < len; ++i) d[i] = f[i] ? 1 : 0;
+        break;
+      }
+      case JobKind::kPipeline:
+        break;
     }
   }
-  stage_.resize(stage_n);
+}
 
-  std::size_t fwd_n = 0, bwd_n = 0, stage_at = 0;
-  for (JobNode* n : jobs) {
+// Register every job in the group as one slice of the logical forward or
+// backward mega-scan. Each slice starts a segment, so no carry crosses a
+// request boundary.
+void Service::build_slices(std::span<JobNode* const> group) {
+  slices_fwd_.clear();
+  slices_bwd_.clear();
+  for (JobNode* n : group) {
     switch (n->kind) {
       case JobKind::kScan: {
         batch::JobSlice s;
@@ -361,51 +434,148 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
         s.op = n->op;
         s.inclusive = n->inclusive;
         (n->backward ? slices_bwd_ : slices_fwd_).push_back(s);
-        (n->backward ? bwd_n : fwd_n) += s.n;
         break;
       }
       case JobKind::kPack:
       case JobKind::kEnumerate: {
-        // keep flags become 0/1 values under an exclusive +-scan: each
-        // element learns its packed destination (enumerate, Figure 5).
-        const std::size_t len = n->flags.size();
-        n->offset = stage_at;
-        Value* d = stage_.data() + stage_at;
-        const std::uint8_t* f = n->flags.data();
-        for (std::size_t i = 0; i < len; ++i) d[i] = f[i] ? 1 : 0;
         batch::JobSlice s;  // defaults: kPlus, exclusive, single segment
-        s.data = d;
-        s.n = len;
+        s.data = stage_.data() + n->offset;
+        s.n = n->flags.size();
         slices_fwd_.push_back(s);
-        fwd_n += len;
-        stage_at += len;
         break;
       }
       case JobKind::kPipeline:
         break;
     }
   }
+}
+
+bool Service::try_dispatch(std::span<JobNode* const> group,
+                           std::string* error) {
+  build_slices(group);
+  try {
+    SCANPRIM_FAULT_POINT("serve.dispatch");
+    batch::seg_scan_jobs(slices_fwd_, false, &scratch_fwd_, opts_.parallel);
+    batch::seg_scan_jobs(slices_bwd_, true, &scratch_bwd_, opts_.parallel);
+    return true;
+  } catch (const std::exception& e) {
+    *error = e.what();
+  } catch (...) {
+    *error = "unknown exception";
+  }
+  return false;
+}
+
+// Bisection recovery for a group whose dispatch threw: restore each half
+// from the snapshot, re-dispatch it, and recurse into any half that throws
+// again. Terminates at single jobs, which re-run serially with no shared
+// scratch and — deliberately — without passing the "serve.dispatch" fault
+// point, so even a permanently-armed dispatch fault lets every innocent job
+// complete; only a job whose own execution throws resolves kError.
+void Service::recover_group(std::span<JobNode* const> group) {
+  if (group.empty()) return;
+  if (group.size() == 1) {
+    JobNode* n = group.front();
+    stage_group(group, /*restore_scans=*/true);
+    build_slices(group);
+    bisection_reruns_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      batch::seg_scan_jobs(slices_fwd_, false, nullptr,
+                           batch::JobsMode::kSerial);
+      batch::seg_scan_jobs(slices_bwd_, true, nullptr,
+                           batch::JobsMode::kSerial);
+    } catch (const std::exception& e) {
+      n->failed = true;
+      n->error = e.what();
+    } catch (...) {
+      n->failed = true;
+      n->error = "unknown exception";
+    }
+    return;
+  }
+  const std::size_t mid = group.size() / 2;
+  const std::span<JobNode* const> halves[2] = {group.first(mid),
+                                               group.subspan(mid)};
+  for (const auto& half : halves) {
+    stage_group(half, /*restore_scans=*/true);
+    bisection_reruns_.fetch_add(1, std::memory_order_relaxed);
+    std::string err;
+    if (!try_dispatch(half, &err)) recover_group(half);
+  }
+}
+
+void Service::execute_batch(std::vector<JobNode*>& jobs) {
+  SCANPRIM_FAULT_POINT("serve.batch");
+
+  // Partition the batch and lay out the shared staging / snapshot buffers.
+  scan_jobs_.clear();
+  std::size_t stage_n = 0, backup_n = 0, elements = 0;
+  for (JobNode* n : jobs) {
+    switch (n->kind) {
+      case JobKind::kScan:
+        n->backup_offset = backup_n;
+        backup_n += n->data.size();
+        elements += n->data.size();
+        scan_jobs_.push_back(n);
+        break;
+      case JobKind::kPack:
+      case JobKind::kEnumerate:
+        n->offset = stage_n;
+        stage_n += n->flags.size();
+        elements += n->flags.size();
+        scan_jobs_.push_back(n);
+        break;
+      case JobKind::kPipeline:
+        break;
+    }
+  }
+  stage_.resize(stage_n);
+
+  // Snapshot scan payloads before the dispatch can touch them: scan jobs run
+  // IN PLACE, so a throwing mega-dispatch leaves them partially overwritten
+  // and bisection re-runs need the pristine input back.
+  if (opts_.recovery) {
+    backup_.resize(backup_n);
+    for (const JobNode* n : scan_jobs_) {
+      if (n->kind == JobKind::kScan && !n->data.empty()) {
+        std::memcpy(backup_.data() + n->backup_offset, n->data.data(),
+                    n->data.size() * sizeof(Value));
+      }
+    }
+  }
+  stage_group(scan_jobs_, /*restore_scans=*/false);
 
   // One chained-engine dispatch per direction present (or the adaptive
   // sequential pass, per opts_.parallel), plus the pipeline jobs through
   // the (arena-reusing) executor. The pool dispatch delta over this region
   // is the batch's whole dispatch bill.
   const std::uint64_t d0 = thread::pool().dispatch_count();
-  batch::seg_scan_jobs(slices_fwd_, false, &scratch_fwd_, opts_.parallel);
-  batch::seg_scan_jobs(slices_bwd_, true, &scratch_bwd_, opts_.parallel);
-  for (JobNode*& n : jobs) {
+  std::string error;
+  if (!try_dispatch(scan_jobs_, &error)) {
+    if (opts_.recovery) {
+      recovery_batches_.fetch_add(1, std::memory_order_relaxed);
+      recover_group(scan_jobs_);
+    } else {
+      // Recovery disabled: the inputs are already partially overwritten and
+      // there is no snapshot to restore from, so the whole batch fails.
+      for (JobNode* n : scan_jobs_) {
+        n->failed = true;
+        n->error = error;
+      }
+    }
+  }
+  for (JobNode* n : jobs) {
     if (n->kind != JobKind::kPipeline) continue;
     try {
       n->data = executor_.run(n->pipeline);
       std::lock_guard<std::mutex> lk(lat_mutex_);
       pipeline_stats_ += executor_.stats();
+    } catch (const std::exception& e) {
+      n->failed = true;
+      n->error = e.what();
     } catch (...) {
-      // A throwing pipeline resolves its own future exceptionally; null the
-      // slot so the scatter below skips it.
-      n->promise.set_exception(std::current_exception());
-      outstanding_.fetch_sub(1, std::memory_order_relaxed);
-      delete n;
-      n = nullptr;
+      n->failed = true;
+      n->error = "unknown exception";
     }
   }
   const std::uint64_t d1 = thread::pool().dispatch_count();
@@ -414,12 +584,42 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
   ++batch_seq_;
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
-  batched_elements_.fetch_add(fwd_n + bwd_n, std::memory_order_relaxed);
+  batched_elements_.fetch_add(elements, std::memory_order_relaxed);
 
-  // Fulfil. Scan results are already in the job's own buffer and move out;
+  // Fulfil, nulling each entry as it resolves (the batcher's exception
+  // boundary error-resolves whatever is still non-null if this throws).
+  // Failures win over abandonment; then cancellation and deadlines are
+  // re-checked at fulfilment time, so a token set or a deadline passed while
+  // the batch executed still yields kCancelled/kTimeout, not a stale kOk.
+  // Scan results are already in the job's own buffer and move out;
   // pack/enumerate read their scanned destinations from the staging buffer.
-  for (JobNode* n : jobs) {
-    if (n == nullptr) continue;  // pipeline job that resolved exceptionally
+  const auto fulfil_now = Clock::now();
+  for (JobNode*& n : jobs) {
+    if (n == nullptr) continue;
+    if (n->failed) {
+      Result r;
+      r.status = Status::kError;
+      r.error = std::move(n->error);
+      r.batch_seq = batch_seq_;
+      r.batch_jobs = jobs.size();
+      r.latency_ns = ns_between(n->submitted_at, fulfil_now);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      n->promise.set_value(std::move(r));
+      outstanding_.fetch_sub(1, std::memory_order_relaxed);
+      delete n;
+      n = nullptr;
+      continue;
+    }
+    if (n->cancel && n->cancel->load(std::memory_order_relaxed)) {
+      resolve(n, Status::kCancelled);
+      n = nullptr;
+      continue;
+    }
+    if (n->deadline <= fulfil_now) {
+      resolve(n, Status::kTimeout);
+      n = nullptr;
+      continue;
+    }
     Result r;
     r.status = Status::kOk;
     r.batch_seq = batch_seq_;
@@ -457,6 +657,7 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
     n->promise.set_value(std::move(r));
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
     delete n;
+    n = nullptr;
   }
 }
 
@@ -470,6 +671,9 @@ Metrics Service::metrics() const {
   m.completed = completed_.load(std::memory_order_relaxed);
   m.timeouts = timeouts_.load(std::memory_order_relaxed);
   m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  m.recovery_batches = recovery_batches_.load(std::memory_order_relaxed);
+  m.bisection_reruns = bisection_reruns_.load(std::memory_order_relaxed);
   m.batches = batches_.load(std::memory_order_relaxed);
   m.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
   m.batched_elements = batched_elements_.load(std::memory_order_relaxed);

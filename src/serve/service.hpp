@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,9 +61,19 @@ class Service {
     /// single-worker or oversubscribed pool); the forced modes pin it.
     batch::JobsMode parallel = batch::JobsMode::kAuto;
 
+    /// Fault isolation (docs/FAULTS.md). When true the batcher snapshots
+    /// each scan job's payload before the mega-dispatch; if the dispatch
+    /// throws, the batch is recovered by bisection — restore the halves from
+    /// the snapshot and re-run them, terminating in per-job serial execution
+    /// — so only the genuinely faulty job(s) resolve Status::kError while
+    /// their batch-mates still succeed. Costs one extra copy of the scan
+    /// payload per batch. When false the snapshot (and recovery) is skipped
+    /// and a throwing mega-dispatch fails the whole batch with kError.
+    bool recovery = true;
+
     /// Reads SCANPRIM_SERVE_QUEUE_CAP / SCANPRIM_SERVE_WINDOW_US /
     /// SCANPRIM_SERVE_BYTE_BUDGET / SCANPRIM_SERVE_PARALLEL (auto|force|
-    /// serial) over the defaults above.
+    /// serial) / SCANPRIM_SERVE_RECOVERY (on|off) over the defaults above.
     static Options from_env();
   };
 
@@ -73,7 +85,10 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   // Submission. The future always resolves: with the job's output (kOk), a
-  // refusal (kRejected/kShutdown), or an abandonment (kTimeout/kCancelled).
+  // refusal (kRejected/kShutdown), an abandonment (kTimeout/kCancelled), or
+  // an execution failure (kError, with the exception message in
+  // Result::error) — never exceptionally, and never not at all: no throw
+  // anywhere in batch execution can strand a future or kill the batcher.
   // Pipeline jobs must keep any spans recorded into the pipeline alive until
   // the future resolves (the usual exec::Pipeline lifetime rule).
   std::future<Result> submit(ScanJob job, SubmitOptions opts = {});
@@ -101,7 +116,14 @@ class Service {
   void batcher_loop();
   void execute_batch(std::vector<JobNode*>& jobs);
   void resolve(JobNode* node, Status status);
+  void resolve_error(JobNode*& node, std::string message);
   void record_latency(std::uint64_t ns);
+
+  // Batch execution + bisection recovery (batcher thread only).
+  void stage_group(std::span<JobNode* const> group, bool restore_scans);
+  void build_slices(std::span<JobNode* const> group);
+  bool try_dispatch(std::span<JobNode* const> group, std::string* error);
+  void recover_group(std::span<JobNode* const> group);
 
   Options opts_;
 
@@ -123,6 +145,8 @@ class Service {
   detail::ChainedScratch<batch::BatchCarry> scratch_fwd_;
   detail::ChainedScratch<batch::BatchCarry> scratch_bwd_;
   std::vector<Value> stage_;  ///< reused 0/1 staging for pack/enumerate jobs
+  std::vector<Value> backup_;  ///< reused pristine scan payloads (recovery)
+  std::vector<JobNode*> scan_jobs_;  ///< reused: the batch's non-pipeline jobs
   std::vector<batch::JobSlice> slices_fwd_;  ///< reused per-batch job lists
   std::vector<batch::JobSlice> slices_bwd_;
   std::uint64_t batch_seq_ = 0;  ///< batcher-only
@@ -136,6 +160,9 @@ class Service {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> recovery_batches_{0};
+  std::atomic<std::uint64_t> bisection_reruns_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_jobs_{0};
   std::atomic<std::uint64_t> batched_elements_{0};

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/core/runtime.hpp"
+#include "src/fault/fault.hpp"
 
 namespace scanprim::thread {
 namespace {
@@ -36,6 +37,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::execute(std::size_t index) {
   try {
+    SCANPRIM_FAULT_POINT("thread.worker");
     (*job_)(index);
   } catch (...) {
     std::lock_guard lock(mutex_);
@@ -63,9 +65,22 @@ void ThreadPool::worker_loop(std::size_t index) {
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   if (workers_ == 1 || tls_inside_worker) {
-    // Single worker, or a nested call from inside a parallel region:
-    // run every index serially on this thread.
-    for (std::size_t w = 0; w < workers_; ++w) fn(w);
+    // Single worker, or a nested call from inside a parallel region: run
+    // every index serially on this thread. Error semantics match the
+    // parallel path exactly — every index runs, then the first error (in
+    // index order, which here is also arrival order) is rethrown — so
+    // algorithms cannot come to depend on a first-throw-stops-the-rest
+    // behaviour that only exists on the serial path.
+    std::exception_ptr first_error;
+    for (std::size_t w = 0; w < workers_; ++w) {
+      try {
+        SCANPRIM_FAULT_POINT("thread.worker");
+        fn(w);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   // One external dispatch at a time: a second thread calling run() while a

@@ -19,7 +19,10 @@ namespace scanprim::thread {
 /// A fixed-size work-sharing pool. `run(fn)` executes `fn(w)` once for every
 /// worker index `w` in `[0, size())` and returns when all invocations have
 /// finished; the calling thread acts as worker 0. Exceptions thrown by any
-/// worker are captured and the first one is rethrown to the caller.
+/// worker are captured and the first one is rethrown to the caller — and a
+/// throwing worker never prevents the other indices from running, on either
+/// the parallel or the serial-fallback path (callers may rely on every index
+/// having been attempted when run() returns or throws).
 ///
 /// Calls to `run` from inside a worker (nested parallelism) degrade to a
 /// serial loop on the calling thread, which keeps composed algorithms safe.

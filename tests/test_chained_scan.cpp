@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <span>
+#include <vector>
+
 #include "src/core/primitives.hpp"
 #include "src/core/runtime.hpp"
 #include "src/core/scan.hpp"
 #include "src/core/segmented.hpp"
 #include "src/exec/executor.hpp"
+#include "src/fault/fault.hpp"
 #include "test_util.hpp"
 
 namespace scanprim {
@@ -304,6 +309,55 @@ TEST(ChainedScan, PrimitivesBuiltOnScansWorkUnderChained) {
   const std::size_t evens = n - packed.size();
   for (std::size_t i = 0; i < evens; ++i) EXPECT_FALSE(s[i] & 1);
   for (std::size_t i = evens; i < n; ++i) EXPECT_TRUE(s[i] & 1);
+}
+
+TEST(ChainedScan, PoisonedScratchIsRepairedAndReusable) {
+  // Regression for the serve batcher's reuse pattern: a caller-owned
+  // ChainedScratch whose run aborts (a tile callback threw) must be handed
+  // back clean — the engine resets the tile statuses before rethrowing — so
+  // the very next run on the SAME scratch is bit-correct, not poisoned by
+  // stale kPrefix/kAggregate descriptors or the fabricated abort prefix.
+  if (thread::num_workers() == 1) {
+    GTEST_SKIP() << "the chained dispatch needs a multi-worker pool";
+  }
+  fault::disarm_all();
+  const std::size_t n = 6 * detail::kChainedTileElements + 123;
+  std::mt19937_64 g(91);
+  std::vector<batch::Value> original(n);
+  for (auto& v : original) v = static_cast<batch::Value>(g() % 1000);
+  std::vector<batch::Value> expect(n);
+  batch::Value acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // exclusive plus reference
+    expect[i] = acc;
+    acc += original[i];
+  }
+
+  detail::ChainedScratch<batch::BatchCarry> scratch;
+  const auto run = [&](std::vector<batch::Value>& data) {
+    batch::JobSlice s;  // defaults: kPlus, exclusive, single segment
+    s.data = data.data();
+    s.n = data.size();
+    batch::seg_scan_jobs(std::span<const batch::JobSlice>(&s, 1), false,
+                         &scratch, batch::JobsMode::kForceParallel);
+  };
+
+  std::vector<batch::Value> poisoned = original;
+  fault::arm("chained.summarize", 2);
+  EXPECT_THROW(run(poisoned), fault::Injected);
+  fault::disarm_all();
+
+  std::vector<batch::Value> again = original;
+  run(again);  // same scratch, straight after the abort
+  EXPECT_EQ(again, expect);
+
+  std::vector<batch::Value> rescan_poisoned = original;
+  fault::arm("chained.rescan", 3);  // abort later in the protocol too
+  EXPECT_THROW(run(rescan_poisoned), fault::Injected);
+  fault::disarm_all();
+
+  std::vector<batch::Value> once_more = original;
+  run(once_more);
+  EXPECT_EQ(once_more, expect);
 }
 
 TEST(ChainedScan, EngineSelectionRoundTrips) {

@@ -1,0 +1,154 @@
+// The deterministic fault-injection registry (src/fault): arming grammar,
+// exact-hit triggering, trigger windows, handler arming, disarm semantics,
+// and the epoch cache that keeps disabled points cheap and correct across
+// re-arming. Points here use a private "test." namespace so the suite never
+// collides with the library's own instrumentation (docs/FAULTS.md).
+#include "src/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scanprim::fault {
+namespace {
+
+// Every test starts from a clean slate: a CI matrix run may have armed
+// library points through SCANPRIM_FAULT, and earlier tests leave hit
+// counters behind.
+class Fault : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+// One pass through a named point; returns true if it fired (threw).
+bool pass(const char* which) {
+  try {
+    if (std::string(which) == "a") {
+      SCANPRIM_FAULT_POINT("test.a");
+    } else {
+      SCANPRIM_FAULT_POINT("test.b");
+    }
+  } catch (const Injected&) {
+    return true;
+  }
+  return false;
+}
+
+TEST_F(Fault, UnarmedPointIsTransparent) {
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(pass("a"));
+  EXPECT_EQ(hits("test.a"), 0u);  // hits only count while armed
+}
+
+TEST_F(Fault, FiresOnExactlyTheNthHit) {
+  arm("test.a", 3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(pass("a"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(hits("test.a"), 6u);
+}
+
+TEST_F(Fault, CountOpensAConsecutiveTriggerWindow) {
+  arm("test.a", 2, 2);
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(pass("a"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, false, false}));
+}
+
+TEST_F(Fault, RearmingResetsTheHitCounter) {
+  arm("test.a", 2);
+  EXPECT_FALSE(pass("a"));
+  EXPECT_TRUE(pass("a"));
+  arm("test.a", 2);  // counts from here again
+  EXPECT_EQ(hits("test.a"), 0u);
+  EXPECT_FALSE(pass("a"));
+  EXPECT_TRUE(pass("a"));
+}
+
+TEST_F(Fault, DisarmStopsFiringAndCounting) {
+  arm("test.a", 1, 1000);
+  EXPECT_TRUE(pass("a"));
+  disarm("test.a");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(pass("a"));
+  EXPECT_EQ(hits("test.a"), 1u);  // the count survives as a post-mortem
+}
+
+TEST_F(Fault, DisarmAllCoversEveryPoint) {
+  arm("test.a", 1, 1000);
+  arm("test.b", 1, 1000);
+  disarm_all();
+  EXPECT_FALSE(pass("a"));
+  EXPECT_FALSE(pass("b"));
+}
+
+TEST_F(Fault, PointsArmIndependently) {
+  arm("test.b", 1);
+  EXPECT_FALSE(pass("a"));
+  EXPECT_TRUE(pass("b"));
+}
+
+TEST_F(Fault, MessageNamesThePointAndHit) {
+  arm("test.a", 2);
+  pass("a");
+  try {
+    SCANPRIM_FAULT_POINT("test.a");
+    FAIL() << "should have thrown";
+  } catch (const Injected& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test.a"), std::string::npos) << what;
+    EXPECT_NE(what.find("hit 2"), std::string::npos) << what;
+  }
+}
+
+TEST_F(Fault, HandlerRunsInsteadOfThrowing) {
+  int calls = 0;
+  arm_handler("test.a", [&] { ++calls; }, 2, 2);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(pass("a"));
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(Fault, HandlerMayItselfThrow) {
+  arm_handler("test.a", [] { throw std::runtime_error("from handler"); });
+  EXPECT_THROW({ SCANPRIM_FAULT_POINT("test.a"); }, std::runtime_error);
+}
+
+TEST_F(Fault, ArmFromSpecParsesTheEnvGrammar) {
+  EXPECT_TRUE(arm_from_spec("test.a:2:3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(pass("a"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, true, false}));
+
+  EXPECT_TRUE(arm_from_spec("test.b"));  // bare point: nth=1, count=1
+  EXPECT_TRUE(pass("b"));
+  EXPECT_FALSE(pass("b"));
+
+  EXPECT_TRUE(arm_from_spec("test.a:4"));  // nth only: count=1
+  fired.clear();
+  for (int i = 0; i < 5; ++i) fired.push_back(pass("a"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, false}));
+}
+
+TEST_F(Fault, ArmFromSpecRejectsMalformedSpecs) {
+  for (const char* bad : {"", ":3", "test.a:", "test.a:0", "test.a:x",
+                          "test.a:1:", "test.a:1:0", "test.a:1:x",
+                          "test.a:-1", "test.a:1:2:3"}) {
+    EXPECT_FALSE(arm_from_spec(bad)) << "spec: " << bad;
+  }
+  EXPECT_FALSE(pass("a"));  // nothing got armed along the way
+}
+
+TEST_F(Fault, ReachedPointsAreListed) {
+  pass("a");
+  pass("b");
+  const std::vector<std::string> ps = points();
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "test.a"), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "test.b"), ps.end());
+}
+
+}  // namespace
+}  // namespace scanprim::fault

@@ -1,0 +1,467 @@
+// Fault isolation for the batching scan service (docs/FAULTS.md): injected
+// faults in the mega-dispatch must be recovered by bisection so only the
+// genuinely faulty job resolves kError while its batch-mates succeed with
+// zero diffs against references; no fault may kill the batcher thread, hang
+// shutdown()/the destructor, or poison the reused chained scratch; and the
+// submit_with_retry client helper must turn transient kRejected backpressure
+// into eventual success.
+//
+// The first test runs BEFORE any disarm_all() so a SCANPRIM_FAULT armed by
+// the CI fault matrix is still live for it; every later test disarms the
+// environment and arms its own points programmatically.
+#include "src/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+#include "src/fault/fault.hpp"
+#include "src/serve/retry.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<Value> ref_scan(const ScanJob& j) {
+  const std::size_t n = j.data.size();
+  std::vector<Value> out(n);
+  const bool seg = !j.flags.empty();
+  Value acc = batch::op_identity(j.op);
+  if (!j.backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+    }
+  }
+  return out;
+}
+
+ScanJob random_scan_job(std::mt19937_64& g, std::size_t n) {
+  ScanJob j;
+  j.data.resize(n);
+  for (auto& v : j.data) v = static_cast<Value>(g() % 100);
+  j.op = static_cast<Op>(g() % batch::kOpCount);
+  j.inclusive = (g() & 1) != 0;
+  j.backward = (g() & 1) != 0;
+  if ((g() & 1) != 0 && n > 0) {
+    j.flags.assign(n, 0);
+    for (auto& f : j.flags) f = g() % 5 == 0 ? 1 : 0;
+  }
+  return j;
+}
+
+// Coalesce everything submitted below into one batch: the window is long
+// enough that single-threaded submission always beats the flush.
+Service::Options one_batch_options() {
+  Service::Options o;
+  o.window_us = 100'000;
+  return o;
+}
+
+// --- the CI fault matrix's entry point ---------------------------------------
+
+// Must pass under ANY ambient SCANPRIM_FAULT arming (and with none): every
+// future resolves to a coherent terminal state, every kOk result is
+// bit-correct, the accounting balances, and shutdown drains cleanly. This is
+// the test the CI matrix runs with serve.dispatch / batch.piece /
+// chained.summarize / thread.worker faults armed from the environment.
+TEST(ServeRecovery, AmbientEnvFaultsNeverViolateTheContract) {
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  {
+    Service::Options o;
+    o.window_us = 500;
+    Service svc(o);
+    std::mt19937_64 g(2026);
+    for (int i = 0; i < 200; ++i) {
+      jobs.push_back(random_scan_job(g, 1 + g() % 4000));
+      futs.push_back(svc.submit(jobs.back()));
+    }
+    std::uint64_t ok = 0, errors = 0;
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      Result r = futs[i].get();  // resolves — no strands, no hangs
+      if (r.status == Status::kOk) {
+        ++ok;
+        ASSERT_EQ(r.values, ref_scan(jobs[i])) << "job " << i;
+      } else {
+        ASSERT_EQ(r.status, Status::kError);
+        EXPECT_FALSE(r.error.empty());
+        ++errors;
+      }
+    }
+    const Metrics m = svc.metrics();
+    EXPECT_EQ(m.accepted, 200u);
+    EXPECT_EQ(m.completed, ok);
+    EXPECT_EQ(m.errors, errors);
+    EXPECT_EQ(m.accepted, m.completed + m.timeouts + m.cancelled + m.errors);
+    svc.shutdown();  // must not hang whatever faults fired
+  }
+}
+
+// --- bisection recovery ------------------------------------------------------
+
+// The acceptance scenario: one fault injected into a mega-dispatch of N jobs
+// resolves exactly the faulty job kError — with the exception message — and
+// every innocent batch-mate kOk with zero diffs against its reference.
+//
+// Arming: "serve.dispatch" with a huge count makes every group dispatch
+// (the full batch and every bisection half) throw, forcing recovery all the
+// way down to the per-job terminal serial re-runs, which deliberately skip
+// that point. Those re-runs happen in job order and are the only place
+// "batch.serial_job" is reached (the group dispatches throw before their
+// seg_scan_jobs calls), so arming its 4th hit fails exactly the 4th job.
+TEST(ServeRecovery, InjectedFaultIsolatesExactlyTheFaultyJob) {
+  fault::disarm_all();
+  constexpr std::size_t kJobs = 8;
+  constexpr std::size_t kFaulty = 3;  // 0-based; batch.serial_job hit 4
+  Service svc(one_batch_options());
+  fault::arm("serve.dispatch", 1, 1'000'000'000);
+  fault::arm("batch.serial_job", kFaulty + 1, 1);
+
+  std::mt19937_64 g(41);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs.push_back(random_scan_job(g, 64 + g() % 2000));
+    futs.push_back(svc.submit(jobs.back()));
+  }
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    Result r = futs[i].get();
+    if (i == kFaulty) {
+      EXPECT_EQ(r.status, Status::kError) << "job " << i;
+      EXPECT_NE(r.error.find("batch.serial_job"), std::string::npos)
+          << r.error;
+    } else {
+      ASSERT_EQ(r.status, Status::kOk) << "job " << i;
+      ASSERT_EQ(r.values, ref_scan(jobs[i])) << "job " << i;
+    }
+  }
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.errors, 1u);
+  EXPECT_EQ(m.completed, kJobs - 1);
+  EXPECT_GE(m.recovery_batches, 1u);
+  // log2(8) levels of halving plus 8 terminal re-runs.
+  EXPECT_GE(m.bisection_reruns, kJobs);
+  fault::disarm_all();
+  svc.shutdown();
+}
+
+// A transient dispatch fault (fires once, then clears) must cost nobody:
+// recovery re-runs the halves and every job still resolves kOk.
+TEST(ServeRecovery, TransientDispatchFaultEveryJobStillSucceeds) {
+  fault::disarm_all();
+  Service svc(one_batch_options());
+  fault::arm("serve.dispatch", 1, 1);
+
+  std::mt19937_64 g(43);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(random_scan_job(g, 1 + g() % 3000));
+    futs.push_back(svc.submit(jobs.back()));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk) << "job " << i;
+    ASSERT_EQ(r.values, ref_scan(jobs[i])) << "job " << i;
+  }
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.errors, 0u);
+  EXPECT_EQ(m.recovery_batches, 1u);
+  EXPECT_GE(m.bisection_reruns, 2u);  // at least the two halves
+  fault::disarm_all();
+}
+
+// A fault that fires MID-scan, after the dispatch has already partially
+// overwritten the in-place scan buffers, is the reason the snapshot exists:
+// recovery must restore the pristine inputs before re-running, or the
+// re-runs would scan already-scanned data. Forced-parallel mode keeps the
+// batch on the chained path where "batch.piece" fires between piece kernels.
+TEST(ServeRecovery, MidScanFaultRecoversFromTheSnapshot) {
+  if (thread::num_workers() == 1) {
+    GTEST_SKIP() << "forced-parallel dispatch needs a multi-worker pool";
+  }
+  fault::disarm_all();
+  Service::Options o = one_batch_options();
+  o.parallel = batch::JobsMode::kForceParallel;
+  Service svc(o);
+  fault::arm("batch.piece", 3, 1);
+
+  std::mt19937_64 g(47);
+  std::vector<ScanJob> jobs;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(random_scan_job(g, 20'000));  // many tiles -> many pieces
+    futs.push_back(svc.submit(jobs.back()));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk) << "job " << i;
+    ASSERT_EQ(r.values, ref_scan(jobs[i])) << "job " << i;
+  }
+  EXPECT_EQ(svc.metrics().errors, 0u);
+  EXPECT_GE(svc.metrics().recovery_batches, 1u);
+  fault::disarm_all();
+
+  // The reused per-direction chained scratches went through an aborted run;
+  // later batches on the same service must still be bit-correct.
+  std::vector<ScanJob> again;
+  std::vector<std::future<Result>> again_futs;
+  for (int i = 0; i < 6; ++i) {
+    again.push_back(random_scan_job(g, 20'000));
+    again_futs.push_back(svc.submit(again.back()));
+  }
+  for (std::size_t i = 0; i < again_futs.size(); ++i) {
+    Result r = again_futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.values, ref_scan(again[i])) << "post-poison job " << i;
+  }
+}
+
+// Pack and enumerate jobs ride the recovery path too: their staged 0/1 keep
+// values are re-derived from the untouched flags on every re-attempt.
+TEST(ServeRecovery, PackAndEnumerateSurviveRecovery) {
+  fault::disarm_all();
+  Service svc(one_batch_options());
+  fault::arm("serve.dispatch", 1, 1'000'000'000);
+
+  std::mt19937_64 g(53);
+  PackJob p;
+  p.data.resize(3000);
+  p.keep.resize(3000);
+  for (auto& v : p.data) v = static_cast<Value>(g() % 1000);
+  for (auto& k : p.keep) k = g() % 3 == 0 ? 1 : 0;
+  std::vector<Value> pack_expect;
+  for (std::size_t i = 0; i < p.data.size(); ++i) {
+    if (p.keep[i]) pack_expect.push_back(p.data[i]);
+  }
+  EnumerateJob e;
+  e.keep.resize(2500);
+  std::size_t kept = 0;
+  for (auto& k : e.keep) {
+    k = g() % 2;
+    kept += k;
+  }
+  ScanJob s = random_scan_job(g, 1500);
+
+  auto fp = svc.submit(std::move(p));
+  auto fe = svc.submit(std::move(e));
+  auto fs = svc.submit(s);
+  const Result rp = fp.get(), re = fe.get(), rs = fs.get();
+  ASSERT_EQ(rp.status, Status::kOk);
+  EXPECT_EQ(rp.values, pack_expect);
+  ASSERT_EQ(re.status, Status::kOk);
+  EXPECT_EQ(re.kept, kept);
+  ASSERT_EQ(rs.status, Status::kOk);
+  EXPECT_EQ(rs.values, ref_scan(s));
+  EXPECT_GE(svc.metrics().recovery_batches, 1u);
+  fault::disarm_all();
+}
+
+// With recovery disabled there is no snapshot to restore from, so a failed
+// mega-dispatch fails the whole batch — but the service itself survives and
+// keeps serving once the fault clears.
+TEST(ServeRecovery, RecoveryOffFailsTheWholeBatchButNotTheService) {
+  fault::disarm_all();
+  Service::Options o = one_batch_options();
+  o.recovery = false;
+  Service svc(o);
+  fault::arm("serve.dispatch", 1, 1);
+
+  std::mt19937_64 g(59);
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(svc.submit(random_scan_job(g, 256)));
+  }
+  for (auto& f : futs) {
+    Result r = f.get();
+    EXPECT_EQ(r.status, Status::kError);
+    EXPECT_NE(r.error.find("serve.dispatch"), std::string::npos) << r.error;
+  }
+  const Metrics m = svc.metrics();
+  EXPECT_EQ(m.errors, 4u);
+  EXPECT_EQ(m.recovery_batches, 0u);
+  EXPECT_EQ(m.bisection_reruns, 0u);
+
+  // The fault was one-shot: the next batch is healthy.
+  ScanJob j = random_scan_job(g, 512);
+  Result r = svc.submit(j).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.values, ref_scan(j));
+  fault::disarm_all();
+}
+
+// --- the batcher's exception boundary ----------------------------------------
+
+// A throw from OUTSIDE the dispatch machinery — here the very top of
+// execute_batch, before any job has been staged — escapes to the batcher
+// loop's catch-all. The whole batch resolves kError (nobody strands) and
+// the loop keeps serving.
+TEST(ServeRecovery, BatchBoundaryFaultResolvesEveryoneAndTheLoopSurvives) {
+  fault::disarm_all();
+  Service svc(one_batch_options());
+  fault::arm("serve.batch", 1, 1);
+
+  std::mt19937_64 g(61);
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 5; ++i) {
+    futs.push_back(svc.submit(random_scan_job(g, 128)));
+  }
+  for (auto& f : futs) {
+    Result r = f.get();
+    EXPECT_EQ(r.status, Status::kError);
+    EXPECT_NE(r.error.find("serve.batch"), std::string::npos) << r.error;
+  }
+  EXPECT_EQ(svc.metrics().errors, 5u);
+
+  ScanJob j = random_scan_job(g, 777);
+  Result r = svc.submit(j).get();  // the batcher thread is still alive
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.values, ref_scan(j));
+  fault::disarm_all();
+}
+
+// Injected faults must never hang shutdown() or the destructor: a service
+// torn down while every dispatch is throwing still drains every accepted
+// future to a terminal state.
+TEST(ServeRecovery, FaultsNeverHangShutdownOrDestructor) {
+  fault::disarm_all();
+  fault::arm("serve.dispatch", 1, 1'000'000'000);
+  std::mt19937_64 g(67);
+  std::vector<std::future<Result>> futs;
+  {
+    Service::Options o;
+    o.window_us = 200;
+    Service svc(o);
+    for (int i = 0; i < 64; ++i) {
+      futs.push_back(svc.submit(random_scan_job(g, 1 + g() % 1000)));
+    }
+  }  // destructor: shutdown + drain under permanent dispatch faults
+  for (auto& f : futs) {
+    const Result r = f.get();
+    EXPECT_TRUE(r.status == Status::kOk || r.status == Status::kError)
+        << status_name(r.status);
+  }
+  fault::disarm_all();
+}
+
+// --- fulfilment-time deadline / cancellation (satellite) ---------------------
+
+// A cancel token set DURING batch execution (via a fault handler, so the
+// moment is exact: after the queued-stage check, before fulfilment) must
+// resolve kCancelled, not a stale kOk.
+TEST(ServeRecovery, CancelDuringExecutionHonouredAtFulfilment) {
+  fault::disarm_all();
+  Service::Options o;
+  o.window_us = 1;
+  Service svc(o);
+  auto token = make_cancel_token();
+  fault::arm_handler("serve.batch",
+                     [token] { token->store(true); }, 1, 1'000'000'000);
+  SubmitOptions so;
+  so.cancel = token;
+  std::mt19937_64 g(71);
+  Result r = svc.submit(random_scan_job(g, 128), so).get();
+  EXPECT_EQ(r.status, Status::kCancelled);
+  EXPECT_EQ(svc.metrics().cancelled, 1u);
+  fault::disarm_all();
+}
+
+// A deadline that expires while the batch executes resolves kTimeout at
+// fulfilment. The handler stalls execution well past the deadline.
+TEST(ServeRecovery, DeadlineDuringExecutionHonouredAtFulfilment) {
+  fault::disarm_all();
+  Service::Options o;
+  o.window_us = 1;
+  Service svc(o);
+  fault::arm_handler("serve.batch",
+                     [] { std::this_thread::sleep_for(150ms); }, 1,
+                     1'000'000'000);
+  SubmitOptions so;
+  so.deadline = 40ms;
+  std::mt19937_64 g(73);
+  Result r = svc.submit(random_scan_job(g, 128), so).get();
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_EQ(svc.metrics().timeouts, 1u);
+  fault::disarm_all();
+}
+
+// --- submit_with_retry -------------------------------------------------------
+
+TEST(ServeRecovery, SubmitWithRetryOutlastsTransientBackpressure) {
+  fault::disarm_all();
+  Service::Options o;
+  o.queue_capacity = 1;
+  o.window_us = 20'000;  // the parked job frees its slot after ~20 ms
+  Service svc(o);
+  std::mt19937_64 g(79);
+  ScanJob parked = random_scan_job(g, 64);
+  auto parked_fut = svc.submit(parked);
+
+  // Direct submission is refused while the slot is taken...
+  const Result probe = svc.submit(random_scan_job(g, 64)).get();
+  ASSERT_EQ(probe.status, Status::kRejected);
+
+  // ...but the retry helper rides out the backpressure.
+  ScanJob j = random_scan_job(g, 64);
+  RetryOptions ro;
+  ro.max_attempts = 200;
+  ro.initial_backoff = 1ms;
+  ro.multiplier = 1.5;
+  ro.max_backoff = 10ms;
+  ro.seed = 42;
+  const Result r = submit_with_retry(svc, j, {}, ro);
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.values, ref_scan(j));
+  EXPECT_EQ(parked_fut.get().status, Status::kOk);
+  EXPECT_GE(svc.metrics().rejected, 1u);
+}
+
+TEST(ServeRecovery, SubmitWithRetryGivesUpAfterMaxAttempts) {
+  fault::disarm_all();
+  Service::Options o;
+  o.queue_capacity = 1;
+  o.window_us = 10'000'000;  // the parked job never yields its slot
+  Service svc(o);
+  std::mt19937_64 g(83);
+  auto parked_fut = svc.submit(random_scan_job(g, 64));
+
+  RetryOptions ro;
+  ro.max_attempts = 3;
+  ro.initial_backoff = 500us;
+  ro.seed = 7;
+  const Result r = submit_with_retry(svc, random_scan_job(g, 64), {}, ro);
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_GE(svc.metrics().rejected, 3u);
+  svc.shutdown();  // drains the parked job
+  EXPECT_EQ(parked_fut.get().status, Status::kOk);
+}
+
+}  // namespace
+}  // namespace scanprim::serve

@@ -160,6 +160,9 @@ TEST(ServeSoak, MixedLoadWithMidFlightShutdown) {
         case Status::kCancelled:
           ++abandoned;
           break;
+        case Status::kError:
+          ADD_FAILURE() << "no faults are armed here: " << r.error;
+          break;
       }
     }
   }
@@ -170,7 +173,7 @@ TEST(ServeSoak, MixedLoadWithMidFlightShutdown) {
   EXPECT_EQ(m.submitted, static_cast<std::uint64_t>(kThreads * kJobsPerThread));
   EXPECT_EQ(m.completed, static_cast<std::uint64_t>(ok));
   // Everything accepted was resolved exactly once.
-  EXPECT_EQ(m.accepted, m.completed + m.timeouts + m.cancelled);
+  EXPECT_EQ(m.accepted, m.completed + m.timeouts + m.cancelled + m.errors);
 }
 
 TEST(ServeSoak, RepeatedConstructionAndTeardown) {
@@ -196,6 +199,92 @@ TEST(ServeSoak, RepeatedConstructionAndTeardown) {
       EXPECT_EQ(r.status, Status::kOk);  // drained, not dropped
     }
   }
+}
+
+TEST(ServeSoak, ShutdownRacesInFlightSubmitters) {
+  // shutdown() concurrent with a storm of submits: every future must
+  // resolve exactly once to either a real terminal state (accepted before
+  // the cut) or kShutdown (after), and the accounting must balance. The
+  // promise itself enforces the exactly-once half — a double resolve would
+  // throw std::future_error inside the service.
+  std::mt19937_64 seed_gen(77);
+  for (int round = 0; round < 8; ++round) {
+    Service::Options o;
+    o.window_us = 100;
+    Service svc(o);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 40;
+    std::vector<std::vector<std::future<Result>>> futs(kThreads);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t, seed = seed_gen()] {
+        std::mt19937_64 g(seed);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int i = 0; i < kPerThread; ++i) {
+          ScanJob j;
+          j.data.resize(1 + g() % 300);
+          for (auto& v : j.data) v = static_cast<Value>(g() % 10);
+          futs[t].push_back(svc.submit(std::move(j)));
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    // Let a random slice of the submissions land, then cut.
+    std::this_thread::sleep_for(std::chrono::microseconds(seed_gen() % 800));
+    svc.shutdown();
+    for (auto& th : threads) th.join();
+    std::uint64_t accepted_seen = 0;
+    for (auto& per_thread : futs) {
+      for (auto& f : per_thread) {
+        const Result r = f.get();
+        if (r.status == Status::kOk) ++accepted_seen;
+        EXPECT_TRUE(r.status == Status::kOk ||
+                    r.status == Status::kShutdown ||
+                    r.status == Status::kRejected)
+            << status_name(r.status);
+      }
+    }
+    const Metrics m = svc.metrics();
+    EXPECT_EQ(m.accepted, m.completed + m.timeouts + m.cancelled + m.errors);
+    EXPECT_EQ(m.completed, accepted_seen);
+  }
+}
+
+TEST(ServeSoak, ConcurrentDoubleShutdownIsSafe) {
+  Service::Options o;
+  o.window_us = 100;
+  Service svc(o);
+  std::mt19937_64 g(88);
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 32; ++i) {
+    ScanJob j;
+    j.data.resize(64 + g() % 256);
+    for (auto& v : j.data) v = static_cast<Value>(g() % 10);
+    futs.push_back(svc.submit(std::move(j)));
+  }
+  std::thread a([&] { svc.shutdown(); });
+  std::thread b([&] { svc.shutdown(); });
+  a.join();
+  b.join();
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::kOk);
+  svc.shutdown();  // and once more from the destructor's thread
+}
+
+TEST(ServeSoak, SubmitAfterShutdownResolvesImmediately) {
+  Service::Options o;
+  o.window_us = 100;
+  Service svc(o);
+  svc.shutdown();
+  std::mt19937_64 g(99);
+  for (int i = 0; i < 8; ++i) {
+    ScanJob j;
+    j.data.resize(32);
+    for (auto& v : j.data) v = static_cast<Value>(g() % 10);
+    const Result r = svc.submit(std::move(j)).get();
+    EXPECT_EQ(r.status, Status::kShutdown);
+  }
+  EXPECT_EQ(svc.metrics().completed, 0u);
 }
 
 }  // namespace

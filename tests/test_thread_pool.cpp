@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/fault.hpp"
+
 namespace scanprim::thread {
 namespace {
 
@@ -66,6 +68,52 @@ TEST(ThreadPool, NestedRunRethrowsWorkerExceptions) {
   std::atomic<int> count{0};
   pool().run([&](std::size_t) { count++; });
   EXPECT_EQ(count.load(), static_cast<int>(num_workers()));
+}
+
+TEST(ThreadPool, SerialFallbackRunsEveryIndexBeforeRethrowing) {
+  // The serial path (nested or single-worker) must match the parallel
+  // path's error semantics: every index is attempted, THEN the first error
+  // rethrows. A first-throw-stops-the-rest serial path would leave sibling
+  // blocks unprocessed only on some hosts — the worst kind of divergence.
+  ThreadPool p(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(p.run([&](std::size_t) {
+    // Nested: degrades to the serial loop over all 4 indices.
+    p.run([&](std::size_t w) {
+      if (w == 2) throw std::runtime_error("index 2 boom");
+      ran++;
+    });
+  }),
+               std::runtime_error);
+  // 4 outer workers each ran a nested serial loop that attempted all 4
+  // indices and completed the 3 non-throwing ones.
+  EXPECT_EQ(ran.load(), 4 * 3);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsEveryIndexBeforeRethrowing) {
+  ThreadPool p(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(p.run([&](std::size_t) {
+    ran++;
+    throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 1);
+  p.run([&](std::size_t) { ran++; });  // still usable
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, InjectedWorkerFaultPropagatesAndPoolSurvives) {
+  fault::disarm_all();
+  fault::arm("thread.worker", 1, 1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool().run([&](std::size_t) { ran++; }), fault::Injected);
+  // Exactly one worker body was replaced by the fault; the rest ran.
+  EXPECT_EQ(ran.load(), static_cast<int>(num_workers()) - 1);
+  fault::disarm_all();
+  ran = 0;
+  pool().run([&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), static_cast<int>(num_workers()));
 }
 
 TEST(BlockOf, PartitionsExactlyAndBalanced) {
