@@ -1,0 +1,131 @@
+// The obs probe contract mirrors the fault-point one: DISARMED, a span or
+// instant probe must cost a couple of relaxed loads — cheap enough to live
+// at per-tile and per-dispatch granularity with tracing compiled in always
+// (docs/OBS.md). This microbenchmark prices that claim: a bare loop, the
+// same loop with a disarmed span / instant per element (far denser than any
+// real placement), the ARMED cost of a ring write, histogram recording, and
+// the shipped parallel scan with all of its probes in place.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "src/core/ops.hpp"
+#include "src/core/scan.hpp"
+#include "src/obs/histogram.hpp"
+#include "src/obs/obs.hpp"
+
+namespace {
+
+using namespace scanprim;
+
+std::vector<std::int64_t> make_input(std::size_t n) {
+  std::mt19937_64 g(7);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(g() & 0xffff);
+  return v;
+}
+
+// Baseline: the serial accumulation loop with nothing in its body.
+void BM_BareLoop(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto x : in) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+// A disarmed RAII span constructed and destroyed per element — the library
+// never places spans denser than per-tile, so this bounds the real cost
+// from far above. The per-element delta against BM_BareLoop is the span's
+// disarmed price.
+void BM_DisarmedSpanPerElement(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto x : in) {
+      obs::Span span("bench.per_element");
+      acc += x;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+// A disarmed instant probe per element: one relaxed load and a branch.
+void BM_DisarmedInstantPerElement(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto x : in) {
+      obs::instant("bench.per_element.i",
+                   static_cast<std::uint64_t>(acc));
+      acc += x;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+// ARMED span per element: two timestamped seqlock ring writes. This is the
+// price of actually tracing, paid only under SCANPRIM_TRACE.
+void BM_ArmedSpanPerElement(benchmark::State& state) {
+  const bool armed = obs::start_tracing("/dev/null");
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto x : in) {
+      obs::Span span("bench.per_element.armed");
+      acc += x;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+  if (armed) obs::stop_tracing();
+}
+
+// Histogram recording: the serve latency path records one value per
+// completed request through exactly this call.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+    benchmark::DoNotOptimize(&h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The shipped parallel scan with its probes compiled in (as it always
+// runs), tracing disabled: bench_scan_micro rates must match this.
+void BM_LibraryScanWithProbes(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    exclusive_scan(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), Plus<std::int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+BENCHMARK(BM_BareLoop)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_DisarmedSpanPerElement)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_DisarmedInstantPerElement)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ArmedSpanPerElement)->Arg(1 << 16);
+BENCHMARK(BM_HistogramRecord);
+BENCHMARK(BM_LibraryScanWithProbes)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

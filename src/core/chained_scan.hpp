@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/fault/fault.hpp"
+#include "src/obs/obs.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim::detail {
@@ -152,6 +153,11 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
       const std::size_t lt = next.fetch_add(1, std::memory_order_relaxed);
       if (lt >= ntiles) return;
       ChainedTileState<C>& st = states[lt];
+      // One span per tile: summarise + lookback + rescan. Lookback stalls
+      // (waiting on a slow predecessor) show up as long tile spans in the
+      // trace, which is exactly the where-does-the-dispatch-go question
+      // the obs subsystem exists to answer (docs/OBS.md).
+      obs::Span tile_span("chained.tile");
       try {
         const std::size_t p = backward ? ntiles - 1 - lt : lt;
         const std::size_t begin = p * tile;

@@ -19,6 +19,7 @@
 #include "src/core/ops.hpp"
 #include "src/core/scan.hpp"
 #include "src/fault/fault.hpp"
+#include "src/obs/obs.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
@@ -695,6 +696,7 @@ inline void seg_scan_jobs(std::span<const JobSlice> jobs, bool backward,
   std::size_t total = 0;
   for (const JobSlice& j : jobs) total += j.n;
   if (total == 0) return;
+  obs::Span jobs_span("batch.jobs");
 
   bool serial = thread::num_workers() == 1 || total < thread::kSerialCutoff;
   if (mode == JobsMode::kSerial) serial = true;
@@ -704,6 +706,7 @@ inline void seg_scan_jobs(std::span<const JobSlice> jobs, bool backward,
   }
   if (serial) {
     for (const JobSlice& j : jobs) {
+      obs::Span job_span("batch.serial_job");
       SCANPRIM_FAULT_POINT("batch.serial_job");
       with_op(j.op, [&](auto op) {
         if (backward) {

@@ -31,6 +31,7 @@
 #include "src/fault/fault.hpp"
 #include "src/exec/graph.hpp"
 #include "src/exec/stats.hpp"
+#include "src/obs/obs.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim::exec {
@@ -384,6 +385,7 @@ class Executor {
     static_assert(std::is_trivially_copyable_v<T>,
                   "pipeline elements flow through raw arena buffers");
     assert(!p.nodes.empty() && p.nodes.front().kind == StageKind::Source);
+    obs::Span run_span("exec.run");
     const auto t0 = std::chrono::steady_clock::now();
     Stats s;
     s.stages_recorded = p.nodes.size();
@@ -408,6 +410,7 @@ class Executor {
     // executor's life.
     try {
       for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        obs::Span group_span("exec.group");
         SCANPRIM_FAULT_POINT("exec.group");
         const Group& g = groups[gi];
         const bool last = gi + 1 == groups.size();

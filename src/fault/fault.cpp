@@ -7,6 +7,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/obs/obs.hpp"
+
 namespace scanprim::fault {
 
 namespace detail {
@@ -130,6 +132,11 @@ void Point::fire() {
     if (trigger) handler = a.handler;
   }
   if (!trigger) return;
+  // An armed firing is an event worth seeing next to the recovery spans it
+  // triggers: emit an instant into the trace (exported in the "fault"
+  // category, value = hit number) before throwing or running the handler.
+  // `name_` is the point's static literal, so the ring may keep the pointer.
+  obs::fault_fired(name_, hit);
   // Outside the lock: a handler may arm/disarm or reach other points.
   if (handler != nullptr) {
     (*handler)();

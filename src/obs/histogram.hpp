@@ -1,0 +1,172 @@
+// Log-bucketed histogram for latency and size distributions (docs/OBS.md).
+//
+// The serve reservoir this replaces kept a bounded sample of recent request
+// latencies, so its percentiles drifted with load and forgot the tail. This
+// histogram records EVERY value exactly once into a power-of-2 bucket with
+// sub-bucket resolution (HdrHistogram's indexing): values below 2^(kSubBits+1)
+// land in unit-width buckets (exact), larger values in buckets of relative
+// width 2^-kSubBits (~3% with the default 5 sub-bits). Counts are exact, so
+// rank selection — value_at_quantile — is exact over all recorded values; only
+// the reported value is quantised to its bucket.
+//
+// Concurrency: record() is wait-free relaxed fetch_adds, safe from any
+// thread; readers (quantiles, render) see a racy-but-monotone snapshot,
+// which is the usual contract for live metrics. merge() is associative and
+// commutative, so per-shard histograms can be combined in any order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace scanprim::obs {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits buckets per octave. 5 bits keeps the
+  /// relative quantisation error at or below 1/32 ≈ 3.1%.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
+  /// Bucket count covering the full uint64 range: 2*kSubCount unit buckets
+  /// for [0, 2*kSubCount), then one run of kSubCount sub-buckets per shift
+  /// 1..(63-kSubBits) — the highest index is bucket_index(~0) =
+  /// ((64-kSubBits)<<kSubBits) + (kSubCount-1), hence the +1 octave here.
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>((64 - kSubBits + 1) << kSubBits);
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index of `v`. Values below 2*kSubCount map to themselves.
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < 2 * kSubCount) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(shift + 1) << kSubBits) +
+        ((v >> shift) & (kSubCount - 1)));
+  }
+
+  /// Smallest value that maps to bucket `i`.
+  static constexpr std::uint64_t bucket_lower(std::size_t i) noexcept {
+    if (i < 2 * kSubCount) return static_cast<std::uint64_t>(i);
+    const unsigned shift = static_cast<unsigned>(i >> kSubBits) - 1;
+    const std::uint64_t sub = i & (kSubCount - 1);
+    return (kSubCount + sub) << shift;
+  }
+
+  /// Largest value that maps to bucket `i`.
+  static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i < 2 * kSubCount) return static_cast<std::uint64_t>(i);
+    const unsigned shift = static_cast<unsigned>(i >> kSubBits) - 1;
+    const std::uint64_t sub = i & (kSubCount - 1);
+    return (((kSubCount + sub + 1) << shift) - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  /// Adds `o`'s recordings into this histogram. Associative and commutative
+  /// up to the quantisation both sides already share.
+  void merge(const Histogram& o) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = o.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    const std::uint64_t oc = o.count_.load(std::memory_order_relaxed);
+    if (oc == 0) return;
+    count_.fetch_add(oc, std::memory_order_relaxed);
+    sum_.fetch_add(o.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    update_min(o.min_.load(std::memory_order_relaxed));
+    update_max(o.max_.load(std::memory_order_relaxed));
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min() const noexcept {  ///< 0 when empty
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kEmptyMin ? 0 : m;
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t mean() const noexcept {  ///< 0 when empty
+    const std::uint64_t c = count();
+    return c == 0 ? 0 : sum() / c;
+  }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest recording (rank selection over exact
+  /// counts), clamped into [min(), max()] so q=0 / q=1 report the true
+  /// extremes. 0 when empty.
+  std::uint64_t value_at_quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(n) + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += buckets_[i].load(std::memory_order_relaxed);
+      if (cum >= rank) {
+        std::uint64_t v = bucket_upper(i);
+        const std::uint64_t lo = min(), hi = max();
+        if (v < lo) v = lo;
+        if (v > hi) v = hi;
+        return v;
+      }
+    }
+    return max();
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(kEmptyMin, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace scanprim::obs

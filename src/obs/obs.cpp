@@ -1,0 +1,386 @@
+#include "src/obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/core/runtime.hpp"
+#include "src/obs/registry.hpp"
+
+namespace scanprim::obs {
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+}  // namespace detail
+
+namespace {
+
+/// Ring capacity for rings created from now on. Power of two.
+std::atomic<std::size_t> g_ring_capacity{std::size_t{1} << 15};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Trace epoch: timestamps are exported relative to the first arming so the
+/// Perfetto timeline starts near zero.
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+/// One per-thread event ring. Single producer (the owning thread); the
+/// single consumer is whoever holds the writer mutex. Every slot is a tiny
+/// seqlock: the producer brackets its four payload words with generation
+/// stores, and a consumer that observes a generation mismatch skips the
+/// slot and counts it dropped — so the producer NEVER waits, and a flush
+/// racing live emission is safe under TSan (every access is atomic).
+///
+/// Overflow drops the oldest events: the producer always writes at head and
+/// the consumer starts from max(cursor, head - capacity), counting what the
+/// window skipped.
+class Ring {
+ public:
+  Ring(std::size_t capacity_pow2, std::uint32_t tid)
+      : slots_(std::make_unique<Slot[]>(capacity_pow2)),
+        mask_(capacity_pow2 - 1),
+        tid_(tid) {}
+
+  std::uint32_t tid() const noexcept { return tid_; }
+
+  /// Producer side (owning thread only). Fence-free seqlock (the shape TSan
+  /// models): the payload stores are RELEASE, so a consumer whose acquire
+  /// payload load observes a new (torn) value also observes the preceding
+  /// odd generation store and fails its recheck — standalone fences would
+  /// say the same thing but are unsupported under -fsanitize=thread.
+  void push(EventKind kind, const char* name, std::uint64_t value,
+            std::uint64_t ts) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & mask_];
+    s.seq.store(2 * h + 1, std::memory_order_relaxed);
+    s.ts.store(ts, std::memory_order_release);
+    s.name.store(reinterpret_cast<std::uintptr_t>(name),
+                 std::memory_order_release);
+    s.value.store(value, std::memory_order_release);
+    s.kind.store(static_cast<std::uint64_t>(kind), std::memory_order_release);
+    s.seq.store(2 * h + 2, std::memory_order_release);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Consumer side (writer mutex held). Appends drained events to `out` and
+  /// returns how many events were dropped (overflowed past the window, or
+  /// observed mid-write).
+  std::uint64_t drain(std::vector<TraceEvent>& out) {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::size_t cap = mask_ + 1;
+    std::uint64_t start = cursor_;
+    std::uint64_t dropped = 0;
+    if (h > cap && h - cap > start) {
+      dropped += (h - cap) - start;
+      start = h - cap;
+    }
+    for (std::uint64_t i = start; i < h; ++i) {
+      Slot& s = slots_[i & mask_];
+      const std::uint64_t q1 = s.seq.load(std::memory_order_acquire);
+      if (q1 != 2 * i + 2) {
+        // In-progress or already overwritten by a wrapped producer.
+        ++dropped;
+        continue;
+      }
+      // Acquire payload loads: if any of them reads a value from a wrapped
+      // producer's release store, the recheck below is guaranteed to see
+      // that producer's odd generation and reject the copy.
+      TraceEvent ev;
+      ev.ts_ns = s.ts.load(std::memory_order_acquire);
+      ev.name = reinterpret_cast<const char*>(
+          s.name.load(std::memory_order_acquire));
+      ev.value = s.value.load(std::memory_order_acquire);
+      ev.kind = static_cast<EventKind>(
+          static_cast<std::uint32_t>(s.kind.load(std::memory_order_acquire)));
+      ev.tid = tid_;
+      if (s.seq.load(std::memory_order_relaxed) != q1) {
+        ++dropped;  // overwritten while we copied
+        continue;
+      }
+      out.push_back(ev);
+    }
+    cursor_ = h;
+    return dropped;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ts{0};
+    std::atomic<std::uintptr_t> name{0};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> kind{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cursor_ = 0;  ///< consumer progress; writer mutex only
+  std::uint32_t tid_;
+};
+
+struct Writer {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  ///< leaked with the writer;
+                                             ///< rings outlive their threads
+  std::vector<TraceEvent> events;            ///< drained, in per-ring order
+  std::uint64_t dropped = 0;
+  std::string path;
+  bool ever_armed = false;
+};
+
+/// Intentionally leaked (same reasoning as the fault registry): emitting
+/// threads may outlive any static destruction order we could arrange.
+Writer& writer() {
+  static Writer* w = new Writer;
+  return *w;
+}
+
+thread_local Ring* tls_ring = nullptr;
+
+Ring* ring_for_this_thread() {
+  Ring* r = tls_ring;
+  if (r != nullptr) return r;
+  Writer& w = writer();
+  std::lock_guard<std::mutex> lk(w.mu);
+  std::size_t cap = g_ring_capacity.load(std::memory_order_relaxed);
+  cap = std::bit_ceil(cap < 64 ? std::size_t{64} : cap);
+  w.rings.push_back(std::make_unique<Ring>(
+      cap, static_cast<std::uint32_t>(w.rings.size())));
+  tls_ring = w.rings.back().get();
+  return tls_ring;
+}
+
+void flush_locked(Writer& w) {
+  for (const auto& r : w.rings) {
+    const std::uint64_t d = r->drain(w.events);
+    if (d != 0) {
+      w.dropped += d;
+      counter("scanprim_obs_dropped_events_total").add(d);
+    }
+  }
+}
+
+/// JSON string escaping for event names (probe names are plain literals,
+/// but fault-point names are user-suppliable through fault::arm).
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  // Microseconds with nanosecond fraction, without going through double
+  // (a 64-bit ns count does not round-trip a double past ~104 days).
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const std::uint64_t frac = ns % 1000;
+  if (frac < 100) out += '0';
+  if (frac < 10) out += '0';
+  out += std::to_string(frac);
+}
+
+/// Serialises the drained events as Chrome-trace JSON. Span begin/end pairs
+/// are matched per thread into balanced "X" complete events (emission order
+/// within a ring is program order, and RAII spans nest, so a per-tid stack
+/// pairs them exactly; ring overflow only ever removes a prefix, so an end
+/// whose begin was dropped surfaces as an empty stack and is discarded).
+bool write_json(const Writer& w) {
+  // Partition event indices per tid, preserving order.
+  std::uint32_t max_tid = 0;
+  for (const TraceEvent& e : w.events) max_tid = std::max(max_tid, e.tid);
+  std::vector<std::vector<std::size_t>> by_tid(
+      static_cast<std::size_t>(max_tid) + 1);
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    by_tid[w.events[i].tid].push_back(i);
+  }
+
+  std::string out;
+  out.reserve(w.events.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"scanprim\"}}";
+
+  const auto common = [&](const TraceEvent& e) {
+    out += "\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"name\":\"";
+    append_json_escaped(out, e.name == nullptr ? "?" : e.name);
+    out += "\",\"ts\":";
+    append_ts_us(out, e.ts_ns);
+  };
+
+  for (std::uint32_t tid = 0; tid < by_tid.size(); ++tid) {
+    if (by_tid[tid].empty()) continue;
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"scanprim-";
+    out += std::to_string(tid);
+    out += "\"}}";
+    std::vector<std::size_t> open;  // indices of unmatched begins
+    std::uint64_t last_ts = 0;
+    const auto emit_x = [&](const TraceEvent& b, std::uint64_t end_ns) {
+      out += ",\n{\"ph\":\"X\",\"cat\":\"scanprim\",";
+      common(b);
+      out += ",\"dur\":";
+      append_ts_us(out, end_ns >= b.ts_ns ? end_ns - b.ts_ns : 0);
+      out += '}';
+    };
+    for (const std::size_t i : by_tid[tid]) {
+      const TraceEvent& e = w.events[i];
+      last_ts = std::max(last_ts, e.ts_ns);
+      switch (e.kind) {
+        case EventKind::kSpanBegin:
+          open.push_back(i);
+          break;
+        case EventKind::kSpanEnd:
+          if (!open.empty()) {
+            emit_x(w.events[open.back()], e.ts_ns);
+            open.pop_back();
+          }
+          break;
+        case EventKind::kInstant:
+        case EventKind::kFault:
+          out += ",\n{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"";
+          out += e.kind == EventKind::kFault ? "fault" : "scanprim";
+          out += "\",";
+          common(e);
+          out += ",\"args\":{\"value\":";
+          out += std::to_string(e.value);
+          out += "}}";
+          break;
+        case EventKind::kCounter:
+          out += ",\n{\"ph\":\"C\",";
+          common(e);
+          out += ",\"args\":{\"value\":";
+          out += std::to_string(e.value);
+          out += "}}";
+          break;
+      }
+    }
+    // Spans still open when the trace ended (e.g. a worker parked inside a
+    // dispatch at flush time) close at the last timestamp seen, keeping the
+    // file balanced.
+    while (!open.empty()) {
+      emit_x(w.events[open.back()], last_ts);
+      open.pop_back();
+    }
+  }
+  out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":"
+         "\"scanprim_dropped_events\",\"args\":{\"value\":";
+  out += std::to_string(w.dropped);
+  out += "}}\n]}\n";
+
+  std::FILE* f = std::fopen(w.path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = n == out.size() && std::fclose(f) == 0;
+  if (n != out.size()) std::fclose(f);
+  return ok;
+}
+
+/// Env-driven startup, run at this translation unit's dynamic
+/// initialisation: SCANPRIM_OBS=0 is a process-wide kill switch;
+/// SCANPRIM_TRACE arms tracing and registers the exit-time export.
+bool g_killed = false;
+
+const bool g_env_init = [] {
+  g_killed = !sanitize_flag_spec(std::getenv("SCANPRIM_OBS"), true);
+  g_ring_capacity.store(
+      std::bit_ceil(sanitize_size_spec(std::getenv("SCANPRIM_TRACE_EVENTS"),
+                                       g_ring_capacity.load(), 64,
+                                       std::size_t{1} << 24)),
+      std::memory_order_relaxed);
+  if (const char* path = std::getenv("SCANPRIM_TRACE")) {
+    if (path[0] != '\0' && start_tracing(path)) {
+      std::atexit([] { stop_tracing(); });
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void emit(EventKind kind, const char* name, std::uint64_t value) noexcept {
+  const std::uint64_t ts =
+      now_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+  ring_for_this_thread()->push(kind, name, value, ts);
+}
+
+}  // namespace detail
+
+bool tracing() noexcept { return detail::armed(); }
+
+bool start_tracing(std::string path) {
+  if (g_killed) return false;
+  Writer& w = writer();
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (detail::armed()) return false;
+  w.path = std::move(path);
+  w.ever_armed = true;
+  g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
+  detail::g_armed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void flush() {
+  Writer& w = writer();
+  std::lock_guard<std::mutex> lk(w.mu);
+  flush_locked(w);
+}
+
+bool stop_tracing() {
+  Writer& w = writer();
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (!w.ever_armed) return false;
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  flush_locked(w);
+  const bool ok = write_json(w);
+  w.events.clear();
+  w.ever_armed = false;
+  return ok;
+}
+
+std::uint64_t dropped_events() {
+  Writer& w = writer();
+  std::lock_guard<std::mutex> lk(w.mu);
+  return w.dropped;
+}
+
+void set_ring_capacity(std::size_t events) {
+  g_ring_capacity.store(std::bit_ceil(events < 64 ? std::size_t{64} : events),
+                        std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> events_snapshot() {
+  Writer& w = writer();
+  std::lock_guard<std::mutex> lk(w.mu);
+  return w.events;
+}
+
+}  // namespace scanprim::obs

@@ -1,0 +1,154 @@
+// Low-overhead tracing: per-thread lock-free rings of fixed-size events and
+// RAII span probes, exported as Chrome-trace/Perfetto JSON (docs/OBS.md).
+//
+// The paper's argument is quantitative — step counts and element rates — and
+// the production layers above the scan kernels (pool, chained engine, fused
+// executor, serve batcher, fault recovery) need the same discipline: a way to
+// see where time goes INSIDE a dispatch without perturbing the dispatch. The
+// design follows src/fault's pricing contract:
+//
+//   - Disarmed, a probe costs a couple of relaxed atomic loads and two
+//     predictable branches (priced by bench_obs, same discipline as a
+//     disarmed fault point). Probes are compiled in always; there is no
+//     build-flavour divergence to keep honest.
+//   - Armed (SCANPRIM_TRACE=<file> or obs::start_tracing()), each probe
+//     writes one fixed-size event into a per-thread SPSC ring: the owning
+//     thread is the only producer, and the only consumer is whoever holds
+//     the flush lock. Slots carry seqlock generation words, so a flush
+//     racing live emission skips (and counts) torn slots instead of reading
+//     them — emission never blocks on the consumer.
+//   - Ring overflow drops the OLDEST events and counts the drops (the most
+//     recent window is the one worth keeping for a post-mortem); the count
+//     is exposed as dropped_events() and a registry counter.
+//   - obs::flush() drains every ring into the writer; at process exit (or
+//     stop_tracing()) the writer emits one Chrome-trace JSON file whose
+//     span events are pre-paired into balanced "X" complete events, so the
+//     file always loads in Perfetto (tools/check_trace.py validates it).
+//
+// Environment:
+//   SCANPRIM_TRACE=<file>    arm tracing at startup; write the trace here at
+//                            process exit.
+//   SCANPRIM_OBS=0           kill switch: probes stay disarmed even if
+//                            SCANPRIM_TRACE is set or start_tracing is called.
+//   SCANPRIM_TRACE_EVENTS=n  per-thread ring capacity in events (rounded up
+//                            to a power of two; default 32768).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scanprim::obs {
+
+enum class EventKind : std::uint32_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kInstant = 2,
+  kCounter = 3,
+  kFault = 4,  ///< a fault point fired (docs/FAULTS.md); exported as an
+               ///< instant in the "fault" category so injected faults line
+               ///< up with the recovery spans they trigger
+};
+
+namespace detail {
+
+/// The probe arm flag. Relaxed-loaded on every probe; flipped only by
+/// start/stop_tracing.
+extern std::atomic<bool> g_armed;
+
+inline bool armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+/// Records `kind(name, value)` at the current timestamp into this thread's
+/// ring (creating the ring on first use). `name` must point at storage that
+/// outlives the process — string literals, in practice: the ring stores the
+/// pointer, not the characters.
+void emit(EventKind kind, const char* name, std::uint64_t value) noexcept;
+
+}  // namespace detail
+
+/// RAII span probe: one begin event at construction, one end event at
+/// destruction, both on the constructing thread's ring. Disarmed cost is one
+/// relaxed load in the constructor and one member test in the destructor.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (detail::armed()) {
+      name_ = name;
+      detail::emit(EventKind::kSpanBegin, name, 0);
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::emit(EventKind::kSpanEnd, name_, 0);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< non-null only while armed at construction
+};
+
+/// A point event (exported as a Perfetto thread-scoped instant).
+inline void instant(const char* name, std::uint64_t value = 0) noexcept {
+  if (detail::armed()) detail::emit(EventKind::kInstant, name, value);
+}
+
+/// A counter sample (exported as a Perfetto "C" counter track).
+inline void counter_sample(const char* name, std::uint64_t value) noexcept {
+  if (detail::armed()) detail::emit(EventKind::kCounter, name, value);
+}
+
+/// A fault-point firing (called by src/fault; exported in the "fault"
+/// category with the hit number as its value).
+inline void fault_fired(const char* point, std::uint64_t hit) noexcept {
+  if (detail::armed()) detail::emit(EventKind::kFault, point, hit);
+}
+
+// --- control -----------------------------------------------------------------
+
+/// True while probes are armed.
+bool tracing() noexcept;
+
+/// Arm tracing; the trace is written to `path` by stop_tracing() or at
+/// process exit. Returns false (and stays disarmed) when SCANPRIM_OBS=0
+/// killed observability or tracing is already armed.
+bool start_tracing(std::string path);
+
+/// Drain every thread's ring into the writer's event store. Safe to call
+/// from any thread at any time, including concurrently with live emission
+/// (racing slots are skipped and counted as dropped). No-op when tracing
+/// has never been armed.
+void flush();
+
+/// Disarm, flush, and write the Chrome-trace JSON file. Returns false when
+/// nothing was armed or the file could not be written. Idempotent.
+bool stop_tracing();
+
+/// Events dropped so far across all rings: ring overflow (oldest dropped
+/// first) plus slots a flush observed mid-write.
+std::uint64_t dropped_events();
+
+/// Per-thread ring capacity (in events, rounded up to a power of two) for
+/// rings created AFTER this call. Existing rings keep their capacity. Used
+/// by tests and by SCANPRIM_TRACE_EVENTS.
+void set_ring_capacity(std::size_t events);
+
+// --- flushed-event introspection (tests, tools) ------------------------------
+
+/// One drained event as the exporter sees it.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;  ///< relative to the trace epoch
+  const char* name = nullptr;
+  std::uint64_t value = 0;
+  EventKind kind = EventKind::kInstant;
+  std::uint32_t tid = 0;  ///< exporter thread id (ring registration order)
+};
+
+/// Snapshot of everything flushed so far (flush() first to include the
+/// latest). Cleared by stop_tracing().
+std::vector<TraceEvent> events_snapshot();
+
+}  // namespace scanprim::obs

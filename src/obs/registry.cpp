@@ -1,0 +1,182 @@
+#include "src/obs/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace scanprim::obs {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map keeps render output deterministically sorted; node-based, so
+  // Counter/Histogram addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::uint64_t, std::function<void(std::string&)>> collectors;
+  std::uint64_t next_collector = 1;
+};
+
+/// Intentionally leaked, like the fault registry: instruments are held by
+/// objects (the global pool, static locals) whose destruction order against
+/// a registry static is unknowable.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+/// The metric family: the series name up to its label block.
+std::string_view family_of(std::string_view series) {
+  const std::size_t brace = series.find('{');
+  return brace == std::string_view::npos ? series : series.substr(0, brace);
+}
+
+/// Splits `series` into family and label block (no braces; may be empty).
+void split_series(std::string_view series, std::string_view* fam,
+                  std::string_view* labels) {
+  const std::size_t brace = series.find('{');
+  if (brace == std::string_view::npos) {
+    *fam = series;
+    *labels = {};
+    return;
+  }
+  *fam = series.substr(0, brace);
+  std::string_view rest = series.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  *labels = rest;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+Counter& counter(std::string_view series) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.counters.find(series);
+  if (it == r.counters.end()) {
+    it = r.counters
+             .emplace(std::string(series), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view series) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.histograms.find(series);
+  if (it == r.histograms.end()) {
+    it = r.histograms
+             .emplace(std::string(series), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t register_collector(std::function<void(std::string&)> fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const std::uint64_t id = r.next_collector++;
+  r.collectors.emplace(id, std::move(fn));
+  return id;
+}
+
+void unregister_collector(std::uint64_t id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.collectors.erase(id);
+}
+
+void append_counter(std::string& out, std::string_view series,
+                    std::uint64_t value) {
+  out += series;
+  out += ' ';
+  append_u64(out, value);
+  out += '\n';
+}
+
+void append_histogram(std::string& out, std::string_view series,
+                      const Histogram& h) {
+  std::string_view fam, labels;
+  split_series(series, &fam, &labels);
+  const auto bucket_series = [&](std::string_view le) {
+    out += fam;
+    out += "_bucket{";
+    if (!labels.empty()) {
+      out += labels;
+      out += ',';
+    }
+    out += "le=\"";
+    out += le;
+    out += "\"} ";
+  };
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t c = h.bucket_count(i);
+    if (c == 0) continue;
+    cum += c;
+    bucket_series(std::to_string(Histogram::bucket_upper(i)));
+    append_u64(out, cum);
+    out += '\n';
+  }
+  bucket_series("+Inf");
+  append_u64(out, h.count());
+  out += '\n';
+  out += fam;
+  out += "_sum";
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  append_u64(out, h.sum());
+  out += '\n';
+  out += fam;
+  out += "_count";
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  append_u64(out, h.count());
+  out += '\n';
+}
+
+std::string render_text() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::string out;
+  out.reserve(4096);
+  std::string_view last_family{};
+  for (const auto& [name, c] : r.counters) {
+    const std::string_view fam = family_of(name);
+    if (fam != last_family) {
+      out += "# TYPE ";
+      out += fam;
+      out += " counter\n";
+      last_family = fam;
+    }
+    append_counter(out, name, c->get());
+  }
+  for (const auto& [name, h] : r.histograms) {
+    out += "# TYPE ";
+    out += family_of(name);
+    out += " histogram\n";
+    append_histogram(out, name, *h);
+  }
+  for (const auto& [id, fn] : r.collectors) {
+    (void)id;
+    fn(out);
+  }
+  return out;
+}
+
+}  // namespace scanprim::obs

@@ -1,0 +1,85 @@
+// Process-wide metrics registry with Prometheus-style text exposition
+// (docs/OBS.md).
+//
+// Every layer of the stack reports through one of three shapes:
+//
+//   - Counter: a named monotonic atomic the producer increments directly
+//     (the thread pool's per-worker busy-ns / tasks / wakeups live here).
+//     find-or-create by full series name, so hot paths hold a Counter* and
+//     never touch the registry mutex again.
+//   - Histogram (obs/histogram.hpp): find-or-create like counters, rendered
+//     as a cumulative-bucket Prometheus histogram.
+//   - Collector: a callback that appends exposition text for object-scoped
+//     metrics (each serve::Service registers one labelled with its own
+//     service id, and unregisters on shutdown). Collectors run under the
+//     registry mutex, so unregistering synchronises with any in-flight
+//     render.
+//
+// Series names follow Prometheus conventions and may carry inline labels:
+//   scanprim_pool_busy_ns_total{worker="3"}
+// render_text() groups series by family (the part before '{') and emits one
+// `# TYPE` line per family.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/obs/histogram.hpp"
+
+namespace scanprim::obs {
+
+/// A monotonic counter. Stable address for the life of the process.
+class Counter {
+ public:
+  void add(std::uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Find-or-create the counter for `series` (full name, labels included).
+/// The same series name always returns the same counter, so independent
+/// instruments aggregate; the returned reference never invalidates.
+Counter& counter(std::string_view series);
+
+/// Find-or-create a registry-owned histogram for `series`.
+Histogram& histogram(std::string_view series);
+
+/// Register a collector that appends Prometheus text lines to `out` at every
+/// render_text(). Returns an id for unregister_collector(). The callback
+/// runs under the registry mutex: keep it allocation-light, and never call
+/// back into the registry from inside it.
+std::uint64_t register_collector(std::function<void(std::string& out)> fn);
+
+/// Remove a collector. Blocks until any in-flight render_text() has
+/// finished with it, so the callback's captures may be destroyed after
+/// this returns.
+void unregister_collector(std::uint64_t id);
+
+/// One Prometheus text-exposition snapshot: owned counters (grouped by
+/// family with `# TYPE` lines), owned histograms (cumulative `_bucket{le=}`
+/// series plus `_sum` / `_count`), then every registered collector.
+std::string render_text();
+
+// --- exposition helpers (for collectors) -------------------------------------
+
+/// Appends `name value\n`.
+void append_counter(std::string& out, std::string_view series,
+                    std::uint64_t value);
+
+/// Appends a full Prometheus histogram: non-empty buckets as cumulative
+/// `<family>_bucket{...,le="<upper>"}` series, then `_sum` and `_count`.
+/// `series` may carry labels; they are merged into the bucket labels.
+void append_histogram(std::string& out, std::string_view series,
+                      const Histogram& h);
+
+}  // namespace scanprim::obs

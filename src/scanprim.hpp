@@ -62,4 +62,7 @@
 #include "src/vm/isa.hpp"
 
 #include "src/fault/fault.hpp"
+#include "src/obs/histogram.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
 #include "src/thread/thread_pool.hpp"

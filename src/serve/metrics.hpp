@@ -1,7 +1,9 @@
 // Observability for the batching scan service. One Metrics snapshot is a
 // consistent-enough view for dashboards and benches: counters are relaxed
-// atomics underneath, latency percentiles come from a bounded reservoir of
-// recent requests.
+// atomics underneath, latency percentiles are EXACT rank selections over a
+// log-bucketed obs::Histogram of every completed request (docs/OBS.md) —
+// not a bounded sample. The same counters and histogram are exposed in
+// Prometheus text form through obs::render_text(), labelled per service.
 #pragma once
 
 #include <cstddef>
@@ -42,12 +44,15 @@ struct Metrics {
   /// exists to provide.
   std::uint64_t pool_dispatches = 0;
 
-  /// Request latency (submission to fulfilment) over the most recent
-  /// requests, from a bounded reservoir.
+  /// Request latency (submission to fulfilment) over ALL completed
+  /// requests: exact-count quantiles from the service's log-bucketed
+  /// histogram (values quantised to ~3% bucket resolution; counts exact).
   std::uint64_t p50_ns = 0;
   std::uint64_t p95_ns = 0;
   std::uint64_t p99_ns = 0;
   std::uint64_t max_ns = 0;
+  std::uint64_t mean_ns = 0;
+  std::uint64_t latency_count = 0;  ///< completed requests recorded above
 
   /// Accumulated executor counters for pipeline jobs (exec::Stats now carries
   /// wall-clock elapsed_ns, so pipeline latency is visible here too).

@@ -1,6 +1,5 @@
 #include "src/serve/service.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +8,8 @@
 
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim::serve {
@@ -22,6 +23,10 @@ std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
 }
+
+/// Distinguishes services in obs::render_text(): each instance's collector
+/// emits its series with {service="<seq>"}.
+std::atomic<std::uint64_t> g_service_seq{0};
 
 }  // namespace
 
@@ -94,7 +99,46 @@ Service::Options Service::Options::from_env() {
 }
 
 Service::Service(Options opts) : opts_(opts) {
-  latencies_.reserve(kLatencyReservoir);
+  // Expose this instance's counters and the latency histogram through the
+  // process-wide registry, labelled per service so concurrent instances
+  // (tests spin up many) stay distinguishable. The collector reads the same
+  // relaxed atomics metrics() reads; shutdown() unregisters it before the
+  // instance can be destroyed.
+  const std::string label =
+      "{service=\"" +
+      std::to_string(g_service_seq.fetch_add(1, std::memory_order_relaxed)) +
+      "\"}";
+  collector_id_ = obs::register_collector([this, label](std::string& out) {
+    const auto c = [&](std::string_view name, std::uint64_t v) {
+      obs::append_counter(out, std::string(name) + label, v);
+    };
+    c("scanprim_serve_submitted_total",
+      submitted_.load(std::memory_order_relaxed));
+    c("scanprim_serve_accepted_total",
+      accepted_.load(std::memory_order_relaxed));
+    c("scanprim_serve_rejected_total",
+      rejected_.load(std::memory_order_relaxed));
+    c("scanprim_serve_completed_total",
+      completed_.load(std::memory_order_relaxed));
+    c("scanprim_serve_timeouts_total",
+      timeouts_.load(std::memory_order_relaxed));
+    c("scanprim_serve_cancelled_total",
+      cancelled_.load(std::memory_order_relaxed));
+    c("scanprim_serve_errors_total", errors_.load(std::memory_order_relaxed));
+    c("scanprim_serve_recovery_batches_total",
+      recovery_batches_.load(std::memory_order_relaxed));
+    c("scanprim_serve_bisection_reruns_total",
+      bisection_reruns_.load(std::memory_order_relaxed));
+    c("scanprim_serve_batches_total", batches_.load(std::memory_order_relaxed));
+    c("scanprim_serve_batched_jobs_total",
+      batched_jobs_.load(std::memory_order_relaxed));
+    c("scanprim_serve_batched_elements_total",
+      batched_elements_.load(std::memory_order_relaxed));
+    c("scanprim_serve_pool_dispatches_total",
+      pool_dispatches_.load(std::memory_order_relaxed));
+    obs::append_histogram(out, "scanprim_serve_latency_ns" + label,
+                          latency_hist_);
+  });
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -186,6 +230,9 @@ std::future<Result> Service::enqueue(JobNode* n, const SubmitOptions& opts) {
   const std::size_t bytes_before =
       pending_bytes_.fetch_add(cost, std::memory_order_relaxed);
   in_flight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+  // Trace the admission on the submitter's own track (value = payload bytes)
+  // so a request's life shows as enqueue instant -> batch span -> fulfil.
+  obs::instant("serve.enqueue", cost);
 
   // Wake the batcher only when this push changes what it should do: the
   // stack went empty->nonempty (it may be in its indefinite wait), the job
@@ -224,6 +271,14 @@ void Service::shutdown() {
   wake_cv_.notify_all();
   std::lock_guard<std::mutex> jl(shutdown_mutex_);
   if (batcher_.joinable()) batcher_.join();
+  // Unregister the obs collector before this instance can be destroyed:
+  // unregistering synchronises with any in-flight render_text(), so after
+  // this no callback can touch `this`. Guarded by shutdown_mutex_ (ids
+  // start at 1; 0 means already unregistered).
+  if (collector_id_ != 0) {
+    obs::unregister_collector(collector_id_);
+    collector_id_ = 0;
+  }
 }
 
 // --- batcher -----------------------------------------------------------------
@@ -255,14 +310,10 @@ void Service::resolve_error(JobNode*& n, std::string message) {
 }
 
 void Service::record_latency(std::uint64_t ns) {
-  std::lock_guard<std::mutex> lk(lat_mutex_);
-  if (latencies_.size() < kLatencyReservoir) {
-    latencies_.push_back(ns);
-  } else {
-    latencies_[lat_next_] = ns;
-    lat_next_ = (lat_next_ + 1) % kLatencyReservoir;
-  }
-  if (ns > lat_max_) lat_max_ = ns;
+  // Every completed request, lock-free: the log-bucketed histogram replaces
+  // the old sampled reservoir, so metrics() percentiles are exact-count rank
+  // selections over the full population, not a window.
+  latency_hist_.record(ns);
 }
 
 void Service::batcher_loop() {
@@ -361,6 +412,8 @@ void Service::batcher_loop() {
     }
     pending.erase(pending.begin(), pending.begin() + take);
     pending_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+    // The window-cut decision: this many jobs leave the queue as one batch.
+    obs::instant("serve.window_cut", batch.size());
     execute_batch(batch);
     return Step::kContinue;
   };
@@ -452,6 +505,7 @@ void Service::build_slices(std::span<JobNode* const> group) {
 
 bool Service::try_dispatch(std::span<JobNode* const> group,
                            std::string* error) {
+  obs::Span span("serve.dispatch");
   build_slices(group);
   try {
     SCANPRIM_FAULT_POINT("serve.dispatch");
@@ -474,6 +528,7 @@ bool Service::try_dispatch(std::span<JobNode* const> group,
 // complete; only a job whose own execution throws resolves kError.
 void Service::recover_group(std::span<JobNode* const> group) {
   if (group.empty()) return;
+  obs::Span span("serve.recover");
   if (group.size() == 1) {
     JobNode* n = group.front();
     stage_group(group, /*restore_scans=*/true);
@@ -505,6 +560,7 @@ void Service::recover_group(std::span<JobNode* const> group) {
 }
 
 void Service::execute_batch(std::vector<JobNode*>& jobs) {
+  obs::Span batch_span("serve.batch");
   SCANPRIM_FAULT_POINT("serve.batch");
 
   // Partition the batch and lay out the shared staging / snapshot buffers.
@@ -568,7 +624,7 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
     if (n->kind != JobKind::kPipeline) continue;
     try {
       n->data = executor_.run(n->pipeline);
-      std::lock_guard<std::mutex> lk(lat_mutex_);
+      std::lock_guard<std::mutex> lk(stats_mutex_);
       pipeline_stats_ += executor_.stats();
     } catch (const std::exception& e) {
       n->failed = true;
@@ -593,6 +649,7 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
   // the batch executed still yields kCancelled/kTimeout, not a stale kOk.
   // Scan results are already in the job's own buffer and move out;
   // pack/enumerate read their scanned destinations from the staging buffer.
+  obs::Span fulfil_span("serve.fulfil");
   const auto fulfil_now = Clock::now();
   for (JobNode*& n : jobs) {
     if (n == nullptr) continue;
@@ -684,23 +741,20 @@ Metrics Service::metrics() const {
     m.mean_batch_elements = static_cast<double>(m.batched_elements) /
                             static_cast<double>(m.batches);
   }
-  std::vector<std::uint64_t> lat;
   {
-    std::lock_guard<std::mutex> lk(lat_mutex_);
-    lat = latencies_;
-    m.max_ns = lat_max_;
+    std::lock_guard<std::mutex> lk(stats_mutex_);
     m.pipeline_stats = pipeline_stats_;
   }
-  if (!lat.empty()) {
-    const auto pct = [&](double p) {
-      const std::size_t k = static_cast<std::size_t>(
-          p * static_cast<double>(lat.size() - 1) + 0.5);
-      std::nth_element(lat.begin(), lat.begin() + k, lat.end());
-      return lat[k];
-    };
-    m.p50_ns = pct(0.50);
-    m.p95_ns = pct(0.95);
-    m.p99_ns = pct(0.99);
+  // Exact-count rank selections over every completed request (the histogram
+  // quantises values to ~3% bucket resolution; the ranks themselves are
+  // exact — no sampling window).
+  m.latency_count = latency_hist_.count();
+  if (m.latency_count > 0) {
+    m.p50_ns = latency_hist_.value_at_quantile(0.50);
+    m.p95_ns = latency_hist_.value_at_quantile(0.95);
+    m.p99_ns = latency_hist_.value_at_quantile(0.99);
+    m.max_ns = latency_hist_.max();
+    m.mean_ns = static_cast<std::uint64_t>(latency_hist_.mean());
   }
   return m;
 }

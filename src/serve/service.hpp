@@ -39,6 +39,7 @@
 #include "src/core/segmented.hpp"
 #include "src/exec/executor.hpp"
 #include "src/exec/graph.hpp"
+#include "src/obs/histogram.hpp"
 #include "src/serve/job.hpp"
 #include "src/serve/metrics.hpp"
 
@@ -152,8 +153,12 @@ class Service {
   std::uint64_t batch_seq_ = 0;  ///< batcher-only
   std::mutex shutdown_mutex_;            ///< makes shutdown() re-entrant
 
-  // Metrics. Counters are relaxed atomics; the latency reservoir and the
-  // accumulated pipeline stats are written by the batcher under lat_mutex_.
+  // Metrics. Counters are relaxed atomics; the latency histogram records
+  // lock-free from the batcher; the accumulated pipeline stats are written
+  // by the batcher under stats_mutex_. At construction the service registers
+  // an obs collector so the same counters and the histogram appear in
+  // obs::render_text(), labelled {service="<seq>"}; shutdown() unregisters
+  // it (unregistering synchronises with any in-flight render).
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -168,11 +173,9 @@ class Service {
   std::atomic<std::uint64_t> batched_elements_{0};
   std::atomic<std::uint64_t> pool_dispatches_{0};
 
-  static constexpr std::size_t kLatencyReservoir = 8192;
-  mutable std::mutex lat_mutex_;
-  std::vector<std::uint64_t> latencies_;  ///< ring of recent request latencies
-  std::size_t lat_next_ = 0;
-  std::uint64_t lat_max_ = 0;
+  obs::Histogram latency_hist_;  ///< every completed request's latency, ns
+  std::uint64_t collector_id_ = 0;
+  mutable std::mutex stats_mutex_;
   exec::Stats pipeline_stats_{};
 };
 

@@ -1,14 +1,25 @@
 #include "src/thread/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <string>
 
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
 
 namespace scanprim::thread {
 namespace {
 
 thread_local bool tls_inside_worker = false;
+
+std::uint64_t busy_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::size_t configured_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -20,6 +31,15 @@ std::size_t configured_workers() {
 
 ThreadPool::ThreadPool(std::size_t workers)
     : workers_(workers == 0 ? 1 : workers) {
+  counters_.resize(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    const std::string label = "{worker=\"" + std::to_string(w) + "\"}";
+    counters_[w].busy_ns =
+        &obs::counter("scanprim_pool_busy_ns_total" + label);
+    counters_[w].tasks = &obs::counter("scanprim_pool_tasks_total" + label);
+    counters_[w].wakeups =
+        &obs::counter("scanprim_pool_wakeups_total" + label);
+  }
   threads_.reserve(workers_ - 1);
   for (std::size_t w = 1; w < workers_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -36,6 +56,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::execute(std::size_t index) {
+  obs::Span span("pool.task");
+  const std::uint64_t t0 = busy_now_ns();
   try {
     SCANPRIM_FAULT_POINT("thread.worker");
     (*job_)(index);
@@ -43,6 +65,8 @@ void ThreadPool::execute(std::size_t index) {
     std::lock_guard lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  counters_[index].busy_ns->add(busy_now_ns() - t0);
+  counters_[index].tasks->inc();
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -55,6 +79,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       if (stopping_) return;
       seen = generation_;
     }
+    counters_[index].wakeups->inc();
     execute(index);
     {
       std::lock_guard lock(mutex_);
@@ -70,7 +95,11 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     // parallel path exactly — every index runs, then the first error (in
     // index order, which here is also arrival order) is rethrown — so
     // algorithms cannot come to depend on a first-throw-stops-the-rest
-    // behaviour that only exists on the serial path.
+    // behaviour that only exists on the serial path. Busy time and task
+    // counts are attributed to worker 0, the slot the calling thread
+    // occupies.
+    obs::Span span("pool.dispatch");
+    const std::uint64_t t0 = busy_now_ns();
     std::exception_ptr first_error;
     for (std::size_t w = 0; w < workers_; ++w) {
       try {
@@ -79,14 +108,18 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
+      counters_[0].tasks->inc();
     }
+    counters_[0].busy_ns->add(busy_now_ns() - t0);
     if (first_error) std::rethrow_exception(first_error);
     return;
   }
   // One external dispatch at a time: a second thread calling run() while a
   // fan-out is in flight would clobber job_/generation_. Workers never reach
   // here (the tls check above sends them down the serial path), so holding
-  // run_mutex_ across the whole fork-join cannot deadlock.
+  // run_mutex_ across the whole fork-join cannot deadlock. The span starts
+  // before the lock so dispatch serialisation shows up as span time.
+  obs::Span span("pool.dispatch");
   std::lock_guard run_lock(run_mutex_);
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   {

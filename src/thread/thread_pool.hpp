@@ -14,6 +14,10 @@
 #include <thread>
 #include <vector>
 
+namespace scanprim::obs {
+class Counter;  // obs/registry.hpp
+}
+
 namespace scanprim::thread {
 
 /// A fixed-size work-sharing pool. `run(fn)` executes `fn(w)` once for every
@@ -41,9 +45,13 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_; }
 
-  /// Number of parallel fan-outs `run` has performed (serial fallbacks —
-  /// one worker or nested calls — are not dispatches). Benches difference
-  /// this around a workload to count its dispatch rounds.
+  /// Number of parallel FAN-OUTS `run` has performed — each counts once no
+  /// matter how many workers it occupied, so this is NOT a task count (one
+  /// dispatch executes `size()` per-worker tasks; serial fallbacks — one
+  /// worker or nested calls — are neither dispatches nor counted here).
+  /// Benches difference this around a workload to count its dispatch
+  /// rounds; per-worker task counts live in the obs registry
+  /// (scanprim_pool_tasks_total{worker="w"}, docs/OBS.md).
   std::uint64_t dispatch_count() const noexcept {
     return dispatches_.load(std::memory_order_relaxed);
   }
@@ -54,7 +62,18 @@ class ThreadPool {
   void worker_loop(std::size_t index);
   void execute(std::size_t index);
 
+  /// Per-worker utilisation, exported through the obs metrics registry
+  /// (docs/OBS.md): scanprim_pool_{busy_ns,tasks,wakeups}_total{worker="w"}.
+  /// Series are find-or-create, so several pools (tests build their own)
+  /// aggregate into process-wide totals per worker index.
+  struct WorkerCounters {
+    obs::Counter* busy_ns = nullptr;  ///< ns spent inside task bodies
+    obs::Counter* tasks = nullptr;    ///< task bodies executed
+    obs::Counter* wakeups = nullptr;  ///< times a parked worker woke for work
+  };
+
   std::size_t workers_;
+  std::vector<WorkerCounters> counters_;
   std::vector<std::thread> threads_;
 
   std::mutex run_mutex_;  ///< serializes dispatches from external threads

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validates a scanprim Chrome-trace JSON export (docs/OBS.md).
+
+Usage: check_trace.py <trace.json>
+
+Checks the invariants the exporter promises — the ones that make the file
+load cleanly in Perfetto / chrome://tracing:
+
+  * the file is valid JSON with a traceEvents array;
+  * every event carries ph, pid, tid and a name;
+  * span events are pre-paired "X" complete events with ts >= 0 and
+    dur >= 0, and within each thread they nest properly (a span begun
+    inside another ends inside it);
+  * all events share one pid, and every tid that emits events also emits a
+    thread_name metadata record;
+  * instants carry a scope and counters carry an args.value.
+
+Exits 0 when the trace is valid, 1 (with a diagnosis) when it is not.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing traceEvents envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty")
+
+    pids = set()
+    named_tids = set()
+    emitting_tids = set()
+    spans_by_tid = defaultdict(list)
+    counts = defaultdict(int)
+
+    for i, e in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in e:
+                fail(f"event {i} missing {key!r}: {e}")
+        ph = e["ph"]
+        counts[ph] += 1
+        pids.add(e["pid"])
+        if ph == "M":
+            if e["name"] == "thread_name":
+                named_tids.add(e["tid"])
+            continue
+        emitting_tids.add(e["tid"])
+        if ph == "X":
+            ts, dur = e.get("ts"), e.get("dur")
+            if ts is None or dur is None:
+                fail(f"X event {i} missing ts/dur: {e}")
+            if ts < 0 or dur < 0:
+                fail(f"X event {i} has negative ts/dur: {e}")
+            spans_by_tid[e["tid"]].append((ts, ts + dur, e["name"]))
+        elif ph == "i":
+            if "s" not in e:
+                fail(f"instant {i} missing scope: {e}")
+        elif ph == "C":
+            if "value" not in e.get("args", {}):
+                fail(f"counter {i} missing args.value: {e}")
+        elif ph in ("B", "E"):
+            fail(f"unpaired {ph} event {i} (exporter must emit X): {e}")
+        else:
+            fail(f"event {i} has unknown phase {ph!r}")
+
+    if len(pids) != 1:
+        fail(f"expected one pid, saw {sorted(pids)}")
+    unnamed = emitting_tids - named_tids
+    if unnamed:
+        fail(f"tids without thread_name metadata: {sorted(unnamed)}")
+
+    # Spans on one thread must nest: sorted by start, each span either
+    # contains or is disjoint from the next (the exporter pairs a per-thread
+    # stack, so overlap without containment means mispairing).
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(
+                    f"tid {tid}: span {name!r} [{start}, {end}] overlaps "
+                    f"{stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}] "
+                    "without nesting"
+                )
+            stack.append((start, end, name))
+
+    total_spans = sum(len(s) for s in spans_by_tid.values())
+    print(
+        f"check_trace: OK: {len(events)} events "
+        f"({total_spans} spans, {counts['i']} instants, "
+        f"{counts['C']} counters, {counts['M']} metadata) "
+        f"across {len(emitting_tids)} threads"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
