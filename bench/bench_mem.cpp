@@ -1,0 +1,158 @@
+// The memory subsystem's two headline claims, measured (docs/MEM.md):
+//
+//   1. Arena vs malloc on the serve batcher's snapshot path. Every batch
+//      with recovery on copies its scan payload into a snapshot buffer;
+//      with plain malloc that is an allocate + first-touch page faults +
+//      copy + free per batch, with the arena the same class block comes
+//      back off the free list already faulted in. Reported as ms per
+//      snapshot cycle (allocate + memcpy + free), best of 5.
+//
+//   2. Transparent huge pages on vs off for first-touch + streaming read of
+//      fresh mappings, ns/element over 2^20 .. 2^27 bytes. THP's win is
+//      fewer page faults on the touch and fewer TLB misses on the stream;
+//      both show up in the per-element figure. Policies are flipped at
+//      runtime (mem::set_huge_policy) so one process measures both.
+//
+// Emits BENCH_mem.json rows: {bench, bytes, policy/variant, ms or
+// ns_per_element}.
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/mem/mem.hpp"
+
+namespace scanprim {
+namespace {
+
+bench::JsonLog json;
+
+// Escape hatch: without it the compiler elides the malloc leg entirely
+// (the allocation is dead, and new-expression elision is allowed).
+template <class T>
+inline void do_not_optimize(T const& v) {
+  asm volatile("" : : "g"(v) : "memory");
+}
+
+// One snapshot cycle, arena flavour: class-recycled block, copy, free.
+double arena_snapshot_ms(const std::vector<std::uint64_t>& src, int reps) {
+  const std::size_t bytes = src.size() * sizeof(std::uint64_t);
+  return bench::best_of_ms(reps, [&] {
+    std::byte* p = mem::allocate(bytes);
+    std::memcpy(p, src.data(), bytes);
+    do_not_optimize(p);
+    mem::deallocate(p);
+  });
+}
+
+// The same cycle through the system allocator, fresh each time — what the
+// snapshot path cost before the arena migration.
+double malloc_snapshot_ms(const std::vector<std::uint64_t>& src, int reps) {
+  const std::size_t bytes = src.size() * sizeof(std::uint64_t);
+  return bench::best_of_ms(reps, [&] {
+    auto p = std::make_unique<std::byte[]>(bytes);
+    std::memcpy(p.get(), src.data(), bytes);
+    do_not_optimize(p.get());
+    // unique_ptr frees on scope exit
+  });
+}
+
+void bench_snapshot_path() {
+  bench::header("snapshot cycle: arena vs malloc (alloc + memcpy + free)");
+  bench::row({"bytes", "malloc ms", "arena ms", "speedup"});
+  for (std::size_t log = 20; log <= 27; ++log) {
+    const std::size_t bytes = std::size_t{1} << log;
+    std::vector<std::uint64_t> src(bytes / sizeof(std::uint64_t), 0x5a5a);
+    const int reps = bytes >= (std::size_t{64} << 20) ? 5 : 9;
+    // Warm the arena's free list once so the measured cycles hit it — the
+    // steady state of the batcher, which snapshots every batch.
+    mem::deallocate(mem::allocate(bytes));
+    const double arena_ms = arena_snapshot_ms(src, reps);
+    const double malloc_ms = malloc_snapshot_ms(src, reps);
+    bench::row({bench::fmt_u(bytes), bench::fmt(malloc_ms, 3),
+                bench::fmt(arena_ms, 3),
+                bench::fmt(malloc_ms / arena_ms, 2) + "x"});
+    json.field("bench", "snapshot_cycle")
+        .field("bytes", static_cast<std::uint64_t>(bytes))
+        .field("malloc_ms", malloc_ms)
+        .field("arena_ms", arena_ms)
+        .field("speedup", malloc_ms / arena_ms)
+        .end_object();
+    mem::trim_local(0);
+  }
+}
+
+// First-touch write of every 8th word (one touch per 64-byte line), then a
+// full streaming read — a fresh mapping each rep so the page-fault cost is
+// IN the measurement. Returns ns per 8-byte element.
+double touch_stream_ns_per_elem(std::size_t bytes, int reps) {
+  const std::size_t words = bytes / sizeof(std::uint64_t);
+  volatile std::uint64_t sink = 0;
+  const double ms = bench::best_of_ms(reps, [&] {
+    mem::trim_local(0);  // force a fresh mapping: policy applies to it
+    auto* p = reinterpret_cast<std::uint64_t*>(mem::allocate(bytes));
+    for (std::size_t i = 0; i < words; i += 8) p[i] = i;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < words; ++i) acc += p[i];
+    sink = acc;
+    mem::deallocate(reinterpret_cast<std::byte*>(p));
+  });
+  return ms * 1e6 / static_cast<double>(words);
+}
+
+void bench_thp_on_off() {
+  bench::header("first-touch + stream read, fresh mapping: THP off vs on");
+  bench::row({"bytes", "off ns/el", "thp ns/el", "off/thp"});
+  for (std::size_t log = 20; log <= 27; ++log) {
+    const std::size_t bytes = std::size_t{1} << log;
+    const int reps = bytes >= (std::size_t{64} << 20) ? 3 : 5;
+    mem::set_huge_policy(mem::HugePolicy::kOff);
+    const double off_ns = touch_stream_ns_per_elem(bytes, reps);
+    mem::set_huge_policy(mem::HugePolicy::kThp);
+    const double thp_ns = touch_stream_ns_per_elem(bytes, reps);
+    bench::row({bench::fmt_u(bytes), bench::fmt(off_ns, 3),
+                bench::fmt(thp_ns, 3), bench::fmt(off_ns / thp_ns, 2) + "x"});
+    const std::pair<const char*, double> rows[] = {{"off", off_ns},
+                                                   {"thp", thp_ns}};
+    for (const auto& [policy, ns] : rows) {
+      json.field("bench", "touch_stream")
+          .field("bytes", static_cast<std::uint64_t>(bytes))
+          .field("policy", policy)
+          .field("ns_per_element", ns)
+          .end_object();
+    }
+  }
+  mem::trim_local(0);
+}
+
+void report_counters() {
+  const mem::Counters c = mem::counters();
+  bench::header("mem counters after the run");
+  bench::row({"hits", "misses", "os_allocs", "huge_grants", "huge_denials"});
+  bench::row({bench::fmt_u(c.arena_hits), bench::fmt_u(c.arena_misses),
+              bench::fmt_u(c.os_allocs), bench::fmt_u(c.huge_grants),
+              bench::fmt_u(c.huge_denials)});
+  json.field("bench", "counters")
+      .field("arena_hits", c.arena_hits)
+      .field("arena_misses", c.arena_misses)
+      .field("os_allocs", c.os_allocs)
+      .field("os_frees", c.os_frees)
+      .field("huge_grants", c.huge_grants)
+      .field("huge_denials", c.huge_denials)
+      .field("peak_bytes", c.peak_bytes)
+      .end_object();
+}
+
+}  // namespace
+}  // namespace scanprim
+
+int main() {
+  scanprim::bench_snapshot_path();
+  scanprim::bench_thp_on_off();
+  scanprim::report_counters();
+  if (!scanprim::json.write("BENCH_mem.json")) return 1;
+  std::printf("\nwrote BENCH_mem.json\n");
+  return 0;
+}

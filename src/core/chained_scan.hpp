@@ -28,11 +28,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <thread>
-#include <vector>
 
 #include "src/fault/fault.hpp"
+#include "src/mem/mem.hpp"
 #include "src/obs/obs.hpp"
 #include "src/thread/thread_pool.hpp"
 
@@ -67,7 +66,10 @@ inline void chained_spin_pause(unsigned& spins) {
 
 /// Reusable tile-descriptor storage for repeated chained scans (the serve
 /// batcher runs one mega-scan per batch, thousands per second — reallocating
-/// and faulting in the descriptor array each time is pure overhead). Not
+/// and faulting in the descriptor array each time is pure overhead). The
+/// descriptor array lives in the dispatching thread's size-classed arena
+/// (src/mem), so growth recycles previously released tile-state blocks and
+/// a grown array returns to the free lists, not a private cache. Not
 /// thread-safe: one scratch belongs to one dispatching thread.
 template <class C>
 class ChainedScratch {
@@ -76,15 +78,17 @@ class ChainedScratch {
   /// reset is relaxed: the pool dispatch that follows publishes it to the
   /// workers.
   ChainedTileState<C>* prepare(std::size_t ntiles) {
-    if (ntiles > cap_) {
-      states_ = std::make_unique<ChainedTileState<C>[]>(ntiles);
-      cap_ = ntiles;
-    }
-    for (std::size_t i = 0; i < ntiles; ++i) {
-      states_[i].status.store(TileStatus::kInvalid, std::memory_order_relaxed);
+    if (ntiles > states_.size()) {
+      // Fresh descriptors come default-constructed, i.e. already kInvalid.
+      states_.reset(ntiles);
+    } else {
+      for (std::size_t i = 0; i < ntiles; ++i) {
+        states_[i].status.store(TileStatus::kInvalid,
+                                std::memory_order_relaxed);
+      }
     }
     prepared_ = ntiles;
-    return states_.get();
+    return states_.data();
   }
 
   /// Re-invalidates every descriptor of the most recent run. An
@@ -102,8 +106,7 @@ class ChainedScratch {
   }
 
  private:
-  std::unique_ptr<ChainedTileState<C>[]> states_;
-  std::size_t cap_ = 0;
+  mem::ArenaArray<ChainedTileState<C>> states_;
   std::size_t prepared_ = 0;  ///< descriptor count of the most recent run
 };
 
@@ -131,12 +134,14 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
                       Rescan rescan, ChainedScratch<C>* scratch = nullptr) {
   if (n == 0) return;
   const std::size_t ntiles = (n + tile - 1) / tile;
-  std::vector<ChainedTileState<C>> local_states;
+  mem::ArenaArray<ChainedTileState<C>> local_states;
   ChainedTileState<C>* states;
   if (scratch != nullptr) {
     states = scratch->prepare(ntiles);
   } else {
-    local_states = std::vector<ChainedTileState<C>>(ntiles);
+    // Run-local descriptors still come from (and return to) the calling
+    // thread's arena, so repeated scratch-less scans recycle the same block.
+    local_states.reset(ntiles);
     states = local_states.data();
   }
   std::atomic<std::size_t> next{0};

@@ -1,37 +1,13 @@
 #include "src/exec/executor.hpp"
 
+#include "src/mem/mem.hpp"
+
 namespace scanprim::exec::detail {
 
 std::byte* BufferArena::acquire(std::size_t bytes, bool* reused) {
-  if (bytes == 0) bytes = 1;
-  // Best fit among free buffers: the smallest one that is large enough.
-  Buf* best = nullptr;
-  for (Buf& b : bufs_) {
-    if (b.in_use || b.cap < bytes) continue;
-    if (!best || b.cap < best->cap) best = &b;
-  }
-  if (best) {
-    best->in_use = true;
-    *reused = true;
-    return best->data.get();
-  }
-  Buf b;
-  b.data = std::make_unique<std::byte[]>(bytes);
-  b.cap = bytes;
-  b.in_use = true;
-  bufs_.push_back(std::move(b));
-  *reused = false;
-  return bufs_.back().data.get();
+  return mem::allocate(bytes, reused);
 }
 
-void BufferArena::release(std::byte* p) {
-  for (Buf& b : bufs_) {
-    if (b.data.get() == p) {
-      b.in_use = false;
-      return;
-    }
-  }
-  assert(false && "release of a pointer the arena does not own");
-}
+void BufferArena::release(std::byte* p) { mem::deallocate(p); }
 
 }  // namespace scanprim::exec::detail

@@ -38,24 +38,20 @@ namespace scanprim::exec {
 
 namespace detail {
 
-/// Reusable raw buffers for inter-group temporaries. Buffers are aligned to
-/// __STDCPP_DEFAULT_NEW_ALIGNMENT__, which covers every trivially copyable
-/// element type the executor accepts.
+/// Inter-group temporaries, served by the size-classed thread-local arenas
+/// of src/mem (docs/MEM.md): acquire takes from the calling thread's free
+/// lists (so an executor shares recycled buffers with everything else on
+/// its thread — the serve batcher's snapshots, chained scratch), release
+/// files the buffer back, and the arena's high-water trim policy bounds
+/// retained memory instead of the old grow-forever buffer list. Blocks are
+/// 64-byte aligned, which covers every trivially copyable element type the
+/// executor accepts.
 class BufferArena {
  public:
-  /// A buffer of at least `bytes`; `*reused` reports whether a previously
-  /// released buffer was recycled (an arena hit).
+  /// A buffer of at least `bytes`; `*reused` reports whether a free-listed
+  /// block was recycled (an arena hit).
   std::byte* acquire(std::size_t bytes, bool* reused);
   void release(std::byte* p);
-  std::size_t buffers() const { return bufs_.size(); }
-
- private:
-  struct Buf {
-    std::unique_ptr<std::byte[]> data;
-    std::size_t cap = 0;
-    bool in_use = false;
-  };
-  std::vector<Buf> bufs_;
 };
 
 // Visit the tiles of [lo, hi) in scan order (forward, or back-to-front for

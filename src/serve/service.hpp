@@ -39,6 +39,7 @@
 #include "src/core/segmented.hpp"
 #include "src/exec/executor.hpp"
 #include "src/exec/graph.hpp"
+#include "src/mem/mem.hpp"
 #include "src/obs/histogram.hpp"
 #include "src/serve/job.hpp"
 #include "src/serve/metrics.hpp"
@@ -145,8 +146,12 @@ class Service {
   exec::Executor executor_;  ///< runs pipeline jobs (arena reuse across them)
   detail::ChainedScratch<batch::BatchCarry> scratch_fwd_;
   detail::ChainedScratch<batch::BatchCarry> scratch_bwd_;
-  std::vector<Value> stage_;  ///< reused 0/1 staging for pack/enumerate jobs
-  std::vector<Value> backup_;  ///< reused pristine scan payloads (recovery)
+  // Staging and snapshot storage comes from the batcher thread's
+  // size-classed arena (src/mem, docs/MEM.md): per-batch growth recycles
+  // the free lists the executor and scratch share on that thread, and the
+  // arena's trim policy bounds what an occasional giant batch leaves behind.
+  mem::Vector<Value> stage_;   ///< reused 0/1 staging for pack/enumerate jobs
+  mem::Vector<Value> backup_;  ///< reused pristine scan payloads (recovery)
   std::vector<JobNode*> scan_jobs_;  ///< reused: the batch's non-pipeline jobs
   std::vector<batch::JobSlice> slices_fwd_;  ///< reused per-batch job lists
   std::vector<batch::JobSlice> slices_bwd_;

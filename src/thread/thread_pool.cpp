@@ -6,6 +6,7 @@
 
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
+#include "src/mem/mem.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/registry.hpp"
 
@@ -71,6 +72,12 @@ void ThreadPool::execute(std::size_t index) {
 
 void ThreadPool::worker_loop(std::size_t index) {
   tls_inside_worker = true;
+  // SCANPRIM_PIN=1 (docs/MEM.md): pin each spawned worker to a fixed CPU,
+  // round-robin, so first-touch NUMA placement is stable — a worker's pages
+  // stay on the node of the core that faulted them in. Worker 0 is the
+  // dispatching caller (the batcher, a request thread, main); its affinity
+  // is not ours to change.
+  if (mem::pin_workers()) mem::pin_thread_to_cpu(index);
   std::uint64_t seen = 0;
   for (;;) {
     {
