@@ -17,6 +17,7 @@
 #include "src/core/runtime.hpp"
 #include "src/core/scan.hpp"
 #include "src/core/segmented.hpp"
+#include "src/core/simd/simd.hpp"
 
 namespace {
 
@@ -204,8 +205,9 @@ EngineRow compare_engines(const char* op, std::size_t n, int reps, Run run) {
 
 void run_engine_sweep() {
   bench::header("scan engine: chained (single-pass) vs two-phase blocked");
-  std::printf("workers=%zu  tile=%zu\n", thread::num_workers(),
-              detail::kChainedTileElements);
+  std::printf("workers=%zu  tile=%zu  simd=%s\n", thread::num_workers(),
+              detail::chained_tile_elements<std::int64_t>(),
+              simd::tier_name(simd::active_tier()));
   bench::row({"op", "n", "chained ms", "twophase ms", "speedup", "disp c/t",
               "match"});
 
@@ -213,7 +215,7 @@ void run_engine_sweep() {
   const std::size_t sizes[] = {std::size_t{1} << 20, std::size_t{1} << 22,
                                std::size_t{1} << 24, std::size_t{1} << 26};
   for (const std::size_t n : sizes) {
-    const int reps = n >= (std::size_t{1} << 24) ? 3 : 5;
+    const int reps = n >= (std::size_t{1} << 24) ? 5 : 7;
     const auto in = make_input(n);
     const std::span<const std::int64_t> s(in);
     Flags f(n, 0);
@@ -241,6 +243,7 @@ void run_engine_sweep() {
       json.field("op", r.op)
           .field("n", r.n)
           .field("workers", static_cast<std::uint64_t>(thread::num_workers()))
+          .field("simd", simd::tier_name(simd::active_tier()))
           .field("chained_ms", r.chained_ms)
           .field("twophase_ms", r.twophase_ms)
           .field("speedup", r.speedup())

@@ -37,10 +37,24 @@
 
 namespace scanprim::detail {
 
-/// Elements per chained tile. 4096 × 8-byte elements = 32 KiB: small enough
-/// that the rescan's second pass over the tile hits L1/L2 instead of DRAM,
-/// large enough that the per-tile status-word traffic is noise.
-inline constexpr std::size_t kChainedTileElements = 4096;
+/// Bytes per chained tile. 32 KiB: small enough that the rescan's second
+/// pass over the tile hits L1/L2 instead of DRAM, large enough that the
+/// per-tile status-word traffic is noise.
+inline constexpr std::size_t kChainedTileBytes = 32 * 1024;
+
+/// Elements per chained tile for 8-byte element types (the historical
+/// constant; callers with a concrete element type should size by bytes via
+/// chained_tile_elements so 1-byte flag scans don't run 4 KiB tiles).
+inline constexpr std::size_t kChainedTileElements = kChainedTileBytes / 8;
+
+/// Elements per chained tile for element type T: kChainedTileBytes scaled
+/// by sizeof(T), floored so degenerate (huge) element types still make
+/// progress.
+template <class T>
+constexpr std::size_t chained_tile_elements() {
+  const std::size_t e = kChainedTileBytes / sizeof(T);
+  return e < 256 ? 256 : e;
+}
 
 enum class TileStatus : std::uint32_t {
   kInvalid = 0,
@@ -57,7 +71,21 @@ struct alignas(64) ChainedTileState {
   C prefix{};     ///< valid once status is kPrefix (inclusive through tile)
 };
 
+/// One spin-wait beat: tells the core this is a busy-wait (on x86 `pause`
+/// also backs off the speculative memory pipeline and yields the
+/// hyperthread's issue slots) instead of burning full-speed iterations.
+inline void chained_cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 inline void chained_spin_pause(unsigned& spins) {
+  chained_cpu_relax();
   if (++spins >= 128) {
     std::this_thread::yield();
     spins = 0;
@@ -217,8 +245,17 @@ void chained_scan_run(std::size_t n, std::size_t tile, bool backward,
         rescan(w, begin, count, carry);
       } catch (...) {
         aborted.store(true, std::memory_order_relaxed);
-        st.prefix = identity;
-        st.status.store(TileStatus::kPrefix, std::memory_order_release);
+        // Unblock in-flight lookbacks with a fabricated identity prefix —
+        // but only if this tile has not already published kPrefix. Once
+        // kPrefix is out (e.g. the *rescan* threw, after publication), a
+        // successor may be reading st.prefix right now; rewriting it here
+        // would be a data race, and the successor could combine with the
+        // bogus identity. The prefix a published tile carries is correct
+        // regardless of the abort, so leave it alone.
+        if (st.status.load(std::memory_order_relaxed) != TileStatus::kPrefix) {
+          st.prefix = identity;
+          st.status.store(TileStatus::kPrefix, std::memory_order_release);
+        }
         throw;
       }
     }

@@ -30,14 +30,29 @@ struct Plus {
 template <class T>
 struct Max {
   using value_type = T;
-  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  // For float types the identity must be -inf, not lowest():
+  // max(lowest(), -inf) == lowest() != -inf, so a scan over data containing
+  // -inf would be wrong wherever the identity seeds a segment or tile.
+  static constexpr T identity() {
+    if constexpr (std::numeric_limits<T>::has_infinity) {
+      return -std::numeric_limits<T>::infinity();
+    } else {
+      return std::numeric_limits<T>::lowest();
+    }
+  }
   constexpr T operator()(T a, T b) const { return a > b ? a : b; }
 };
 
 template <class T>
 struct Min {
   using value_type = T;
-  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  static constexpr T identity() {
+    if constexpr (std::numeric_limits<T>::has_infinity) {
+      return std::numeric_limits<T>::infinity();
+    } else {
+      return std::numeric_limits<T>::max();
+    }
+  }
   constexpr T operator()(T a, T b) const { return a < b ? a : b; }
 };
 

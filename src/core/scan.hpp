@@ -21,38 +21,61 @@
 #include "src/core/chained_scan.hpp"
 #include "src/core/ops.hpp"
 #include "src/core/runtime.hpp"
+#include "src/core/simd/simd.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
 
 namespace detail {
 
+// The sequential kernels below are the tile/block bodies of BOTH parallel
+// engines (and the whole scan when workers == 1 or n is below the serial
+// cutoff). Each one dispatches to the SIMD tier of core/simd/ when the
+// operator × element type has a vector kernel, and otherwise runs the plain
+// element loop; the two paths are bit-identical (see simd_kernels.hpp), so
+// engine results never depend on the tier.
+
 template <class T, class Op>
 T sequential_reduce(std::span<const T> in, Op op) {
-  T acc = Op::identity();
-  for (const T& v : in) acc = op(acc, v);
-  return acc;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::reduce_fwd<T, Op>(in.data(), nullptr, in.size(),
+                                   Op::identity());
+  } else {
+    T acc = Op::identity();
+    for (const T& v : in) acc = op(acc, v);
+    return acc;
+  }
 }
 
 // out may alias in: out[i] is written only after in[i] has been read.
 template <class T, class Op>
 void sequential_exclusive_scan(std::span<const T> in, std::span<T> out,
                                Op op, T carry_in) {
-  T carry = carry_in;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const T next = op(carry, in[i]);
-    out[i] = carry;
-    carry = next;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    simd::scan_fwd<T, Op, /*Inclusive=*/false>(in.data(), nullptr, out.data(),
+                                               in.size(), carry_in);
+  } else {
+    T carry = carry_in;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const T next = op(carry, in[i]);
+      out[i] = carry;
+      carry = next;
+    }
   }
 }
 
 template <class T, class Op>
 void sequential_inclusive_scan(std::span<const T> in, std::span<T> out,
                                Op op, T carry_in) {
-  T carry = carry_in;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    carry = op(carry, in[i]);
-    out[i] = carry;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    simd::scan_fwd<T, Op, /*Inclusive=*/true>(in.data(), nullptr, out.data(),
+                                              in.size(), carry_in);
+  } else {
+    T carry = carry_in;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      carry = op(carry, in[i]);
+      out[i] = carry;
+    }
   }
 }
 
@@ -64,7 +87,7 @@ template <class T, class Op, class BlockScan>
 void chained_scan_dispatch(std::span<const T> in, std::span<T> out, Op op,
                            bool backward, BlockScan scan_block) {
   chained_scan_run<T>(
-      in.size(), kChainedTileElements, backward, Op::identity(), op,
+      in.size(), chained_tile_elements<T>(), backward, Op::identity(), op,
       [&](std::size_t, std::size_t b, std::size_t c, T* agg) {
         *agg = sequential_reduce(in.subspan(b, c), op);
         return false;
@@ -151,21 +174,31 @@ namespace detail {
 template <class T, class Op>
 void sequential_backward_exclusive_scan(std::span<const T> in,
                                         std::span<T> out, Op op, T carry_in) {
-  T carry = carry_in;
-  for (std::size_t i = in.size(); i-- > 0;) {
-    const T next = op(carry, in[i]);
-    out[i] = carry;
-    carry = next;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    simd::scan_bwd<T, Op, /*Inclusive=*/false>(in.data(), nullptr, out.data(),
+                                               in.size(), carry_in);
+  } else {
+    T carry = carry_in;
+    for (std::size_t i = in.size(); i-- > 0;) {
+      const T next = op(carry, in[i]);
+      out[i] = carry;
+      carry = next;
+    }
   }
 }
 
 template <class T, class Op>
 void sequential_backward_inclusive_scan(std::span<const T> in,
                                         std::span<T> out, Op op, T carry_in) {
-  T carry = carry_in;
-  for (std::size_t i = in.size(); i-- > 0;) {
-    carry = op(carry, in[i]);
-    out[i] = carry;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    simd::scan_bwd<T, Op, /*Inclusive=*/true>(in.data(), nullptr, out.data(),
+                                              in.size(), carry_in);
+  } else {
+    T carry = carry_in;
+    for (std::size_t i = in.size(); i-- > 0;) {
+      carry = op(carry, in[i]);
+      out[i] = carry;
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include "src/core/ops.hpp"
 #include "src/core/scan.hpp"
+#include "src/core/simd/simd.hpp"
 #include "src/fault/fault.hpp"
 #include "src/obs/obs.hpp"
 #include "src/thread/thread_pool.hpp"
@@ -35,78 +36,111 @@ namespace detail {
 // Each kernel takes and returns the running carry so the parallel drivers can
 // reuse it both for block summaries (phase 1) and for the re-scan (phase 2).
 
+// All eight kernels dispatch through core/simd/ when the operator × element
+// type vectorizes (flag-free register chunks run the unsegmented vector
+// kernel; chunks containing a flag fall back to the scalar loop, preserving
+// the reset placement: *before* the combine going forward, *after* it going
+// backward). The scalar `else` branches are the reference loops.
+
 template <class T, class Op>
 T seg_exclusive_kernel(std::span<const T> in, FlagsView f, std::span<T> out,
                        Op op, T carry) {
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    if (f[i]) carry = Op::identity();
-    const T next = op(carry, in[i]);
-    out[i] = carry;
-    carry = next;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::scan_fwd<T, Op, /*Inclusive=*/false>(
+        in.data(), f.data(), out.data(), in.size(), carry);
+  } else {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (f[i]) carry = Op::identity();
+      const T next = op(carry, in[i]);
+      out[i] = carry;
+      carry = next;
+    }
+    return carry;
   }
-  return carry;
 }
 
 template <class T, class Op>
 T seg_inclusive_kernel(std::span<const T> in, FlagsView f, std::span<T> out,
                        Op op, T carry) {
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    if (f[i]) carry = Op::identity();
-    carry = op(carry, in[i]);
-    out[i] = carry;
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::scan_fwd<T, Op, /*Inclusive=*/true>(
+        in.data(), f.data(), out.data(), in.size(), carry);
+  } else {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (f[i]) carry = Op::identity();
+      carry = op(carry, in[i]);
+      out[i] = carry;
+    }
+    return carry;
   }
-  return carry;
 }
 
 template <class T, class Op>
 T seg_backward_exclusive_kernel(std::span<const T> in, FlagsView f,
                                 std::span<T> out, Op op, T carry) {
-  for (std::size_t i = in.size(); i-- > 0;) {
-    const T next = op(carry, in[i]);
-    out[i] = carry;
-    carry = next;
-    if (f[i]) carry = Op::identity();  // i starts a segment: nothing crosses it
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::scan_bwd<T, Op, /*Inclusive=*/false>(
+        in.data(), f.data(), out.data(), in.size(), carry);
+  } else {
+    for (std::size_t i = in.size(); i-- > 0;) {
+      const T next = op(carry, in[i]);
+      out[i] = carry;
+      carry = next;
+      if (f[i]) carry = Op::identity();  // i starts a segment: nothing crosses
+    }
+    return carry;
   }
-  return carry;
 }
 
 template <class T, class Op>
 T seg_backward_inclusive_kernel(std::span<const T> in, FlagsView f,
                                 std::span<T> out, Op op, T carry) {
-  for (std::size_t i = in.size(); i-- > 0;) {
-    carry = op(carry, in[i]);
-    out[i] = carry;
-    if (f[i]) carry = Op::identity();
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::scan_bwd<T, Op, /*Inclusive=*/true>(
+        in.data(), f.data(), out.data(), in.size(), carry);
+  } else {
+    for (std::size_t i = in.size(); i-- > 0;) {
+      carry = op(carry, in[i]);
+      out[i] = carry;
+      if (f[i]) carry = Op::identity();
+    }
+    return carry;
   }
-  return carry;
 }
 
 // Summary-only versions (phase 1): run the kernel with a discarded output.
 template <class T, class Op>
 T seg_forward_summary(std::span<const T> in, FlagsView f, Op op) {
-  T carry = Op::identity();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    if (f[i]) carry = Op::identity();
-    carry = op(carry, in[i]);
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::reduce_fwd<T, Op>(in.data(), f.data(), in.size(),
+                                   Op::identity());
+  } else {
+    T carry = Op::identity();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (f[i]) carry = Op::identity();
+      carry = op(carry, in[i]);
+    }
+    return carry;
   }
-  return carry;
 }
 
 inline bool block_has_flag(FlagsView f) {
-  for (std::uint8_t v : f) {
-    if (v) return true;
-  }
-  return false;
+  return simd::any_flag(f.data(), f.size());
 }
 
 template <class T, class Op>
 T seg_backward_summary(std::span<const T> in, FlagsView f, Op op) {
-  T carry = Op::identity();
-  for (std::size_t i = in.size(); i-- > 0;) {
-    carry = op(carry, in[i]);
-    if (f[i]) carry = Op::identity();
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    return simd::reduce_bwd<T, Op>(in.data(), f.data(), in.size(),
+                                   Op::identity());
+  } else {
+    T carry = Op::identity();
+    for (std::size_t i = in.size(); i-- > 0;) {
+      carry = op(carry, in[i]);
+      if (f[i]) carry = Op::identity();
+    }
+    return carry;
   }
-  return carry;
 }
 
 // --- parallel drivers --------------------------------------------------------
@@ -120,7 +154,7 @@ void chained_seg_dispatch(std::span<const T> in, FlagsView f, std::span<T> out,
                           Op op, bool backward, Summary summary,
                           Kernel kernel) {
   chained_scan_run<T>(
-      in.size(), kChainedTileElements, backward, Op::identity(), op,
+      in.size(), chained_tile_elements<T>(), backward, Op::identity(), op,
       [&](std::size_t, std::size_t b, std::size_t c, T* agg) {
         auto bf = f.subspan(b, c);
         *agg = summary(in.subspan(b, c), bf, op);

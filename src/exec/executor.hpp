@@ -369,8 +369,10 @@ std::size_t execute_group(const std::vector<Node<T>>& nodes, const Group& g,
 class Executor {
  public:
   struct Options {
-    bool fuse = true;         ///< false: eager op-by-op plan (bench baseline)
-    std::size_t tile = 4096;  ///< elements per fused tile
+    bool fuse = true;      ///< false: eager op-by-op plan (bench baseline)
+    std::size_t tile = 0;  ///< elements per fused tile; 0 sizes by bytes
+                           ///< (kChainedTileBytes / sizeof(T)), so 1-byte
+                           ///< flag pipelines don't run 4 KiB tiles
   };
 
   Executor() = default;
@@ -388,7 +390,8 @@ class Executor {
     const auto kinds = p.kinds();
     FuseOptions fo;
     fo.enabled = opts_.fuse;
-    fo.tile = opts_.tile;
+    fo.tile = opts_.tile != 0 ? opts_.tile
+                              : scanprim::detail::chained_tile_elements<T>();
     const auto groups = fuse(std::span<const StageKind>(kinds), fo);
     s.groups = groups.size();
     for (const Group& g : groups) {

@@ -45,6 +45,13 @@ namespace detail {
 template <class T, class Op, bool Backward>
 T tile_reduce(const T* d, const std::uint8_t* f, std::size_t n, T carry,
               bool* saw_flag) {
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    if constexpr (!Backward) {
+      return simd::reduce_fwd<T, Op>(d, f, n, carry, saw_flag);
+    } else {
+      return simd::reduce_bwd<T, Op>(d, f, n, carry, saw_flag);
+    }
+  }
   Op op;
   if constexpr (!Backward) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -68,6 +75,13 @@ T tile_reduce(const T* d, const std::uint8_t* f, std::size_t n, T carry,
 
 template <class T, class Op, bool Inclusive, bool Backward>
 T tile_scan(T* d, const std::uint8_t* f, std::size_t n, T carry) {
+  if constexpr (simd::vectorizable_v<Op, T>) {
+    if constexpr (!Backward) {
+      return simd::scan_fwd<T, Op, Inclusive>(d, f, d, n, carry);
+    } else {
+      return simd::scan_bwd<T, Op, Inclusive>(d, f, d, n, carry);
+    }
+  }
   Op op;
   if constexpr (!Backward) {
     for (std::size_t i = 0; i < n; ++i) {

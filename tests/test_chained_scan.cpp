@@ -360,6 +360,49 @@ TEST(ChainedScan, PoisonedScratchIsRepairedAndReusable) {
   EXPECT_EQ(once_more, expect);
 }
 
+TEST(ChainedScan, AbortAfterPrefixPublicationDoesNotRewritePrefix) {
+  // Regression for the abort-path data race: when a tile's *rescan* throws,
+  // the tile has already published kPrefix with release, and a successor's
+  // lookback may be reading st.prefix concurrently. The old catch block
+  // unconditionally rewrote st.prefix = identity — a plain (non-atomic)
+  // write racing those readers (TSan-visible under the thread-sanitize CI
+  // leg, which runs this test), and a lost true prefix for any lookback
+  // that had already acquired the status. The fix fabricates the identity
+  // prefix only when the tile has NOT yet published kPrefix. Arming
+  // chained.rescan mid-run hits the throw-after-publication window on every
+  // multi-tile dispatch; the racy rewrite then shows up as a TSan report
+  // and, functionally, the engine must still abort cleanly and produce
+  // correct results on the very next run.
+  if (thread::num_workers() == 1) {
+    GTEST_SKIP() << "the chained dispatch needs a multi-worker pool";
+  }
+  fault::disarm_all();
+  EngineGuard g(ScanEngine::kChained);
+  const std::size_t n = 8 * detail::chained_tile_elements<long>() + 9;
+  const auto in = testutil::random_vector<long>(n, 93);
+  const std::span<const long> s(in);
+  const auto expect = testutil::ref_exclusive_scan(s, Plus<long>{});
+  std::vector<long> out(n);
+
+  for (const unsigned nth : {2u, 3u, 5u}) {
+    fault::arm("chained.rescan", nth);
+    EXPECT_THROW(exclusive_scan(s, std::span<long>(out), Plus<long>{}),
+                 fault::Injected);
+    fault::disarm_all();
+    exclusive_scan(s, std::span<long>(out), Plus<long>{});
+    EXPECT_EQ(out, expect);
+  }
+
+  // Same window on the backward protocol (reversed logical tile order).
+  fault::arm("chained.rescan", 4);
+  EXPECT_THROW(
+      backward_exclusive_scan(s, std::span<long>(out), Plus<long>{}),
+      fault::Injected);
+  fault::disarm_all();
+  backward_exclusive_scan(s, std::span<long>(out), Plus<long>{});
+  EXPECT_EQ(out, testutil::ref_backward_exclusive_scan(s, Plus<long>{}));
+}
+
 TEST(ChainedScan, EngineSelectionRoundTrips) {
   const ScanEngine prev = scan_engine();
   set_scan_engine(ScanEngine::kTwoPhase);

@@ -108,6 +108,59 @@ TEST(Scan, ExclusiveScanOfOneElementIsIdentity) {
             std::vector<int>{std::numeric_limits<int>::lowest()});
 }
 
+TEST(Scan, FloatMaxMinIdentitiesAreInfinities) {
+  // max(lowest(), -inf) == lowest() != -inf: lowest() is not an identity
+  // for floating-point max once inputs may contain -inf, so the float
+  // identities must be the infinities themselves. Integral identities are
+  // unchanged (no infinity exists there).
+  EXPECT_EQ(Max<double>::identity(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Min<double>::identity(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Max<float>::identity(), -std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Min<float>::identity(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Max<int>::identity(), std::numeric_limits<int>::lowest());
+  EXPECT_EQ(Min<long>::identity(), std::numeric_limits<long>::max());
+}
+
+TEST(Scan, ScansOverInfiniteElementsMatchReference) {
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Failing-before: inclusive max over {-inf} must be {-inf}; the old
+  // lowest() identity swallowed the real element (max(lowest, -inf) ==
+  // lowest). Symmetric for min over {+inf}.
+  const std::vector<double> minf{-inf};
+  std::vector<double> one(1);
+  inclusive_scan(std::span<const double>(minf), std::span<double>(one),
+                 Max<double>{});
+  EXPECT_EQ(one, minf);
+  const std::vector<double> pinf{inf};
+  inclusive_scan(std::span<const double>(pinf), std::span<double>(one),
+                 Min<double>{});
+  EXPECT_EQ(one, pinf);
+
+  // The identity seeds every segment: an all-flags segmented inclusive scan
+  // must return the input verbatim even where the input is ±inf.
+  auto in = testutil::random_doubles(5000, 12);
+  for (std::size_t i = 0; i < in.size(); i += 97) in[i] = -inf;
+  in.front() = -inf;
+  const Flags all(in.size(), 1);
+  std::vector<double> out(in.size());
+  seg_inclusive_scan(std::span<const double>(in), FlagsView(all),
+                     std::span<double>(out), Max<double>{});
+  EXPECT_EQ(out, in);
+
+  // And the plain sweep flavours still match the reference with ±inf mixed
+  // into the data.
+  exclusive_scan(std::span<const double>(in), std::span<double>(out),
+                 Max<double>{});
+  EXPECT_EQ(out, ref_exclusive_scan(std::span<const double>(in),
+                                    Max<double>{}));
+  for (std::size_t i = 0; i < in.size(); i += 61) in[i] = inf;
+  backward_inclusive_scan(std::span<const double>(in), std::span<double>(out),
+                          Min<double>{});
+  EXPECT_EQ(out, ref_backward_inclusive_scan(std::span<const double>(in),
+                                             Min<double>{}));
+}
+
 TEST(Scan, ScanThenDifferenceRecoversInput) {
   const auto in = testutil::random_vector<long>(10000, 10);
   const auto s = plus_scan(std::span<const long>(in));
