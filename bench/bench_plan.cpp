@@ -1,0 +1,231 @@
+// The plan subsystem's acceptance benchmark (docs/PLAN.md): repeated VM
+// traffic through the compiled-plan path must cost about the same as the
+// hand-written exec pipeline it lowers to — the interpreter's flexibility
+// should be free once the plan cache is warm.
+//
+// Three tables:
+//   1. compile/lookup: cold Compiler::compile() cost vs a warm Cache::get()
+//      hit (the per-dispatch overhead repeated traffic actually pays);
+//   2. dispatch: the same workload run as a VM program (through the
+//      Interpreter::run hook, cache warm) and as a hand-written exec
+//      pipeline, at n = 2^20 .. 2^24 — the ratio column is the headline and
+//      should stay <= 1.1x on repeated dispatch;
+//   3. zipf: cache hit rate under a skewed program population larger than
+//      the cache, across skew exponents — the shape repeated serving
+//      traffic actually has.
+//
+// Results go to stdout and BENCH_plan.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/primitives.hpp"
+#include "src/exec/executor.hpp"
+#include "src/machine/machine.hpp"
+#include "src/plan/plan.hpp"
+#include "src/vm/assembler.hpp"
+#include "src/vm/interpreter.hpp"
+
+namespace scanprim {
+namespace {
+
+using I64 = std::int64_t;
+
+double once_us(int iters, const auto& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+}  // namespace scanprim
+
+int main() {
+  using namespace scanprim;
+  if (!plan::enabled() || !plan::ensure_hook()) {
+    std::fprintf(stderr, "plan dispatch disabled (SCANPRIM_PLAN=off?); "
+                         "bench_plan needs the compiled path\n");
+    return 1;
+  }
+  bench::JsonLog json;
+  bool ok = true;
+
+  // --- 1. cold compile vs warm cache hit ------------------------------------
+  bench::header("plan compile vs cache hit");
+  bench::row({"program", "instrs", "compile us", "hit ns", "entry KiB"});
+  const std::pair<const char*, const char*> cases[] = {
+      {"plus_scan", "load a\n+scan\nstore r\nhalt\n"},
+      {"scan_pack", "load a\n+scan\nload f\npack\nstore r\nhalt\n"},
+      {"fused_mix",
+       "load a\ndup\nadd\n+scan\nload f\npack\nstore r\n"
+       "load a\nload f\nseg+scan\nstore s\nload a\nmaxscan\nstore m\nhalt\n"},
+  };
+  for (const auto& [name, src] : cases) {
+    const vm::Program p = vm::assemble(src);
+    const double compile_us =
+        once_us(200, [&] { (void)plan::Compiler{}.compile(p); });
+    plan::Cache cache;  // isolated: first get is the one real compile
+    if (cache.get(p) == nullptr) {
+      std::fprintf(stderr, "%s: declined compilation\n", name);
+      ok = false;
+      continue;
+    }
+    const double hit_ns = 1e3 * once_us(1 << 14, [&] { (void)cache.get(p); });
+    const std::size_t entry_bytes = cache.stats().bytes;
+    bench::row({name, bench::fmt_u(p.size()), bench::fmt(compile_us, 2),
+                bench::fmt(hit_ns, 1), bench::fmt(entry_bytes / 1024.0, 1)});
+    json.field("section", "compile")
+        .field("program", name)
+        .field("instructions", p.size())
+        .field("compile_us", compile_us)
+        .field("hit_ns", hit_ns)
+        .field("entry_bytes", entry_bytes)
+        .end_object();
+  }
+
+  // --- 2. VM repeated dispatch vs hand-written pipeline ---------------------
+  bench::header("repeated dispatch: VM (plan cache warm) vs hand-written exec");
+  bench::row({"workload", "n", "vm ms", "hand ms", "vm/hand", "match"});
+  const std::size_t sizes[] = {std::size_t{1} << 20, std::size_t{1} << 22,
+                               std::size_t{1} << 24};
+  for (const std::size_t n : sizes) {
+    const int reps = n >= (std::size_t{1} << 24) ? 3 : 5;
+    std::mt19937_64 rng(7 + n);
+    vm::Vec a(n), f(n);
+    std::vector<std::uint8_t> f8(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<I64>(rng() & 0xffff);
+      f8[i] = rng() & 1;
+      f[i] = f8[i];
+    }
+    const std::span<const I64> s(a);
+    const FlagsView fv(f8);
+
+    struct Workload {
+      const char* name;
+      const char* src;
+      std::vector<I64> (*hand)(exec::Executor&, std::span<const I64>,
+                               FlagsView, std::span<const I64>);
+    };
+    const Workload workloads[] = {
+        {"plus_scan", "load a\n+scan\nstore r\nhalt\n",
+         [](exec::Executor& ex, std::span<const I64> v, FlagsView,
+            std::span<const I64>) {
+           return ex.run(exec::source(v) | exec::scan<Plus>());
+         }},
+        {"map_scan", "load a\ndup\nadd\n+scan\nstore r\nhalt\n",
+         [](exec::Executor& ex, std::span<const I64> v, FlagsView,
+            std::span<const I64>) {
+           return ex.run(exec::source(v) |
+                         exec::map([](I64 x) { return x + x; }) |
+                         exec::scan<Plus>());
+         }},
+        // The hand pipeline converts the i64 flag register to Flags like
+        // the VM must: both sides start from the same i64 registers, so
+        // the ratio isolates plan-dispatch overhead, not input format.
+        {"scan_pack", "load a\n+scan\nload f\npack\nstore r\nhalt\n",
+         [](exec::Executor& ex, std::span<const I64> v, FlagsView,
+            std::span<const I64> f64) {
+           Flags f8(f64.size());
+           for (std::size_t i = 0; i < f64.size(); ++i) f8[i] = f64[i] != 0;
+           return ex.run(exec::source(v) | exec::scan<Plus>() |
+                         exec::pack(FlagsView(f8)));
+         }},
+    };
+    for (const Workload& w : workloads) {
+      const vm::Program p = vm::assemble(w.src);
+      machine::Machine m;
+      vm::Interpreter interp(m);
+      interp.set_register("a", a);
+      interp.set_register("f", f);
+      interp.run(p);  // warm: compiles into the process cache
+      exec::Executor ex;
+      const std::vector<I64> hand_out = w.hand(ex, s, fv, f);
+      // Interleaved best-of so slow drift (thermal, page cache) hits both
+      // sides equally.
+      double vm_ms = 1e300, hand_ms = 1e300;
+      for (int i = 0; i < reps; ++i) {
+        vm_ms = std::min(vm_ms, bench::time_once_ms([&] { interp.run(p); }));
+        hand_ms = std::min(hand_ms,
+                           bench::time_once_ms([&] { w.hand(ex, s, fv, f); }));
+      }
+
+      const bool match = interp.register_value("r") == hand_out;
+      ok = ok && match;
+      const double ratio = hand_ms > 0 ? vm_ms / hand_ms : 0;
+      bench::row({w.name, bench::fmt_u(n), bench::fmt(vm_ms, 3),
+                  bench::fmt(hand_ms, 3), bench::fmt(ratio, 2),
+                  match ? "yes" : "NO"});
+      json.field("section", "dispatch")
+          .field("workload", w.name)
+          .field("n", n)
+          .field("vm_ms", vm_ms)
+          .field("hand_ms", hand_ms)
+          .field("vm_over_hand", ratio)
+          .field("match", match)
+          .end_object();
+    }
+  }
+
+  // --- 3. zipf traffic over a program population ----------------------------
+  // 256 structurally distinct programs, cache sized to hold ~1/4 of them,
+  // 100k lookups drawn zipf(s): the hot head should stay resident and the
+  // hit rate should climb with skew.
+  bench::header("plan cache under zipf program traffic (256 programs)");
+  bench::row({"skew", "capacity", "hits %", "compiles", "evictions"});
+  constexpr int kPrograms = 256;
+  constexpr int kLookups = 100000;
+  std::vector<vm::Program> population;
+  population.reserve(kPrograms);
+  for (int k = 0; k < kPrograms; ++k) {
+    population.push_back(vm::assemble("const 64 " + std::to_string(k) +
+                                      "\n+scan\nstore r\nhalt\n"));
+  }
+  std::size_t entry_bytes = 0;
+  {
+    plan::Cache probe;
+    (void)probe.get(population[0]);
+    entry_bytes = probe.stats().bytes;
+  }
+  for (const double skew : {0.6, 1.0, 1.4}) {
+    plan::Cache cache;
+    cache.set_capacity_bytes(entry_bytes * (kPrograms / 4));
+    std::vector<double> weights(kPrograms);
+    for (int r = 0; r < kPrograms; ++r) {
+      weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    }
+    std::discrete_distribution<int> pick(weights.begin(), weights.end());
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < kLookups; ++i) (void)cache.get(population[pick(rng)]);
+    const plan::Cache::Stats st = cache.stats();
+    const double hit_pct =
+        100.0 * static_cast<double>(st.hits) / (st.hits + st.misses);
+    bench::row({bench::fmt(skew, 1), bench::fmt_u(cache.capacity_bytes()),
+                bench::fmt(hit_pct, 1), bench::fmt_u(st.misses),
+                bench::fmt_u(st.evictions)});
+    json.field("section", "zipf")
+        .field("skew", skew)
+        .field("programs", static_cast<std::uint64_t>(kPrograms))
+        .field("lookups", static_cast<std::uint64_t>(kLookups))
+        .field("capacity_bytes", cache.capacity_bytes())
+        .field("hit_rate", hit_pct / 100.0)
+        .field("compiles", st.misses)
+        .field("evictions", st.evictions)
+        .end_object();
+  }
+
+  if (!json.write("BENCH_plan.json")) {
+    std::fprintf(stderr, "failed to write BENCH_plan.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_plan.json\n");
+  return ok ? 0 : 1;
+}

@@ -203,7 +203,7 @@ EngineRow compare_engines(const char* op, std::size_t n, int reps, Run run) {
   return r;
 }
 
-void run_engine_sweep() {
+void run_engine_sweep(bench::JsonLog& json) {
   bench::header("scan engine: chained (single-pass) vs two-phase blocked");
   std::printf("workers=%zu  tile=%zu  simd=%s\n", thread::num_workers(),
               detail::chained_tile_elements<std::int64_t>(),
@@ -211,7 +211,6 @@ void run_engine_sweep() {
   bench::row({"op", "n", "chained ms", "twophase ms", "speedup", "disp c/t",
               "match"});
 
-  bench::JsonLog json;
   const std::size_t sizes[] = {std::size_t{1} << 20, std::size_t{1} << 22,
                                std::size_t{1} << 24, std::size_t{1} << 26};
   for (const std::size_t n : sizes) {
@@ -253,15 +252,96 @@ void run_engine_sweep() {
           .end_object();
     }
   }
-  if (!json.write("BENCH_scan_engine.json")) {
-    std::fprintf(stderr, "failed to write BENCH_scan_engine.json\n");
+}
+
+// --- chained tile-size sweep -------------------------------------------------
+// The lookback protocol's one tunable: kChainedTileBytes trades rescan
+// locality (small tiles re-read from L1/L2) against per-tile status-word
+// traffic and lookback depth (large tiles amortise the protocol). This
+// sweep runs the real p>1 configuration — SIMD tile kernels under the
+// lookback protocol on the full worker pool — across tile sizes, verifying
+// each result against the library scan. Rows land in BENCH_scan_engine.json
+// (op = "tile-sweep") next to the engine comparison they explain.
+
+void run_tile_sweep(bench::JsonLog& json) {
+  bench::header("chained tile sweep: SIMD x lookback on the worker pool");
+  std::printf("workers=%zu  simd=%s  current tile=%zu KiB\n",
+              thread::num_workers(), simd::tier_name(simd::active_tier()),
+              detail::kChainedTileBytes / 1024);
+  bench::row({"tile KiB", "n", "ms", "GB/s", "vs current", "match"});
+
+  const std::size_t sizes[] = {std::size_t{1} << 22, std::size_t{1} << 24,
+                               std::size_t{1} << 26};
+  const std::size_t tile_bytes[] = {8u << 10,   16u << 10, 32u << 10,
+                                    64u << 10,  128u << 10, 256u << 10,
+                                    512u << 10};
+  for (const std::size_t n : sizes) {
+    const int reps = n >= (std::size_t{1} << 26) ? 5 : 7;
+    const auto in = make_input(n);
+    const std::span<const std::int64_t> s(in);
+    std::vector<std::int64_t> out(n), ref(n);
+    exclusive_scan(s, std::span<std::int64_t>(ref), Plus<std::int64_t>{});
+
+    double current_ms = 0;
+    std::vector<std::pair<std::size_t, double>> timings;
+    for (const std::size_t tb : tile_bytes) {
+      const std::size_t tile = tb / sizeof(std::int64_t);
+      const auto run = [&] {
+        detail::chained_scan_run<std::int64_t>(
+            n, tile, /*backward=*/false, std::int64_t{0},
+            Plus<std::int64_t>{},
+            [&](std::size_t, std::size_t b, std::size_t c, std::int64_t* agg) {
+              *agg = detail::sequential_reduce(s.subspan(b, c),
+                                               Plus<std::int64_t>{});
+              return false;
+            },
+            [&](std::size_t, std::size_t b, std::size_t c, std::int64_t carry) {
+              detail::sequential_exclusive_scan(
+                  s.subspan(b, c),
+                  std::span<std::int64_t>(out).subspan(b, c),
+                  Plus<std::int64_t>{}, carry);
+            });
+      };
+      run();  // warmup + correctness
+      const bool match = out == ref;
+      double ms = 1e300;
+      for (int i = 0; i < reps; ++i) ms = std::min(ms, bench::time_once_ms(run));
+      if (tb == detail::kChainedTileBytes) current_ms = ms;
+      timings.emplace_back(tb, ms);
+      if (!match) {
+        bench::row({bench::fmt_u(tb / 1024), bench::fmt_u(n), bench::fmt(ms, 3),
+                    "-", "-", "NO"});
+        continue;
+      }
+      json.field("op", "tile-sweep")
+          .field("n", n)
+          .field("tile_bytes", tb)
+          .field("workers", static_cast<std::uint64_t>(thread::num_workers()))
+          .field("simd", simd::tier_name(simd::active_tier()))
+          .field("chained_ms", ms)
+          .field("match", match)
+          .end_object();
+    }
+    for (const auto& [tb, ms] : timings) {
+      const double gbs =
+          static_cast<double>(n * sizeof(std::int64_t)) / (ms * 1e6);
+      bench::row({bench::fmt_u(tb / 1024), bench::fmt_u(n), bench::fmt(ms, 3),
+                  bench::fmt(gbs, 2),
+                  current_ms > 0 ? bench::fmt(ms / current_ms, 2) : "-",
+                  "yes"});
+    }
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_engine_sweep();
+  bench::JsonLog json;
+  run_engine_sweep(json);
+  run_tile_sweep(json);
+  if (!json.write("BENCH_scan_engine.json")) {
+    std::fprintf(stderr, "failed to write BENCH_scan_engine.json\n");
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

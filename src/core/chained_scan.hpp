@@ -39,7 +39,10 @@ namespace scanprim::detail {
 
 /// Bytes per chained tile. 32 KiB: small enough that the rescan's second
 /// pass over the tile hits L1/L2 instead of DRAM, large enough that the
-/// per-tile status-word traffic is noise.
+/// per-tile status-word traffic is noise. The tile sweep in
+/// bench_scan_micro (SIMD kernels under the lookback protocol, p>1)
+/// measures 32-64 KiB as a tie within run noise and 8 KiB as ~1.2x
+/// slower; rerun the sweep before moving this on new hardware.
 inline constexpr std::size_t kChainedTileBytes = 32 * 1024;
 
 /// Elements per chained tile for 8-byte element types (the historical

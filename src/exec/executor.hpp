@@ -364,6 +364,16 @@ std::size_t execute_group(const std::vector<Node<T>>& nodes, const Group& g,
 
 }  // namespace detail
 
+/// The fuser's output for one pipeline *shape*, computed once and replayed
+/// across runs. Groups depend only on the stage-kind sequence — never on the
+/// vector length — so one prepared shape serves any n (this is what makes
+/// src/plan's cached plans shape-polymorphic).
+struct PreparedGroups {
+  std::vector<Group> groups;
+  std::size_t tile = 0;    ///< elements per fused tile
+  std::size_t stages = 0;  ///< stage count the shape was prepared for
+};
+
 /// Runs recorded pipelines over the global ThreadPool, reusing intermediate
 /// buffers across groups and across runs.
 class Executor {
@@ -380,6 +390,46 @@ class Executor {
 
   template <class T>
   std::vector<T> run(const Pipeline<T>& p) {
+    const auto kinds = p.kinds();
+    FuseOptions fo;
+    fo.enabled = opts_.fuse;
+    fo.tile = opts_.tile != 0 ? opts_.tile
+                              : scanprim::detail::chained_tile_elements<T>();
+    const auto groups = fuse(std::span<const StageKind>(kinds), fo);
+    return run_grouped(p, groups, fo.tile, /*prepared=*/false);
+  }
+
+  /// Fuse a pipeline's shape once; the result can be replayed by the
+  /// two-argument run() below on any pipeline with the same stage kinds
+  /// (and any length). src/plan stores these inside cached compiled plans.
+  template <class T>
+  PreparedGroups prepare(const Pipeline<T>& p) const {
+    const auto kinds = p.kinds();
+    FuseOptions fo;
+    fo.enabled = opts_.fuse;
+    fo.tile = opts_.tile != 0 ? opts_.tile
+                              : scanprim::detail::chained_tile_elements<T>();
+    PreparedGroups pg;
+    pg.groups = fuse(std::span<const StageKind>(kinds), fo);
+    pg.tile = fo.tile;
+    pg.stages = p.nodes.size();
+    return pg;
+  }
+
+  /// Run with pre-fused groups: no fuser invocation, no shape analysis.
+  /// The pipeline must have the same stage-kind sequence the groups were
+  /// prepared from (checked by stage count in debug builds).
+  template <class T>
+  std::vector<T> run(const Pipeline<T>& p, const PreparedGroups& pg) {
+    assert(pg.stages == p.nodes.size());
+    return run_grouped(p, pg.groups, pg.tile, /*prepared=*/true);
+  }
+
+ private:
+  template <class T>
+  std::vector<T> run_grouped(const Pipeline<T>& p,
+                             const std::vector<Group>& groups,
+                             std::size_t tile, bool prepared) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "pipeline elements flow through raw arena buffers");
     assert(!p.nodes.empty() && p.nodes.front().kind == StageKind::Source);
@@ -387,12 +437,7 @@ class Executor {
     const auto t0 = std::chrono::steady_clock::now();
     Stats s;
     s.stages_recorded = p.nodes.size();
-    const auto kinds = p.kinds();
-    FuseOptions fo;
-    fo.enabled = opts_.fuse;
-    fo.tile = opts_.tile != 0 ? opts_.tile
-                              : scanprim::detail::chained_tile_elements<T>();
-    const auto groups = fuse(std::span<const StageKind>(kinds), fo);
+    (prepared ? s.plan_reuses : s.fuse_runs) += 1;
     s.groups = groups.size();
     for (const Group& g : groups) {
       if (g.stages() >= 2) ++s.fused_groups;
@@ -424,7 +469,7 @@ class Executor {
           out_ptr = reinterpret_cast<T*>(out_raw);
         }
         cur_len = detail::execute_group<T>(p.nodes, g, prev, cur_len, out_ptr,
-                                           fo.tile, s);
+                                           tile, s);
         if (prev_raw) arena_.release(prev_raw);
         prev_raw = out_raw;
         out_raw = nullptr;
@@ -446,6 +491,7 @@ class Executor {
     return result;
   }
 
+ public:
   /// Stats of the most recent run.
   const Stats& stats() const { return last_; }
   /// Stats accumulated over the executor's lifetime.

@@ -24,6 +24,10 @@ struct Stats {
   std::size_t bytes_written = 0;    ///< estimated bytes streamed out
   std::size_t arena_hits = 0;       ///< temporaries served from a reused buffer
   std::size_t arena_misses = 0;     ///< temporaries that had to allocate
+  std::size_t fuse_runs = 0;        ///< runs that invoked the fuser
+  std::size_t plan_reuses = 0;      ///< runs that reused pre-fused groups
+                                    ///< (src/plan cache hits: zero record/
+                                    ///< fuse work in the dispatch)
   std::uint64_t elapsed_ns = 0;     ///< wall-clock time of the run (summed
                                     ///< across runs when accumulated)
 
@@ -36,6 +40,8 @@ struct Stats {
     bytes_written += o.bytes_written;
     arena_hits += o.arena_hits;
     arena_misses += o.arena_misses;
+    fuse_runs += o.fuse_runs;
+    plan_reuses += o.plan_reuses;
     elapsed_ns += o.elapsed_ns;
     return *this;
   }

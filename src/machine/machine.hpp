@@ -92,6 +92,11 @@ class Machine {
   std::size_t processors() const { return processors_; }
   const StepStats& stats() const { return stats_; }
   void reset_stats() { stats_ = StepStats{}; }
+  /// Restore a previously captured snapshot. The compiled-plan engine
+  /// (src/plan) uses this to make a region attempt transactional: charges
+  /// accumulated by an abandoned compiled region are rolled back before the
+  /// region re-runs through the interpreter.
+  void set_stats(const StepStats& s) { stats_ = s; }
 
   BitCostModel& bit_cost() { return bits_; }
   const BitCostModel& bit_cost() const { return bits_; }

@@ -1,0 +1,175 @@
+// The process-wide plan cache (docs/PLAN.md).
+//
+// Lookup is a striped-mutex sharded hash: vm::fingerprint picks the shard
+// and the bucket, exact structural equality guards against collisions, and
+// each shard keeps its own LRU list so eviction under the byte budget
+// (SCANPRIM_PLAN_CACHE_BYTES, default 64 MiB) never takes a global lock.
+// Plans are shared immutably (shared_ptr<const CompiledProgram>), so an
+// entry evicted mid-flight stays valid for every thread still executing it
+// — eviction only drops the cache's reference (generation safety).
+//
+// Declined compiles are remembered as negative entries (repeated traffic
+// for uncompilable programs skips re-analysis); *faulted* compiles — the
+// plan.compile fault point, allocation failure — are not cached, so
+// transient failures retry on the next request.
+#include <chrono>
+#include <cstdlib>
+
+#include "src/core/runtime.hpp"
+#include "src/fault/fault.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
+#include "src/plan/plan.hpp"
+
+namespace scanprim::plan {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 64u << 20;
+
+std::size_t capacity_from_env() {
+  return sanitize_size_spec(std::getenv("SCANPRIM_PLAN_CACHE_BYTES"),
+                            kDefaultCapacity, 4096,
+                            std::size_t{1} << 40);
+}
+
+struct Counters {
+  obs::Counter& hits = obs::counter("scanprim_plan_hits_total");
+  obs::Counter& misses = obs::counter("scanprim_plan_misses_total");
+  obs::Counter& evictions = obs::counter("scanprim_plan_evictions_total");
+  obs::Counter& failures = obs::counter("scanprim_plan_compile_failures_total");
+  obs::Counter& compile_ns = obs::counter("scanprim_plan_compile_ns_total");
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+}  // namespace
+
+bool enabled() {
+  static const bool on =
+      sanitize_flag_spec(std::getenv("SCANPRIM_PLAN"), true);
+  return on;
+}
+
+Cache::Cache() : capacity_(capacity_from_env()) {}
+
+Cache& Cache::instance() {
+  static Cache cache;
+  return cache;
+}
+
+std::size_t Cache::capacity_bytes() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+void Cache::set_capacity_bytes(std::size_t bytes) {
+  capacity_.store(bytes, std::memory_order_relaxed);
+  const std::size_t budget = bytes / kShards;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    evict_locked(sh, budget);
+  }
+}
+
+void Cache::clear() {
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.lru.clear();
+    sh.index.clear();
+    sh.bytes = 0;
+  }
+}
+
+Cache::Stats Cache::stats() const {
+  Stats out;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    out.hits += sh.hits;
+    out.misses += sh.misses;
+    out.evictions += sh.evictions;
+    out.failures += sh.failures;
+    out.compile_ns += sh.compile_ns;
+    out.entries += sh.lru.size();
+    out.bytes += sh.bytes;
+  }
+  return out;
+}
+
+void Cache::evict_locked(Shard& sh, std::size_t budget) {
+  // Least-recently-used first; the most recent entry stays resident even
+  // when it alone exceeds the shard budget (evicting it would make the
+  // cache thrash on every dispatch of that one program).
+  while (sh.bytes > budget && sh.lru.size() > 1) {
+    const auto victim = std::prev(sh.lru.end());
+    auto& bucket = sh.index[victim->key];
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (*it == victim) {
+        bucket.erase(it);
+        break;
+      }
+    }
+    if (bucket.empty()) sh.index.erase(victim->key);
+    sh.bytes -= victim->bytes;
+    sh.lru.erase(victim);
+    ++sh.evictions;
+    counters().evictions.inc();
+  }
+}
+
+std::shared_ptr<const CompiledProgram> Cache::get(const vm::Program& program) {
+  const std::uint64_t key = vm::fingerprint(program);
+  Shard& sh = shards_[key % kShards];
+  std::lock_guard<std::mutex> lock(sh.mu);
+
+  if (const auto bucket = sh.index.find(key); bucket != sh.index.end()) {
+    for (const auto& it : bucket->second) {
+      if (vm::structural_equal(it->program, program)) {
+        sh.lru.splice(sh.lru.begin(), sh.lru, it);
+        ++sh.hits;
+        counters().hits.inc();
+        obs::instant("plan.hit", key);
+        return it->prog;  // null for a remembered decline
+      }
+    }
+  }
+  ++sh.misses;
+  counters().misses.inc();
+
+  std::shared_ptr<const CompiledProgram> prog;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    obs::Span span("plan.compile");
+    SCANPRIM_FAULT_POINT("plan.compile");
+    Compiler compiler;
+    if (auto cp = compiler.compile(program)) {
+      prog = std::make_shared<const CompiledProgram>(std::move(*cp));
+    }
+  } catch (...) {
+    ++sh.failures;
+    counters().failures.inc();
+    return nullptr;  // transient: interpret this dispatch, retry next miss
+  }
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  sh.compile_ns += ns;
+  counters().compile_ns.add(ns);
+
+  Entry e;
+  e.key = key;
+  e.program = program;
+  e.prog = prog;
+  e.bytes = prog ? prog->bytes
+                 : 128 + program.size() * sizeof(vm::Instruction);
+  sh.bytes += e.bytes;
+  sh.lru.push_front(std::move(e));
+  sh.index[key].push_back(sh.lru.begin());
+  evict_locked(sh, capacity_.load(std::memory_order_relaxed) / kShards);
+  return prog;
+}
+
+}  // namespace scanprim::plan

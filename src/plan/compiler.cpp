@@ -1,0 +1,559 @@
+// Lowering vm::Program straight-line regions onto exec pipeline shapes.
+//
+// The compiler runs an abstract interpretation of the stack: every value is
+// a def id, ops combine def ids into chains (consecutive ops over the same
+// flowing value extend one chain, so `load a | +scan | const.. | add | pack`
+// becomes a single fused pipeline), and anything the executor cannot express
+// ends up as a direct machine op or declines the region. Control flow is
+// never compiled: jump targets and the instructions after jumps start new
+// regions, and Jump/Jz/Jnz/Halt themselves stay with the interpreter.
+//
+// Charge parity: every stage carries the charge the interpreter would have
+// made for its op (src/vm/interpreter.cpp and machine::Machine's compound
+// ops), so a compiled run debits the machine::Machine identically — only
+// the order of charges within a region may differ, which leaves all integer
+// StepStats fields exact (bit_cycles, a float accumulator, can permute).
+#include <map>
+#include <utility>
+
+#include "src/plan/plan.hpp"
+
+namespace scanprim::plan {
+
+namespace {
+
+using vm::Op;
+
+bool is_control(Op op) {
+  return op == Op::Jump || op == Op::Jz || op == Op::Jnz || op == Op::Halt;
+}
+
+bool binary_sop(Op op, SOp* out) {
+  switch (op) {
+    case Op::Add: *out = SOp::kAdd; return true;
+    case Op::Sub: *out = SOp::kSub; return true;
+    case Op::Mul: *out = SOp::kMul; return true;
+    case Op::Div: *out = SOp::kDiv; return true;
+    case Op::Mod: *out = SOp::kMod; return true;
+    case Op::MinOp: *out = SOp::kMin; return true;
+    case Op::MaxOp: *out = SOp::kMax; return true;
+    case Op::BitAnd: *out = SOp::kBitAnd; return true;
+    case Op::BitOr: *out = SOp::kBitOr; return true;
+    case Op::BitXor: *out = SOp::kBitXor; return true;
+    case Op::Shl: *out = SOp::kShl; return true;
+    case Op::Shr: *out = SOp::kShr; return true;
+    case Op::Lt: *out = SOp::kLt; return true;
+    case Op::Le: *out = SOp::kLe; return true;
+    case Op::Eq: *out = SOp::kEq; return true;
+    case Op::Ne: *out = SOp::kNe; return true;
+    case Op::Ge: *out = SOp::kGe; return true;
+    case Op::Gt: *out = SOp::kGt; return true;
+    default: return false;
+  }
+}
+
+bool scan_sop(Op op, SOp* out) {
+  switch (op) {
+    case Op::PlusScan: *out = SOp::kPlusScan; return true;
+    case Op::MaxScan: *out = SOp::kMaxScan; return true;
+    case Op::MinScan: *out = SOp::kMinScan; return true;
+    case Op::OrScan: *out = SOp::kOrScan; return true;
+    case Op::AndScan: *out = SOp::kAndScan; return true;
+    case Op::PlusBackscan: *out = SOp::kPlusBackscan; return true;
+    case Op::MaxBackscan: *out = SOp::kMaxBackscan; return true;
+    case Op::MinBackscan: *out = SOp::kMinBackscan; return true;
+    default: return false;
+  }
+}
+
+bool seg_scan_sop(Op op, SOp* out) {
+  switch (op) {
+    case Op::SegPlusScan: *out = SOp::kSegPlusScan; return true;
+    case Op::SegMaxScan: *out = SOp::kSegMaxScan; return true;
+    case Op::SegMinScan: *out = SOp::kSegMinScan; return true;
+    case Op::SegPlusBackscan: *out = SOp::kSegPlusBackscan; return true;
+    default: return false;
+  }
+}
+
+bool reduce_op(Op op) {
+  switch (op) {
+    case Op::PlusReduce:
+    case Op::MaxReduce:
+    case Op::MinReduce:
+    case Op::OrReduce:
+    case Op::AndReduce: return true;
+    default: return false;
+  }
+}
+
+/// The exec stage kind a recipe lowers to, for shape preparation. Scalar
+/// operands bind as Map instead of Zip at run time, but the fuser treats
+/// Map and Zip identically, so preparing with either gives the same groups.
+exec::StageKind stage_kind(SOp op) {
+  switch (op) {
+    case SOp::kPlusScan: case SOp::kMaxScan: case SOp::kMinScan:
+    case SOp::kOrScan: case SOp::kAndScan:
+    case SOp::kPlusBackscan: case SOp::kMaxBackscan: case SOp::kMinBackscan:
+      return exec::StageKind::Scan;
+    case SOp::kSegPlusScan: case SOp::kSegMaxScan: case SOp::kSegMinScan:
+    case SOp::kSegPlusBackscan:
+      return exec::StageKind::SegScan;
+    case SOp::kPack: return exec::StageKind::Pack;
+    case SOp::kPermute: return exec::StageKind::Permute;
+    default: return exec::StageKind::Zip;
+  }
+}
+
+/// Abstract interpretation of one straight-line run [begin, end).
+class RegionBuilder {
+ public:
+  RegionBuilder(const vm::Program& program, std::size_t begin, std::size_t end)
+      : program_(program), begin_(begin), end_(end) {}
+
+  /// False declines the region (it interprets instead).
+  bool build() {
+    for (std::size_t pc = begin_; pc < end_; ++pc) {
+      if (!lower(program_[pc])) return false;
+    }
+    prepare_chains();
+    return true;
+  }
+
+  Region take() {
+    Region r;
+    r.pc_begin = begin_;
+    r.pc_end = end_;
+    r.instructions = end_ - begin_;
+    r.pops = pops_;
+    r.values = std::move(defs_);
+    r.prints = std::move(prints_);
+    for (auto& [name, id] : regs_) r.stores.emplace_back(name, id);
+    r.pushes = std::move(stack_);
+    return r;
+  }
+
+ private:
+  std::uint32_t add(ValueDef d) {
+    defs_.push_back(std::move(d));
+    ext_.push_back(0);
+    return static_cast<std::uint32_t>(defs_.size() - 1);
+  }
+
+  std::uint32_t stack_in() {
+    ValueDef d;
+    d.kind = ValueDef::Kind::kStackIn;
+    d.depth = pops_++;
+    return add(std::move(d));
+  }
+
+  std::uint32_t pop_val() {
+    if (!stack_.empty()) {
+      const std::uint32_t id = stack_.back();
+      stack_.pop_back();
+      return id;
+    }
+    return stack_in();
+  }
+
+  /// Peek `depth` from the top, synthesising runtime slots below the
+  /// symbolic stack as needed (they re-push at commit, a net no-op).
+  std::uint32_t peek_val(std::size_t depth) {
+    while (stack_.size() <= depth) {
+      stack_.insert(stack_.begin(), stack_in());
+    }
+    return stack_[stack_.size() - 1 - depth];
+  }
+
+  void push_val(std::uint32_t id) { stack_.push_back(id); }
+
+  bool extendable_chain(std::uint32_t id) const {
+    return defs_[id].kind == ValueDef::Kind::kChain && ext_[id];
+  }
+
+  /// Route a stage onto `id`: extend its chain in place when the value has
+  /// a single live reference, otherwise start a new chain reading it.
+  std::uint32_t flow(std::uint32_t id, StageRecipe s) {
+    if (extendable_chain(id)) {
+      defs_[id].stages.push_back(std::move(s));
+      return id;
+    }
+    ValueDef d;
+    d.kind = ValueDef::Kind::kChain;
+    d.input = id;
+    d.stages.push_back(std::move(s));
+    return add(std::move(d));
+  }
+
+  void push_chain(std::uint32_t id) {
+    push_val(id);
+    ext_[id] = 1;
+  }
+
+  bool lower(const vm::Instruction& ins) {
+    SOp sop;
+    if (binary_sop(ins.op, &sop)) {
+      const std::uint32_t b = pop_val();
+      const std::uint32_t a = pop_val();
+      StageRecipe s;
+      s.op = sop;
+      if (extendable_chain(b)) {
+        s.operand = a;
+        s.reversed = true;
+        push_chain(flow(b, std::move(s)));
+      } else {
+        s.operand = b;
+        push_chain(flow(a, std::move(s)));
+      }
+      return true;
+    }
+    if (scan_sop(ins.op, &sop)) {
+      StageRecipe s;
+      s.op = sop;
+      s.charge = Charge::kScan;
+      push_chain(flow(pop_val(), std::move(s)));
+      return true;
+    }
+    if (seg_scan_sop(ins.op, &sop)) {
+      const std::uint32_t f = pop_val();
+      const std::uint32_t a = pop_val();
+      StageRecipe s;
+      s.op = sop;
+      s.operand = f;
+      s.charge = Charge::kScan;
+      push_chain(flow(a, std::move(s)));
+      return true;
+    }
+    if (reduce_op(ins.op)) {
+      ValueDef d;
+      d.kind = ValueDef::Kind::kDirect;
+      d.direct_op = ins.op;
+      d.input = pop_val();
+      push_val(add(std::move(d)));
+      return true;
+    }
+    switch (ins.op) {
+      case Op::PushConst: {
+        if (ins.imm0 < 0) return false;  // interpreter territory (bad_alloc)
+        ValueDef d;
+        d.kind = ValueDef::Kind::kLiteral;
+        d.len = ins.imm0;
+        d.fill = ins.imm1;
+        push_val(add(std::move(d)));
+        return true;
+      }
+      case Op::PushIndex: {
+        if (ins.imm0 < 0) return false;
+        ValueDef d;
+        d.kind = ValueDef::Kind::kIota;
+        d.len = ins.imm0;
+        push_val(add(std::move(d)));
+        return true;
+      }
+      case Op::Dup: {
+        const std::uint32_t id = peek_val(0);
+        push_val(id);
+        ext_[id] = 0;  // two live references: the chain may not mutate
+        return true;
+      }
+      case Op::Pop:
+        pop_val();  // the value still evaluates (charge parity), unused
+        return true;
+      case Op::Swap: {
+        const std::uint32_t b = pop_val();
+        const std::uint32_t a = pop_val();
+        push_val(b);
+        push_val(a);
+        return true;
+      }
+      case Op::Over: {
+        const std::uint32_t id = peek_val(1);
+        push_val(id);
+        ext_[id] = 0;
+        return true;
+      }
+      case Op::Load: {
+        if (const auto it = regs_.find(ins.name); it != regs_.end()) {
+          push_val(it->second);
+          ext_[it->second] = 0;  // aliased by the register from here on
+          return true;
+        }
+        if (const auto it = reads_.find(ins.name); it != reads_.end()) {
+          push_val(it->second);
+          return true;
+        }
+        ValueDef d;
+        d.kind = ValueDef::Kind::kRegIn;
+        d.reg = ins.name;
+        const std::uint32_t id = add(std::move(d));
+        reads_.emplace(ins.name, id);
+        push_val(id);
+        return true;
+      }
+      case Op::Store: {
+        const std::uint32_t id = pop_val();
+        regs_[ins.name] = id;
+        ext_[id] = 0;  // a later Load may re-reference it
+        return true;
+      }
+      case Op::Length: {
+        const std::uint32_t id = peek_val(0);
+        // Freeze the peeked chain: a later in-place Pack extension would
+        // shrink it and retroactively change this length.
+        ext_[id] = 0;
+        ValueDef d;
+        d.kind = ValueDef::Kind::kDirect;
+        d.direct_op = Op::Length;
+        d.input = id;
+        push_val(add(std::move(d)));
+        return true;
+      }
+      case Op::Print:
+        prints_.push_back(pop_val());
+        return true;
+      case Op::Neg: {
+        StageRecipe s;
+        s.op = SOp::kNeg;
+        push_chain(flow(pop_val(), std::move(s)));
+        return true;
+      }
+      case Op::Not: {
+        StageRecipe s;
+        s.op = SOp::kFlag10;
+        push_chain(flow(pop_val(), std::move(s)));
+        return true;
+      }
+      case Op::Select: {
+        const std::uint32_t e = pop_val();
+        const std::uint32_t t = pop_val();
+        const std::uint32_t c = pop_val();
+        StageRecipe s;
+        s.op = SOp::kSelect;
+        if (extendable_chain(e)) {
+          s.operand = c;
+          s.operand2 = t;
+          s.select_role = 2;
+          push_chain(flow(e, std::move(s)));
+        } else if (extendable_chain(t)) {
+          s.operand = c;
+          s.operand2 = e;
+          s.select_role = 1;
+          push_chain(flow(t, std::move(s)));
+        } else {
+          s.operand = t;
+          s.operand2 = e;
+          s.select_role = 0;
+          push_chain(flow(c, std::move(s)));
+        }
+        return true;
+      }
+      case Op::SegCopy:
+      case Op::SegPlusDistribute: {
+        ValueDef d;
+        d.kind = ValueDef::Kind::kDirect;
+        d.direct_op = ins.op;
+        d.input2 = pop_val();  // flags
+        d.input = pop_val();
+        push_val(add(std::move(d)));
+        return true;
+      }
+      case Op::SegEnumerate: {
+        const std::uint32_t segs = pop_val();
+        const std::uint32_t fv = pop_val();
+        StageRecipe conv;
+        conv.op = SOp::kFlag01;
+        const std::uint32_t c1 = flow(fv, std::move(conv));
+        ext_[c1] = 1;
+        StageRecipe scan;
+        scan.op = SOp::kSegPlusScan;
+        scan.operand = segs;
+        scan.charge = Charge::kScan;
+        push_chain(flow(c1, std::move(scan)));
+        return true;
+      }
+      case Op::Enumerate: {
+        StageRecipe conv;
+        conv.op = SOp::kFlag01;
+        const std::uint32_t c1 = flow(pop_val(), std::move(conv));
+        ext_[c1] = 1;
+        StageRecipe scan;
+        scan.op = SOp::kPlusScan;
+        scan.charge = Charge::kScan;
+        push_chain(flow(c1, std::move(scan)));
+        return true;
+      }
+      case Op::Permute: {
+        const std::uint32_t iv = pop_val();
+        StageRecipe s;
+        s.op = SOp::kPermute;
+        s.operand = iv;
+        s.charge = Charge::kPermute;
+        push_chain(flow(pop_val(), std::move(s)));
+        return true;
+      }
+      case Op::Gather: {
+        const std::uint32_t iv = pop_val();
+        const std::uint32_t a = pop_val();
+        StageRecipe s;  // the *index* flows; the source is looked into
+        s.op = SOp::kGather;
+        s.operand = a;
+        s.charge = Charge::kPermute;
+        push_chain(flow(iv, std::move(s)));
+        return true;
+      }
+      case Op::Pack: {
+        const std::uint32_t f = pop_val();
+        StageRecipe s;
+        s.op = SOp::kPack;
+        s.operand = f;
+        s.charge = Charge::kNone;  // engine charges scan+combine+permute
+        const std::uint32_t id = flow(pop_val(), std::move(s));
+        push_val(id);
+        ext_[id] = 0;  // the length changed: the chain must not extend
+        return true;
+      }
+      case Op::SplitOp: {
+        // machine::Machine::split (Fig. 3): down-enumerate of the inverted
+        // flags, fused up-enumerate + top-index + merge, unchecked permute.
+        // Charges mirror split_index exactly: ew, scan, scan, ew + permute.
+        const std::uint32_t f = pop_val();
+        const std::uint32_t a = pop_val();
+        ValueDef down;
+        down.kind = ValueDef::Kind::kChain;
+        down.input = f;
+        down.stages.resize(2);
+        down.stages[0].op = SOp::kFlag10;  // the charged flag inversion
+        down.stages[1].op = SOp::kPlusScan;
+        down.stages[1].charge = Charge::kScan;
+        const std::uint32_t down_id = add(std::move(down));
+        ValueDef up;
+        up.kind = ValueDef::Kind::kChain;
+        up.input = f;
+        up.stages.resize(4);
+        up.stages[0].op = SOp::kFlag01;
+        up.stages[0].charge = Charge::kNone;  // inversion charged once above
+        up.stages[1].op = SOp::kPlusBackscan;
+        up.stages[1].charge = Charge::kScan;
+        up.stages[2].op = SOp::kSplitTop;
+        up.stages[2].operand = f;
+        up.stages[2].charge = Charge::kNone;
+        up.stages[3].op = SOp::kSplitMerge;  // the charged select
+        up.stages[3].operand = down_id;
+        const std::uint32_t up_id = add(std::move(up));
+        StageRecipe pm;
+        pm.op = SOp::kPermute;
+        pm.operand = up_id;
+        pm.charge = Charge::kPermute;
+        pm.checked = false;  // correct by construction, as in the machine
+        push_chain(flow(a, std::move(pm)));
+        return true;
+      }
+      case Op::Distribute: {
+        ValueDef d;
+        d.kind = ValueDef::Kind::kDirect;
+        d.direct_op = Op::Distribute;
+        d.input2 = pop_val();  // length scalar (popped first)
+        d.input = pop_val();   // value scalar
+        push_val(add(std::move(d)));
+        return true;
+      }
+      default:
+        return false;  // control flow (never in a region) / unknown op
+    }
+  }
+
+  /// Fuse every chain's shape once. Groups depend only on stage kinds, so
+  /// the prepared shape replays for any vector length (and for either
+  /// Map/Zip binding of scalar-vs-vector operands).
+  void prepare_chains() {
+    for (ValueDef& d : defs_) {
+      if (d.kind != ValueDef::Kind::kChain) continue;
+      std::vector<exec::StageKind> kinds;
+      kinds.reserve(d.stages.size() + 1);
+      kinds.push_back(exec::StageKind::Source);
+      for (const StageRecipe& s : d.stages) kinds.push_back(stage_kind(s.op));
+      exec::FuseOptions fo;
+      fo.tile = scanprim::detail::chained_tile_elements<I64>();
+      d.groups.groups =
+          exec::fuse(std::span<const exec::StageKind>(kinds), fo);
+      d.groups.tile = fo.tile;
+      d.groups.stages = kinds.size();
+    }
+  }
+
+  const vm::Program& program_;
+  std::size_t begin_, end_;
+  std::vector<ValueDef> defs_;
+  std::vector<std::uint8_t> ext_;      ///< def id -> chain may extend in place
+  std::vector<std::uint32_t> stack_;   ///< symbolic stack, bottom first
+  std::map<std::string, std::uint32_t> regs_;   ///< in-region register writes
+  std::map<std::string, std::uint32_t> reads_;  ///< memoised register reads
+  std::uint32_t pops_ = 0;
+  std::vector<std::uint32_t> prints_;
+};
+
+std::size_t estimate_bytes(const CompiledProgram& cp) {
+  std::size_t b = 512 + cp.program.size() * (sizeof(vm::Instruction) + 16) +
+                  cp.region_at.size() * sizeof(std::int32_t);
+  for (const Region& r : cp.regions) {
+    b += sizeof(Region) + r.values.size() * (sizeof(ValueDef) + 32);
+    for (const ValueDef& d : r.values) {
+      b += d.stages.size() * sizeof(StageRecipe) +
+           d.groups.groups.size() * sizeof(exec::Group) + d.reg.size();
+    }
+    b += (r.prints.size() + r.pushes.size()) * sizeof(std::uint32_t);
+    for (const auto& [name, id] : r.stores) b += name.size() + 16;
+  }
+  return b;
+}
+
+}  // namespace
+
+std::optional<CompiledProgram> Compiler::compile(
+    const vm::Program& program) const {
+  if (program.empty()) return std::nullopt;
+  const std::size_t n = program.size();
+
+  // Region leaders: pc 0, every static jump target, and the instruction
+  // after each control op. Targets can only be leaders (never region
+  // interiors), so no branch ever lands mid-region.
+  std::vector<std::uint8_t> leader(n + 1, 0);
+  leader[0] = 1;
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const Op op = program[pc].op;
+    if (op == Op::Jump || op == Op::Jz || op == Op::Jnz) {
+      const std::int64_t t = program[pc].imm0;
+      if (t >= 0 && static_cast<std::size_t>(t) <= n) leader[t] = 1;
+    }
+    if (is_control(op)) leader[pc + 1] = 1;
+  }
+
+  CompiledProgram cp;
+  cp.key = vm::fingerprint(program);
+  cp.program = program;
+  cp.total_instructions = n;
+  cp.region_at.assign(n, -1);
+
+  std::size_t pc = 0;
+  while (pc < n) {
+    if (is_control(program[pc].op)) {
+      ++pc;
+      continue;
+    }
+    std::size_t end = pc + 1;
+    while (end < n && !leader[end] && !is_control(program[end].op)) ++end;
+    RegionBuilder rb(program, pc, end);
+    if (rb.build()) {
+      cp.region_at[pc] = static_cast<std::int32_t>(cp.regions.size());
+      Region r = rb.take();
+      cp.compiled_instructions += r.instructions;
+      cp.regions.push_back(std::move(r));
+    }
+    pc = end;
+  }
+  if (cp.regions.empty()) return std::nullopt;
+  cp.bytes = estimate_bytes(cp);
+  return cp;
+}
+
+}  // namespace scanprim::plan

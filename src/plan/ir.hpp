@@ -1,0 +1,140 @@
+// Intermediate representation for compiled VM plans (docs/PLAN.md).
+//
+// The compiler (compiler.cpp) walks a vm::Program's straight-line regions by
+// abstract stack interpretation and lowers each into a dataflow graph of
+// `ValueDef`s. A def is either an input (a runtime stack slot or register),
+// a generated vector (const / iota), a *chain* — a flowing value with a list
+// of `StageRecipe`s that map one-for-one onto exec pipeline stages — or a
+// *direct* op (reductions, segment copies) evaluated straight against the
+// machine. Chains carry their exec::PreparedGroups, computed once at compile
+// time: fusion depends only on the stage-kind sequence, never on vector
+// lengths, so one compiled region serves any n (shape polymorphism).
+//
+// Everything here is immutable after compilation and shared across threads
+// via shared_ptr<const CompiledProgram> — the engine (engine.cpp) keeps all
+// run state (slots, stacks, machines) on its own frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.hpp"
+#include "src/vm/isa.hpp"
+
+namespace scanprim::plan {
+
+using Vec = std::vector<std::int64_t>;
+using I64 = std::int64_t;
+
+inline constexpr std::uint32_t kNoValue = 0xffffffffu;
+
+/// Stage micro-ops a chain is built from. Binary ops name the VM semantics;
+/// the synthetic ops at the bottom are the pieces SplitOp / Enumerate lower
+/// into (mirroring machine::Machine::split_index, Fig. 3 of the paper).
+enum class SOp : std::uint8_t {
+  // elementwise binary: flowing value combined with `operand`
+  kAdd, kSub, kMul, kDiv, kMod, kMin, kMax,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kLt, kLe, kEq, kNe, kGe, kGt,
+  // elementwise unary
+  kNeg,
+  kFlag01,  ///< d = d != 0 ? 1 : 0   (Enumerate's flag load; also Not^-1)
+  kFlag10,  ///< d = d != 0 ? 0 : 1   (Not; split's down-flag inversion)
+  // ternary
+  kSelect,  ///< cond ? then : else; `select_role` says which operand flows
+  // scans (one per fused group; the fuser splits chains as needed)
+  kPlusScan, kMaxScan, kMinScan, kOrScan, kAndScan,
+  kPlusBackscan, kMaxBackscan, kMinBackscan,
+  kSegPlusScan, kSegMaxScan, kSegMinScan, kSegPlusBackscan,
+  // data movement
+  kPack,     ///< keep flagged elements (ends chain extension: length changes)
+  kPermute,  ///< EREW scatter by `operand` (fusion barrier, same pipeline)
+  kGather,   ///< d = operand[d]; the *index* is the flowing value
+  // SplitOp micro-ops (up-enumerate side)
+  kSplitTop,    ///< d = operand[i] != 0 ? n - d - 1 : kSplitTake
+  kSplitMerge,  ///< d = d == kSplitTake ? operand[i] : d
+};
+
+/// Sentinel the split lowering threads through kSplitTop/kSplitMerge; it can
+/// never collide with a real target index (those live in [0, n)).
+inline constexpr I64 kSplitTake = -1;
+
+/// What the machine is charged when a stage binds. Mirrors the interpreter's
+/// charges exactly (src/vm/interpreter.cpp); stages of compound lowerings
+/// that the machine does not charge for individually use kNone.
+enum class Charge : std::uint8_t { kNone, kElementwise, kScan, kPermute };
+
+struct StageRecipe {
+  SOp op{};
+  /// Second input def: zip partner, segment/pack flags, permute index,
+  /// gather source. kNoValue for unary stages and plain scans.
+  std::uint32_t operand = kNoValue;
+  std::uint32_t operand2 = kNoValue;  ///< select only: the third input
+  /// Binary only: the flowing value was the *second* popped operand, so the
+  /// zip lambda runs fn(operand, flowing) instead of fn(flowing, operand).
+  bool reversed = false;
+  /// Select only: which VM operand flows through the chain
+  /// (0 = condition, 1 = then-value, 2 = else-value).
+  std::uint8_t select_role = 0;
+  Charge charge = Charge::kElementwise;
+  /// Permute only: run the interpreter's bounds + EREW-uniqueness checks.
+  /// False for the split lowering, whose indices are correct by construction
+  /// (the interpreter's SplitOp skips the checks the same way).
+  bool checked = true;
+};
+
+struct ValueDef {
+  enum class Kind : std::uint8_t {
+    kStackIn,  ///< runtime stack slot: depth 0 = top at region entry
+    kLiteral,  ///< PushConst: `len` copies of `fill`
+    kIota,     ///< PushIndex: [0, len)
+    kRegIn,    ///< register read (memoised per region)
+    kChain,    ///< pipeline over `input` with `stages`
+    kDirect,   ///< machine-evaluated op (`direct_op`) over input / input2
+  };
+  Kind kind = Kind::kStackIn;
+
+  std::uint32_t depth = 0;          // kStackIn
+  I64 len = 0, fill = 0;            // kLiteral / kIota
+  std::string reg;                  // kRegIn
+  std::uint32_t input = kNoValue;   // kChain / kDirect
+  std::uint32_t input2 = kNoValue;  // kDirect: flags / length operand
+  vm::Op direct_op{};               // kDirect
+
+  // kChain: the recipe list plus the fused shape, prepared at compile time
+  // so cache-hit dispatch does zero fuse work (exec::Stats::plan_reuses
+  // counts such runs; fuse_runs stays 0).
+  std::vector<StageRecipe> stages;
+  exec::PreparedGroups groups;
+};
+
+/// One straight-line run of compilable instructions. The engine pops `pops`
+/// runtime values, evaluates every def, then commits prints, stores and
+/// pushes — or abandons wholesale (restoring the stat snapshot and stack)
+/// and re-runs [pc_begin, pc_end) through the interpreter.
+struct Region {
+  std::size_t pc_begin = 0;
+  std::size_t pc_end = 0;
+  std::size_t instructions = 0;  ///< == pc_end - pc_begin
+  std::uint32_t pops = 0;        ///< runtime stack slots consumed
+  std::vector<ValueDef> values;
+  std::vector<std::uint32_t> prints;  ///< output log appends, in order
+  std::vector<std::pair<std::string, std::uint32_t>> stores;  ///< final writes
+  std::vector<std::uint32_t> pushes;  ///< stack at exit, bottom first
+};
+
+/// A compiled plan: the regions plus a pc -> region map. Shared, immutable.
+struct CompiledProgram {
+  std::uint64_t key = 0;  ///< vm::fingerprint of `program`
+  vm::Program program;    ///< the exact program (cache collision guard)
+  std::vector<Region> regions;
+  /// region_at[pc] indexes `regions` at each region's first pc, -1 elsewhere
+  /// (interior region pcs and interpreted instructions).
+  std::vector<std::int32_t> region_at;
+  std::size_t bytes = 0;  ///< cache accounting estimate
+  std::size_t compiled_instructions = 0;
+  std::size_t total_instructions = 0;
+};
+
+}  // namespace scanprim::plan

@@ -1,0 +1,118 @@
+// VM-to-executor compilation with a shape-polymorphic plan cache
+// (docs/PLAN.md).
+//
+// The compiler lowers a vm::Program's straight-line regions onto fused exec
+// pipelines; the process-wide cache keys compiled plans on program structure
+// (vm::fingerprint — opcode + immediates + names; the dtype is fixed by the
+// ISA and lengths bind at run time, so one plan serves any n). The engine
+// installs itself as the interpreter's run hook from a static initialiser in
+// engine.cpp, so linking the plan objects is all it takes: every
+// Interpreter::run() first consults the cache, executes the plan when one
+// exists, and falls back to pure interpretation per instruction — and, on
+// any in-region failure, per *region*, transactionally — so compiled and
+// interpreted runs produce identical outputs, registers, charges and error
+// messages.
+//
+// Knobs: SCANPRIM_PLAN=off disables the hook (pure interpretation);
+// SCANPRIM_PLAN_CACHE_BYTES bounds the cache (default 64 MiB, LRU).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/executor.hpp"
+#include "src/plan/ir.hpp"
+#include "src/vm/interpreter.hpp"
+
+namespace scanprim::plan {
+
+/// Whether compiled-plan dispatch is active (SCANPRIM_PLAN; default on,
+/// "0" / "off" / "false" disable). Read once per process.
+bool enabled();
+
+/// Lowers programs into CompiledPrograms. Stateless; the cache owns one.
+class Compiler {
+ public:
+  /// Compile every straight-line region of `program`. Returns nullopt when
+  /// nothing compiles (e.g. an all-control program) — the cache remembers
+  /// the decline so repeated traffic skips re-analysis.
+  std::optional<CompiledProgram> compile(const vm::Program& program) const;
+};
+
+/// Process-wide plan cache: striped-mutex sharded lookup keyed on
+/// vm::fingerprint (exact program equality verified behind the hash), LRU
+/// eviction under SCANPRIM_PLAN_CACHE_BYTES. Declined compiles are cached
+/// as negative entries; faulted compiles (plan.compile fault point, OOM)
+/// are *not* cached, so transient failures retry.
+class Cache {
+ public:
+  /// The process cache the interpreter hook consults.
+  static Cache& instance();
+
+  Cache();  ///< an isolated cache (tests); capacity from the environment
+
+  /// Look up `program`, compiling on miss. Null means "interpret": the
+  /// program declined compilation or the compile faulted.
+  std::shared_ptr<const CompiledProgram> get(const vm::Program& program);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t failures = 0;    ///< faulted compiles (not cached)
+    std::uint64_t compile_ns = 0;  ///< total wall time spent compiling
+    std::size_t entries = 0;       ///< resident entries (incl. negative)
+    std::size_t bytes = 0;
+  };
+  Stats stats() const;
+
+  std::size_t capacity_bytes() const;
+  void set_capacity_bytes(std::size_t bytes);  ///< tests; evicts immediately
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    vm::Program program;  ///< collision guard: exact structural match
+    std::shared_ptr<const CompiledProgram> prog;  ///< null = negative entry
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, evictions = 0, failures = 0;
+    std::uint64_t compile_ns = 0;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  void evict_locked(Shard& sh, std::size_t budget);
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> capacity_;
+};
+
+/// Runs `plan` against the interpreter's live state (stack, registers,
+/// output log, machine charges), exactly as interp.run(program) would.
+/// Compiled regions that cannot bind at run time (shape mismatches, bad
+/// indices, missing registers) roll back and re-run through the
+/// interpreter, so outputs AND error messages match by construction.
+/// `stats`, when given, accumulates exec::Stats across every pipeline run.
+void execute(vm::Interpreter& interp, const vm::Program& program,
+             const CompiledProgram& plan, std::size_t max_instructions,
+             exec::Executor& ex, exec::Stats* stats = nullptr);
+
+/// The interpreter hook engine.cpp registers from a static initialiser.
+/// Touching this symbol forces the engine object to link (and the hook to
+/// install) even under aggressive dead-stripping; returns true.
+bool ensure_hook();
+
+}  // namespace scanprim::plan

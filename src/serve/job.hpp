@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,10 +94,28 @@ struct EnumerateJob {
   std::vector<std::uint8_t> keep;
 };
 
+/// Run a named precompiled VM plan (docs/PLAN.md). `plan` names a program
+/// previously registered with Service::register_plan — registration compiles
+/// it once through the process plan cache, so repeated traffic dispatches
+/// straight onto the stored fused pipelines with zero record/fuse work.
+/// `registers` preload the interpreter; every vector the program prints
+/// comes back in Result::outputs (and the last one, for convenience, in
+/// Result::values). Plan jobs execute per job on the batcher thread through
+/// the service's executor, not inside the scan mega-batch; an unregistered
+/// name (or a VM error) resolves to Status::kError.
+struct PlanJob {
+  std::string plan;
+  std::map<std::string, std::vector<Value>> registers;
+  std::size_t max_instructions = std::size_t{1} << 22;  ///< runaway guard
+};
+
 /// What the future resolves to.
 struct Result {
   Status status = Status::kOk;
   std::vector<Value> values;  ///< scan output / packed values / enumerate ids
+                              ///< / a plan's last printed vector
+  std::vector<std::vector<Value>> outputs;  ///< plan jobs: every printed
+                                            ///< vector, in program order
   std::size_t kept = 0;       ///< pack & enumerate: number of set keep flags
   std::string error;  ///< kError only: what() of the exception that killed
                       ///< this job (never its innocent batch-mates)

@@ -31,6 +31,9 @@ struct Metrics {
   std::uint64_t recovery_batches = 0;   ///< batches that entered recovery
   std::uint64_t bisection_reruns = 0;   ///< re-dispatches recovery performed
 
+  /// Named precompiled plan jobs executed successfully (docs/PLAN.md).
+  std::uint64_t plan_jobs = 0;
+
   // Batch shape.
   std::uint64_t batches = 0;           ///< mega-dispatches executed
   std::uint64_t batched_jobs = 0;      ///< jobs carried by those batches

@@ -10,13 +10,15 @@
 #include "src/fault/fault.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/registry.hpp"
+#include "src/plan/plan.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim::serve {
 
 namespace {
 
-enum class JobKind : std::uint8_t { kScan, kPack, kEnumerate, kPipeline };
+enum class JobKind : std::uint8_t { kScan, kPack, kEnumerate, kPipeline,
+                                    kPlan };
 
 std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
                          std::chrono::steady_clock::time_point b) {
@@ -47,6 +49,12 @@ struct Service::JobNode {
 
   exec::Pipeline<Value> pipeline;  // kPipeline only
 
+  // kPlan only: the named program's interpreter inputs and print outputs.
+  std::string plan_name;
+  std::map<std::string, std::vector<Value>> vm_regs;
+  std::vector<std::vector<Value>> vm_out;
+  std::size_t max_instructions = std::size_t{1} << 22;
+
   std::promise<Result> promise;
   CancelToken cancel;
   Clock::time_point submitted_at{};
@@ -69,6 +77,13 @@ struct Service::JobNode {
         return pipeline.nodes.empty()
                    ? 0
                    : pipeline.source_length() * sizeof(Value);
+      case JobKind::kPlan: {
+        std::size_t bytes = 0;
+        for (const auto& [name, v] : vm_regs) {
+          bytes += v.size() * sizeof(Value);
+        }
+        return bytes;
+      }
     }
     return 0;
   }
@@ -129,6 +144,8 @@ Service::Service(Options opts) : opts_(opts) {
       recovery_batches_.load(std::memory_order_relaxed));
     c("scanprim_serve_bisection_reruns_total",
       bisection_reruns_.load(std::memory_order_relaxed));
+    c("scanprim_serve_plan_jobs_total",
+      plan_jobs_.load(std::memory_order_relaxed));
     c("scanprim_serve_batches_total", batches_.load(std::memory_order_relaxed));
     c("scanprim_serve_batched_jobs_total",
       batched_jobs_.load(std::memory_order_relaxed));
@@ -181,6 +198,33 @@ std::future<Result> Service::submit(exec::Pipeline<Value> job,
   n->kind = JobKind::kPipeline;
   n->pipeline = std::move(job);
   return enqueue(n, opts);
+}
+
+std::future<Result> Service::submit(PlanJob job, SubmitOptions opts) {
+  auto* n = new JobNode;
+  n->kind = JobKind::kPlan;
+  n->plan_name = std::move(job.plan);
+  n->vm_regs = std::move(job.registers);
+  n->max_instructions = job.max_instructions;
+  return enqueue(n, opts);
+}
+
+bool Service::register_plan(const std::string& name, vm::Program program) {
+  // Compile through the process cache: registration pays the (one) compile,
+  // every dispatch reuses the stored plan without even a cache lookup.
+  std::shared_ptr<const plan::CompiledProgram> prog;
+  if (plan::enabled()) prog = plan::Cache::instance().get(program);
+  const bool compiled = prog != nullptr;
+  std::lock_guard<std::mutex> lk(plans_mutex_);
+  auto& entry = plans_[name];
+  entry.program = std::move(program);
+  entry.prog = std::move(prog);
+  return compiled;
+}
+
+bool Service::has_plan(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(plans_mutex_);
+  return plans_.count(name) != 0;
 }
 
 std::future<Result> Service::enqueue(JobNode* n, const SubmitOptions& opts) {
@@ -466,6 +510,7 @@ void Service::stage_group(std::span<JobNode* const> group, bool restore_scans) {
         break;
       }
       case JobKind::kPipeline:
+      case JobKind::kPlan:
         break;
     }
   }
@@ -498,6 +543,7 @@ void Service::build_slices(std::span<JobNode* const> group) {
         break;
       }
       case JobKind::kPipeline:
+      case JobKind::kPlan:
         break;
     }
   }
@@ -582,6 +628,7 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
         scan_jobs_.push_back(n);
         break;
       case JobKind::kPipeline:
+      case JobKind::kPlan:
         break;
     }
   }
@@ -621,11 +668,15 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
     }
   }
   for (JobNode* n : jobs) {
-    if (n->kind != JobKind::kPipeline) continue;
+    if (n->kind != JobKind::kPipeline && n->kind != JobKind::kPlan) continue;
     try {
-      n->data = executor_.run(n->pipeline);
-      std::lock_guard<std::mutex> lk(stats_mutex_);
-      pipeline_stats_ += executor_.stats();
+      if (n->kind == JobKind::kPipeline) {
+        n->data = executor_.run(n->pipeline);
+        std::lock_guard<std::mutex> lk(stats_mutex_);
+        pipeline_stats_ += executor_.stats();
+      } else {
+        run_plan_job(n);
+      }
     } catch (const std::exception& e) {
       n->failed = true;
       n->error = e.what();
@@ -707,6 +758,10 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
         }
         break;
       }
+      case JobKind::kPlan:
+        r.outputs = std::move(n->vm_out);
+        if (!r.outputs.empty()) r.values = r.outputs.back();
+        break;
     }
     r.latency_ns = ns_between(n->submitted_at, Clock::now());
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -716,6 +771,39 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
     delete n;
     n = nullptr;
   }
+}
+
+// Executes one named-plan job on the batcher thread. The interpreter is
+// per-job (plans carry their own registers and outputs); the executor is the
+// service's, so plan pipelines recycle the same arenas pipeline jobs use.
+// Throws on unknown names and VM errors — the caller maps that to kError.
+void Service::run_plan_job(JobNode* n) {
+  obs::Span span("serve.plan");
+  PlanEntry entry;
+  {
+    std::lock_guard<std::mutex> lk(plans_mutex_);
+    const auto it = plans_.find(n->plan_name);
+    if (it == plans_.end()) {
+      throw std::runtime_error("unknown plan \"" + n->plan_name + "\"");
+    }
+    entry = it->second;
+  }
+  machine::Machine m;
+  vm::Interpreter interp(m);
+  for (auto& [name, v] : n->vm_regs) interp.set_register(name, std::move(v));
+  if (entry.prog != nullptr) {
+    exec::Stats st;
+    plan::execute(interp, entry.program, *entry.prog, n->max_instructions,
+                  executor_, &st);
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    pipeline_stats_ += st;
+  } else {
+    // No compiled plan (declined, or SCANPRIM_PLAN=off): plain
+    // interpretation, same outputs.
+    interp.run(entry.program, n->max_instructions);
+  }
+  n->vm_out = interp.output();
+  plan_jobs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // --- metrics -----------------------------------------------------------------
@@ -731,6 +819,7 @@ Metrics Service::metrics() const {
   m.errors = errors_.load(std::memory_order_relaxed);
   m.recovery_batches = recovery_batches_.load(std::memory_order_relaxed);
   m.bisection_reruns = bisection_reruns_.load(std::memory_order_relaxed);
+  m.plan_jobs = plan_jobs_.load(std::memory_order_relaxed);
   m.batches = batches_.load(std::memory_order_relaxed);
   m.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
   m.batched_elements = batched_elements_.load(std::memory_order_relaxed);

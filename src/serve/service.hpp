@@ -30,6 +30,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -43,6 +45,11 @@
 #include "src/obs/histogram.hpp"
 #include "src/serve/job.hpp"
 #include "src/serve/metrics.hpp"
+#include "src/vm/isa.hpp"
+
+namespace scanprim::plan {
+struct CompiledProgram;
+}  // namespace scanprim::plan
 
 namespace scanprim::serve {
 
@@ -98,6 +105,16 @@ class Service {
   std::future<Result> submit(EnumerateJob job, SubmitOptions opts = {});
   std::future<Result> submit(exec::Pipeline<Value> job,
                              SubmitOptions opts = {});
+  std::future<Result> submit(PlanJob job, SubmitOptions opts = {});
+
+  /// Named precompiled plans (docs/PLAN.md). Compiles `program` through the
+  /// process plan cache up front and stores it under `name`, replacing any
+  /// previous registration. Returns true when a compiled plan exists; false
+  /// means the program declined compilation (or SCANPRIM_PLAN=off) and its
+  /// jobs run interpreted — still correct, just not pre-lowered. Callable
+  /// from any thread, any time.
+  bool register_plan(const std::string& name, vm::Program program);
+  bool has_plan(const std::string& name) const;
 
   /// Stops admitting (later submissions resolve to kShutdown), drains every
   /// accepted request — executing, timing out, or cancelling each — then
@@ -117,6 +134,7 @@ class Service {
   std::future<Result> enqueue(JobNode* node, const SubmitOptions& opts);
   void batcher_loop();
   void execute_batch(std::vector<JobNode*>& jobs);
+  void run_plan_job(JobNode* node);
   void resolve(JobNode* node, Status status);
   void resolve_error(JobNode*& node, std::string message);
   void record_latency(std::uint64_t ns);
@@ -158,6 +176,16 @@ class Service {
   std::uint64_t batch_seq_ = 0;  ///< batcher-only
   std::mutex shutdown_mutex_;            ///< makes shutdown() re-entrant
 
+  // Named plans (register_plan / PlanJob). The entry pairs the program with
+  // its compiled plan so the batcher executes without a cache lookup; a null
+  // plan means "run interpreted".
+  struct PlanEntry {
+    vm::Program program;
+    std::shared_ptr<const plan::CompiledProgram> prog;
+  };
+  mutable std::mutex plans_mutex_;
+  std::map<std::string, PlanEntry> plans_;
+
   // Metrics. Counters are relaxed atomics; the latency histogram records
   // lock-free from the batcher; the accumulated pipeline stats are written
   // by the batcher under stats_mutex_. At construction the service registers
@@ -173,6 +201,7 @@ class Service {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> recovery_batches_{0};
   std::atomic<std::uint64_t> bisection_reruns_{0};
+  std::atomic<std::uint64_t> plan_jobs_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_jobs_{0};
   std::atomic<std::uint64_t> batched_elements_{0};

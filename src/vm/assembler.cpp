@@ -35,8 +35,38 @@ bool is_integer(const std::string& tok) {
                      [](unsigned char c) { return std::isdigit(c); });
 }
 
-[[noreturn]] void fail(std::size_t line, const std::string& message) {
-  throw AsmError("line " + std::to_string(line) + ": " + message);
+/// A source token with its position: 1-based line and column, so editors
+/// can jump straight to it.
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+  std::size_t col = 0;
+};
+
+[[noreturn]] void fail_at(const Token& tok, const std::string& message) {
+  throw AsmError("line " + std::to_string(tok.line) + ", col " +
+                 std::to_string(tok.col) + ": " + message + " (at '" +
+                 tok.text + "')");
+}
+
+std::vector<Token> tokenize_line(const std::string& raw, std::size_t line_no) {
+  std::vector<Token> toks;
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const unsigned char c = raw[i];
+    if (c == ';') break;  // comment to end of line
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < raw.size() && !std::isspace(static_cast<unsigned char>(raw[i])) &&
+           raw[i] != ';') {
+      ++i;
+    }
+    toks.push_back({raw.substr(begin, i - begin), line_no, begin + 1});
+  }
+  return toks;
 }
 
 }  // namespace
@@ -44,71 +74,78 @@ bool is_integer(const std::string& tok) {
 Program assemble(const std::string& source) {
   Program program;
   std::map<std::string, std::size_t> labels;
-  std::vector<std::pair<std::size_t, std::size_t>> fixups;  // (pc, line)
-  std::vector<std::string> fixup_names;
+  std::vector<std::pair<std::size_t, Token>> fixups;  // (pc, label token)
 
   std::istringstream in(source);
   std::string raw;
   std::size_t line_no = 0;
   while (std::getline(in, raw)) {
     ++line_no;
-    if (const auto semi = raw.find(';'); semi != std::string::npos) {
-      raw.erase(semi);
-    }
-    std::istringstream line(raw);
-    std::vector<std::string> tok;
-    for (std::string t; line >> t;) tok.push_back(t);
+    std::vector<Token> tok = tokenize_line(raw, line_no);
     if (tok.empty()) continue;
 
-    if (tok[0].back() == ':') {
-      const std::string label = lower(tok[0].substr(0, tok[0].size() - 1));
-      if (label.empty()) fail(line_no, "empty label");
-      if (labels.count(label)) fail(line_no, "duplicate label '" + label + "'");
+    if (tok[0].text.back() == ':') {
+      const std::string label =
+          lower(tok[0].text.substr(0, tok[0].text.size() - 1));
+      if (label.empty()) fail_at(tok[0], "empty label");
+      if (labels.count(label)) {
+        fail_at(tok[0], "duplicate label '" + label + "'");
+      }
       labels[label] = program.size();
       tok.erase(tok.begin());
       if (tok.empty()) continue;
     }
 
-    const std::string name = lower(tok[0]);
+    const std::string name = lower(tok[0].text);
     const auto it = op_table().find(name);
-    if (it == op_table().end()) fail(line_no, "unknown mnemonic '" + name + "'");
+    if (it == op_table().end()) {
+      fail_at(tok[0], "unknown mnemonic '" + name + "'");
+    }
     Instruction ins;
     ins.op = it->second;
 
     const auto need = [&](std::size_t count) {
       if (tok.size() != count + 1) {
-        fail(line_no, "'" + name + "' expects " + std::to_string(count) +
-                          " operand(s)");
+        // Point at the first stray operand, or at the mnemonic when
+        // operands are missing.
+        const Token& at = tok.size() > count + 1 ? tok[count + 1] : tok[0];
+        fail_at(at, "'" + name + "' expects " + std::to_string(count) +
+                        " operand(s), got " + std::to_string(tok.size() - 1));
       }
+    };
+    const auto integer_operand = [&](std::size_t k,
+                                     const std::string& what) -> std::int64_t {
+      if (!is_integer(tok[k].text)) {
+        fail_at(tok[k], "'" + name + "' expects an integer " + what);
+      }
+      return std::stoll(tok[k].text);
     };
     switch (ins.op) {
       case Op::PushConst:
         need(2);
-        if (!is_integer(tok[1]) || !is_integer(tok[2])) {
-          fail(line_no, "const expects integer length and fill");
-        }
-        ins.imm0 = std::stoll(tok[1]);
-        ins.imm1 = std::stoll(tok[2]);
-        if (ins.imm0 < 0) fail(line_no, "negative length");
+        ins.imm0 = integer_operand(1, "length");
+        ins.imm1 = integer_operand(2, "fill");
+        if (ins.imm0 < 0) fail_at(tok[1], "negative length");
         break;
       case Op::PushIndex:
         need(1);
-        if (!is_integer(tok[1])) fail(line_no, "index expects a length");
-        ins.imm0 = std::stoll(tok[1]);
-        if (ins.imm0 < 0) fail(line_no, "negative length");
+        ins.imm0 = integer_operand(1, "length");
+        if (ins.imm0 < 0) fail_at(tok[1], "negative length");
         break;
       case Op::Load:
       case Op::Store:
         need(1);
-        ins.name = lower(tok[1]);
+        ins.name = lower(tok[1].text);
         break;
       case Op::Jump:
       case Op::Jz:
-      case Op::Jnz:
+      case Op::Jnz: {
         need(1);
-        fixups.push_back({program.size(), line_no});
-        fixup_names.push_back(lower(tok[1]));
+        Token label_tok = tok[1];
+        label_tok.text = lower(label_tok.text);
+        fixups.push_back({program.size(), std::move(label_tok)});
         break;
+      }
       default:
         need(0);
         break;
@@ -116,23 +153,38 @@ Program assemble(const std::string& source) {
     program.push_back(std::move(ins));
   }
 
-  for (std::size_t k = 0; k < fixups.size(); ++k) {
-    const auto [pc, line] = fixups[k];
-    const auto it = labels.find(fixup_names[k]);
+  for (const auto& [pc, tok] : fixups) {
+    const auto it = labels.find(tok.text);
     if (it == labels.end()) {
-      fail(line, "undefined label '" + fixup_names[k] + "'");
+      fail_at(tok, "undefined label '" + tok.text + "'");
     }
+    // Only the resolved pc survives into the instruction: keeping the label
+    // text in `name` would make structurally identical programs that differ
+    // in label spelling fingerprint differently (vm::fingerprint folds names
+    // in for Load/Store), splitting what should be one plan-cache entry.
     program[pc].imm0 = static_cast<std::int64_t>(it->second);
-    program[pc].name = fixup_names[k];
   }
   return program;
 }
 
 std::string disassemble(const Program& program) {
+  // Synthesize a label for every jump target so the listing assembles back
+  // to the same program (assemble(disassemble(p)) round-trips). Stored jump
+  // names are ignored: a synthetic `l<pc>` can never collide with another
+  // synthetic label, while source names could shadow each other.
+  std::vector<std::uint8_t> is_target(program.size() + 1, 0);
+  for (const Instruction& ins : program) {
+    if (ins.op == Op::Jump || ins.op == Op::Jz || ins.op == Op::Jnz) {
+      const auto t = static_cast<std::size_t>(ins.imm0);
+      if (t < is_target.size()) is_target[t] = 1;
+    }
+  }
   std::ostringstream out;
-  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+  for (std::size_t pc = 0; pc <= program.size(); ++pc) {
+    if (pc < is_target.size() && is_target[pc]) out << 'l' << pc << ":\n";
+    if (pc == program.size()) break;
     const Instruction& ins = program[pc];
-    out << pc << ":\t" << mnemonic(ins.op);
+    out << "    " << mnemonic(ins.op);
     switch (ins.op) {
       case Op::PushConst: out << ' ' << ins.imm0 << ' ' << ins.imm1; break;
       case Op::PushIndex: out << ' ' << ins.imm0; break;
@@ -140,9 +192,7 @@ std::string disassemble(const Program& program) {
       case Op::Store: out << ' ' << ins.name; break;
       case Op::Jump:
       case Op::Jz:
-      case Op::Jnz: out << ' ' << ins.imm0;
-        if (!ins.name.empty()) out << " (" << ins.name << ')';
-        break;
+      case Op::Jnz: out << " l" << ins.imm0; break;
       default: break;
     }
     out << '\n';

@@ -8,8 +8,9 @@
 //
 // Mnemonics are the strings of `mnemonic()` (case-insensitive); `load`,
 // `store` take a register name; `const` takes length and fill; `index`
-// takes a length; jumps take a label. Throws AsmError with a line number
-// on any malformed input.
+// takes a length; jumps take a label. Throws AsmError with the 1-based
+// line, column, and the offending token on any malformed input, e.g.
+// `line 3, col 9: unknown mnemonic 'frobnicate' (at 'frobnicate')`.
 #pragma once
 
 #include <stdexcept>
@@ -25,7 +26,9 @@ struct AsmError : std::runtime_error {
 
 Program assemble(const std::string& source);
 
-/// Pretty listing (one line per instruction, with pc).
+/// Assembler-syntax listing: jump targets become synthetic `l<pc>:` labels
+/// and jumps name them, so `assemble(disassemble(p))` reproduces `p`
+/// (structurally — jump name fields carry the synthetic labels).
 std::string disassemble(const Program& program);
 
 }  // namespace scanprim::vm

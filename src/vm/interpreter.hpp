@@ -32,12 +32,49 @@ class Interpreter {
   /// Runs to Halt (or off the end). Throws VmError on stack underflow,
   /// length mismatch, bad permute indices, division by zero, or exceeding
   /// `max_instructions` (runaway-loop guard).
+  ///
+  /// When a run hook is installed (see set_run_hook) the program is first
+  /// offered to it — src/plan uses this seam to execute a cached compiled
+  /// plan instead; a `false` return falls through to pure interpretation.
   void run(const Program& program, std::size_t max_instructions = 1u << 22);
 
   /// Vectors recorded by `print`, in order.
   const std::vector<Vec>& output() const { return output_; }
 
   std::size_t instructions_executed() const { return executed_; }
+
+  // --- single-step execution (shared with the compiled-plan engine) ---------
+  // The compiled engine in src/plan drives these for the instructions it
+  // does not compile (control flow) and for abandoned regions, so both
+  // execution paths share ONE implementation of every op's semantics,
+  // charges, and error messages.
+
+  /// Executes exactly one instruction at `pc` against the live stack,
+  /// registers, and output log; returns the pc of the next instruction
+  /// (program.size() after Halt, so `while (pc < size)` loops terminate).
+  /// Does not touch the instruction budget — callers own that accounting.
+  std::size_t step(const Program& program, std::size_t pc);
+
+  /// Installed process-wide; called at the top of run(). Returns true when
+  /// the hook fully executed the program. Registration happens from a
+  /// static initialiser in src/plan's engine, so binaries that never link
+  /// the plan engine interpret exactly as before.
+  using RunHook = bool (*)(Interpreter&, const Program&,
+                           std::size_t max_instructions);
+  static void set_run_hook(RunHook hook);
+  static RunHook run_hook();
+
+  // --- state access for the compiled-plan engine ----------------------------
+  machine::Machine& machine() { return m_; }
+  std::size_t stack_depth() const { return stack_.size(); }
+  void push_value(Vec v) { push(std::move(v)); }
+  Vec pop_value() { return pop(); }
+  void append_output(Vec v) { output_.push_back(std::move(v)); }
+  /// Adds `n` to instructions_executed() (the engine charges a compiled
+  /// region's instruction count up front).
+  void count_executed(std::size_t n) { executed_ += n; }
+  /// Sets the diagnostics pc used in error messages.
+  void set_pc(std::size_t pc) { pc_ = pc; }
 
  private:
   Vec pop();

@@ -69,4 +69,37 @@ const char* mnemonic(Op op) {
   return "?";
 }
 
+std::uint64_t fingerprint(const Program& program) {
+  // FNV-1a, folding each instruction field byte-wise. Not cryptographic —
+  // the cache re-checks structural_equal on every probe, so a collision
+  // costs a compare, never a wrong plan.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v, std::size_t bytes) {
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(program.size(), 8);
+  for (const Instruction& ins : program) {
+    mix(static_cast<std::uint64_t>(ins.op), 1);
+    mix(static_cast<std::uint64_t>(ins.imm0), 8);
+    mix(static_cast<std::uint64_t>(ins.imm1), 8);
+    mix(ins.name.size(), 4);
+    for (const char c : ins.name) mix(static_cast<unsigned char>(c), 1);
+  }
+  return h;
+}
+
+bool structural_equal(const Program& a, const Program& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].op != b[i].op || a[i].imm0 != b[i].imm0 ||
+        a[i].imm1 != b[i].imm1 || a[i].name != b[i].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace scanprim::vm

@@ -82,4 +82,16 @@ const char* mnemonic(Op op);
 
 using Program = std::vector<Instruction>;
 
+/// Structural fingerprint of a program: a 64-bit FNV-1a hash over every
+/// instruction's opcode, immediates, and name. This is the plan-cache key
+/// (docs/PLAN.md) — it covers program structure + operator set; the operand
+/// dtype is fixed by the ISA (i64 vectors), and vector lengths flow in at
+/// run time, so one fingerprint serves any n (shape polymorphism).
+std::uint64_t fingerprint(const Program& program);
+
+/// Exact structural equality — the cache's collision guard behind
+/// fingerprint(). Two programs are equal iff every instruction matches in
+/// opcode, both immediates, and name.
+bool structural_equal(const Program& a, const Program& b);
+
 }  // namespace scanprim::vm

@@ -48,12 +48,59 @@ TEST(Assembler, Errors) {
   EXPECT_THROW(assemble("add 1"), AsmError);         // stray operand
 }
 
+TEST(Assembler, ErrorsCarryLineColumnAndToken) {
+  const auto message = [](const std::string& src) -> std::string {
+    try {
+      assemble(src);
+    } catch (const AsmError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Position points at the offending token, not just the line.
+  EXPECT_EQ(message("frobnicate"),
+            "line 1, col 1: unknown mnemonic 'frobnicate' (at 'frobnicate')");
+  EXPECT_EQ(message("const -3 0"),
+            "line 1, col 7: negative length (at '-3')");
+  EXPECT_EQ(message("  const x 0"),
+            "line 1, col 9: 'const' expects an integer length (at 'x')");
+  EXPECT_EQ(message("add 1"),
+            "line 1, col 5: 'add' expects 0 operand(s), got 1 (at '1')");
+  EXPECT_EQ(message("halt\njump nowhere"),
+            "line 2, col 6: undefined label 'nowhere' (at 'nowhere')");
+  EXPECT_EQ(message("a:\na: halt"),
+            "line 2, col 1: duplicate label 'a' (at 'a:')");
+}
+
 TEST(Assembler, DisassemblyMentionsEveryInstruction) {
   const Program p = assemble("const 2 5\nindex 3\nload x\nhalt");
   const std::string listing = disassemble(p);
   EXPECT_NE(listing.find("const 2 5"), std::string::npos);
   EXPECT_NE(listing.find("index 3"), std::string::npos);
   EXPECT_NE(listing.find("load x"), std::string::npos);
+}
+
+TEST(Assembler, DisassemblyRoundTrips) {
+  // assemble → disassemble → assemble is a fixed point: the synthetic
+  // `l<pc>` labels the disassembler invents re-assemble to the same
+  // instruction stream, for straight-line and control-flow programs alike.
+  const std::string sources[] = {
+      "const 2 5\nindex 3\nload x\nstore y\nhalt",
+      "const 1 0\nstore bit\nloop:\nload bit\nconst 1 1\nadd\nstore bit\n"
+      "load bit\nconst 1 8\nlt\njnz loop\nhalt",
+      "start:\njz fwd\nfwd:\nload a\n+scan\nprint\njump start\nhalt",
+      "load v\nload f\nseg+scan\nload f\nseg+distribute\npack\nprint\nhalt",
+  };
+  for (const std::string& src : sources) {
+    const Program once = assemble(src);
+    const std::string listing = disassemble(once);
+    const Program twice = assemble(listing);
+    ASSERT_EQ(once.size(), twice.size()) << listing;
+    EXPECT_TRUE(structural_equal(once, twice)) << listing;
+    EXPECT_EQ(fingerprint(once), fingerprint(twice)) << listing;
+    // And the listing itself is a fixed point of the round trip.
+    EXPECT_EQ(listing, disassemble(twice)) << listing;
+  }
 }
 
 TEST(Interpreter, ArithmeticAndBroadcast) {
