@@ -1,0 +1,140 @@
+#include "src/core/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+namespace scanprim::env {
+namespace {
+
+struct WarnState {
+  std::mutex mu;
+  std::set<std::string, std::less<>> warned;
+};
+
+WarnState* g_warn_state = nullptr;
+
+WarnState& warn_state() {
+  // Leaked (outlives exit-time races) and fork-safe: children re-read the
+  // environment right after fork, so the mutex must not travel locked.
+  static WarnState* s = [] {
+    g_warn_state = new WarnState();
+#if defined(__unix__) || defined(__APPLE__)
+    ::pthread_atfork([] { g_warn_state->mu.lock(); },
+                     [] { g_warn_state->mu.unlock(); },
+                     [] { g_warn_state->mu.unlock(); });
+#endif
+    return g_warn_state;
+  }();
+  return *s;
+}
+
+// Emit to stderr at most once per variable. Returns true when this call
+// produced the report.
+bool warn_once(const char* var, std::string_view got,
+               std::string_view expected) {
+  WarnState& s = warn_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!s.warned.insert(std::string(var)).second) return false;
+  std::fprintf(stderr, "scanprim: ignoring %s=\"%.*s\" (%.*s)\n", var,
+               static_cast<int>(got.size()), got.data(),
+               static_cast<int>(expected.size()), expected.data());
+  return true;
+}
+
+std::string normalize(const char* raw) {
+  if (raw == nullptr) return {};
+  std::string s(raw);
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  s = s.substr(b, e - b);
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+std::string token_of(const char* var) { return normalize(std::getenv(var)); }
+
+bool warn_malformed(const char* var, std::string_view got,
+                    std::string_view expected) {
+  return warn_once(var, got, expected);
+}
+
+std::size_t warning_count() {
+  WarnState& s = warn_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.warned.size();
+}
+
+void reset_warnings() {
+  WarnState& s = warn_state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.warned.clear();
+}
+
+std::size_t size_or(const char* var, std::size_t fallback, std::size_t min,
+                    std::size_t max) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return fallback;
+  const std::string tok = normalize(raw);
+  if (tok.empty()) {
+    warn_once(var, raw, "expected a positive integer; using the default");
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end == tok.c_str() || *end != '\0' || v <= 0) {
+    warn_once(var, raw, "expected a positive integer; using the default");
+    return fallback;
+  }
+  const auto u = static_cast<unsigned long long>(v);
+  if (u < min) {
+    warn_once(var, raw, "below the supported minimum; clamping");
+    return min;
+  }
+  if (u > max) {
+    warn_once(var, raw, "above the supported maximum; clamping");
+    return max;
+  }
+  return static_cast<std::size_t>(u);
+}
+
+bool flag_or(const char* var, bool fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return fallback;
+  const std::string tok = normalize(raw);
+  if (tok == "0" || tok == "off" || tok == "false") return false;
+  if (tok == "1" || tok == "on" || tok == "true") return true;
+  warn_once(var, raw, "expected 0/1/on/off/true/false; using the default");
+  return fallback;
+}
+
+int choice_or(const char* var, std::initializer_list<Choice> choices,
+              int fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return fallback;
+  const std::string tok = normalize(raw);
+  if (tok.empty()) return fallback;
+  std::string known;
+  for (const Choice& c : choices) {
+    if (tok == c.token) return c.value;
+    if (!known.empty()) known += "|";
+    known += c.token;
+  }
+  warn_once(var, raw, "expected one of " + known + "; using the default");
+  return fallback;
+}
+
+}  // namespace scanprim::env

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/core/env.hpp"
 #include "src/thread/thread_pool.hpp"
 
 namespace scanprim {
@@ -26,14 +27,18 @@ std::string normalized_spec(const char* spec) {
 }
 
 std::atomic<ScanEngine>& engine_state() {
-  static std::atomic<ScanEngine> engine{
-      sanitize_engine_spec(std::getenv("SCANPRIM_SCAN_ENGINE"))};
+  static std::atomic<ScanEngine> engine{static_cast<ScanEngine>(
+      env::choice_or("SCANPRIM_SCAN_ENGINE",
+                     {{"chained", static_cast<int>(ScanEngine::kChained)},
+                      {"twophase", static_cast<int>(ScanEngine::kTwoPhase)},
+                      {"two-phase", static_cast<int>(ScanEngine::kTwoPhase)},
+                      {"2phase", static_cast<int>(ScanEngine::kTwoPhase)}},
+                     static_cast<int>(ScanEngine::kChained)))};
   return engine;
 }
 
 std::atomic<bool>& bounds_state() {
-  static std::atomic<bool> enabled{
-      sanitize_bounds_spec(std::getenv("SCANPRIM_CHECK_BOUNDS"))};
+  static std::atomic<bool> enabled{env::flag_or("SCANPRIM_CHECK_BOUNDS", true)};
   return enabled;
 }
 

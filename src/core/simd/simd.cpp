@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/core/env.hpp"
+
 namespace scanprim::simd {
 
 namespace {
@@ -29,8 +31,22 @@ Tier clamp_to_supported(Tier tier) {
 }
 
 std::atomic<Tier>& tier_state() {
-  static std::atomic<Tier> tier{
-      sanitize_simd_spec(std::getenv("SCANPRIM_SIMD"))};
+  // -1 encodes "auto": pick the best tier the CPU offers. Unknown tokens
+  // warn once (through env::) and behave as auto, matching the documented
+  // default; recognised tiers above the hardware still clamp silently.
+  static std::atomic<Tier> tier{[] {
+    const int choice = env::choice_or(
+        "SCANPRIM_SIMD",
+        {{"auto", -1},
+         {"scalar", static_cast<int>(Tier::kScalar)},
+         {"off", static_cast<int>(Tier::kScalar)},
+         {"none", static_cast<int>(Tier::kScalar)},
+         {"avx2", static_cast<int>(Tier::kAvx2)},
+         {"avx512", static_cast<int>(Tier::kAvx512)}},
+        -1);
+    return choice < 0 ? best_supported_tier()
+                      : clamp_to_supported(static_cast<Tier>(choice));
+  }()};
   return tier;
 }
 

@@ -7,6 +7,11 @@
 #include <mutex>
 #include <unordered_map>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+#include "src/core/env.hpp"
 #include "src/obs/obs.hpp"
 
 namespace scanprim::fault {
@@ -37,11 +42,23 @@ struct Registry {
   bool env_parsed = false;
 };
 
+Registry* g_registry = nullptr;
+
 /// Intentionally leaked: fault points are function-local statics whose
 /// destruction order against a registry static is unknowable, and worker
-/// threads may still pass points during teardown.
+/// threads may still pass points during teardown. The atfork hooks hold the
+/// registry mutex across fork() so a child of a multithreaded parent (the
+/// shard coordinator) never inherits it mid-critical-section.
 Registry& registry() {
-  static Registry* r = new Registry;
+  static Registry* r = [] {
+    g_registry = new Registry;
+#if defined(__unix__) || defined(__APPLE__)
+    ::pthread_atfork([] { g_registry->mu.lock(); },
+                     [] { g_registry->mu.unlock(); },
+                     [] { g_registry->mu.unlock(); });
+#endif
+    return g_registry;
+  }();
   return *r;
 }
 
@@ -85,6 +102,11 @@ void parse_env_locked(Registry& r) {
           if (!point.empty() && parse_u64(nth_s, &nth) && nth > 0 &&
               (cnt_s.empty() || (parse_u64(cnt_s, &count) && count > 0))) {
             r.armed[std::string(point)] = Arming{nth, count, 0, nullptr};
+          } else {
+            env::warn_malformed(
+                "SCANPRIM_FAULT", one,
+                "expected point[:nth[:count]] with positive integers; "
+                "skipping this entry");
           }
         } else if (!one.empty()) {
           r.armed[std::string(one)] = Arming{1, 1, 0, nullptr};
@@ -200,6 +222,20 @@ std::vector<std::string> points() {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+void reinit_after_fork() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  // Drop everything inherited from the parent — armings made through the
+  // API, hit counts mid-window — and re-read SCANPRIM_FAULT so a spec the
+  // parent exported before spawning (the kill-a-shard soak does exactly
+  // this) arms fresh in this child with its own trigger window.
+  r.armed.clear();
+  r.last_hits.clear();
+  r.env_parsed = false;
+  parse_env_locked(r);
+  bump_epoch();
 }
 
 bool arm_from_spec(std::string_view spec) {

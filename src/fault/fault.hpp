@@ -119,6 +119,15 @@ std::vector<std::string> points();
 /// variable goes through exactly this function.
 bool arm_from_spec(std::string_view spec);
 
+/// Reset the registry in a freshly forked child: drop every arming and hit
+/// count inherited from the parent and re-parse SCANPRIM_FAULT from this
+/// process's environment. Shard workers call it first thing after fork so
+/// (a) armings the parent made through the API don't leak into children and
+/// (b) a spec exported just before spawning arms each child with its own
+/// trigger window. The registry mutex itself is fork-safe via pthread_atfork
+/// hooks installed on first use.
+void reinit_after_fork();
+
 }  // namespace scanprim::fault
 
 /// Declares (once) and checks a named fault point at the call site. Place it

@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "src/core/env.hpp"
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
 #include "src/obs/registry.hpp"
@@ -133,17 +134,28 @@ MemConfig& cfg() {
   static MemConfig c;
   static std::once_flag once;
   std::call_once(once, [] {
-    c.huge.store(
-        static_cast<int>(sanitize_huge_spec(std::getenv("SCANPRIM_HUGEPAGES"))),
-        std::memory_order_relaxed);
-    c.numa.store(
-        static_cast<int>(sanitize_numa_spec(std::getenv("SCANPRIM_NUMA"))),
-        std::memory_order_relaxed);
-    c.trim.store(sanitize_size_spec(std::getenv("SCANPRIM_MEM_TRIM"),
-                                    std::size_t{256} << 20, std::size_t{1} << 16,
-                                    std::size_t{1} << 40),
+    c.huge.store(env::choice_or("SCANPRIM_HUGEPAGES",
+                                {{"0", static_cast<int>(HugePolicy::kOff)},
+                                 {"off", static_cast<int>(HugePolicy::kOff)},
+                                 {"false", static_cast<int>(HugePolicy::kOff)},
+                                 {"none", static_cast<int>(HugePolicy::kOff)},
+                                 {"thp", static_cast<int>(HugePolicy::kThp)},
+                                 {"hugetlb",
+                                  static_cast<int>(HugePolicy::kHugetlb)}},
+                                static_cast<int>(HugePolicy::kThp)),
                  std::memory_order_relaxed);
-    c.pin = sanitize_flag_spec(std::getenv("SCANPRIM_PIN"), false);
+    c.numa.store(
+        env::choice_or("SCANPRIM_NUMA",
+                       {{"firsttouch", static_cast<int>(NumaPolicy::kFirstTouch)},
+                        {"interleave", static_cast<int>(NumaPolicy::kInterleave)},
+                        {"interleaved",
+                         static_cast<int>(NumaPolicy::kInterleave)}},
+                       static_cast<int>(NumaPolicy::kFirstTouch)),
+        std::memory_order_relaxed);
+    c.trim.store(env::size_or("SCANPRIM_MEM_TRIM", std::size_t{256} << 20,
+                              std::size_t{1} << 16, std::size_t{1} << 40),
+                 std::memory_order_relaxed);
+    c.pin = env::flag_or("SCANPRIM_PIN", false);
   });
   return c;
 }

@@ -10,6 +10,11 @@
 #include <mutex>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+#include "src/core/env.hpp"
 #include "src/core/runtime.hpp"
 #include "src/obs/registry.hpp"
 
@@ -142,10 +147,23 @@ struct Writer {
   bool ever_armed = false;
 };
 
+Writer* g_writer = nullptr;
+
 /// Intentionally leaked (same reasoning as the fault registry): emitting
-/// threads may outlive any static destruction order we could arrange.
+/// threads may outlive any static destruction order we could arrange. The
+/// atfork hooks pin the writer mutex across fork() so a shard worker child
+/// never inherits it locked (its first new thread registers a ring under
+/// this mutex).
 Writer& writer() {
-  static Writer* w = new Writer;
+  static Writer* w = [] {
+    g_writer = new Writer;
+#if defined(__unix__) || defined(__APPLE__)
+    ::pthread_atfork([] { g_writer->mu.lock(); },
+                     [] { g_writer->mu.unlock(); },
+                     [] { g_writer->mu.unlock(); });
+#endif
+    return g_writer;
+  }();
   return *w;
 }
 
@@ -308,11 +326,11 @@ bool write_json(const Writer& w) {
 bool g_killed = false;
 
 const bool g_env_init = [] {
-  g_killed = !sanitize_flag_spec(std::getenv("SCANPRIM_OBS"), true);
+  g_killed = !env::flag_or("SCANPRIM_OBS", true);
   g_ring_capacity.store(
-      std::bit_ceil(sanitize_size_spec(std::getenv("SCANPRIM_TRACE_EVENTS"),
-                                       g_ring_capacity.load(), 64,
-                                       std::size_t{1} << 24)),
+      std::bit_ceil(env::size_or("SCANPRIM_TRACE_EVENTS",
+                                 g_ring_capacity.load(), 64,
+                                 std::size_t{1} << 24)),
       std::memory_order_relaxed);
   if (const char* path = std::getenv("SCANPRIM_TRACE")) {
     if (path[0] != '\0' && start_tracing(path)) {

@@ -6,6 +6,10 @@
 #include <mutex>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
 namespace scanprim::obs {
 
 namespace {
@@ -20,11 +24,23 @@ struct Registry {
   std::uint64_t next_collector = 1;
 };
 
+Registry* g_registry = nullptr;
+
 /// Intentionally leaked, like the fault registry: instruments are held by
 /// objects (the global pool, static locals) whose destruction order against
-/// a registry static is unknowable.
+/// a registry static is unknowable. Fork-safe via atfork hooks: shard
+/// worker children create counters (fresh pool, fresh Service) immediately
+/// after fork, so the mutex must never be inherited locked.
 Registry& registry() {
-  static Registry* r = new Registry;
+  static Registry* r = [] {
+    g_registry = new Registry;
+#if defined(__unix__) || defined(__APPLE__)
+    ::pthread_atfork([] { g_registry->mu.lock(); },
+                     [] { g_registry->mu.unlock(); },
+                     [] { g_registry->mu.unlock(); });
+#endif
+    return g_registry;
+  }();
   return *r;
 }
 

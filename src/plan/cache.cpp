@@ -15,6 +15,11 @@
 #include <chrono>
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+#include "src/core/env.hpp"
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
 #include "src/obs/obs.hpp"
@@ -28,9 +33,8 @@ namespace {
 constexpr std::size_t kDefaultCapacity = 64u << 20;
 
 std::size_t capacity_from_env() {
-  return sanitize_size_spec(std::getenv("SCANPRIM_PLAN_CACHE_BYTES"),
-                            kDefaultCapacity, 4096,
-                            std::size_t{1} << 40);
+  return env::size_or("SCANPRIM_PLAN_CACHE_BYTES", kDefaultCapacity, 4096,
+                      std::size_t{1} << 40);
 }
 
 struct Counters {
@@ -49,16 +53,38 @@ Counters& counters() {
 }  // namespace
 
 bool enabled() {
-  static const bool on =
-      sanitize_flag_spec(std::getenv("SCANPRIM_PLAN"), true);
+  static const bool on = env::flag_or("SCANPRIM_PLAN", true);
   return on;
 }
 
 Cache::Cache() : capacity_(capacity_from_env()) {}
 
+namespace {
+Cache* g_cache = nullptr;
+}
+
 Cache& Cache::instance() {
-  static Cache cache;
-  return cache;
+  // Leaked, like the other process-wide registries, and fork-safe: the
+  // hooks hold all shard mutexes across fork() so shard worker children
+  // can compile and cache plans immediately.
+  static Cache* cache = [] {
+    g_cache = new Cache;
+#if defined(__unix__) || defined(__APPLE__)
+    ::pthread_atfork([] { g_cache->lock_shards_for_fork(); },
+                     [] { g_cache->unlock_shards_after_fork(); },
+                     [] { g_cache->unlock_shards_after_fork(); });
+#endif
+    return g_cache;
+  }();
+  return *cache;
+}
+
+void Cache::lock_shards_for_fork() {
+  for (Shard& sh : shards_) sh.mu.lock();
+}
+
+void Cache::unlock_shards_after_fork() {
+  for (Shard& sh : shards_) sh.mu.unlock();
 }
 
 std::size_t Cache::capacity_bytes() const {

@@ -76,6 +76,13 @@ class Cache {
   void set_capacity_bytes(std::size_t bytes);  ///< tests; evicts immediately
   void clear();
 
+  /// pthread_atfork support: instance() installs hooks that hold every
+  /// shard mutex across fork(), so a shard worker child (which serves
+  /// PlanJobs through this same process-wide cache) never inherits one
+  /// locked mid-insert. Not for any other use.
+  void lock_shards_for_fork();
+  void unlock_shards_after_fork();
+
  private:
   struct Entry {
     std::uint64_t key = 0;

@@ -8,6 +8,11 @@
 // budget is exhausted. Only kRejected retries: every other status — kOk,
 // kError, kTimeout, kCancelled, kShutdown — is a terminal answer about THIS
 // request, not about service load.
+//
+// The caller's deadline bounds the WHOLE loop, not each attempt: the budget
+// is measured from entry, each resubmission carries only the time still
+// remaining, and the loop returns the last result rather than sleep past
+// the point where no attempt could finish in time.
 #pragma once
 
 #include <chrono>
@@ -40,28 +45,48 @@ struct RetryOptions {
 
 /// Submit `job`, blocking on the future; on kRejected, back off and resubmit
 /// up to `ro.max_attempts` times total. Returns the first non-rejected
-/// Result, or the last kRejected one when attempts run out. The job is
-/// copied for every attempt except the last, which moves it.
+/// Result, or the last kRejected one when attempts run out. A non-zero
+/// `so.deadline` is an overall budget measured from this call: each attempt
+/// is submitted with only the time still remaining, and the loop stops
+/// retrying (returning the last result) once the next backoff sleep would
+/// land past the deadline. The job is copied for every attempt except the
+/// final one, which moves it.
 template <class JobT>
 Result submit_with_retry(Service& service, JobT job, SubmitOptions so = {},
                          RetryOptions ro = {}) {
+  using Clock = std::chrono::steady_clock;
   if (ro.max_attempts == 0) ro.max_attempts = 1;
   std::uint64_t seed = ro.seed;
   if (seed == 0) {
     seed = static_cast<std::uint64_t>(
-               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+               Clock::now().time_since_epoch().count()) ^
            std::hash<std::thread::id>{}(std::this_thread::get_id());
   }
   std::mt19937_64 rng(seed);
+
+  const bool bounded = so.deadline.count() > 0;
+  const Clock::time_point give_up = bounded
+      ? Clock::now() + std::chrono::duration_cast<Clock::duration>(so.deadline)
+      : Clock::time_point{};
 
   double backoff_us =
       static_cast<double>(ro.initial_backoff.count());
   const double cap_us = static_cast<double>(ro.max_backoff.count());
   Result r;
   for (std::size_t attempt = 1;; ++attempt) {
+    SubmitOptions attempt_so = so;
+    if (bounded) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          give_up - Clock::now());
+      // Out of budget before this submission: past attempts already consumed
+      // the deadline, so don't start another that must time out.
+      if (remaining.count() <= 0 && attempt > 1) return r;
+      attempt_so.deadline =
+          remaining.count() > 0 ? remaining : std::chrono::nanoseconds{1};
+    }
     const bool last = attempt == ro.max_attempts;
-    auto fut = last ? service.submit(std::move(job), so)
-                    : service.submit(JobT(job), so);
+    auto fut = last ? service.submit(std::move(job), attempt_so)
+                    : service.submit(JobT(job), attempt_so);
     r = fut.get();
     if (r.status != Status::kRejected || last) return r;
 
@@ -70,6 +95,13 @@ Result submit_with_retry(Service& service, JobT job, SubmitOptions so = {},
       std::uniform_real_distribution<double> scale(1.0 - ro.jitter,
                                                    1.0 + ro.jitter);
       sleep_us *= scale(rng);
+    }
+    if (bounded) {
+      // Retrying is pointless if we would wake at or past the deadline —
+      // report the backpressure we saw instead of burning the budget asleep.
+      const auto wake = Clock::now() + std::chrono::duration<double, std::micro>(
+                                           sleep_us);
+      if (wake >= give_up) return r;
     }
     if (sleep_us > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "src/core/env.hpp"
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
 #include "src/obs/obs.hpp"
@@ -92,24 +93,19 @@ struct Service::JobNode {
 
 Service::Options Service::Options::from_env() {
   Options o;
-  o.queue_capacity =
-      sanitize_size_spec(std::getenv("SCANPRIM_SERVE_QUEUE_CAP"),
-                         o.queue_capacity, 1, std::size_t{1} << 24);
-  o.window_us = sanitize_size_spec(std::getenv("SCANPRIM_SERVE_WINDOW_US"),
-                                   o.window_us, 1, 10'000'000);
-  o.byte_budget =
-      sanitize_size_spec(std::getenv("SCANPRIM_SERVE_BYTE_BUDGET"),
-                         o.byte_budget, 4096, std::size_t{1} << 32);
-  if (const char* p = std::getenv("SCANPRIM_SERVE_PARALLEL")) {
-    const std::string_view v(p);
-    if (v == "force") {
-      o.parallel = batch::JobsMode::kForceParallel;
-    } else if (v == "serial") {
-      o.parallel = batch::JobsMode::kSerial;
-    }  // anything else (including "auto") keeps kAuto
-  }
-  o.recovery =
-      sanitize_flag_spec(std::getenv("SCANPRIM_SERVE_RECOVERY"), o.recovery);
+  o.queue_capacity = env::size_or("SCANPRIM_SERVE_QUEUE_CAP",
+                                  o.queue_capacity, 1, std::size_t{1} << 24);
+  o.window_us = env::size_or("SCANPRIM_SERVE_WINDOW_US", o.window_us, 1,
+                             10'000'000);
+  o.byte_budget = env::size_or("SCANPRIM_SERVE_BYTE_BUDGET", o.byte_budget,
+                               4096, std::size_t{1} << 32);
+  o.parallel = static_cast<batch::JobsMode>(env::choice_or(
+      "SCANPRIM_SERVE_PARALLEL",
+      {{"auto", static_cast<int>(batch::JobsMode::kAuto)},
+       {"force", static_cast<int>(batch::JobsMode::kForceParallel)},
+       {"serial", static_cast<int>(batch::JobsMode::kSerial)}},
+      static_cast<int>(o.parallel)));
+  o.recovery = env::flag_or("SCANPRIM_SERVE_RECOVERY", o.recovery);
   return o;
 }
 

@@ -1,0 +1,1047 @@
+// Shard coordinator (docs/SHARD.md): spawns the worker processes, routes
+// requests into their shared-memory slot rings, harvests results, and —
+// the robustness core — supervises the workers: waitpid for crashes,
+// generation-stamped heartbeats for hangs, slot canaries for corruption,
+// with automatic fail-over (re-route, then inline re-run) and bounded
+// restart backoff. Cross-shard scans coordinate through the combine cells
+// in the same region (worker.cpp runs the doubling rounds).
+#include "src/shard/shard.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/env.hpp"
+#include "src/shard/layout.hpp"
+
+#if defined(__linux__)
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
+
+namespace scanprim::shard {
+
+namespace {
+
+using detail::RegionHeader;
+using detail::ShardCtl;
+using detail::Slot;
+using detail::SlotKind;
+using Clock = std::chrono::steady_clock;
+
+std::atomic<std::uint64_t> g_coord_seq{0};
+
+/// The serial reference execution (identical to the serve layer's
+/// semantics): the last resort that lets EVERY request resolve
+/// successfully even with zero live shards, and the path for requests too
+/// large for a slot.
+std::vector<Value> inline_scan(const std::vector<Value>& data,
+                               const std::vector<std::uint8_t>& flags, Op op,
+                               bool inclusive, bool backward) {
+  const std::size_t n = data.size();
+  std::vector<Value> out(n);
+  const bool seg = !flags.empty();
+  Value acc = batch::op_identity(op);
+  if (!backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seg && flags[i]) acc = batch::op_identity(op);
+      if (inclusive) {
+        acc = batch::op_apply(op, acc, data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(op, acc, data[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if (inclusive) {
+        acc = batch::op_apply(op, acc, data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(op, acc, data[i]);
+      }
+      if (seg && flags[i]) acc = batch::op_identity(op);
+    }
+  }
+  return out;
+}
+
+std::size_t ceil_log2(std::size_t p) {
+  std::size_t r = 0;
+  while ((std::size_t{1} << r) < p) ++r;
+  return r;
+}
+
+}  // namespace
+
+Options Options::from_env() {
+  Options o;
+  o.shards = env::size_or("SCANPRIM_SHARDS", o.shards, 1, detail::kMaxShards);
+  o.slots_per_shard =
+      env::size_or("SCANPRIM_SHARD_SLOTS", o.slots_per_shard, 1, 4096);
+  o.slot_bytes = env::size_or("SCANPRIM_SHARD_SLOT_BYTES", o.slot_bytes,
+                              sizeof(Slot) + 256, std::size_t{64} << 20);
+  o.heartbeat_ms =
+      env::size_or("SCANPRIM_SHARD_HEARTBEAT_MS", o.heartbeat_ms, 1, 60'000);
+  return o;
+}
+
+struct Coordinator::Impl {
+  explicit Impl(Options o) : opts(o) {}
+
+  Options opts;
+  RegionHeader* region = nullptr;
+  std::size_t region_size = 0;
+  bool started = false;
+  bool stopped = false;
+
+  struct ShardState {
+    pid_t pid = 0;
+    bool live = false;
+    std::uint32_t generation = 0;
+    std::uint64_t last_beat = 0;   ///< last heartbeat word seen
+    std::size_t missed = 0;        ///< consecutive watchdog ticks w/o a beat
+    std::uint64_t restarts = 0;
+    std::uint64_t completed_at_spawn = 0;
+    std::size_t backoff_ms = 0;
+    Clock::time_point restart_at{};
+    bool want_restart = false;
+    bool corrupt = false;  ///< canary tripped; watchdog must replace it
+  };
+  std::vector<ShardState> shards;
+
+  struct Request {
+    std::uint64_t id = 0;
+    std::promise<serve::Result> promise;
+    std::vector<Value> values;         ///< owned payload: re-routable
+    std::vector<std::uint8_t> flags;
+    Op op = Op::kPlus;
+    bool inclusive = false;
+    bool backward = false;
+    bool global = false;               ///< cross-shard chunk: never re-routed
+    std::uint8_t part = 0;             ///< global only
+    std::uint8_t nparts = 0;
+    std::uint64_t job_seq = 0;
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    Clock::time_point submitted{};
+    serve::CancelToken cancel;
+    int shard = -1;
+    std::size_t failovers = 0;
+  };
+
+  /// One mutex guards shard states, the request map, and every slot
+  /// ownership transition the COORDINATOR makes. In particular a slot is
+  /// only ever in kWriting inside this mutex, so fail-over (also under it)
+  /// can never observe a half-written slot.
+  mutable std::mutex mu;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Request>> requests;
+  /// Admitted but not yet in a slot, FIFO. Ids whose request has since
+  /// resolved (deadline, cancel) are skipped at placement time.
+  std::deque<std::uint64_t> pending;
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<bool> accepting{false};
+  std::atomic<bool> stopping{false};
+
+  std::mutex global_mu;  ///< one cross-shard job at a time
+  std::atomic<std::uint64_t> global_inflight{0};
+
+  std::thread harvest_thread;
+  std::thread watchdog_thread;
+  std::atomic<bool> stop_threads{false};
+
+  // Counters, exported through the obs registry (scanprim_shard_*).
+  std::atomic<std::uint64_t> c_submitted{0}, c_rejected{0}, c_completed{0},
+      c_errors{0}, c_timeouts{0}, c_cancelled{0}, c_rerouted{0},
+      c_inline{0}, c_failovers{0}, c_restarts{0}, c_stalls{0},
+      c_corrupt{0}, c_global{0}, c_global_retries{0}, c_rounds{0};
+  std::uint64_t collector_id = 0;
+
+  using Resolution = std::pair<std::promise<serve::Result>, serve::Result>;
+
+  // ---- region / worker lifecycle -------------------------------------
+
+  void map_region() {
+    region_size = detail::region_bytes(opts.shards, opts.slots_per_shard,
+                                       opts.slot_bytes);
+    void* p = ::mmap(nullptr, region_size, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) {
+      throw std::runtime_error("shard: mmap of shared region failed");
+    }
+    region = new (p) RegionHeader();
+    region->nshards = static_cast<std::uint32_t>(opts.shards);
+    region->nslots = static_cast<std::uint32_t>(opts.slots_per_shard);
+    region->slot_bytes = opts.slot_bytes;
+    for (std::size_t sh = 0; sh < opts.shards; ++sh) {
+      for (std::size_t i = 0; i < opts.slots_per_shard; ++i) {
+        Slot* s = new (detail::slot_at(region, sh, i)) Slot();
+        *detail::slot_tail_magic(region, s) = detail::kSlotMagic;
+      }
+    }
+  }
+
+  detail::WorkerConfig worker_config(std::size_t shard) const {
+    detail::WorkerConfig cfg;
+    cfg.shard = shard;
+    cfg.heartbeat_ms = opts.heartbeat_ms;
+    cfg.heartbeat_misses = opts.heartbeat_misses;
+    if (opts.worker_threads != 0) {
+      cfg.worker_threads = opts.worker_threads;
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      cfg.worker_threads =
+          hw == 0 ? 1 : std::max<std::size_t>(1, hw / opts.shards);
+    }
+    return cfg;
+  }
+
+  /// Fork one worker. Requires mu (shard state) and a reset control block.
+  bool spawn_locked(std::size_t i) {
+    ShardState& st = shards[i];
+    ShardCtl& ctl = region->shards[i];
+    st.generation += 1;
+    ctl.generation.store(st.generation, std::memory_order_relaxed);
+    ctl.heartbeat.store(0, std::memory_order_relaxed);
+    ctl.draining.store(0, std::memory_order_relaxed);
+    const pid_t pid = ::fork();  // atfork hooks fence the global registries
+    if (pid < 0) return false;
+    if (pid == 0) {
+      detail::worker_main(region, worker_config(i));  // never returns
+    }
+    st.pid = pid;
+    st.live = true;
+    st.last_beat = 0;
+    st.missed = 0;
+    st.corrupt = false;
+    st.want_restart = false;
+    st.completed_at_spawn = ctl.completed.load(std::memory_order_relaxed);
+    return true;
+  }
+
+  // ---- request plumbing ----------------------------------------------
+
+  void resolve_now(Resolution r) {
+    const auto status = r.second.status;
+    switch (status) {
+      case serve::Status::kOk:
+        c_completed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case serve::Status::kError:
+        c_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case serve::Status::kTimeout:
+        c_timeouts.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case serve::Status::kCancelled:
+        c_cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
+    r.first.set_value(std::move(r.second));
+  }
+
+  serve::Result inline_result(const Request& r) const {
+    serve::Result res;
+    res.status = serve::Status::kOk;
+    res.values = inline_scan(r.values, r.flags, r.op, r.inclusive, r.backward);
+    res.latency_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             r.submitted)
+            .count());
+    return res;
+  }
+
+  /// Find a free slot on `shard` and queue `r` into it. mu held.
+  bool place_on_shard_locked(Request& r, std::size_t shard) {
+    if (!shards[shard].live) return false;
+    ShardCtl& ctl = region->shards[shard];
+    for (std::size_t i = 0; i < opts.slots_per_shard; ++i) {
+      Slot* s = detail::slot_at(region, shard, i);
+      std::uint32_t expect = detail::kFree;
+      if (!s->state.compare_exchange_strong(expect, detail::kWriting,
+                                            std::memory_order_acq_rel)) {
+        continue;
+      }
+      const std::size_t n = r.values.size();
+      s->kind = static_cast<std::uint8_t>(r.global ? SlotKind::kGlobalChunk
+                                                   : SlotKind::kScan);
+      s->op = static_cast<std::uint8_t>(r.op);
+      s->inclusive = r.inclusive ? 1 : 0;
+      s->backward = r.backward ? 1 : 0;
+      s->has_flags = r.flags.empty() ? 0 : 1;
+      s->part = r.part;
+      s->nparts = r.nparts;
+      s->generation = shards[shard].generation;
+      s->req_id = r.id;
+      s->job_seq = r.job_seq;
+      s->n = n;
+      s->magic = detail::kSlotMagic;
+      *detail::slot_tail_magic(region, s) = detail::kSlotMagic;
+      s->result_status = 0;
+      s->result_n = 0;
+      s->error[0] = '\0';
+      std::memcpy(detail::slot_values(s), r.values.data(),
+                  n * sizeof(Value));
+      if (!r.flags.empty()) {
+        std::memcpy(detail::slot_flags(s, n), r.flags.data(), n);
+      }
+      s->state.store(detail::kQueued, std::memory_order_release);
+      r.shard = static_cast<int>(shard);
+      ctl.queued.fetch_add(1, std::memory_order_release);
+      detail::futex_wake_all(&ctl.queued);
+      return true;
+    }
+    return false;
+  }
+
+  /// Route `r` across the live shards: home shard by id, then linear
+  /// probe. mu held. `avoid` skips the shard the request just died on.
+  bool place_locked(Request& r, int avoid = -1) {
+    const std::size_t nsh = opts.shards;
+    const std::size_t home = static_cast<std::size_t>(r.id) % nsh;
+    for (std::size_t k = 0; k < nsh; ++k) {
+      const std::size_t cand = (home + k) % nsh;
+      if (static_cast<int>(cand) == avoid) continue;
+      if (place_on_shard_locked(r, cand)) return true;
+    }
+    return false;
+  }
+
+  std::size_t pending_cap() const {
+    return opts.max_pending != 0 ? opts.max_pending
+                                 : 4 * opts.shards * opts.slots_per_shard;
+  }
+
+  /// Move as many waiting requests as slots allow, in admission order;
+  /// head-of-line blocking keeps the FIFO honest. mu held. Called whenever
+  /// slots free up: after a harvest sweep, after a shard restart.
+  void place_pending_locked() {
+    while (!pending.empty()) {
+      const std::uint64_t id = pending.front();
+      const auto it = requests.find(id);
+      if (it == requests.end()) {  // resolved while waiting
+        pending.pop_front();
+        continue;
+      }
+      if (it->second->shard >= 0) {  // already re-placed by a fail-over
+        pending.pop_front();
+        continue;
+      }
+      if (!place_locked(*it->second)) return;
+      pending.pop_front();
+    }
+  }
+
+  /// Read a finished slot into a Result. mu held.
+  serve::Result result_from_slot(Slot* s, const Request& r) {
+    serve::Result res;
+    res.status = static_cast<serve::Status>(s->result_status);
+    if (res.status == serve::Status::kOk) {
+      const std::size_t n = static_cast<std::size_t>(s->result_n);
+      res.values.assign(detail::slot_values(s), detail::slot_values(s) + n);
+    } else {
+      s->error[sizeof(s->error) - 1] = '\0';
+      res.error = s->error;
+    }
+    res.latency_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             r.submitted)
+            .count());
+    return res;
+  }
+
+  void reset_slot(Slot* s) {
+    s->magic = detail::kSlotMagic;
+    *detail::slot_tail_magic(region, s) = detail::kSlotMagic;
+    s->error[0] = '\0';
+    s->state.store(detail::kFree, std::memory_order_release);
+  }
+
+  bool slot_canary_ok(Slot* s) {
+    return s->magic == detail::kSlotMagic &&
+           *detail::slot_tail_magic(region, s) == detail::kSlotMagic;
+  }
+
+  /// Harvest one kDone slot. mu held; resolutions are returned so promises
+  /// fire outside the lock.
+  void harvest_slot_locked(std::size_t shard, Slot* s,
+                           std::vector<Resolution>& out) {
+    const bool canary_ok = slot_canary_ok(s);
+    if (!canary_ok) {
+      c_corrupt.fetch_add(1, std::memory_order_relaxed);
+      shards[shard].corrupt = true;  // watchdog replaces the whole shard
+    }
+    const auto it = requests.find(s->req_id);
+    if (it != requests.end()) {
+      Request& r = *it->second;
+      serve::Result res;
+      if (canary_ok) {
+        res = result_from_slot(s, r);
+      } else {
+        res.status = serve::Status::kError;
+        res.error = "shard segment corrupted (canary mismatch)";
+      }
+      out.emplace_back(std::move(r.promise), std::move(res));
+      requests.erase(it);
+    }
+    reset_slot(s);
+  }
+
+  // ---- harvest thread -------------------------------------------------
+
+  void harvest_loop() {
+    std::uint32_t seen = region->done_seq.load(std::memory_order_acquire);
+    while (!stop_threads.load(std::memory_order_relaxed)) {
+      detail::futex_wait(&region->done_seq, seen, 10);
+      seen = region->done_seq.load(std::memory_order_acquire);
+      std::vector<Resolution> ready;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        obs::Span span("shard.harvest");
+        for (std::size_t sh = 0; sh < opts.shards; ++sh) {
+          for (std::size_t i = 0; i < opts.slots_per_shard; ++i) {
+            Slot* s = detail::slot_at(region, sh, i);
+            if (s->state.load(std::memory_order_acquire) == detail::kDone) {
+              harvest_slot_locked(sh, s, ready);
+            }
+          }
+        }
+        sweep_expired_locked(ready);
+        place_pending_locked();
+      }
+      for (auto& r : ready) resolve_now(std::move(r));
+    }
+  }
+
+  /// Deadlines and cancellations, enforced parent-side so they hold even
+  /// when the owning worker is dead or hung. mu held.
+  void sweep_expired_locked(std::vector<Resolution>& out) {
+    const auto now = Clock::now();
+    for (auto it = requests.begin(); it != requests.end();) {
+      Request& r = *it->second;
+      serve::Status s = serve::Status::kOk;
+      if (r.cancel && r.cancel->load(std::memory_order_relaxed)) {
+        s = serve::Status::kCancelled;
+      } else if (r.has_deadline && now >= r.deadline) {
+        s = serve::Status::kTimeout;
+      }
+      if (s == serve::Status::kOk) {
+        ++it;
+        continue;
+      }
+      serve::Result res;
+      res.status = s;
+      res.error = s == serve::Status::kTimeout ? "deadline expired" : "";
+      out.emplace_back(std::move(r.promise), std::move(res));
+      // The slot (if any) stays with the worker; the harvest pass frees it
+      // when the orphaned result lands and finds no request to resolve.
+      it = requests.erase(it);
+    }
+  }
+
+  // ---- watchdog / fail-over -------------------------------------------
+
+  void watchdog_loop() {
+    const auto tick = std::chrono::milliseconds(
+        opts.heartbeat_ms == 0 ? 1 : opts.heartbeat_ms);
+    while (!stop_threads.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(tick);
+      std::vector<Resolution> ready;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        for (std::size_t i = 0; i < opts.shards; ++i) {
+          check_shard_locked(i, ready);
+        }
+      }
+      for (auto& r : ready) resolve_now(std::move(r));
+    }
+  }
+
+  void check_shard_locked(std::size_t i, std::vector<Resolution>& ready) {
+    ShardState& st = shards[i];
+    if (!st.live) {
+      if (st.want_restart && !stopping.load(std::memory_order_relaxed) &&
+          Clock::now() >= st.restart_at) {
+        obs::Span span("shard.restart");
+        if (spawn_locked(i)) {
+          st.restarts += 1;
+          c_restarts.fetch_add(1, std::memory_order_relaxed);
+          place_pending_locked();  // a whole ring of slots just freed up
+        } else {
+          st.restart_at = Clock::now() + std::chrono::milliseconds(100);
+        }
+      }
+      return;
+    }
+
+    // 1. Did the process exit (crash, SIGKILL, clean drain)?
+    int wstatus = 0;
+    const pid_t w = ::waitpid(st.pid, &wstatus, WNOHANG);
+    if (w == st.pid) {
+      st.pid = 0;
+      failover_locked(i, ready);
+      return;
+    }
+
+    // 2. Did the harvest pass flag its segment as corrupted?
+    if (st.corrupt) {
+      kill_and_reap_locked(st);
+      failover_locked(i, ready);
+      return;
+    }
+
+    // 3. Is it alive but not beating? The beat must carry the CURRENT
+    // generation — an old incarnation's beats don't count.
+    const std::uint64_t beat =
+        region->shards[i].heartbeat.load(std::memory_order_relaxed);
+    const bool valid_gen = (beat >> 32) == st.generation;
+    if (valid_gen && beat != st.last_beat) {
+      st.last_beat = beat;
+      st.missed = 0;
+      // An incarnation that beats AND completes work is healthy: restart
+      // backoff starts over. (Without this, sustained churn — every
+      // incarnation crashing after a little work — walks every shard to
+      // the 1 s backoff cap and throughput collapses; with it, the cap is
+      // reserved for workers that die without serving anything.)
+      if (region->shards[i].completed.load(std::memory_order_relaxed) >
+          st.completed_at_spawn) {
+        st.backoff_ms = 0;
+      }
+    } else {
+      st.missed += 1;
+      if (st.missed >= opts.heartbeat_misses) {
+        c_stalls.fetch_add(1, std::memory_order_relaxed);
+        kill_and_reap_locked(st);
+        failover_locked(i, ready);
+      }
+    }
+  }
+
+  void kill_and_reap_locked(ShardState& st) {
+    ::kill(st.pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(st.pid, &wstatus, 0);
+    st.pid = 0;
+  }
+
+  /// The shard is dead and reaped. Reclaim its slots, re-route what was in
+  /// flight, schedule the restart. mu held.
+  void failover_locked(std::size_t i, std::vector<Resolution>& ready) {
+    obs::Span span("shard.failover");
+    ShardState& st = shards[i];
+    st.live = false;
+    c_failovers.fetch_add(1, std::memory_order_relaxed);
+    // Poison any cross-shard job: a chunk this shard owned will never
+    // publish its rounds, so every spinning peer must bail out now.
+    if (global_inflight.load(std::memory_order_relaxed) != 0) {
+      region->global_abort.store(1, std::memory_order_relaxed);
+    }
+
+    for (std::size_t k = 0; k < opts.slots_per_shard; ++k) {
+      Slot* s = detail::slot_at(region, i, k);
+      const std::uint32_t state = s->state.load(std::memory_order_acquire);
+      switch (state) {
+        case detail::kFree:
+          break;
+        case detail::kDone:
+          // Finished before dying; the result is intact. Harvest it.
+          harvest_slot_locked(i, s, ready);
+          break;
+        case detail::kQueued:
+        case detail::kClaimed:
+        default: {  // kWriting cannot appear: writers hold mu
+          const auto it = requests.find(s->req_id);
+          if (it == requests.end()) {
+            reset_slot(s);
+            break;
+          }
+          Request& r = *it->second;
+          if (r.global) {
+            // A combine chunk is pinned to its part; the whole job re-runs
+            // (global_scan retries on any part error).
+            serve::Result res;
+            res.status = serve::Status::kError;
+            res.error = "shard died during cross-shard scan";
+            ready.emplace_back(std::move(r.promise), std::move(res));
+            requests.erase(it);
+            reset_slot(s);
+            break;
+          }
+          reset_slot(s);
+          r.shard = -1;
+          r.failovers += 1;
+          if (r.failovers <= opts.max_failovers &&
+              place_locked(r, static_cast<int>(i))) {
+            c_rerouted.fetch_add(1, std::memory_order_relaxed);
+            obs::instant("shard.reroute", r.id);
+          } else {
+            // Out of fail-overs or out of live shards: the coordinator
+            // runs it itself. Slower, never lost.
+            c_inline.fetch_add(1, std::memory_order_relaxed);
+            ready.emplace_back(std::move(r.promise), inline_result(r));
+            requests.erase(it);
+          }
+          break;
+        }
+      }
+    }
+
+    // Fresh control block for the next incarnation; stale futex waiters
+    // (none should exist — the worker is dead) are irrelevant.
+    region->shards[i].heartbeat.store(0, std::memory_order_relaxed);
+    region->shards[i].queued.store(0, std::memory_order_relaxed);
+
+    if (stopping.load(std::memory_order_relaxed) ||
+        st.restarts >= opts.max_restarts) {
+      st.want_restart = false;
+      return;
+    }
+    st.backoff_ms = st.backoff_ms == 0
+                        ? opts.restart_backoff_ms
+                        : std::min<std::size_t>(st.backoff_ms * 2, 1000);
+    st.restart_at = Clock::now() + std::chrono::milliseconds(st.backoff_ms);
+    st.want_restart = true;
+  }
+
+  // ---- metrics collector ----------------------------------------------
+
+  void register_metrics() {
+    const std::string label =
+        "{coordinator=\"" +
+        std::to_string(g_coord_seq.fetch_add(1, std::memory_order_relaxed)) +
+        "\"}";
+    collector_id = obs::register_collector([this, label](std::string& out) {
+      const auto c = [&](const char* name, std::uint64_t v) {
+        obs::append_counter(out, std::string(name) + label, v);
+      };
+      c("scanprim_shard_submitted_total", c_submitted.load());
+      c("scanprim_shard_rejected_total", c_rejected.load());
+      c("scanprim_shard_completed_total", c_completed.load());
+      c("scanprim_shard_errors_total", c_errors.load());
+      c("scanprim_shard_timeouts_total", c_timeouts.load());
+      c("scanprim_shard_cancelled_total", c_cancelled.load());
+      c("scanprim_shard_rerouted_total", c_rerouted.load());
+      c("scanprim_shard_inline_runs_total", c_inline.load());
+      c("scanprim_shard_failovers_total", c_failovers.load());
+      c("scanprim_shard_restarts_total", c_restarts.load());
+      c("scanprim_shard_heartbeat_stalls_total", c_stalls.load());
+      c("scanprim_shard_corrupt_segments_total", c_corrupt.load());
+      c("scanprim_shard_global_scans_total", c_global.load());
+      c("scanprim_shard_global_retries_total", c_global_retries.load());
+      c("scanprim_shard_combine_rounds_total", c_rounds.load());
+      std::lock_guard<std::mutex> lk(mu);
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        obs::append_counter(out,
+                            "scanprim_shard_worker_restarts_total{shard=\"" +
+                                std::to_string(i) + "\"}",
+                            shards[i].restarts);
+      }
+    });
+  }
+};
+
+Coordinator::Coordinator(Options opts) : impl_(new Impl(opts)) {}
+
+Coordinator::~Coordinator() {
+  shutdown();
+}
+
+void Coordinator::start() {
+  Impl& im = *impl_;
+  if (im.started) return;
+  // Touch every lazily initialised process-wide registry BEFORE the first
+  // fork, so children inherit fully constructed (and atfork-fenced) state
+  // instead of racing the parent's first-use initialisation.
+  obs::counter("scanprim_shard_submitted_total").get();
+  im.map_region();
+  im.shards.resize(im.opts.shards);
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (std::size_t i = 0; i < im.opts.shards; ++i) {
+      if (!im.spawn_locked(i)) {
+        throw std::runtime_error("shard: fork failed while starting workers");
+      }
+    }
+  }
+  im.stop_threads.store(false);
+  im.harvest_thread = std::thread([&im] { im.harvest_loop(); });
+  im.watchdog_thread = std::thread([&im] { im.watchdog_loop(); });
+  im.register_metrics();
+  im.accepting.store(true);
+  im.started = true;
+}
+
+std::future<serve::Result> Coordinator::submit(serve::ScanJob job,
+                                               serve::SubmitOptions so) {
+  Impl& im = *impl_;
+  obs::Span span("shard.submit");
+  std::promise<serve::Result> promise;
+  std::future<serve::Result> fut = promise.get_future();
+
+  const auto fail = [&](serve::Status st) {
+    serve::Result r;
+    r.status = st;
+    promise.set_value(std::move(r));
+    return std::move(fut);
+  };
+  if (!im.started || !im.accepting.load(std::memory_order_relaxed)) {
+    return fail(serve::Status::kShutdown);
+  }
+  im.c_submitted.fetch_add(1, std::memory_order_relaxed);
+  if (so.cancel && so.cancel->load(std::memory_order_relaxed)) {
+    im.c_cancelled.fetch_add(1, std::memory_order_relaxed);
+    return fail(serve::Status::kCancelled);
+  }
+
+  auto req = std::make_unique<Impl::Request>();
+  req->id = im.next_id.fetch_add(1, std::memory_order_relaxed);
+  req->values = std::move(job.data);
+  req->flags = std::move(job.flags);
+  req->op = job.op;
+  req->inclusive = job.inclusive;
+  req->backward = job.backward;
+  req->submitted = Clock::now();
+  if (so.deadline.count() > 0) {
+    req->has_deadline = true;
+    req->deadline = req->submitted + so.deadline;
+  }
+  req->cancel = so.cancel;
+  req->promise = std::move(promise);
+
+  const bool oversize =
+      req->values.size() >
+      detail::slot_capacity(*im.region, !req->flags.empty());
+  if (oversize) {
+    im.c_inline.fetch_add(1, std::memory_order_relaxed);
+    im.resolve_now({std::move(req->promise), im.inline_result(*req)});
+    return fut;
+  }
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    if (im.place_locked(*req)) {
+      im.requests.emplace(req->id, std::move(req));
+      admitted = true;
+    } else if (im.pending.size() < im.pending_cap()) {
+      // Every slot is busy: wait for one, in admission order.
+      im.pending.push_back(req->id);
+      im.requests.emplace(req->id, std::move(req));
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    im.c_rejected.fetch_add(1, std::memory_order_relaxed);
+    serve::Result r;
+    r.status = serve::Status::kRejected;
+    r.error = "request slots and pending queue are full";
+    req->promise.set_value(std::move(r));
+  }
+  return fut;
+}
+
+serve::Result Coordinator::global_scan(const std::vector<Value>& data, Op op,
+                                       bool inclusive) {
+  Impl& im = *impl_;
+  obs::Span span("shard.global_scan");
+  serve::Result out;
+  if (!im.started || !im.accepting.load(std::memory_order_relaxed)) {
+    out.status = serve::Status::kShutdown;
+    return out;
+  }
+  std::lock_guard<std::mutex> gl(im.global_mu);
+  im.c_global.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t cap = detail::slot_capacity(*im.region, false);
+  const auto run_inline_whole = [&] {
+    im.c_inline.fetch_add(1, std::memory_order_relaxed);
+    out.status = serve::Status::kOk;
+    out.values = inline_scan(data, {}, op, inclusive, false);
+    return out;
+  };
+
+  for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+    // Snapshot the live shards; the parts map round-robin onto them.
+    std::vector<std::size_t> live;
+    {
+      std::lock_guard<std::mutex> lk(im.mu);
+      for (std::size_t i = 0; i < im.opts.shards; ++i) {
+        if (im.shards[i].live) live.push_back(i);
+      }
+    }
+    if (live.empty()) return run_inline_whole();
+
+    std::size_t nparts =
+        std::max(live.size(), (data.size() + cap - 1) / std::max<std::size_t>(cap, 1));
+    nparts = std::min(nparts, detail::kMaxShards);
+    nparts = std::max<std::size_t>(nparts, 1);
+    if ((data.size() + nparts - 1) / nparts > cap) {
+      // Even 64 parts cannot fit the vector through the slots.
+      return run_inline_whole();
+    }
+
+    const std::uint64_t job =
+        im.region->global_job_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    im.region->global_abort.store(0, std::memory_order_relaxed);
+
+    std::vector<std::future<serve::Result>> parts;
+    parts.reserve(nparts);
+    bool placed_all = true;
+    const std::size_t base = data.size() / nparts;
+    const std::size_t extra = data.size() % nparts;
+    std::size_t offset = 0;
+    {
+      std::lock_guard<std::mutex> lk(im.mu);
+      for (std::size_t p = 0; p < nparts; ++p) {
+        const std::size_t len = base + (p < extra ? 1 : 0);
+        auto req = std::make_unique<Impl::Request>();
+        req->id = im.next_id.fetch_add(1, std::memory_order_relaxed);
+        req->values.assign(data.begin() + offset, data.begin() + offset + len);
+        offset += len;
+        req->op = op;
+        req->inclusive = inclusive;
+        req->global = true;
+        req->part = static_cast<std::uint8_t>(p);
+        req->nparts = static_cast<std::uint8_t>(nparts);
+        req->job_seq = job;
+        req->submitted = Clock::now();
+        std::promise<serve::Result> promise;
+        parts.push_back(promise.get_future());
+        req->promise = std::move(promise);
+        im.global_inflight.fetch_add(1, std::memory_order_relaxed);
+        if (!im.place_on_shard_locked(*req, live[p % live.size()])) {
+          // Its shard ring is full (or just died). Abort this attempt;
+          // the placed parts unwind through the abort flag.
+          im.global_inflight.fetch_sub(1, std::memory_order_relaxed);
+          im.region->global_abort.store(1, std::memory_order_relaxed);
+          serve::Result r;
+          r.status = serve::Status::kRejected;
+          req->promise.set_value(std::move(r));
+          placed_all = false;
+          break;
+        }
+        im.requests.emplace(req->id, std::move(req));
+      }
+    }
+
+    bool all_ok = placed_all;
+    std::vector<serve::Result> results;
+    results.reserve(parts.size());
+    for (auto& f : parts) {
+      results.push_back(f.get());
+      im.global_inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (results.back().status != serve::Status::kOk) all_ok = false;
+    }
+
+    if (all_ok) {
+      out.status = serve::Status::kOk;
+      out.values.clear();
+      out.values.reserve(data.size());
+      for (auto& r : results) {
+        out.values.insert(out.values.end(), r.values.begin(), r.values.end());
+      }
+      im.c_rounds.fetch_add(ceil_log2(nparts), std::memory_order_relaxed);
+      return out;
+    }
+    im.c_global_retries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 * (attempt + 1)));
+  }
+  // Persistent casualties: the coordinator still owes an answer.
+  return run_inline_whole();
+}
+
+void Coordinator::shutdown() {
+  Impl& im = *impl_;
+  if (!im.started || im.stopped) return;
+  im.stopped = true;
+  im.accepting.store(false);
+  im.stopping.store(true);
+
+  // Ask every live worker to drain: finish queued slots, then exit.
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (std::size_t i = 0; i < im.opts.shards; ++i) {
+      if (!im.shards[i].live) continue;
+      im.region->shards[i].draining.store(1, std::memory_order_release);
+      detail::futex_wake_all(&im.region->shards[i].queued);
+    }
+  }
+
+  // Wait for the request map to empty. The harvest and watchdog threads
+  // stay up the whole time, so a worker dying mid-drain is still failed
+  // over (its requests re-route to live draining shards or run inline).
+  const auto drain_deadline = Clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    {
+      // Draining workers exit the moment their ring is empty, so requests
+      // still waiting for a slot could strand: run them inline instead.
+      std::vector<Impl::Resolution> waiting;
+      std::lock_guard<std::mutex> lk(im.mu);
+      for (auto it = im.requests.begin(); it != im.requests.end();) {
+        Impl::Request& r = *it->second;
+        if (r.shard < 0 && !r.global) {
+          im.c_inline.fetch_add(1, std::memory_order_relaxed);
+          waiting.emplace_back(std::move(r.promise), im.inline_result(r));
+          it = im.requests.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto& r : waiting) im.resolve_now(std::move(r));
+      if (im.requests.empty()) break;
+    }
+    if (Clock::now() > drain_deadline) {
+      std::vector<Impl::Resolution> leftovers;
+      std::lock_guard<std::mutex> lk(im.mu);
+      for (auto& [id, req] : im.requests) {
+        serve::Result r;
+        r.status = serve::Status::kError;
+        r.error = "shutdown drain timed out";
+        leftovers.emplace_back(std::move(req->promise), std::move(r));
+      }
+      im.requests.clear();
+      for (auto& r : leftovers) im.resolve_now(std::move(r));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Reap the workers: grace period for the clean drain exit, then SIGKILL.
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (std::size_t i = 0; i < im.opts.shards; ++i) {
+      Impl::ShardState& st = im.shards[i];
+      if (!st.live || st.pid == 0) continue;
+      const auto grace = Clock::now() + std::chrono::seconds(3);
+      int wstatus = 0;
+      for (;;) {
+        const pid_t w = ::waitpid(st.pid, &wstatus, WNOHANG);
+        if (w == st.pid) break;
+        if (Clock::now() > grace) {
+          ::kill(st.pid, SIGKILL);
+          ::waitpid(st.pid, &wstatus, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      st.pid = 0;
+      st.live = false;
+    }
+  }
+
+  im.stop_threads.store(true);
+  if (im.harvest_thread.joinable()) im.harvest_thread.join();
+  if (im.watchdog_thread.joinable()) im.watchdog_thread.join();
+  if (im.collector_id != 0) {
+    obs::unregister_collector(im.collector_id);
+    im.collector_id = 0;
+  }
+  if (im.region != nullptr) {
+    ::munmap(im.region, im.region_size);
+    im.region = nullptr;
+  }
+}
+
+Metrics Coordinator::metrics() const {
+  const Impl& im = *impl_;
+  Metrics m;
+  m.submitted = im.c_submitted.load();
+  m.rejected = im.c_rejected.load();
+  m.completed = im.c_completed.load();
+  m.errors = im.c_errors.load();
+  m.timeouts = im.c_timeouts.load();
+  m.cancelled = im.c_cancelled.load();
+  m.rerouted = im.c_rerouted.load();
+  m.inline_runs = im.c_inline.load();
+  m.failovers = im.c_failovers.load();
+  m.restarts = im.c_restarts.load();
+  m.heartbeat_stalls = im.c_stalls.load();
+  m.corrupt_segments = im.c_corrupt.load();
+  m.global_scans = im.c_global.load();
+  m.global_retries = im.c_global_retries.load();
+  m.combine_rounds = im.c_rounds.load();
+  return m;
+}
+
+std::size_t Coordinator::live_shards() const {
+  const Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  std::size_t n = 0;
+  for (const auto& s : im.shards) n += s.live ? 1 : 0;
+  return n;
+}
+
+int Coordinator::shard_pid(std::size_t shard) const {
+  const Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  return shard < im.shards.size() ? static_cast<int>(im.shards[shard].pid) : 0;
+}
+
+std::uint64_t Coordinator::shard_restarts(std::size_t shard) const {
+  const Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  return shard < im.shards.size() ? im.shards[shard].restarts : 0;
+}
+
+}  // namespace scanprim::shard
+
+#else  // !__linux__
+
+// Multi-process sharding needs fork + futex; elsewhere the coordinator is
+// an honest stub so the library still links and callers get a clear error.
+namespace scanprim::shard {
+
+Options Options::from_env() { return Options{}; }
+
+struct Coordinator::Impl {};
+
+Coordinator::Coordinator(Options) : impl_(new Impl) {}
+Coordinator::~Coordinator() = default;
+
+void Coordinator::start() {
+  throw std::runtime_error("shard: multi-process sharding requires Linux");
+}
+
+std::future<serve::Result> Coordinator::submit(serve::ScanJob,
+                                               serve::SubmitOptions) {
+  std::promise<serve::Result> p;
+  serve::Result r;
+  r.status = serve::Status::kShutdown;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+serve::Result Coordinator::global_scan(const std::vector<Value>&, Op, bool) {
+  serve::Result r;
+  r.status = serve::Status::kShutdown;
+  return r;
+}
+
+void Coordinator::shutdown() {}
+Metrics Coordinator::metrics() const { return Metrics{}; }
+std::size_t Coordinator::live_shards() const { return 0; }
+int Coordinator::shard_pid(std::size_t) const { return 0; }
+std::uint64_t Coordinator::shard_restarts(std::size_t) const { return 0; }
+
+}  // namespace scanprim::shard
+
+#endif

@@ -1,0 +1,211 @@
+// Shared-memory layout between the shard coordinator and its worker
+// processes (docs/SHARD.md). INTERNAL header: coordinator.cpp and
+// worker.cpp include it; everything public lives in shard.hpp.
+//
+// One anonymous MAP_SHARED region is created by the coordinator before any
+// fork, so every worker inherits the same physical pages:
+//
+//   [ RegionHeader | shard 0 slots | shard 1 slots | ... ]
+//
+// The header carries per-shard control words (heartbeat, doorbell,
+// drain flag) plus the combine cells for the cross-shard exclusive scan.
+// Each shard owns a fixed ring of request slots; a slot walks
+//
+//   kFree -> kWriting (submitter CAS) -> kQueued -> kClaimed (worker CAS)
+//         -> kDone -> kFree (harvest)
+//
+// with release stores on every ownership hand-off. Crash robustness comes
+// from the slots being plain shared state: when a worker dies at ANY point
+// of that walk, the coordinator can read exactly how far each request got
+// and re-route or re-run it — nothing lives only in the dead process.
+//
+// Every slot carries a magic canary on both sides of the payload; a worker
+// that scribbles out of bounds (or a shard.segment_corrupt injection)
+// trips it at harvest and the shard is treated as compromised.
+//
+// Doorbells are futex words (the non-PRIVATE flavour — waiter and waker
+// are different processes). Heartbeats are generation-stamped,
+// (generation << 32) | count, so a stale worker from a previous
+// incarnation of the shard can never look alive.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/segmented.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace scanprim::shard::detail {
+
+inline constexpr std::uint64_t kRegionMagic = 0x5343414e'53484152ull;
+inline constexpr std::uint64_t kSlotMagic = 0x534c4f54'a55aa55aull;
+
+/// Hard ceilings baked into the fixed-size header. 64 shards is far past
+/// any container this targets; 8 doubling rounds covers 2^8 > 64 parts.
+inline constexpr std::size_t kMaxShards = 64;
+inline constexpr std::size_t kMaxRounds = 8;
+
+enum SlotState : std::uint32_t {
+  kFree = 0,     ///< owned by nobody; submitters CAS it to kWriting
+  kWriting = 1,  ///< submitter filling the payload (parent-side only)
+  kQueued = 2,   ///< ready for the shard; workers CAS it to kClaimed
+  kClaimed = 3,  ///< worker executing
+  kDone = 4,     ///< result written; harvest thread frees it
+};
+
+enum class SlotKind : std::uint8_t {
+  kScan = 0,         ///< one serve::ScanJob, executed by the shard's Service
+  kGlobalChunk = 1,  ///< one part of a cross-shard scan (doubling combine)
+};
+
+/// Fixed-size slot header; the payload (values then flags) follows in the
+/// same slot, and the closing canary sits at the very end of the slot.
+struct alignas(64) Slot {
+  std::atomic<std::uint32_t> state{kFree};
+  std::uint8_t kind = 0;       ///< SlotKind
+  std::uint8_t op = 0;         ///< batch::Op
+  std::uint8_t inclusive = 0;
+  std::uint8_t backward = 0;
+  std::uint8_t has_flags = 0;
+  std::uint8_t part = 0;       ///< global chunk: part index in [0, nparts)
+  std::uint8_t nparts = 0;     ///< global chunk: number of parts
+  std::uint8_t pad0 = 0;
+  std::uint32_t generation = 0;  ///< shard incarnation that queued it
+  std::uint64_t req_id = 0;      ///< parent-side request key
+  std::uint64_t job_seq = 0;     ///< global chunk: combine-job tag
+  std::uint64_t n = 0;           ///< element count in the payload
+  std::uint64_t magic = kSlotMagic;  ///< canary: checked at claim + harvest
+  std::uint32_t result_status = 0;   ///< serve::Status of the execution
+  std::uint32_t pad1 = 0;
+  std::uint64_t result_n = 0;        ///< elements written back
+  char error[120] = {};              ///< truncated what() when kError
+};
+
+/// Per-shard control block, in the region header.
+struct alignas(64) ShardCtl {
+  /// (generation << 32) | count, bumped by the worker's heartbeat thread.
+  std::atomic<std::uint64_t> heartbeat{0};
+  /// Incarnation number. The coordinator bumps it before every (re)start;
+  /// workers stamp it into heartbeats and compare it on queued slots.
+  std::atomic<std::uint32_t> generation{0};
+  /// Doorbell: incremented per enqueue, futex-woken. Workers wait on it.
+  std::atomic<std::uint32_t> queued{0};
+  /// Non-zero once the coordinator wants this worker to drain and exit.
+  std::atomic<std::uint32_t> draining{0};
+  /// Requests this incarnation completed (routing diagnostics).
+  std::atomic<std::uint64_t> completed{0};
+};
+
+/// One published partial in the hypercube/doubling combine:
+/// tag = (job_seq << 8) | (round + 1), so a cell can never be confused
+/// with a stale job's cell or with its cleared state (tag 0).
+struct CombineCell {
+  std::atomic<std::uint64_t> tag{0};
+  std::atomic<batch::Value> value{0};
+};
+
+struct RegionHeader {
+  std::uint64_t magic = kRegionMagic;
+  std::uint32_t nshards = 0;
+  std::uint32_t nslots = 0;       ///< slots per shard
+  std::uint64_t slot_bytes = 0;   ///< full stride, header + payload + canary
+  /// Doorbell: incremented per completed slot, futex-woken; the harvest
+  /// thread waits on it.
+  std::atomic<std::uint32_t> done_seq{0};
+  /// Abort flag for the in-flight cross-shard job: a worker or the
+  /// coordinator raises it when a part errors or a peer stops publishing,
+  /// and every spinning worker bails out with an error result.
+  std::atomic<std::uint32_t> global_abort{0};
+  /// Tag base for the current cross-shard job (one at a time).
+  std::atomic<std::uint64_t> global_job_seq{0};
+  CombineCell cells[kMaxShards][kMaxRounds];
+  ShardCtl shards[kMaxShards];
+};
+
+inline constexpr std::uint64_t combine_tag(std::uint64_t job_seq,
+                                           std::size_t round) {
+  return (job_seq << 8) | (round + 1);
+}
+
+/// Bytes the payload area of a slot can hold.
+inline std::size_t slot_payload_bytes(const RegionHeader& h) {
+  return static_cast<std::size_t>(h.slot_bytes) - sizeof(Slot) -
+         sizeof(std::uint64_t);  // trailing canary
+}
+
+/// Elements a slot can carry: n values (8 bytes) plus, when segmented,
+/// n flag bytes.
+inline std::size_t slot_capacity(const RegionHeader& h, bool has_flags) {
+  return slot_payload_bytes(h) / (sizeof(batch::Value) + (has_flags ? 1 : 0));
+}
+
+inline char* region_base(RegionHeader* h) {
+  return reinterpret_cast<char*>(h);
+}
+
+inline Slot* slot_at(RegionHeader* h, std::size_t shard, std::size_t index) {
+  return reinterpret_cast<Slot*>(region_base(h) + sizeof(RegionHeader) +
+                                 (shard * h->nslots + index) * h->slot_bytes);
+}
+
+inline batch::Value* slot_values(Slot* s) {
+  return reinterpret_cast<batch::Value*>(reinterpret_cast<char*>(s) +
+                                         sizeof(Slot));
+}
+
+inline std::uint8_t* slot_flags(Slot* s, std::size_t n) {
+  return reinterpret_cast<std::uint8_t*>(slot_values(s) + n);
+}
+
+/// The canary closing the slot, just before the next slot begins.
+inline std::uint64_t* slot_tail_magic(RegionHeader* h, Slot* s) {
+  return reinterpret_cast<std::uint64_t*>(
+      reinterpret_cast<char*>(s) + h->slot_bytes - sizeof(std::uint64_t));
+}
+
+inline std::size_t region_bytes(std::size_t nshards, std::size_t nslots,
+                                std::size_t slot_bytes) {
+  return sizeof(RegionHeader) + nshards * nslots * slot_bytes;
+}
+
+#if defined(__linux__)
+
+/// FUTEX_WAIT without the PRIVATE flag: waiter and waker are different
+/// processes sharing the mapping. Returns when the word moved away from
+/// `expect`, on a wake, on EINTR, or after `timeout_ms`.
+inline void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expect,
+                       long timeout_ms) {
+  struct timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = (timeout_ms % 1000) * 1'000'000L;
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+            expect, &ts, nullptr, 0);
+}
+
+inline void futex_wake_all(std::atomic<std::uint32_t>* word) {
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+            INT32_MAX, nullptr, nullptr, 0);
+}
+
+/// What a worker needs to know about itself; passed by value across fork.
+struct WorkerConfig {
+  std::size_t shard = 0;
+  std::size_t heartbeat_ms = 50;
+  std::size_t heartbeat_misses = 4;
+  std::size_t worker_threads = 1;
+};
+
+/// The child process body (worker.cpp). Never returns: exits via _exit()
+/// so the parent's atexit handlers and leak checkers never run twice.
+[[noreturn]] void worker_main(RegionHeader* region, WorkerConfig cfg);
+
+#endif  // __linux__
+
+}  // namespace scanprim::shard::detail

@@ -1,0 +1,137 @@
+// Sharded scan service: crash-tolerant multi-process scale-out
+// (docs/SHARD.md).
+//
+// serve::Service batches within one process; the ROADMAP's north star needs
+// more than one. A Coordinator forks N worker processes, each running its
+// own serve::Service, and hands requests across via a shared-memory region
+// of request slots with futex doorbells (layout.hpp). Routing is by request
+// id across the live shards; results come back through the same slots and
+// resolve the caller's future.
+//
+// The robustness contract, which the kill-a-shard soak pins: every
+// submitted request resolves — kOk, or kError/kTimeout/kRejected with a
+// reason — no matter which worker is SIGKILLed, hangs, or corrupts its
+// segment mid-flight. A liveness watchdog detects dead workers three ways
+// (waitpid, generation-stamped heartbeat stalls, slot canaries), reclaims
+// the dead shard's slots, re-routes its in-flight requests to live shards
+// (or re-runs them inline in the coordinator when none remain — the PR 4
+// recovery idea lifted to processes), and restarts the shard with bounded
+// backoff. Drain survives a worker dying mid-drain the same way.
+//
+// Cross-shard scans: global_scan() splits one vector across the live
+// shards; each computes a local scan, then the per-shard totals combine in
+// O(lg p) rounds of the hypercube/doubling exclusive scan (Träff's scheme;
+// the chained engine's aggregate/prefix protocol lifted to processes)
+// through tagged cells in the shared region. Any casualty mid-combine
+// aborts the round and the whole job re-runs on the surviving shards.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "src/serve/job.hpp"
+
+namespace scanprim::shard {
+
+using Value = serve::Value;
+using Op = serve::Op;
+
+struct Options {
+  /// Worker processes (SCANPRIM_SHARDS). Clamped to [1, 64].
+  std::size_t shards = 4;
+  /// Request slots per shard (SCANPRIM_SHARD_SLOTS).
+  std::size_t slots_per_shard = 32;
+  /// Full slot stride in bytes, header included (SCANPRIM_SHARD_SLOT_BYTES).
+  /// Requests too large for a slot run inline in the coordinator.
+  std::size_t slot_bytes = 128 << 10;
+  /// Heartbeat period (SCANPRIM_SHARD_HEARTBEAT_MS). The watchdog declares
+  /// a shard hung after `heartbeat_misses` periods without a beat.
+  std::size_t heartbeat_ms = 50;
+  std::size_t heartbeat_misses = 4;
+  /// Threads in each worker's pool; 0 divides the host's cores evenly.
+  std::size_t worker_threads = 0;
+  /// Requests that may wait for a free slot before submit() rejects
+  /// (admission control, like the serve queue). 0 = 4 x shards x slots.
+  std::size_t max_pending = 0;
+  /// Times one request may be re-routed off dead shards before the
+  /// coordinator runs it inline itself.
+  std::size_t max_failovers = 2;
+  /// Restarts per shard before it is left dead (requests re-route).
+  std::size_t max_restarts = 16;
+  /// First restart delay; doubles per consecutive restart, capped at 1 s.
+  std::size_t restart_backoff_ms = 10;
+
+  static Options from_env();
+};
+
+/// Snapshot of the coordinator's counters (also exported through the obs
+/// registry as scanprim_shard_*; docs/SHARD.md).
+struct Metrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;         ///< no slot anywhere (backpressure)
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rerouted = 0;         ///< requests moved off a dead shard
+  std::uint64_t inline_runs = 0;      ///< oversize or out of fail-overs
+  std::uint64_t failovers = 0;        ///< shard-death recoveries performed
+  std::uint64_t restarts = 0;         ///< worker processes re-forked
+  std::uint64_t heartbeat_stalls = 0; ///< hung (not exited) workers killed
+  std::uint64_t corrupt_segments = 0; ///< slot canary trips
+  std::uint64_t global_scans = 0;
+  std::uint64_t global_retries = 0;   ///< cross-shard jobs re-run after abort
+  std::uint64_t combine_rounds = 0;   ///< doubling rounds across all jobs
+};
+
+/// The coordinator. Construct, start(), submit()/global_scan() from any
+/// thread, shutdown() (or destroy) to drain. Linux-only: start() reports
+/// kShutdown-style failure by throwing std::runtime_error elsewhere.
+class Coordinator {
+ public:
+  explicit Coordinator(Options opts = Options::from_env());
+  ~Coordinator();  ///< calls shutdown()
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Maps the region and forks the workers. Throws std::runtime_error when
+  /// the platform cannot shard (no fork/futex) or resources run out.
+  void start();
+
+  /// Route one scan to a shard. The future always resolves (see the
+  /// contract above). Oversize jobs run inline and still resolve normally.
+  std::future<serve::Result> submit(serve::ScanJob job,
+                                    serve::SubmitOptions so = {});
+
+  /// One scan over `data` split across every live shard, combined with the
+  /// O(lg p) doubling exclusive scan of per-shard totals. Unsegmented,
+  /// forward only (segmented/backward traffic routes through submit()).
+  /// Retries on shard casualties; resolves kError only when the service is
+  /// truly out of shards mid-job.
+  serve::Result global_scan(const std::vector<Value>& data, Op op,
+                            bool inclusive);
+
+  /// Graceful drain: stop admissions, let every queued request finish
+  /// (re-routing off any worker that dies mid-drain), then reap the
+  /// workers. Idempotent.
+  void shutdown();
+
+  Metrics metrics() const;
+  std::size_t live_shards() const;
+
+  /// Test hooks: the worker pid of a shard (0 when dead/unstarted), and
+  /// how many times it has been restarted.
+  int shard_pid(std::size_t shard) const;
+  std::uint64_t shard_restarts(std::size_t shard) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace scanprim::shard

@@ -1,0 +1,266 @@
+// Shard worker process body (docs/SHARD.md).
+//
+// Runs in a child forked by the Coordinator. The worker claims queued
+// slots from its shard's ring, executes regular scans through its own
+// serve::Service (so each shard gets the full batching/recovery stack),
+// handles cross-shard chunks inline with the doubling combine, and writes
+// results back into the same slots. All exits go through _exit(): the
+// child must never run the parent's atexit chain, and a LeakSanitizer
+// pass over inherited parent state would be meaningless.
+//
+// Fork hygiene, in order, before anything else can allocate or lock:
+//   1. PR_SET_PDEATHSIG: a SIGKILLed coordinator takes its workers along.
+//   2. fault::reinit_after_fork(): drop inherited armings, re-read
+//      SCANPRIM_FAULT so process fault points arm per incarnation.
+//   3. thread::reinit_pool_after_fork(): the inherited pool object has no
+//      worker threads in this process; build a fresh one.
+#include "src/shard/layout.hpp"
+
+#if defined(__linux__)
+
+#include <sys/prctl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/fault/fault.hpp"
+#include "src/obs/obs.hpp"
+#include "src/serve/service.hpp"
+#include "src/thread/thread_pool.hpp"
+
+namespace scanprim::shard::detail {
+
+namespace {
+
+void write_error(Slot* s, const char* what) {
+  std::snprintf(s->error, sizeof(s->error), "%s", what);
+}
+
+/// Publish a finished slot and ring the coordinator's doorbell.
+void finish_slot(RegionHeader* region, ShardCtl* ctl, Slot* s) {
+  s->state.store(kDone, std::memory_order_release);
+  ctl->completed.fetch_add(1, std::memory_order_relaxed);
+  region->done_seq.fetch_add(1, std::memory_order_release);
+  futex_wake_all(&region->done_seq);
+}
+
+/// Copy a Service result back into the slot. The shard.segment_corrupt
+/// fault point simulates a worker scribbling over its segment: it breaks
+/// the slot's canary, which the coordinator's harvest detects and treats
+/// as a compromised shard.
+void write_back(Slot* s, const serve::Result& r) {
+  try {
+    SCANPRIM_FAULT_POINT("shard.segment_corrupt");
+  } catch (...) {
+    s->magic = 0xdead'dead'dead'deadull;
+  }
+  s->result_status = static_cast<std::uint32_t>(r.status);
+  if (r.status == serve::Status::kOk) {
+    const std::size_t n = r.values.size();
+    std::memcpy(slot_values(s), r.values.data(), n * sizeof(batch::Value));
+    s->result_n = n;
+  } else {
+    s->result_n = 0;
+    write_error(s, r.error.c_str());
+  }
+}
+
+/// One part of a cross-shard scan: local inclusive scan, publish the part
+/// total through the doubling rounds, fold in the prefixes of earlier
+/// parts, then rewrite the chunk under the incoming prefix. Träff's
+/// hypercube scheme: round r combines with the part 2^r below, so after
+/// ceil(lg p) rounds every part holds the exclusive prefix of all parts
+/// before it — the chained engine's aggregate/prefix protocol with shared
+/// memory cells standing in for messages.
+void run_global_chunk(RegionHeader* region, Slot* s) {
+  const auto op = static_cast<batch::Op>(s->op);
+  const std::size_t n = static_cast<std::size_t>(s->n);
+  const std::size_t part = s->part;
+  const std::size_t nparts = s->nparts;
+  const std::uint64_t job = s->job_seq;
+  batch::Value* d = slot_values(s);
+
+  batch::Value acc = batch::op_identity(op);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = batch::op_apply(op, acc, d[i]);
+    d[i] = acc;  // in place: d becomes the local inclusive scan
+  }
+
+  batch::Value running = acc;  // identity when the chunk is empty
+  batch::Value prefix = batch::op_identity(op);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  std::size_t round = 0;
+  for (std::size_t step = 1; step < nparts; step <<= 1, ++round) {
+    CombineCell& mine = region->cells[part][round];
+    mine.value.store(running, std::memory_order_relaxed);
+    mine.tag.store(combine_tag(job, round), std::memory_order_release);
+    if (part < step) continue;
+    CombineCell& src = region->cells[part - step][round];
+    const std::uint64_t want = combine_tag(job, round);
+    while (src.tag.load(std::memory_order_acquire) != want) {
+      if (region->global_abort.load(std::memory_order_relaxed) != 0) {
+        s->result_status = static_cast<std::uint32_t>(serve::Status::kError);
+        write_error(s, "cross-shard combine aborted");
+        return;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        // A peer stopped publishing (likely dead); poison the job so every
+        // other part bails too, and let the coordinator re-run it.
+        region->global_abort.store(1, std::memory_order_relaxed);
+        s->result_status = static_cast<std::uint32_t>(serve::Status::kError);
+        write_error(s, "cross-shard combine timed out waiting for a peer");
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    const batch::Value v = src.value.load(std::memory_order_relaxed);
+    prefix = batch::op_apply(op, v, prefix);
+    running = batch::op_apply(op, v, running);
+  }
+
+  if (s->inclusive != 0) {
+    for (std::size_t i = 0; i < n; ++i) d[i] = batch::op_apply(op, prefix, d[i]);
+  } else {
+    for (std::size_t i = n; i-- > 1;) d[i] = batch::op_apply(op, prefix, d[i - 1]);
+    if (n > 0) d[0] = prefix;
+  }
+  s->result_status = static_cast<std::uint32_t>(serve::Status::kOk);
+  s->result_n = n;
+}
+
+serve::ScanJob job_from_slot(Slot* s) {
+  const std::size_t n = static_cast<std::size_t>(s->n);
+  serve::ScanJob job;
+  job.op = static_cast<batch::Op>(s->op);
+  job.inclusive = s->inclusive != 0;
+  job.backward = s->backward != 0;
+  job.data.assign(slot_values(s), slot_values(s) + n);
+  if (s->has_flags != 0) {
+    const std::uint8_t* f = slot_flags(s, n);
+    job.flags.assign(f, f + n);
+  }
+  return job;
+}
+
+}  // namespace
+
+[[noreturn]] void worker_main(RegionHeader* region, WorkerConfig cfg) {
+  // A coordinator that is SIGKILLed cannot drain us; die with it rather
+  // than leak a busy-looping orphan. Covers the fork..prctl window too.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) ::_exit(0);
+
+  fault::reinit_after_fork();
+  thread::reinit_pool_after_fork(cfg.worker_threads);
+
+  ShardCtl& ctl = region->shards[cfg.shard];
+  const std::uint32_t gen = ctl.generation.load(std::memory_order_relaxed);
+
+  // Heartbeat thread: a beat every quarter period leaves the watchdog's
+  // `misses` full periods of slack. Generation-stamped, so if this process
+  // somehow survives its own replacement its beats are ignored as stale.
+  std::atomic<bool> hb_stop{false};
+  std::thread hb([&] {
+    std::uint64_t count = 0;
+    const auto period = std::chrono::milliseconds(
+        cfg.heartbeat_ms < 4 ? 1 : cfg.heartbeat_ms / 4);
+    while (!hb_stop.load(std::memory_order_relaxed)) {
+      try {
+        SCANPRIM_FAULT_POINT("shard.heartbeat_stall");
+        ctl.heartbeat.store(
+            (static_cast<std::uint64_t>(gen) << 32) | (++count & 0xffffffffu),
+            std::memory_order_relaxed);
+      } catch (...) {
+        // Simulated hang: the process stays alive (waitpid sees nothing)
+        // but stops beating, which is exactly what the watchdog's
+        // heartbeat-stall detection exists to catch.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            cfg.heartbeat_ms * cfg.heartbeat_misses * 20));
+      }
+      std::this_thread::sleep_for(period);
+    }
+  });
+
+  // Each shard runs the full single-process serving stack: batching
+  // window, bisection recovery, metrics. A short window keeps per-request
+  // latency low; concurrent slots still coalesce into shared batches.
+  serve::Service::Options sopts;
+  sopts.window_us = 100;
+  serve::Service service(sopts);
+
+  std::vector<std::pair<Slot*, std::future<serve::Result>>> inflight;
+  std::uint32_t doorbell = ctl.queued.load(std::memory_order_acquire);
+  for (;;) {
+    bool claimed_any = false;
+    inflight.clear();
+    for (std::size_t idx = 0; idx < region->nslots; ++idx) {
+      Slot* s = slot_at(region, cfg.shard, idx);
+      std::uint32_t st = s->state.load(std::memory_order_acquire);
+      if (st != kQueued) continue;
+      if (!s->state.compare_exchange_strong(st, kClaimed,
+                                            std::memory_order_acq_rel)) {
+        continue;
+      }
+      claimed_any = true;
+      try {
+        SCANPRIM_FAULT_POINT("shard.worker_exit");
+      } catch (...) {
+        // Simulated crash: leave the request exactly where a SIGKILL
+        // would — claimed, unfinished — and vanish. The watchdog reaps
+        // this exit status and fails the request over.
+        ::_exit(42);
+      }
+      obs::Span span("shard.worker.request");
+      if (static_cast<SlotKind>(s->kind) == SlotKind::kGlobalChunk) {
+        run_global_chunk(region, s);
+        finish_slot(region, &ctl, s);
+      } else {
+        inflight.emplace_back(s, service.submit(job_from_slot(s)));
+      }
+    }
+    for (auto& [s, fut] : inflight) {
+      write_back(s, fut.get());
+      finish_slot(region, &ctl, s);
+    }
+    inflight.clear();
+
+    if (ctl.draining.load(std::memory_order_acquire) != 0) {
+      bool pending = false;
+      for (std::size_t idx = 0; idx < region->nslots && !pending; ++idx) {
+        const std::uint32_t st =
+            slot_at(region, cfg.shard, idx)->state.load(
+                std::memory_order_acquire);
+        pending = st == kQueued || st == kWriting;
+      }
+      if (!pending) {
+        service.shutdown();
+        hb_stop.store(true, std::memory_order_relaxed);
+        hb.join();
+        ::_exit(0);
+      }
+      continue;  // drain what's left before checking again
+    }
+
+    if (!claimed_any) {
+      const std::uint32_t cur = ctl.queued.load(std::memory_order_acquire);
+      if (cur == doorbell) futex_wait(&ctl.queued, cur, 20);
+      doorbell = ctl.queued.load(std::memory_order_acquire);
+    } else {
+      doorbell = ctl.queued.load(std::memory_order_acquire);
+    }
+  }
+}
+
+}  // namespace scanprim::shard::detail
+
+#endif  // __linux__

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/core/env.hpp"
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
 #include "src/mem/mem.hpp"
@@ -24,9 +25,13 @@ std::uint64_t busy_now_ns() {
 
 std::size_t configured_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return sanitize_worker_spec(std::getenv("SCANPRIM_THREADS"),
-                              hw == 0 ? 1 : hw);
+  return env::size_or("SCANPRIM_THREADS", hw == 0 ? 1 : hw, 1, kMaxWorkers);
 }
+
+/// Set only by reinit_pool_after_fork (shard worker children); pool()
+/// prefers it over the static parent pool, whose worker threads do not
+/// survive fork.
+std::atomic<ThreadPool*> g_pool_override{nullptr};
 
 }  // namespace
 
@@ -156,18 +161,29 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
 }
 
 ThreadPool& pool() {
+  if (ThreadPool* p = g_pool_override.load(std::memory_order_acquire)) {
+    return *p;
+  }
   static ThreadPool instance(configured_workers());
   return instance;
+}
+
+void reinit_pool_after_fork(std::size_t workers) {
+  auto* fresh =
+      new ThreadPool(workers == 0 ? configured_workers() : workers);
+  // The previous override (there is none on the first call in a child) and
+  // the inherited static pool are both leaked: their worker threads died
+  // with the parent address space, so their destructors would join forever.
+  g_pool_override.store(fresh, std::memory_order_release);
 }
 
 std::size_t num_workers() { return pool().size(); }
 
 bool oversubscribed() {
-  static const bool value = [] {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw != 0 && num_workers() > hw;
-  }();
-  return value;
+  // Not cached: reinit_pool_after_fork can change the answer within a
+  // process lifetime, and two loads per query are cheap.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 && num_workers() > hw;
 }
 
 }  // namespace scanprim::thread

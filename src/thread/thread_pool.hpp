@@ -92,6 +92,16 @@ class ThreadPool {
 /// variable when set, otherwise from std::thread::hardware_concurrency().
 ThreadPool& pool();
 
+/// Replace the process-wide pool with a freshly constructed one of
+/// `workers` threads (0 means size from the environment as pool() would).
+/// FOR CHILD PROCESSES ONLY: after fork() from a multithreaded parent, the
+/// child inherits the parent's pool object but none of its worker threads,
+/// so pool().run() would wait forever on workers that do not exist. A
+/// shard worker calls this first thing after fork, before any scan runs.
+/// The inherited pool object is intentionally leaked — joining its dead
+/// threads would deadlock, and shard children exit via _exit() anyway.
+void reinit_pool_after_fork(std::size_t workers);
+
 /// Number of workers in the global pool.
 std::size_t num_workers();
 

@@ -23,8 +23,12 @@
 
 #include "src/core/segmented.hpp"
 #include "src/fault/fault.hpp"
+#include "src/machine/machine.hpp"
+#include "src/plan/plan.hpp"
 #include "src/serve/retry.hpp"
 #include "src/thread/thread_pool.hpp"
+#include "src/vm/assembler.hpp"
+#include "src/vm/interpreter.hpp"
 
 namespace scanprim::serve {
 namespace {
@@ -461,6 +465,146 @@ TEST(ServeRecovery, SubmitWithRetryGivesUpAfterMaxAttempts) {
   EXPECT_GE(svc.metrics().rejected, 3u);
   svc.shutdown();  // drains the parked job
   EXPECT_EQ(parked_fut.get().status, Status::kOk);
+}
+
+// The retry helper is deadline-aware (satellite of the sharding PR): a
+// caller deadline bounds the WHOLE retry schedule, not each attempt. With a
+// 50 ms deadline and a backoff ladder that would otherwise burn ~300 ms
+// across 5 attempts, the helper must give up as soon as the next wake-up
+// would land past the deadline.
+TEST(ServeRecovery, SubmitWithRetryHonoursTheOverallDeadline) {
+  fault::disarm_all();
+  Service::Options o;
+  o.queue_capacity = 1;
+  o.window_us = 10'000'000;  // the parked job never yields its slot
+  Service svc(o);
+  std::mt19937_64 g(89);
+  auto parked_fut = svc.submit(random_scan_job(g, 64));
+
+  RetryOptions ro;
+  ro.max_attempts = 5;
+  ro.initial_backoff = 30ms;
+  ro.multiplier = 2.0;
+  ro.jitter = 0.0;
+  ro.seed = 3;
+  SubmitOptions so;
+  so.deadline = 50ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Result r = submit_with_retry(svc, random_scan_job(g, 64), so, ro);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, Status::kRejected);
+  // 30 + 60 + 120 + 240 ms of sleeps without the deadline; with it the
+  // helper stops before any wake-up past +50 ms.
+  EXPECT_LT(elapsed, 150ms);
+  svc.shutdown();
+  EXPECT_EQ(parked_fut.get().status, Status::kOk);
+}
+
+// --- named plans under injected faults (satellite) ---------------------------
+
+// Plan jobs execute per job on the batcher thread through the service's
+// executor, so they cross a fault surface the scan mega-batch does not: the
+// fused-group runner ("exec.group"). The plan engine runs each region
+// transactionally (docs/PLAN.md) — a throw from the compiled path rolls the
+// region back and replays it interpreted — so an exec.group fault must
+// *degrade* a plan job to interpretation, never fail it: every request
+// resolves kOk, bit-identical to pure interpretation, while the armed
+// point's hit counter proves the compiled path really took the fault.
+
+vm::Program plan_program() {
+  return vm::assemble("load a\ndup\n+scan\nadd\nprint\nhalt");
+}
+
+std::vector<Value> interpret_plan(const std::vector<Value>& a) {
+  machine::Machine m;
+  vm::Interpreter interp(m);
+  interp.set_register("a", a);
+  const auto saved = vm::Interpreter::run_hook();
+  vm::Interpreter::set_run_hook(nullptr);  // pure interpretation
+  interp.run(plan_program());
+  vm::Interpreter::set_run_hook(saved);
+  return interp.output().back();
+}
+
+TEST(ServeRecovery, PlanJobsSurviveExecGroupFaults) {
+  fault::disarm_all();
+  Service svc;
+  svc.register_plan("scan_add", plan_program());
+  // Every 3rd fused-group run throws, three times.
+  fault::arm("exec.group", 3, 3);
+
+  std::mt19937_64 g(97);
+  std::vector<std::vector<Value>> inputs;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<Value> a(64 + i * 17);
+    for (auto& v : a) v = static_cast<Value>(g() % 2000) - 1000;
+    inputs.push_back(a);
+    PlanJob job;
+    job.plan = "scan_add";
+    job.registers["a"] = std::move(a);
+    futs.push_back(svc.submit(std::move(job)));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk) << "plan job " << i << ": " << r.error;
+    EXPECT_EQ(r.values, interpret_plan(inputs[i])) << "plan job " << i;
+  }
+  if (plan::enabled()) {
+    // The compiled path really took (and recovered from) the armed faults.
+    EXPECT_GE(fault::hits("exec.group"), 3u);
+  }
+  fault::disarm_all();
+
+  // The fault budget is spent: the same plan serves cleanly again.
+  PlanJob job;
+  job.plan = "scan_add";
+  job.registers["a"] = inputs[0];
+  Result r = svc.submit(std::move(job)).get();
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.values, interpret_plan(inputs[0]));
+  svc.shutdown();
+}
+
+TEST(ServeRecovery, PlanJobsSurviveDispatchFaultsAlongsideScans) {
+  fault::disarm_all();
+  Service::Options o;
+  o.window_us = 5'000;
+  Service svc(o);
+  svc.register_plan("scan_add", plan_program());
+  // One transient dispatch fault while plan jobs and scan jobs interleave:
+  // the scan batch recovers by bisection, the plan jobs are untouched by
+  // the scan path, and nothing strands.
+  fault::arm("serve.dispatch", 1, 1);
+
+  std::mt19937_64 g(101);
+  std::vector<ScanJob> scans;
+  std::vector<std::future<Result>> scan_futs;
+  std::vector<std::vector<Value>> plan_inputs;
+  std::vector<std::future<Result>> plan_futs;
+  for (int i = 0; i < 8; ++i) {
+    scans.push_back(random_scan_job(g, 1 + g() % 1000));
+    scan_futs.push_back(svc.submit(scans.back()));
+    std::vector<Value> a(32 + i * 9);
+    for (auto& v : a) v = static_cast<Value>(g() % 100);
+    plan_inputs.push_back(a);
+    PlanJob pj;
+    pj.plan = "scan_add";
+    pj.registers["a"] = std::move(a);
+    plan_futs.push_back(svc.submit(std::move(pj)));
+  }
+  for (std::size_t i = 0; i < scan_futs.size(); ++i) {
+    Result r = scan_futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk) << "scan " << i << ": " << r.error;
+    EXPECT_EQ(r.values, ref_scan(scans[i]));
+  }
+  for (std::size_t i = 0; i < plan_futs.size(); ++i) {
+    Result r = plan_futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk) << "plan " << i << ": " << r.error;
+    EXPECT_EQ(r.values, interpret_plan(plan_inputs[i]));
+  }
+  fault::disarm_all();
+  svc.shutdown();
 }
 
 }  // namespace

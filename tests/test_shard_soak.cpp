@@ -1,0 +1,175 @@
+// Kill-a-shard soak (docs/SHARD.md): submitter threads hammer a 4-shard
+// coordinator while a killer thread SIGKILLs a random live worker every few
+// batches. The robustness contract under test, pinned for CI's process
+// fault matrix: EVERY submitted request resolves (kOk bit-correct against
+// the sequential reference, or a terminal error status — never a hang,
+// never a corrupted payload), the dead shards restart and serve again, and
+// the final drain completes with workers still dying around it.
+//
+// Runs under the shard fault matrix too (SCANPRIM_FAULT=shard.*), where the
+// worker-side injections stack on top of the external SIGKILLs. NOT in the
+// TSan allowlist: forking a multithreaded parent is outside TSan's model.
+#include <gtest/gtest.h>
+
+#if defined(__linux__)
+
+#include <signal.h>
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/shard/shard.hpp"
+
+namespace scanprim::shard {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<Value> ref_scan(const serve::ScanJob& j) {
+  const std::size_t n = j.data.size();
+  std::vector<Value> out(n);
+  const bool seg = !j.flags.empty();
+  Value acc = batch::op_identity(j.op);
+  if (!j.backward) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = n; i-- > 0;) {
+      if (j.inclusive) {
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+        out[i] = acc;
+      } else {
+        out[i] = acc;
+        acc = batch::op_apply(j.op, acc, j.data[i]);
+      }
+      if (seg && j.flags[i]) acc = batch::op_identity(j.op);
+    }
+  }
+  return out;
+}
+
+TEST(ShardSoak, EveryRequestResolvesUnderRandomWorkerSigkill) {
+  Options o;
+  o.shards = 4;
+  o.slots_per_shard = 16;
+  o.heartbeat_ms = 10;
+  o.heartbeat_misses = 3;
+  o.worker_threads = 1;
+  o.max_pending = 8192;
+  o.restart_backoff_ms = 2;
+  o.max_restarts = 1'000'000;  // the killer may strike one shard repeatedly
+  Coordinator coord(o);
+  coord.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop_killer{false};
+  std::atomic<std::uint64_t> ok{0}, failed{0}, wrong{0};
+
+  std::thread killer([&] {
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<std::size_t> sd(0, o.shards - 1);
+    while (!stop_killer.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(10ms);
+      const pid_t pid = coord.shard_pid(sd(rng));
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::mt19937 rng(1000 + t);
+      std::uniform_int_distribution<std::size_t> nd(1, 256);
+      std::uniform_int_distribution<int> vd(-100, 100);
+      std::uniform_int_distribution<int> od(0, batch::kOpCount - 1);
+      std::uniform_int_distribution<int> bd(0, 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::ScanJob j;
+        j.data.resize(nd(rng));
+        for (auto& v : j.data) v = vd(rng);
+        j.op = static_cast<Op>(od(rng));
+        j.inclusive = bd(rng) != 0;
+        j.backward = bd(rng) != 0;
+        if (bd(rng) != 0) {
+          j.flags.resize(j.data.size());
+          for (auto& f : j.flags) f = bd(rng) == 0 ? 0 : 1;
+        }
+        const serve::ScanJob copy = j;
+        std::future<serve::Result> fut = coord.submit(std::move(j));
+        // The contract allows a terminal error (the request may have been
+        // on a killed shard with its fail-over budget spent, or found the
+        // rings full) — but a resolved-wrong payload or a hang never.
+        if (fut.wait_for(30s) != std::future_status::ready) {
+          wrong.fetch_add(1);  // counted as a contract violation
+          continue;
+        }
+        serve::Result r = fut.get();
+        if (r.status == serve::Status::kOk) {
+          if (r.values == ref_scan(copy)) {
+            ok.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  stop_killer.store(true);
+  killer.join();
+
+  EXPECT_EQ(wrong.load(), 0u) << "hung or corrupted requests";
+  EXPECT_GT(ok.load(), 0u);
+  // Backpressure rejections are legal under fire, but the recovery paths
+  // must keep the overwhelming majority flowing.
+  EXPECT_GE(ok.load(), static_cast<std::uint64_t>(kThreads * kPerThread) / 2);
+
+  const Metrics m = coord.metrics();
+  EXPECT_EQ(m.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(ok.load() + failed.load(), m.completed + m.errors + m.timeouts +
+                                           m.cancelled + m.rejected);
+  // The killer fired for the whole run, so shards died and came back.
+  EXPECT_GE(m.failovers, 1u);
+  EXPECT_GE(m.restarts, 1u);
+
+  // Dead-or-alive, the service drains cleanly and every shard is reaped.
+  coord.shutdown();
+
+  // And a fresh coordinator on the same process still works (no leaked
+  // global state from all the fail-overs).
+  Coordinator again(Options{.shards = 2, .slots_per_shard = 8});
+  again.start();
+  serve::ScanJob j;
+  j.data = {1, 2, 3, 4};
+  j.inclusive = true;
+  serve::Result r = again.submit(std::move(j)).get();
+  ASSERT_EQ(r.status, serve::Status::kOk);
+  EXPECT_EQ(r.values, (std::vector<Value>{1, 3, 6, 10}));
+  again.shutdown();
+}
+
+}  // namespace
+}  // namespace scanprim::shard
+
+#else  // !__linux__
+
+TEST(ShardSoak, SkippedOnNonLinux) { GTEST_SKIP(); }
+
+#endif
