@@ -1,0 +1,227 @@
+// The wire protocol of the scan service's socket front end (docs/NET.md).
+//
+// Length-prefixed little-endian binary frames. A request frame:
+//
+//   u32  body_len      bytes after this field (bounded by the server's
+//                      SCANPRIM_NET_MAX_FRAME; an oversized prefix is a
+//                      protocol error BEFORE any buffering happens)
+//   u32  magic         kMagic ("SCPN")
+//   u16  version       kVersion
+//   u8   op            Op below
+//   u8   flags         bit 0 inclusive, bit 1 backward, bit 2 segmented
+//   u64  request_id    echoed verbatim in the response; the client library
+//                      matches futures on it, so it must be unique per
+//                      connection among in-flight requests
+//   u32  tenant        admission-quota bucket (docs/NET.md "Quotas")
+//   u8   priority      Priority below (QoS lane selection)
+//   u8x3 reserved      zero
+//   u64  deadline_ns   relative deadline forwarded to the batcher; 0 = none
+//   ...                op-specific payload (below)
+//
+// Payloads (vec = u32 count + count x i64; str = u16 length + bytes):
+//   kScan       u8 scan_op (ScanOp) + vec data [+ count x u8 segment flags
+//               when the segmented bit is set]
+//   kPack       vec data + count x u8 keep flags
+//   kEnumerate  u32 count + count x u8 keep flags
+//   kPipeline   vec source + u16 nstages + nstages x { u8 stage_op, i64 arg }
+//               (StageOp below — the remote subset of exec pipeline stages)
+//   kPlan       str name + u16 nregs + nregs x { str reg_name, vec values }
+//
+// A response frame:
+//
+//   u32  body_len
+//   u32  magic
+//   u16  version
+//   u8   status        Status below
+//   u8   reserved
+//   u64  request_id
+//   u32  kept          pack/enumerate: number of set keep flags
+//   u32  noutputs      + noutputs x vec (plan jobs: every printed vector;
+//                      every other op: exactly one output on kOk)
+//   str  error         empty unless status is an error
+//
+// The same port speaks HTTP GET for Prometheus scrapes: any connection whose
+// first bytes are "GET " receives a text/plain obs::render_text() snapshot
+// and is closed (docs/NET.md "Scraping").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/serve/job.hpp"
+
+namespace scanprim::net {
+
+using Value = serve::Value;
+
+inline constexpr std::uint32_t kMagic = 0x5343504e;  // "SCPN" (LE "NPCS")
+inline constexpr std::uint16_t kVersion = 1;
+/// Frame-length prefix + the fixed request/response header that follows it.
+inline constexpr std::size_t kLenPrefix = 4;
+
+/// Request operations, one per serve::Service job type.
+enum class Op : std::uint8_t {
+  kScan = 1,
+  kPack = 2,
+  kEnumerate = 3,
+  kPipeline = 4,
+  kPlan = 5,
+};
+
+/// Scan operators on the wire (ScanOp <-> batch::Op, stable numbering).
+enum class ScanOp : std::uint8_t {
+  kPlus = 0,
+  kMax = 1,
+  kMin = 2,
+  kOr = 3,
+  kAnd = 4,
+};
+
+/// Request flag bits.
+inline constexpr std::uint8_t kFlagInclusive = 1u << 0;
+inline constexpr std::uint8_t kFlagBackward = 1u << 1;
+inline constexpr std::uint8_t kFlagSegmented = 1u << 2;
+
+/// QoS lane request (docs/NET.md "Lanes"). kAuto lets the server classify
+/// by payload size (small requests ride the latency lane when QoS is on).
+enum class Priority : std::uint8_t {
+  kAuto = 0,
+  kLatency = 1,
+  kBulk = 2,
+};
+
+/// The remote pipeline stage algebra — the subset of exec stages that
+/// serialises as (op, one i64 argument). Scans take no argument.
+enum class StageOp : std::uint8_t {
+  kAddConst = 0,
+  kMulConst = 1,
+  kMinConst = 2,
+  kMaxConst = 3,
+  kScanPlus = 16,
+  kScanMax = 17,
+  kScanMin = 18,
+};
+
+/// Terminal status of a request, superset of serve::Status: the first six
+/// values mirror it one-to-one; the rest are produced by the front end
+/// itself, before (or instead of) touching the batcher.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRejected = 1,       ///< serve admission control: queue at capacity
+  kTimeout = 2,
+  kCancelled = 3,
+  kShutdown = 4,
+  kError = 5,          ///< execution failed; `error` carries the message
+  kOverQuota = 6,      ///< tenant token bucket empty: never reached the batcher
+  kProtocolError = 7,  ///< malformed frame; the connection is closed after it
+  kVersionSkew = 8,    ///< wrong protocol version; connection closed
+  kUnsupported = 9,    ///< op the backend cannot serve (docs/NET.md)
+};
+
+constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kTimeout: return "timeout";
+    case Status::kCancelled: return "cancelled";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+    case Status::kOverQuota: return "over_quota";
+    case Status::kProtocolError: return "protocol_error";
+    case Status::kVersionSkew: return "version_skew";
+    case Status::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+constexpr Status from_serve(serve::Status s) {
+  return static_cast<Status>(static_cast<std::uint8_t>(s));
+}
+
+/// Thrown by decoders on malformed input (truncation, bad counts, unknown
+/// enum values). The server turns it into one kProtocolError response.
+struct ProtocolError : std::runtime_error {
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One remote pipeline stage.
+struct Stage {
+  StageOp op{};
+  std::int64_t arg = 0;
+};
+
+/// A fully decoded request frame.
+struct Request {
+  Op op = Op::kScan;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t tenant = 0;
+  Priority priority = Priority::kAuto;
+  std::uint64_t deadline_ns = 0;
+
+  ScanOp scan_op = ScanOp::kPlus;           // kScan
+  std::vector<Value> data;                  // kScan / kPack / kPipeline source
+  std::vector<std::uint8_t> byte_flags;     // segment / keep flags
+  std::vector<Stage> stages;                // kPipeline
+  std::string plan;                         // kPlan
+  std::map<std::string, std::vector<Value>> registers;  // kPlan
+
+  bool inclusive() const { return (flags & kFlagInclusive) != 0; }
+  bool backward() const { return (flags & kFlagBackward) != 0; }
+  bool segmented() const { return (flags & kFlagSegmented) != 0; }
+
+  /// Payload bytes for quota and lane-size accounting (mirrors
+  /// serve's JobNode::cost_bytes closely enough for admission decisions).
+  std::size_t payload_bytes() const;
+};
+
+/// A fully decoded response frame.
+struct Response {
+  Status status = Status::kOk;
+  std::uint64_t request_id = 0;
+  std::uint32_t kept = 0;
+  std::vector<std::vector<Value>> outputs;
+  std::string error;
+};
+
+// --- encoding ----------------------------------------------------------------
+// Encoders append one complete frame (length prefix included) to `out`.
+
+void encode_request(std::string& out, const Request& r);
+void encode_response(std::string& out, const Response& r);
+
+// --- decoding ----------------------------------------------------------------
+
+/// Bytes of the complete frame (prefix included) at the head of `buf`, or 0
+/// when more bytes are needed. Throws ProtocolError when the length prefix
+/// alone exceeds `max_frame` — the caller must fail the connection rather
+/// than buffer toward an attacker-chosen length.
+std::size_t frame_size(std::span<const std::uint8_t> buf,
+                       std::size_t max_frame);
+
+/// Decode one complete request frame (as delimited by frame_size). Throws
+/// ProtocolError on malformed bodies and garbage magic; a well-formed frame
+/// whose version differs from kVersion throws VersionSkew (below) so the
+/// server can answer with the distinct status.
+struct VersionSkew : ProtocolError {
+  explicit VersionSkew(std::uint16_t got)
+      : ProtocolError("protocol version " + std::to_string(got) +
+                      " (speak " + std::to_string(kVersion) + ")") {}
+};
+Request decode_request(std::span<const std::uint8_t> frame);
+
+/// Decode one complete response frame. Throws ProtocolError when malformed.
+Response decode_response(std::span<const std::uint8_t> frame);
+
+/// True when `buf` starts like an HTTP GET (a Prometheus scrape on the
+/// binary port). Needs at most 4 bytes to decide.
+bool looks_like_http(std::span<const std::uint8_t> buf);
+
+}  // namespace scanprim::net

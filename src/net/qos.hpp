@@ -1,0 +1,102 @@
+// QoS policy pieces of the socket front end (docs/NET.md): per-tenant
+// token-bucket admission quotas and the SLO-driven adaptive batching window.
+// Both are pure, clock-parameterised state machines — the server feeds them
+// steady_clock nanoseconds; tests feed them synthetic time and assert exact
+// admit/reject and shrink/regrow sequences without sockets or sleeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scanprim::net {
+
+/// Classic token bucket: `rate` tokens per second refill, `burst` capacity
+/// (burst = one second of rate here — quotas are per-second by contract).
+/// rate == 0 means unlimited: admit() always grants. Not thread-safe; the
+/// server serialises each tenant's buckets under its tenant-table mutex.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(std::uint64_t rate_per_s, std::uint64_t now_ns)
+      : rate_(rate_per_s),
+        tokens_(static_cast<double>(rate_per_s)),
+        last_ns_(now_ns) {}
+
+  bool unlimited() const { return rate_ == 0; }
+
+  /// Take `cost` tokens at time `now_ns`. Grants when the refilled balance
+  /// covers the cost; a denial consumes nothing.
+  bool admit(std::uint64_t cost, std::uint64_t now_ns) {
+    if (rate_ == 0) return true;
+    refill(now_ns);
+    const auto c = static_cast<double>(cost);
+    if (tokens_ < c) return false;
+    tokens_ -= c;
+    return true;
+  }
+
+ private:
+  void refill(std::uint64_t now_ns) {
+    if (now_ns <= last_ns_) return;
+    const double dt_s =
+        static_cast<double>(now_ns - last_ns_) * 1e-9;
+    last_ns_ = now_ns;
+    tokens_ += dt_s * static_cast<double>(rate_);
+    const auto burst = static_cast<double>(rate_);  // 1 s of rate
+    if (tokens_ > burst) tokens_ = burst;
+  }
+
+  std::uint64_t rate_ = 0;
+  double tokens_ = 0.0;
+  std::uint64_t last_ns_ = 0;
+};
+
+/// The SLO controller for the batching window (docs/NET.md "Adaptive
+/// window"). Each tick the server hands it the latency lane's windowed p99;
+/// a breach halves the window (multiplicative decrease, floor `min_us`), a
+/// comfortable margin (p99 below half the SLO) regrows it by 3/2
+/// (multiplicative increase, ceiling `base_us` — the window never grows past
+/// what the operator configured). Returns whether the window moved so the
+/// server can count scanprim_net_window_cuts_total by cause.
+class AdaptiveWindow {
+ public:
+  enum class Move : std::uint8_t { kNone, kShrink, kRegrow };
+
+  AdaptiveWindow() = default;
+  AdaptiveWindow(std::uint64_t base_us, std::uint64_t min_us,
+                 std::uint64_t slo_ns)
+      : base_us_(base_us ? base_us : 1),
+        min_us_(min_us ? min_us : 1),
+        slo_ns_(slo_ns),
+        window_us_(base_us ? base_us : 1) {}
+
+  std::uint64_t window_us() const { return window_us_; }
+
+  /// One controller tick. `p99_ns` is the latency lane's windowed p99;
+  /// `samples` its request count (zero samples: no evidence, no move).
+  Move tick(std::uint64_t p99_ns, std::uint64_t samples) {
+    if (samples == 0 || slo_ns_ == 0) return Move::kNone;
+    if (p99_ns > slo_ns_) {
+      const std::uint64_t next = window_us_ / 2;
+      const std::uint64_t clamped = next < min_us_ ? min_us_ : next;
+      if (clamped == window_us_) return Move::kNone;
+      window_us_ = clamped;
+      return Move::kShrink;
+    }
+    if (p99_ns < slo_ns_ / 2 && window_us_ < base_us_) {
+      std::uint64_t next = window_us_ + window_us_ / 2 + 1;
+      if (next > base_us_) next = base_us_;
+      window_us_ = next;
+      return Move::kRegrow;
+    }
+    return Move::kNone;
+  }
+
+ private:
+  std::uint64_t base_us_ = 1;
+  std::uint64_t min_us_ = 1;
+  std::uint64_t slo_ns_ = 0;
+  std::uint64_t window_us_ = 1;
+};
+
+}  // namespace scanprim::net

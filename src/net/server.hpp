@@ -1,0 +1,247 @@
+// The epoll socket front end (docs/NET.md).
+//
+// One acceptor thread + SCANPRIM_NET_THREADS io threads, nonblocking
+// edge-triggered epoll. Each connection is owned by exactly one io thread —
+// every read, parse, write and close of a connection happens there, so
+// connection state needs no locks; the only cross-thread traffic is the
+// completion path (the backend finishes a job on its own thread, encodes
+// nothing, and posts the encoded response frame to the owning io thread
+// through an MPSC queue + eventfd wake).
+//
+// The request path, per frame:
+//   read -> frame_size (oversized prefix fails fast) -> fault point
+//   "net.frame_decode" -> decode -> per-tenant token buckets (over-quota
+//   answers kOverQuota HERE, before the batcher sees anything) -> lane
+//   classification (explicit priority, or size vs SCANPRIM_NET_SMALL_BYTES
+//   when QoS is on) -> Backend::submit with a completion callback.
+//
+// QoS: latency-lane submissions cut the serve batching window immediately
+// (serve::Lane); a controller thread ticks every SCANPRIM_NET_QOS_TICK_MS,
+// compares the latency lane's windowed p99 against SCANPRIM_NET_SLO_US, and
+// moves the live window through serve::Service::set_window_us — halve on
+// breach, 3/2-regrow toward the configured base when comfortably clear
+// (net::AdaptiveWindow).
+//
+// The same port answers HTTP GET with an obs::render_text() snapshot, so
+// one Prometheus scrape covers net, serve, shard, plan, mem and the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/protocol.hpp"
+#include "src/net/qos.hpp"
+#include "src/obs/histogram.hpp"
+#include "src/serve/job.hpp"
+
+namespace scanprim::serve {
+class Service;
+}
+namespace scanprim::shard {
+class Coordinator;
+}
+
+namespace scanprim::net {
+
+/// What the front end submits decoded requests into. The completion
+/// callback in `opts.on_complete` must be invoked exactly once, from any
+/// thread; returning false means the backend cannot serve this op and the
+/// server answers Status::kUnsupported (no callback).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual bool submit(Request&& req, serve::SubmitOptions opts) = 0;
+  /// The serve::Service whose batching window the QoS controller drives;
+  /// null when the backend has no window hook.
+  virtual serve::Service* service() { return nullptr; }
+};
+
+/// In-process serve::Service backend: every protocol op maps onto the
+/// matching Service::submit overload through the callback completion path.
+class ServiceBackend : public Backend {
+ public:
+  explicit ServiceBackend(serve::Service& s) : s_(s) {}
+  bool submit(Request&& req, serve::SubmitOptions opts) override;
+  serve::Service* service() override { return &s_; }
+
+ private:
+  serve::Service& s_;
+};
+
+/// shard::Coordinator backend: the front end on a multi-process deployment
+/// (docs/SHARD.md). The Coordinator's API is future-based and scan-only, so
+/// this backend pumps completions on its own thread (futures resolve in
+/// FIFO submission order — head-of-line waits are bounded by the
+/// coordinator's own deadline machinery) and declines every other op with
+/// kUnsupported. No window hook: the QoS controller idles.
+class CoordinatorBackend : public Backend {
+ public:
+  explicit CoordinatorBackend(shard::Coordinator& c);
+  ~CoordinatorBackend() override;
+  bool submit(Request&& req, serve::SubmitOptions opts) override;
+
+ private:
+  void pump();
+
+  shard::Coordinator& c_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<std::future<serve::Result>,
+                       std::function<void(serve::Result&&)>>>
+      q_;
+  bool stop_ = false;
+  std::thread pump_;
+};
+
+/// The server. Construct over a Backend, start(), drive with net::Client,
+/// stop() (or destroy). The backend must outlive the server's stop().
+class Server {
+ public:
+  struct Options {
+    std::string bind = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; port() reports the binding
+    /// IO threads (SCANPRIM_NET_THREADS). Each owns a share of connections.
+    std::size_t io_threads = 2;
+    /// Largest accepted frame body (SCANPRIM_NET_MAX_FRAME). A length
+    /// prefix beyond this is a protocol error before any buffering.
+    std::size_t max_frame = std::size_t{16} << 20;
+    /// Connections with a stalled partial frame older than this are closed
+    /// (SCANPRIM_NET_IDLE_MS) — the slowloris bound. Idle connections with
+    /// no partial frame are left alone.
+    std::size_t idle_ms = 5000;
+    /// Per-tenant admission quotas, enforced by token bucket with one
+    /// second of burst (SCANPRIM_NET_TENANT_QPS / _BYTES). 0 = unlimited.
+    std::size_t tenant_qps = 0;
+    std::size_t tenant_bytes = 0;
+    /// QoS master switch (SCANPRIM_NET_QOS). Off: every request rides the
+    /// bulk lane and the window controller never moves the window — the
+    /// bench's baseline.
+    bool qos = true;
+    /// Auto-lane threshold (SCANPRIM_NET_SMALL_BYTES): a kAuto request at
+    /// or below this many payload bytes rides the latency lane.
+    std::size_t small_bytes = 4096;
+    /// Latency-lane p99 SLO (SCANPRIM_NET_SLO_US) the window controller
+    /// enforces, and its tick period (SCANPRIM_NET_QOS_TICK_MS).
+    std::size_t slo_us = 2000;
+    std::size_t qos_tick_ms = 50;
+    /// Smallest window the controller may shrink to
+    /// (SCANPRIM_NET_WINDOW_MIN_US).
+    std::size_t window_min_us = 1;
+
+    static Options from_env();
+  };
+
+  /// Counters for tests and the bench (all also exported as Prometheus
+  /// series through the obs registry; docs/NET.md "Metrics").
+  struct Stats {
+    std::uint64_t accepted = 0;        ///< connections accepted
+    std::uint64_t open = 0;            ///< connections currently open
+    std::uint64_t requests = 0;        ///< frames decoded and admitted
+    std::uint64_t responses = 0;       ///< response frames produced
+    std::uint64_t quota_rejected = 0;  ///< kOverQuota answers
+    std::uint64_t protocol_errors = 0; ///< bad frames (incl. version skew)
+    std::uint64_t idle_closed = 0;     ///< slowloris / stalled-frame closes
+    std::uint64_t window_shrinks = 0;  ///< SLO-breach window cuts
+    std::uint64_t window_regrows = 0;
+    std::uint64_t http_scrapes = 0;
+    std::uint64_t in_flight = 0;       ///< admitted, completion not yet posted
+  };
+
+  Server(Backend& backend, Options opts);
+  explicit Server(Backend& backend) : Server(backend, Options::from_env()) {}
+  ~Server();  ///< stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, spawn the acceptor + io + QoS threads. Throws
+  /// std::runtime_error when the socket layer refuses.
+  void start();
+
+  /// Stop accepting, close every connection, drain in-flight completions,
+  /// join all threads. Idempotent. The backend keeps running.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  const Options& options() const { return opts_; }
+  Stats stats() const;
+
+ private:
+  struct Conn;
+  struct IoThread;
+
+  void accept_loop();
+  void io_loop(IoThread& io);
+  void qos_loop();
+
+  void adopt(IoThread& io, int fd);
+  void process_queue(IoThread& io);
+  void handle_readable(IoThread& io, const std::shared_ptr<Conn>& c);
+  void process_input(IoThread& io, const std::shared_ptr<Conn>& c);
+  void handle_http(IoThread& io, const std::shared_ptr<Conn>& c);
+  void handle_frame(IoThread& io, const std::shared_ptr<Conn>& c,
+                    std::span<const std::uint8_t> frame);
+  void respond_now(IoThread& io, const std::shared_ptr<Conn>& c,
+                   const Response& resp);
+  void complete(std::weak_ptr<Conn> wc, std::size_t io_index,
+                std::uint64_t request_id, Op op, serve::Lane lane,
+                std::uint64_t t0_ns, serve::Result&& r);
+  void post(std::size_t io_index, std::weak_ptr<Conn> wc, std::string frame);
+  void try_flush(IoThread& io, const std::shared_ptr<Conn>& c);
+  void close_conn(IoThread& io, const std::shared_ptr<Conn>& c);
+  void sweep_idle(IoThread& io);
+  serve::Lane classify(const Request& req, std::size_t bytes) const;
+
+  Backend& backend_;
+  Options opts_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<IoThread>> io_;
+  std::atomic<std::size_t> next_io_{0};
+
+  // QoS controller.
+  AdaptiveWindow adaptive_;
+  std::thread qos_thread_;
+  std::mutex qos_mu_;
+  std::condition_variable qos_cv_;
+  obs::Histogram window_hist_;  ///< latency-lane latencies since last tick
+
+  // Counters (exported through obs; Stats mirrors them for tests).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> quota_rejected_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> window_shrinks_{0};
+  std::atomic<std::uint64_t> window_regrows_{0};
+  std::atomic<std::uint64_t> http_scrapes_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+
+  obs::Histogram lane_hist_[2];  ///< end-to-end latency by serve::Lane
+  std::uint64_t collector_id_ = 0;
+  std::uint64_t seq_ = 0;  ///< this server's {server="N"} label value
+  struct Series;                   ///< cached obs::counter pointers
+  std::unique_ptr<Series> series_;
+
+  // Per-tenant admission state (token buckets + cached counters).
+  struct TenantState;
+  std::mutex tenants_mu_;
+  std::map<std::uint32_t, std::unique_ptr<TenantState>> tenants_;
+};
+
+}  // namespace scanprim::net

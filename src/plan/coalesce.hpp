@@ -1,0 +1,56 @@
+// Same-plan job coalescing (docs/PLAN.md "Coalescing").
+//
+// The serving layer (src/serve) often sees a batching window full of PlanJobs
+// naming the SAME registered plan over different registers — exactly the
+// paper's "many independent scans ARE one segmented scan" situation (§2.3),
+// one level up: a plan whose program is a single straight-line region of
+// register-fed chains can run ONCE over the jobs' concatenated registers,
+// with every forward scan swapped for its segmented variant over the job
+// boundaries. The swap is free to prepare: Scan and SegScan fuse identically
+// (exec::Group::has_scan covers both, and the segment flags live on the node,
+// not in the groups), so the merged run replays the plan's compile-time
+// exec::PreparedGroups unchanged — k coalesced jobs cost one chained dispatch
+// per chain instead of k, and exec::Stats::plan_reuses moves once per chain.
+//
+// Correctness posture: coalescing is an OPTIMISATION with a total fallback.
+// coalescable() admits only shapes whose merged execution is provably
+// equivalent per job (no cross-job data motion, no length changes, no
+// broadcasts); execute_coalesced() additionally bails — returning false
+// without partial effects — on anything it meets at run time that per-job
+// execution would handle differently (missing registers, length mismatches,
+// div/mod by zero, allocation failure). The caller then runs the jobs
+// individually and gets exact per-job results and error messages.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.hpp"
+#include "src/plan/ir.hpp"
+
+namespace scanprim::plan {
+
+/// Whether `plan` qualifies for merged execution: one region covering the
+/// whole program, no runtime stack inputs, every def a register read or a
+/// chain of elementwise stages / selects / FORWARD scans (plain or
+/// segmented). Backward scans are excluded — their concatenated form would
+/// need boundary conventions this pass does not prove — as is anything that
+/// moves or reshapes data across positions (pack, permute, gather, split).
+bool coalescable(const CompiledProgram& plan);
+
+/// Runs `plan` once over the concatenated registers of `jobs` (one register
+/// map per job), splitting each printed vector back per job:
+/// `outputs[j]` = job j's printed vectors, in program order — byte-identical
+/// to running the plan per job. Returns false (leaving `outputs`
+/// unspecified and `stats` untouched) when the merged form cannot bind; the
+/// caller must then fall back to per-job execution. Requires
+/// coalescable(plan).
+bool execute_coalesced(
+    const CompiledProgram& plan,
+    std::span<const std::map<std::string, Vec>* const> jobs,
+    exec::Executor& ex, std::vector<std::vector<Vec>>& outputs,
+    exec::Stats* stats);
+
+}  // namespace scanprim::plan

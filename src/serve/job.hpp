@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,11 +64,33 @@ inline CancelToken make_cancel_token() {
   return std::make_shared<std::atomic<bool>>(false);
 }
 
+struct Result;  // declared below; SubmitOptions::on_complete consumes one
+
+/// QoS lane (docs/NET.md). Bulk jobs accumulate in the batching window
+/// under the byte budget — the throughput-optimal default. Latency jobs cut
+/// the window immediately: the batcher wakes, takes every queued latency
+/// job (plus whatever bulk work fits), and dispatches now. The network
+/// front end maps its protocol priority field onto this.
+enum class Lane : std::uint8_t { kBulk = 0, kLatency = 1 };
+
+constexpr const char* lane_name(Lane l) {
+  return l == Lane::kLatency ? "latency" : "bulk";
+}
+
 /// Per-submission knobs. The deadline is relative to submission time;
 /// zero means no deadline.
 struct SubmitOptions {
   std::chrono::nanoseconds deadline{0};
   CancelToken cancel;
+  Lane lane = Lane::kBulk;
+  /// Callback completion (the network front end's path): when set, the
+  /// service invokes this exactly once with the final Result — from the
+  /// batcher thread for executed/abandoned jobs, from the submitting thread
+  /// for refusals — and submit() returns an *invalid* std::future (no
+  /// promise is allocated). The callback must not block: it runs inside
+  /// the batcher's fulfilment loop. When empty, the future is the delivery
+  /// channel, exactly as before.
+  std::function<void(Result&&)> on_complete;
 };
 
 /// One scan request. `flags` empty means unsegmented (the whole request is

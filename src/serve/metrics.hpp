@@ -33,6 +33,25 @@ struct Metrics {
 
   /// Named precompiled plan jobs executed successfully (docs/PLAN.md).
   std::uint64_t plan_jobs = 0;
+  /// Of those, jobs served by a coalesced same-plan segmented dispatch
+  /// (several PlanJobs naming the same plan in one window run as ONE merged
+  /// execution over concatenated registers; docs/PLAN.md "Coalescing").
+  std::uint64_t plan_coalesced = 0;
+
+  // QoS lanes (docs/NET.md). Latency-lane jobs cut the batching window
+  // immediately; urgent_cuts counts every urgent batcher wakeup — a
+  // latency-lane submission, a per-request deadline, or a byte-budget
+  // crossing.
+  std::uint64_t latency_lane_jobs = 0;
+  std::uint64_t urgent_cuts = 0;
+
+  /// The live batching window at snapshot time (set_window_us moves it).
+  std::uint64_t window_us = 0;
+
+  // Per-lane latency quantiles (same population as p50/p95/p99 below,
+  // split by SubmitOptions::lane).
+  std::uint64_t lane_p99_ns[2] = {0, 0};  ///< indexed by Lane
+  std::uint64_t lane_count[2] = {0, 0};
 
   // Batch shape.
   std::uint64_t batches = 0;           ///< mega-dispatches executed

@@ -11,6 +11,7 @@
 #include "src/fault/fault.hpp"
 #include "src/obs/obs.hpp"
 #include "src/obs/registry.hpp"
+#include "src/plan/coalesce.hpp"
 #include "src/plan/plan.hpp"
 #include "src/thread/thread_pool.hpp"
 
@@ -39,6 +40,8 @@ std::atomic<std::uint64_t> g_service_seq{0};
 struct Service::JobNode {
   JobNode* next = nullptr;
   JobKind kind = JobKind::kScan;
+  Lane lane = Lane::kBulk;
+  bool plan_done = false;  ///< kPlan: already served by a coalesced dispatch
 
   // Scan / pack / enumerate payload. For pack and enumerate, `flags` holds
   // the keep flags and (for pack) `data` the values to compact.
@@ -56,7 +59,11 @@ struct Service::JobNode {
   std::vector<std::vector<Value>> vm_out;
   std::size_t max_instructions = std::size_t{1} << 22;
 
+  // Delivery: exactly one of these is live. With a callback no promise is
+  // ever allocated (submit() returns an invalid future); otherwise the
+  // promise resolves as before.
   std::promise<Result> promise;
+  std::function<void(Result&&)> callback;
   CancelToken cancel;
   Clock::time_point submitted_at{};
   Clock::time_point deadline = Clock::time_point::max();
@@ -109,7 +116,14 @@ Service::Options Service::Options::from_env() {
   return o;
 }
 
+void Service::set_window_us(std::uint64_t us) {
+  if (us < 1) us = 1;
+  if (us > 10'000'000) us = 10'000'000;
+  window_us_.store(us, std::memory_order_relaxed);
+}
+
 Service::Service(Options opts) : opts_(opts) {
+  window_us_.store(opts_.window_us, std::memory_order_relaxed);
   // Expose this instance's counters and the latency histogram through the
   // process-wide registry, labelled per service so concurrent instances
   // (tests spin up many) stay distinguishable. The collector reads the same
@@ -142,6 +156,14 @@ Service::Service(Options opts) : opts_(opts) {
       bisection_reruns_.load(std::memory_order_relaxed));
     c("scanprim_serve_plan_jobs_total",
       plan_jobs_.load(std::memory_order_relaxed));
+    c("scanprim_serve_plan_coalesced_total",
+      plan_coalesced_.load(std::memory_order_relaxed));
+    c("scanprim_serve_latency_lane_jobs_total",
+      latency_lane_jobs_.load(std::memory_order_relaxed));
+    c("scanprim_serve_urgent_cuts_total",
+      urgent_cuts_.load(std::memory_order_relaxed));
+    c("scanprim_serve_window_us",
+      window_us_.load(std::memory_order_relaxed));
     c("scanprim_serve_batches_total", batches_.load(std::memory_order_relaxed));
     c("scanprim_serve_batched_jobs_total",
       batched_jobs_.load(std::memory_order_relaxed));
@@ -151,6 +173,13 @@ Service::Service(Options opts) : opts_(opts) {
       pool_dispatches_.load(std::memory_order_relaxed));
     obs::append_histogram(out, "scanprim_serve_latency_ns" + label,
                           latency_hist_);
+    for (int l = 0; l < 2; ++l) {
+      std::string series = "scanprim_serve_lane_latency_ns{lane=\"";
+      series += lane_name(static_cast<Lane>(l));
+      series += "\",";
+      series += label.substr(1);  // merge into the {service=...} label set
+      obs::append_histogram(out, series, lane_hist_[l]);
+    }
   });
   batcher_ = std::thread([this] { batcher_loop(); });
 }
@@ -224,17 +253,21 @@ bool Service::has_plan(const std::string& name) const {
 }
 
 std::future<Result> Service::enqueue(JobNode* n, const SubmitOptions& opts) {
-  auto fut = n->promise.get_future();
+  // Callback submissions never allocate a promise: the returned future is
+  // invalid and the callback is the (single) delivery channel.
+  std::future<Result> fut;
+  n->callback = opts.on_complete;
+  if (!n->callback) fut = n->promise.get_future();
   n->submitted_at = Clock::now();
   if (opts.deadline.count() > 0) n->deadline = n->submitted_at + opts.deadline;
   n->cancel = opts.cancel;
+  n->lane = opts.lane;
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   const auto refuse = [&](Status st) {
     Result r;
     r.status = st;
-    n->promise.set_value(std::move(r));
-    delete n;
+    deliver(n, std::move(r));
     return std::move(fut);
   };
 
@@ -255,11 +288,15 @@ std::future<Result> Service::enqueue(JobNode* n, const SubmitOptions& opts) {
     return refuse(Status::kRejected);
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (n->lane == Lane::kLatency) {
+    latency_lane_jobs_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Everything the wakeup decision needs is read before the push: once the
   // node is on the stack the batcher may pop and delete it.
   const std::size_t cost = n->cost_bytes();
   const bool has_deadline = n->deadline != Clock::time_point::max();
+  const bool latency_lane = n->lane == Lane::kLatency;
 
   JobNode* h = head_.load(std::memory_order_relaxed);
   do {
@@ -276,12 +313,16 @@ std::future<Result> Service::enqueue(JobNode* n, const SubmitOptions& opts) {
 
   // Wake the batcher only when this push changes what it should do: the
   // stack went empty->nonempty (it may be in its indefinite wait), the job
-  // carries a deadline (the window wait must be recomputed), or the queued
-  // payload just crossed the byte budget (flush early). Steady-state pushes
-  // inside an open window stay silent — the batcher collects them when the
-  // window closes instead of being context-switched awake per request.
-  const bool urgent = has_deadline || (bytes_before < opts_.byte_budget &&
-                                       bytes_before + cost >= opts_.byte_budget);
+  // carries a deadline (the window wait must be recomputed), the job is in
+  // the latency lane (QoS: it cuts the window immediately), or the queued
+  // payload just crossed the byte budget (flush early). Steady-state bulk
+  // pushes inside an open window stay silent — the batcher collects them
+  // when the window closes instead of being context-switched awake per
+  // request.
+  const bool urgent = has_deadline || latency_lane ||
+                      (bytes_before < opts_.byte_budget &&
+                       bytes_before + cost >= opts_.byte_budget);
+  if (urgent) urgent_cuts_.fetch_add(1, std::memory_order_relaxed);
   if (was_empty || urgent) {
     // Taking the mutex before notifying pairs with the batcher's predicate
     // check under the same mutex so the wakeup cannot be lost.
@@ -323,6 +364,22 @@ void Service::shutdown() {
 
 // --- batcher -----------------------------------------------------------------
 
+void Service::deliver(JobNode* n, Result&& r) {
+  // The single exit for every job: callback if one was given, the promise
+  // otherwise, then the node is freed. A throwing callback must not kill
+  // the batcher (or strand its batch-mates), so it is swallowed here — the
+  // job was delivered; what the consumer did with it is its own business.
+  if (n->callback) {
+    try {
+      n->callback(std::move(r));
+    } catch (...) {
+    }
+  } else {
+    n->promise.set_value(std::move(r));
+  }
+  delete n;
+}
+
 void Service::resolve(JobNode* n, Status st) {
   Result r;
   r.status = st;
@@ -332,9 +389,8 @@ void Service::resolve(JobNode* n, Status st) {
   } else if (st == Status::kCancelled) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
-  n->promise.set_value(std::move(r));
   outstanding_.fetch_sub(1, std::memory_order_relaxed);
-  delete n;
+  deliver(n, std::move(r));
 }
 
 void Service::resolve_error(JobNode*& n, std::string message) {
@@ -343,32 +399,45 @@ void Service::resolve_error(JobNode*& n, std::string message) {
   r.error = std::move(message);
   r.latency_ns = ns_between(n->submitted_at, Clock::now());
   errors_.fetch_add(1, std::memory_order_relaxed);
-  n->promise.set_value(std::move(r));
   outstanding_.fetch_sub(1, std::memory_order_relaxed);
-  delete n;
+  deliver(n, std::move(r));
   n = nullptr;
 }
 
-void Service::record_latency(std::uint64_t ns) {
+void Service::record_latency(std::uint64_t ns, Lane lane) {
   // Every completed request, lock-free: the log-bucketed histogram replaces
   // the old sampled reservoir, so metrics() percentiles are exact-count rank
-  // selections over the full population, not a window.
+  // selections over the full population, not a window. The per-lane split
+  // feeds the QoS controller (docs/NET.md): the latency lane's p99 against
+  // its SLO drives the adaptive window.
   latency_hist_.record(ns);
+  lane_hist_[static_cast<std::size_t>(lane)].record(ns);
 }
 
 void Service::batcher_loop() {
-  std::vector<JobNode*> pending;  // submission order
+  // Two pending queues, one per QoS lane, each in submission order. Latency
+  // jobs cut the window: the moment one is pending the batcher flushes,
+  // taking every queued latency job first and then whatever bulk work still
+  // fits under the byte budget. Bulk-only traffic accumulates for the full
+  // (live, set_window_us-adjustable) window exactly as before.
+  std::vector<JobNode*> pending_lat;
+  std::vector<JobNode*> pending_bulk;
   std::vector<JobNode*> batch;
   std::vector<JobNode*> popped;
 
   const auto pop_all = [&] {
     JobNode* n = head_.exchange(nullptr, std::memory_order_acquire);
     for (; n != nullptr; n = n->next) popped.push_back(n);
-    // The stack pops newest-first; append oldest-first. Clear `popped` only
-    // after a successful insert (insert of pointers has the strong
-    // guarantee) so an allocation failure here never strands a node — the
-    // survivors are re-appended on the next iteration.
-    pending.insert(pending.end(), popped.rbegin(), popped.rend());
+    // The stack pops newest-first; append oldest-first, routed by lane.
+    // Reserve up front (the only throwing step) and clear `popped` only
+    // after every append, so an allocation failure here never strands or
+    // duplicates a node — the survivors are re-appended next iteration.
+    pending_lat.reserve(pending_lat.size() + popped.size());
+    pending_bulk.reserve(pending_bulk.size() + popped.size());
+    for (auto it = popped.rbegin(); it != popped.rend(); ++it) {
+      ((*it)->lane == Lane::kLatency ? pending_lat : pending_bulk)
+          .push_back(*it);
+    }
     popped.clear();
   };
 
@@ -386,19 +455,23 @@ void Service::batcher_loop() {
 
     // Abandon what expired or was cancelled while queued.
     const auto now = Clock::now();
-    std::size_t w = 0;
-    for (JobNode* n : pending) {
-      if (n->cancel && n->cancel->load(std::memory_order_relaxed)) {
-        pending_bytes_.fetch_sub(n->cost_bytes(), std::memory_order_relaxed);
-        resolve(n, Status::kCancelled);
-      } else if (n->deadline <= now) {
-        pending_bytes_.fetch_sub(n->cost_bytes(), std::memory_order_relaxed);
-        resolve(n, Status::kTimeout);
-      } else {
-        pending[w++] = n;
+    const auto sweep = [&](std::vector<JobNode*>& pending) {
+      std::size_t w = 0;
+      for (JobNode* n : pending) {
+        if (n->cancel && n->cancel->load(std::memory_order_relaxed)) {
+          pending_bytes_.fetch_sub(n->cost_bytes(), std::memory_order_relaxed);
+          resolve(n, Status::kCancelled);
+        } else if (n->deadline <= now) {
+          pending_bytes_.fetch_sub(n->cost_bytes(), std::memory_order_relaxed);
+          resolve(n, Status::kTimeout);
+        } else {
+          pending[w++] = n;
+        }
       }
-    }
-    pending.resize(w);
+      pending.resize(w);
+    };
+    sweep(pending_lat);
+    sweep(pending_bulk);
 
     bool stopping;
     {
@@ -406,7 +479,7 @@ void Service::batcher_loop() {
       stopping = stop_;
     }
 
-    if (pending.empty()) {
+    if (pending_lat.empty() && pending_bulk.empty()) {
       if (stopping && head_.load(std::memory_order_acquire) == nullptr) {
         return Step::kStop;
       }
@@ -420,37 +493,51 @@ void Service::batcher_loop() {
     // The window runs from the oldest pending job's admission. Wake earlier
     // if a queued job's deadline lands first (it must be timed out promptly,
     // not discovered when the window closes), or if the payload already
-    // fills the byte budget.
+    // fills the byte budget. Any pending latency-lane job cuts the window
+    // right now — that lane's whole point is to not wait out bulk windows.
     std::size_t bytes = 0;
-    auto wake_at = pending.front()->submitted_at +
-                   std::chrono::microseconds(opts_.window_us);
-    for (const JobNode* n : pending) {
-      bytes += n->cost_bytes();
-      if (n->deadline < wake_at) wake_at = n->deadline;
+    auto oldest = Clock::time_point::max();
+    auto first_deadline = Clock::time_point::max();
+    for (const std::vector<JobNode*>* q : {&pending_lat, &pending_bulk}) {
+      for (const JobNode* n : *q) {
+        bytes += n->cost_bytes();
+        if (n->submitted_at < oldest) oldest = n->submitted_at;
+        if (n->deadline < first_deadline) first_deadline = n->deadline;
+      }
     }
-    if (!stopping && bytes < opts_.byte_budget && now < wake_at) {
-      // Sleep out the window. Ordinary pushes do not interrupt it (their
-      // payload is collected when it closes); only urgent pushes — a
-      // deadline to honour or a byte budget crossed — and shutdown do.
+    auto wake_at = oldest + std::chrono::microseconds(
+                                window_us_.load(std::memory_order_relaxed));
+    if (first_deadline < wake_at) wake_at = first_deadline;
+    if (!stopping && pending_lat.empty() && bytes < opts_.byte_budget &&
+        now < wake_at) {
+      // Sleep out the window. Ordinary bulk pushes do not interrupt it
+      // (their payload is collected when it closes); only urgent pushes — a
+      // latency-lane job, a deadline to honour or a byte budget crossed —
+      // and shutdown do.
       std::unique_lock<std::mutex> lk(wake_mutex_);
       wake_cv_.wait_until(lk, wake_at, [&] { return stop_ || urgent_; });
       urgent_ = false;
       return Step::kContinue;
     }
 
-    // Form one batch from the front of the queue, bounded by the byte
-    // budget (always at least one job, so oversized requests still run).
+    // Form one batch, bounded by the byte budget (always at least one job,
+    // so oversized requests still run): every queued latency job first,
+    // then bulk jobs from the front of their queue.
     batch.clear();
     std::size_t batch_bytes = 0;
-    std::size_t take = 0;
-    while (take < pending.size()) {
-      const std::size_t c = pending[take]->cost_bytes();
-      if (!batch.empty() && batch_bytes + c > opts_.byte_budget) break;
-      batch_bytes += c;
-      batch.push_back(pending[take]);
-      ++take;
-    }
-    pending.erase(pending.begin(), pending.begin() + take);
+    const auto take_from = [&](std::vector<JobNode*>& pending) {
+      std::size_t take = 0;
+      while (take < pending.size()) {
+        const std::size_t c = pending[take]->cost_bytes();
+        if (!batch.empty() && batch_bytes + c > opts_.byte_budget) break;
+        batch_bytes += c;
+        batch.push_back(pending[take]);
+        ++take;
+      }
+      pending.erase(pending.begin(), pending.begin() + take);
+    };
+    take_from(pending_lat);
+    take_from(pending_bulk);
     pending_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
     // The window-cut decision: this many jobs leave the queue as one batch.
     obs::instant("serve.window_cut", batch.size());
@@ -663,8 +750,13 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
       }
     }
   }
+  // Same-plan PlanJobs in this batch coalesce into one merged segmented
+  // dispatch when the plan qualifies (docs/PLAN.md "Coalescing"); the rest
+  // run per job below.
+  coalesce_plan_jobs(jobs);
   for (JobNode* n : jobs) {
     if (n->kind != JobKind::kPipeline && n->kind != JobKind::kPlan) continue;
+    if (n->plan_done) continue;
     try {
       if (n->kind == JobKind::kPipeline) {
         n->data = executor_.run(n->pipeline);
@@ -708,9 +800,8 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
       r.batch_jobs = jobs.size();
       r.latency_ns = ns_between(n->submitted_at, fulfil_now);
       errors_.fetch_add(1, std::memory_order_relaxed);
-      n->promise.set_value(std::move(r));
       outstanding_.fetch_sub(1, std::memory_order_relaxed);
-      delete n;
+      deliver(n, std::move(r));
       n = nullptr;
       continue;
     }
@@ -761,12 +852,71 @@ void Service::execute_batch(std::vector<JobNode*>& jobs) {
     }
     r.latency_ns = ns_between(n->submitted_at, Clock::now());
     completed_.fetch_add(1, std::memory_order_relaxed);
-    record_latency(r.latency_ns);
-    n->promise.set_value(std::move(r));
+    record_latency(r.latency_ns, n->lane);
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
-    delete n;
+    deliver(n, std::move(r));
     n = nullptr;
   }
+}
+
+// Groups this batch's kPlan jobs by plan name and serves each group of two
+// or more through ONE merged segmented dispatch when the plan qualifies
+// (plan::coalescable — a single straight-line region of register-fed chains)
+// and every member's instruction budget covers the program. The merged run
+// concatenates the jobs' registers and swaps each chain's scans for
+// segmented scans over the job boundaries, replaying the plan's pre-fused
+// groups — so a group of k jobs costs one chained dispatch per chain
+// instead of k (exec::Stats::plan_reuses moves once per chain, not once per
+// job-chain). Any bind failure falls back to the per-job path in
+// execute_batch, which reproduces exact per-job results and errors.
+std::size_t Service::coalesce_plan_jobs(const std::vector<JobNode*>& jobs) {
+  std::map<std::string, std::vector<JobNode*>> groups;
+  for (JobNode* n : jobs) {
+    if (n != nullptr && n->kind == JobKind::kPlan) {
+      groups[n->plan_name].push_back(n);
+    }
+  }
+  std::size_t served = 0;
+  for (auto& [name, group] : groups) {
+    if (group.size() < 2) continue;
+    PlanEntry entry;
+    {
+      std::lock_guard<std::mutex> lk(plans_mutex_);
+      const auto it = plans_.find(name);
+      if (it == plans_.end()) continue;  // per-job path reports the error
+      entry = it->second;
+    }
+    if (entry.prog == nullptr || !plan::coalescable(*entry.prog)) continue;
+    bool budget_ok = true;
+    for (const JobNode* n : group) {
+      if (n->max_instructions < entry.prog->total_instructions) {
+        budget_ok = false;
+        break;
+      }
+    }
+    if (!budget_ok) continue;
+    std::vector<const std::map<std::string, std::vector<Value>>*> regs;
+    regs.reserve(group.size());
+    for (JobNode* n : group) regs.push_back(&n->vm_regs);
+    std::vector<std::vector<std::vector<Value>>> outs;
+    exec::Stats st;
+    obs::Span span("serve.plan_coalesce");
+    if (!plan::execute_coalesced(*entry.prog, regs, executor_, outs, &st)) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      pipeline_stats_ += st;
+    }
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      group[j]->vm_out = std::move(outs[j]);
+      group[j]->plan_done = true;
+    }
+    plan_jobs_.fetch_add(group.size(), std::memory_order_relaxed);
+    plan_coalesced_.fetch_add(group.size(), std::memory_order_relaxed);
+    served += group.size();
+  }
+  return served;
 }
 
 // Executes one named-plan job on the batcher thread. The interpreter is
@@ -816,6 +966,16 @@ Metrics Service::metrics() const {
   m.recovery_batches = recovery_batches_.load(std::memory_order_relaxed);
   m.bisection_reruns = bisection_reruns_.load(std::memory_order_relaxed);
   m.plan_jobs = plan_jobs_.load(std::memory_order_relaxed);
+  m.plan_coalesced = plan_coalesced_.load(std::memory_order_relaxed);
+  m.latency_lane_jobs = latency_lane_jobs_.load(std::memory_order_relaxed);
+  m.urgent_cuts = urgent_cuts_.load(std::memory_order_relaxed);
+  m.window_us = window_us_.load(std::memory_order_relaxed);
+  for (int l = 0; l < 2; ++l) {
+    m.lane_count[l] = lane_hist_[l].count();
+    if (m.lane_count[l] > 0) {
+      m.lane_p99_ns[l] = lane_hist_[l].value_at_quantile(0.99);
+    }
+  }
   m.batches = batches_.load(std::memory_order_relaxed);
   m.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
   m.batched_elements = batched_elements_.load(std::memory_order_relaxed);

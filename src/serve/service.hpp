@@ -127,6 +127,15 @@ class Service {
   const Options& options() const { return opts_; }
   Metrics metrics() const;
 
+  /// The live batching window. Starts at Options::window_us; the network
+  /// front end's QoS controller (docs/NET.md) moves it at run time — shrink
+  /// when the latency SLO is breached, regrow multiplicatively when clear.
+  /// Clamped to [1 us, 10 s]. Takes effect at the batcher's next window.
+  void set_window_us(std::uint64_t us);
+  std::uint64_t window_us() const {
+    return window_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct JobNode;
   using Clock = std::chrono::steady_clock;
@@ -135,9 +144,11 @@ class Service {
   void batcher_loop();
   void execute_batch(std::vector<JobNode*>& jobs);
   void run_plan_job(JobNode* node);
+  std::size_t coalesce_plan_jobs(const std::vector<JobNode*>& jobs);
+  void deliver(JobNode* node, Result&& r);  ///< callback or promise, then free
   void resolve(JobNode* node, Status status);
   void resolve_error(JobNode*& node, std::string message);
-  void record_latency(std::uint64_t ns);
+  void record_latency(std::uint64_t ns, Lane lane);
 
   // Batch execution + bisection recovery (batcher thread only).
   void stage_group(std::span<JobNode* const> group, bool restore_scans);
@@ -202,12 +213,18 @@ class Service {
   std::atomic<std::uint64_t> recovery_batches_{0};
   std::atomic<std::uint64_t> bisection_reruns_{0};
   std::atomic<std::uint64_t> plan_jobs_{0};
+  std::atomic<std::uint64_t> plan_coalesced_{0};
+  std::atomic<std::uint64_t> latency_lane_jobs_{0};
+  std::atomic<std::uint64_t> urgent_cuts_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_jobs_{0};
   std::atomic<std::uint64_t> batched_elements_{0};
   std::atomic<std::uint64_t> pool_dispatches_{0};
 
+  std::atomic<std::uint64_t> window_us_{0};  ///< live window (set_window_us)
+
   obs::Histogram latency_hist_;  ///< every completed request's latency, ns
+  obs::Histogram lane_hist_[2];  ///< the same latencies split by Lane
   std::uint64_t collector_id_ = 0;
   mutable std::mutex stats_mutex_;
   exec::Stats pipeline_stats_{};

@@ -1,0 +1,462 @@
+// End-to-end tests of the socket front end (src/net, docs/NET.md): QoS
+// unit state machines, then a live server over localhost — many concurrent
+// connections bit-identical to in-process execution, every protocol op,
+// per-tenant quotas, adaptive-window movement, the Prometheus endpoint,
+// and the shard-coordinator backend.
+#include "src/net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/core/segmented.hpp"
+#include "src/net/client.hpp"
+#include "src/obs/registry.hpp"
+#include "src/serve/service.hpp"
+#include "src/shard/shard.hpp"
+#include "src/vm/assembler.hpp"
+#include "test_util.hpp"
+
+namespace scanprim::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<Value> ref_exclusive_plus(const std::vector<Value>& v) {
+  std::vector<Value> out(v.size());
+  Value acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = acc;
+    acc += v[i];
+  }
+  return out;
+}
+
+// --- QoS state machines (pure, synthetic time) -------------------------------
+
+TEST(NetQos, TokenBucketAdmitsRateAndBurst) {
+  const std::uint64_t s = 1'000'000'000;  // 1 s in ns
+  TokenBucket b(10, 0);
+  // The bucket starts full: one second of burst.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(b.admit(1, 0)) << i;
+  EXPECT_FALSE(b.admit(1, 0));
+  // Half a second refills half the rate.
+  EXPECT_TRUE(b.admit(5, s / 2));
+  EXPECT_FALSE(b.admit(1, s / 2));
+  // A long quiet period caps at one second of burst, never more.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(b.admit(1, 100 * s)) << i;
+  EXPECT_FALSE(b.admit(1, 100 * s));
+}
+
+TEST(NetQos, TokenBucketDenialConsumesNothing) {
+  TokenBucket b(4, 0);
+  EXPECT_FALSE(b.admit(5, 0));  // over capacity: denied...
+  EXPECT_TRUE(b.admit(4, 0));   // ...and the 4 tokens are still there
+}
+
+TEST(NetQos, ZeroRateIsUnlimited) {
+  TokenBucket b(0, 0);
+  EXPECT_TRUE(b.unlimited());
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(b.admit(1 << 20, 0));
+}
+
+TEST(NetQos, AdaptiveWindowShrinksOnBreachAndRegrowsWhenClear) {
+  AdaptiveWindow w(200, 1, 2'000'000);  // base 200 us, SLO 2 ms
+  EXPECT_EQ(w.window_us(), 200u);
+  // No samples: no evidence, no move.
+  EXPECT_EQ(w.tick(10'000'000, 0), AdaptiveWindow::Move::kNone);
+  // Breach: halve, repeatedly, to the floor.
+  EXPECT_EQ(w.tick(3'000'000, 10), AdaptiveWindow::Move::kShrink);
+  EXPECT_EQ(w.window_us(), 100u);
+  while (w.window_us() > 1) {
+    ASSERT_EQ(w.tick(3'000'000, 10), AdaptiveWindow::Move::kShrink);
+  }
+  EXPECT_EQ(w.tick(3'000'000, 10), AdaptiveWindow::Move::kNone);  // at floor
+  // Comfortably clear (p99 < SLO/2): 3/2-regrow back toward base, capped.
+  EXPECT_EQ(w.tick(100'000, 10), AdaptiveWindow::Move::kRegrow);
+  std::uint64_t prev = w.window_us();
+  while (w.window_us() < 200) {
+    ASSERT_EQ(w.tick(100'000, 10), AdaptiveWindow::Move::kRegrow);
+    ASSERT_GT(w.window_us(), prev);
+    prev = w.window_us();
+  }
+  EXPECT_EQ(w.window_us(), 200u);
+  EXPECT_EQ(w.tick(100'000, 10), AdaptiveWindow::Move::kNone);  // at base
+  // Merely meeting the SLO (between SLO/2 and SLO) holds steady.
+  EXPECT_EQ(w.tick(3'000'000, 10), AdaptiveWindow::Move::kShrink);
+  EXPECT_EQ(w.tick(1'500'000, 10), AdaptiveWindow::Move::kNone);
+}
+
+// --- protocol round trip -----------------------------------------------------
+
+TEST(NetProtocol, RequestRoundTripsAllOps) {
+  Request r;
+  r.op = Op::kScan;
+  r.flags = kFlagInclusive | kFlagSegmented;
+  r.request_id = 42;
+  r.tenant = 7;
+  r.priority = Priority::kLatency;
+  r.deadline_ns = 123456789;
+  r.scan_op = ScanOp::kMax;
+  r.data = {1, -2, 3};
+  r.byte_flags = {1, 0, 1};
+  std::string wire;
+  encode_request(wire, r);
+  const std::span<const std::uint8_t> sp(
+      reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size());
+  ASSERT_EQ(frame_size(sp, 1 << 20), wire.size());
+  const Request d = decode_request(sp);
+  EXPECT_EQ(d.op, Op::kScan);
+  EXPECT_TRUE(d.inclusive());
+  EXPECT_FALSE(d.backward());
+  EXPECT_TRUE(d.segmented());
+  EXPECT_EQ(d.request_id, 42u);
+  EXPECT_EQ(d.tenant, 7u);
+  EXPECT_EQ(d.priority, Priority::kLatency);
+  EXPECT_EQ(d.deadline_ns, 123456789u);
+  EXPECT_EQ(d.scan_op, ScanOp::kMax);
+  EXPECT_EQ(d.data, r.data);
+  EXPECT_EQ(d.byte_flags, r.byte_flags);
+
+  Request plan;
+  plan.op = Op::kPlan;
+  plan.plan = "p";
+  plan.registers["a"] = {1, 2, 3};
+  plan.registers["b"] = {};
+  std::string wire2;
+  encode_request(wire2, plan);
+  const Request d2 = decode_request(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(wire2.data()), wire2.size()));
+  EXPECT_EQ(d2.op, Op::kPlan);
+  EXPECT_EQ(d2.plan, "p");
+  EXPECT_EQ(d2.registers, plan.registers);
+
+  Request pipe;
+  pipe.op = Op::kPipeline;
+  pipe.data = {5, 6};
+  pipe.stages = {{StageOp::kAddConst, 3}, {StageOp::kScanPlus, 0}};
+  std::string wire3;
+  encode_request(wire3, pipe);
+  const Request d3 = decode_request(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(wire3.data()), wire3.size()));
+  ASSERT_EQ(d3.stages.size(), 2u);
+  EXPECT_EQ(d3.stages[0].op, StageOp::kAddConst);
+  EXPECT_EQ(d3.stages[0].arg, 3);
+  EXPECT_EQ(d3.stages[1].op, StageOp::kScanPlus);
+}
+
+TEST(NetProtocol, ResponseRoundTrips) {
+  Response r;
+  r.status = Status::kError;
+  r.request_id = 99;
+  r.kept = 3;
+  r.outputs = {{1, 2}, {}, {-7}};
+  r.error = "boom";
+  std::string wire;
+  encode_response(wire, r);
+  const Response d = decode_response(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()));
+  EXPECT_EQ(d.status, Status::kError);
+  EXPECT_EQ(d.request_id, 99u);
+  EXPECT_EQ(d.kept, 3u);
+  EXPECT_EQ(d.outputs, r.outputs);
+  EXPECT_EQ(d.error, "boom");
+}
+
+// --- live server helpers -----------------------------------------------------
+
+struct LiveServer {
+  serve::Service svc;
+  ServiceBackend backend{svc};
+  Server server;
+
+  explicit LiveServer(Server::Options o = make_options(),
+                      serve::Service::Options so = {})
+      : svc(so), server(backend, std::move(o)) {
+    server.start();
+  }
+  ~LiveServer() {
+    server.stop();
+    svc.shutdown();
+  }
+  static Server::Options make_options() {
+    Server::Options o;
+    o.io_threads = 2;
+    return o;
+  }
+  std::uint16_t port() const { return server.port(); }
+};
+
+// --- end-to-end --------------------------------------------------------------
+
+TEST(NetServer, EveryOpMatchesInProcessExecution) {
+  LiveServer ls;
+  ls.svc.register_plan("scan_add",
+                       vm::assemble("load a\ndup\n+scan\nadd\nprint\nhalt"));
+  Client cli("127.0.0.1", ls.port());
+
+  // Scan, against the in-process service.
+  const auto data = testutil::random_vector<std::int64_t>(777, 3);
+  const Response rs = cli.scan_sync(data, ScanOp::kPlus);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.error;
+  serve::ScanJob sj;
+  sj.data = data;
+  const serve::Result local = ls.svc.submit(std::move(sj)).get();
+  ASSERT_EQ(local.status, serve::Status::kOk);
+  ASSERT_EQ(rs.outputs.size(), 1u);
+  EXPECT_EQ(rs.outputs.front(), local.values);
+
+  // Segmented inclusive max.
+  std::vector<std::uint8_t> flags(data.size(), 0);
+  for (std::size_t i = 0; i < flags.size(); i += 97) flags[i] = 1;
+  const Response rseg = cli.scan_sync(data, ScanOp::kMax, true, false, flags);
+  ASSERT_EQ(rseg.status, Status::kOk) << rseg.error;
+  serve::ScanJob segj;
+  segj.data = data;
+  segj.op = batch::Op::kMax;
+  segj.inclusive = true;
+  segj.flags = flags;
+  EXPECT_EQ(rseg.outputs.front(), ls.svc.submit(std::move(segj)).get().values);
+
+  // Pack + kept count.
+  std::vector<std::uint8_t> keep(data.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i % 3 == 0;
+  const Response rp = cli.pack_sync(data, keep);
+  ASSERT_EQ(rp.status, Status::kOk) << rp.error;
+  std::vector<Value> packed;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (keep[i]) packed.push_back(data[i]);
+  }
+  EXPECT_EQ(rp.outputs.front(), packed);
+  EXPECT_EQ(rp.kept, packed.size());
+
+  // Enumerate.
+  const Response re = cli.enumerate(keep).get();
+  ASSERT_EQ(re.status, Status::kOk) << re.error;
+  std::vector<Value> ids(keep.size());
+  Value run = 0;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    ids[i] = run;
+    run += keep[i] ? 1 : 0;
+  }
+  EXPECT_EQ(re.outputs.front(), ids);
+
+  // Pipeline: (v * 3) scanned, then clamped below at 10.
+  const Response rpipe =
+      cli.pipeline({1, 2, 3, 4, 5}, {{StageOp::kMulConst, 3},
+                                     {StageOp::kScanPlus, 0},
+                                     {StageOp::kMaxConst, 10}})
+          .get();
+  ASSERT_EQ(rpipe.status, Status::kOk) << rpipe.error;
+  EXPECT_EQ(rpipe.outputs.front(), (std::vector<Value>{10, 10, 10, 18, 30}));
+
+  // Plan.
+  const Response rplan = cli.plan_sync("scan_add", {{"a", {3, 1, 4, 1, 5}}});
+  ASSERT_EQ(rplan.status, Status::kOk) << rplan.error;
+  ASSERT_EQ(rplan.outputs.size(), 1u);
+  // a + exclusive-plus-scan(a)
+  EXPECT_EQ(rplan.outputs.front(), (std::vector<Value>{3, 4, 8, 9, 14}));
+
+  // Unknown plan: the serve error surfaces verbatim with kError.
+  const Response rbad = cli.plan_sync("nope", {});
+  EXPECT_EQ(rbad.status, Status::kError);
+  EXPECT_NE(rbad.error.find("unknown plan"), std::string::npos) << rbad.error;
+}
+
+TEST(NetServer, ManyConcurrentConnectionsBitIdentical) {
+  LiveServer ls;
+  constexpr int kConns = 32;
+  constexpr int kPerConn = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kConns);
+  for (int t = 0; t < kConns; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Client cli("127.0.0.1", ls.port());
+        // Pipelined: launch every request, then collect.
+        std::vector<std::future<Response>> futs;
+        std::vector<std::vector<Value>> inputs;
+        for (int i = 0; i < kPerConn; ++i) {
+          inputs.push_back(testutil::random_vector<std::int64_t>(
+              128 + 64 * i, 1000 + static_cast<std::uint64_t>(t) * 100 + i));
+          futs.push_back(cli.scan(inputs.back(), ScanOp::kPlus));
+        }
+        for (int i = 0; i < kPerConn; ++i) {
+          const Response r = futs[i].get();
+          if (r.status != Status::kOk) {
+            failures[t] = "status " + std::string(status_name(r.status)) +
+                          ": " + r.error;
+            return;
+          }
+          if (r.outputs.size() != 1 ||
+              r.outputs.front() != ref_exclusive_plus(inputs[i])) {
+            failures[t] = "wrong scan result";
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[t] = e.what();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kConns; ++t) EXPECT_EQ(failures[t], "") << "conn " << t;
+  const Server::Stats st = ls.server.stats();
+  EXPECT_GE(st.accepted, static_cast<std::uint64_t>(kConns));
+  EXPECT_EQ(st.requests, static_cast<std::uint64_t>(kConns) * kPerConn);
+  EXPECT_EQ(st.responses, static_cast<std::uint64_t>(kConns) * kPerConn);
+  EXPECT_EQ(st.in_flight, 0u);
+}
+
+TEST(NetServer, PerTenantQuotasRejectOnlyTheOffender) {
+  Server::Options o = LiveServer::make_options();
+  o.tenant_qps = 8;  // 1 s of burst = 8 requests, then dry until refill
+  LiveServer ls(o);
+  Client greedy("127.0.0.1", ls.port(), /*tenant=*/1);
+  Client polite("127.0.0.1", ls.port(), /*tenant=*/2);
+
+  // The greedy tenant burns its burst; extra requests come back kOverQuota
+  // without ever reaching the batcher.
+  int ok = 0, over = 0;
+  for (int i = 0; i < 24; ++i) {
+    const Response r = greedy.scan_sync({1, 2, 3}, ScanOp::kPlus);
+    if (r.status == Status::kOk) ++ok;
+    if (r.status == Status::kOverQuota) {
+      ++over;
+      EXPECT_NE(r.error.find("quota"), std::string::npos);
+    }
+  }
+  EXPECT_GT(over, 0);
+  EXPECT_GE(ok, 8);  // the burst was admitted (refill may add a few more)
+
+  // The compliant tenant is completely unaffected.
+  for (int i = 0; i < 4; ++i) {
+    const Response r = polite.scan_sync({5, 5}, ScanOp::kPlus);
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_EQ(r.outputs.front(), (std::vector<Value>{0, 5}));
+  }
+  EXPECT_GE(ls.server.stats().quota_rejected, static_cast<std::uint64_t>(over));
+}
+
+TEST(NetServer, ByteQuotaCountsPayloadBytes) {
+  Server::Options o = LiveServer::make_options();
+  o.tenant_bytes = 4096;  // half a KiB of values per request burns it fast
+  LiveServer ls(o);
+  Client cli("127.0.0.1", ls.port(), /*tenant=*/9);
+  int over = 0;
+  for (int i = 0; i < 12; ++i) {
+    const Response r = cli.scan_sync(std::vector<Value>(128, 1), ScanOp::kPlus);
+    if (r.status == Status::kOverQuota) ++over;
+  }
+  EXPECT_GT(over, 0);
+}
+
+TEST(NetServer, AdaptiveWindowShrinksUnderSloBreach) {
+  // A tiny SLO no real round trip can meet, and a fat serve window the
+  // controller must cut: every tick with latency-lane samples shrinks.
+  Server::Options o = LiveServer::make_options();
+  o.slo_us = 1;  // 1 us p99 SLO: always breached
+  o.qos_tick_ms = 10;
+  serve::Service::Options so;
+  so.window_us = 4000;
+  LiveServer ls(o, so);
+  ASSERT_EQ(ls.svc.window_us(), 4000u);
+  Client cli("127.0.0.1", ls.port());
+  RequestOptions lat;
+  lat.priority = Priority::kLatency;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Response r = cli.scan_sync({1, 2, 3, 4}, ScanOp::kPlus, false, false,
+                                     {}, lat);
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    if (ls.server.stats().window_shrinks > 0) break;
+  }
+  EXPECT_GT(ls.server.stats().window_shrinks, 0u);
+  EXPECT_LT(ls.svc.window_us(), 4000u);  // the live serve window moved
+}
+
+TEST(NetServer, QosOffPinsEverythingToBulkLane) {
+  Server::Options o = LiveServer::make_options();
+  o.qos = false;
+  LiveServer ls(o);
+  Client cli("127.0.0.1", ls.port());
+  RequestOptions lat;
+  lat.priority = Priority::kLatency;  // ignored: QoS is off
+  for (int i = 0; i < 4; ++i) {
+    const Response r =
+        cli.scan_sync({1, 1, 1}, ScanOp::kPlus, false, false, {}, lat);
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+  }
+  const serve::Metrics m = ls.svc.metrics();
+  EXPECT_EQ(m.latency_lane_jobs, 0u);
+  EXPECT_EQ(ls.server.stats().window_shrinks, 0u);
+}
+
+TEST(NetServer, PrometheusScrapeOnTheSamePort) {
+  LiveServer ls;
+  {
+    Client cli("127.0.0.1", ls.port());
+    const Response r = cli.scan_sync({1, 2}, ScanOp::kPlus);
+    ASSERT_EQ(r.status, Status::kOk);
+  }
+  Client raw("127.0.0.1", ls.port(), 0, /*manual=*/true);
+  const std::string get = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(raw.send_raw(get.data(), get.size()));
+  // The scrape counter is the observable contract here; body correctness is
+  // covered by test_obs. Poll briefly: the server processes the GET async.
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (ls.server.stats().http_scrapes == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(ls.server.stats().http_scrapes, 1u);
+  // And the net series exist in the registry's rendering.
+  const std::string rendered = obs::render_text();
+  EXPECT_NE(rendered.find("scanprim_net_connections"), std::string::npos);
+  EXPECT_NE(rendered.find("scanprim_net_requests_total"), std::string::npos);
+}
+
+TEST(NetServer, CoordinatorBackendServesScansAndDeclinesTheRest) {
+  shard::Options so;
+  so.shards = 2;
+  shard::Coordinator coord(so);
+  coord.start();
+  CoordinatorBackend backend(coord);
+  Server::Options o = LiveServer::make_options();
+  Server server(backend, o);
+  server.start();
+  {
+    Client cli("127.0.0.1", server.port());
+    const auto data = testutil::random_vector<std::int64_t>(513, 21);
+    const Response r = cli.scan_sync(data, ScanOp::kPlus);
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_EQ(r.outputs.front(), ref_exclusive_plus(data));
+
+    // Everything that is not a scan is kUnsupported on this backend.
+    const Response rp = cli.pack_sync({1, 2, 3}, {1, 0, 1});
+    EXPECT_EQ(rp.status, Status::kUnsupported);
+    const Response rplan = cli.plan_sync("x", {});
+    EXPECT_EQ(rplan.status, Status::kUnsupported);
+  }
+  server.stop();
+  coord.shutdown();
+}
+
+TEST(NetServer, StopWithClientsConnectedIsClean) {
+  auto ls = std::make_unique<LiveServer>();
+  const std::uint16_t port = ls->port();
+  Client cli("127.0.0.1", port);
+  const Response r = cli.scan_sync({1, 2, 3}, ScanOp::kPlus);
+  ASSERT_EQ(r.status, Status::kOk);
+  ls.reset();  // server down with the connection open
+  // The client sees the close; outstanding work fails rather than hangs.
+  const Response dead = cli.scan_sync({4, 5}, ScanOp::kPlus);
+  EXPECT_EQ(dead.status, Status::kError);
+}
+
+}  // namespace
+}  // namespace scanprim::net

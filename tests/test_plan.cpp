@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <future>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <optional>
@@ -23,6 +25,7 @@
 
 #include "src/core/runtime.hpp"
 #include "src/fault/fault.hpp"
+#include "src/plan/coalesce.hpp"
 #include "src/serve/service.hpp"
 #include "src/vm/assembler.hpp"
 #include "test_util.hpp"
@@ -834,6 +837,162 @@ TEST(PlanServe, RepeatedPlanTrafficReusesFusedGroups) {
     EXPECT_EQ(ms.pipeline_stats.fuse_runs, 0u);
     EXPECT_GT(ms.pipeline_stats.plan_reuses, 0u);
   }
+  svc.shutdown();
+}
+
+TEST(PlanServe, SamePlanJobsCoalesceIntoOneMergedDispatch) {
+  // Several jobs naming the same plan inside one batching window run as ONE
+  // merged segmented execution (docs/PLAN.md "Coalescing"): plan_coalesced
+  // counts the jobs served that way, plan_reuses counts each chain once per
+  // merged batch — not once per job — and the outputs are bit-identical to
+  // per-job execution.
+  serve::Service::Options so;
+  so.window_us = 100000;  // 100 ms: all submissions land in one batch
+  serve::Service svc(so);
+  const auto prog =
+      vm::assemble("load a\nload b\nadd\n+scan\nmaxscan\nprint\nhalt");
+  svc.register_plan("merge_me", prog);
+  const auto compiled = plan::Cache::instance().get(prog);
+  const bool can_coalesce =
+      compiled != nullptr && plan::coalescable(*compiled);
+  EXPECT_EQ(can_coalesce, plan::enabled());
+
+  constexpr std::size_t k = 6;
+  std::vector<std::future<serve::Result>> futs;
+  std::vector<Vec> as, bs;
+  for (std::size_t i = 0; i < k; ++i) {
+    as.push_back(testutil::random_vector<std::int64_t>(64 + 32 * i, 70 + i));
+    bs.push_back(testutil::random_vector<std::int64_t>(64 + 32 * i, 90 + i));
+    serve::PlanJob j;
+    j.plan = "merge_me";
+    j.registers["a"] = as[i];
+    j.registers["b"] = bs[i];
+    futs.push_back(svc.submit(std::move(j)));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const serve::Result r = futs[i].get();
+    ASSERT_EQ(r.status, serve::Status::kOk) << r.error;
+    // Reference: max-scan(+scan(a + b)), both scans exclusive.
+    Vec want(as[i].size());
+    std::int64_t sum = 0;
+    std::int64_t best = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t n = 0; n < want.size(); ++n) {
+      want[n] = best;
+      best = std::max(best, sum);
+      sum += as[i][n] + bs[i][n];
+    }
+    EXPECT_EQ(r.values, want) << "job " << i;
+  }
+  const serve::Metrics m = svc.metrics();
+  EXPECT_EQ(m.plan_jobs, k);
+  if (can_coalesce) {
+    EXPECT_EQ(m.plan_coalesced, k);
+    // ONE merged execution: the plan's chains replayed once for the whole
+    // group, not once per job.
+    EXPECT_GT(m.pipeline_stats.plan_reuses, 0u);
+    EXPECT_LT(m.pipeline_stats.plan_reuses, k);
+    EXPECT_EQ(m.pipeline_stats.fuse_runs, 0u);
+  }
+  svc.shutdown();
+}
+
+TEST(PlanServe, CoalescedAndPerJobResultsAgreeOnSegmentedPlans) {
+  // A plan with its own segmented scan: the merged form ORs the operand
+  // flags with the job boundaries. Run the same jobs through a wide-window
+  // (coalesced) and a zero-window (per-job) service and compare bit-exactly.
+  const auto prog = vm::assemble("load v\nload f\nseg+scan\nprint\nhalt");
+  std::vector<std::map<std::string, Vec>> jobs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::size_t n = 48 + 16 * i;
+    std::map<std::string, Vec> regs;
+    regs["v"] = testutil::random_vector<std::int64_t>(n, 7 + i);
+    Vec flags(n, 0);
+    for (std::size_t at = (i % 3); at < n; at += 5 + i) flags[at] = 1;
+    regs["f"] = flags;
+    jobs.push_back(std::move(regs));
+  }
+  auto run = [&](std::uint64_t window_us) {
+    serve::Service::Options so;
+    so.window_us = window_us;
+    serve::Service svc(so);
+    svc.register_plan("seg", prog);
+    std::vector<std::future<serve::Result>> futs;
+    for (const auto& regs : jobs) {
+      serve::PlanJob j;
+      j.plan = "seg";
+      j.registers = regs;
+      futs.push_back(svc.submit(std::move(j)));
+    }
+    std::vector<Vec> out;
+    for (auto& f : futs) {
+      const serve::Result r = f.get();
+      EXPECT_EQ(r.status, serve::Status::kOk) << r.error;
+      out.push_back(r.values);
+    }
+    const serve::Metrics m = svc.metrics();
+    svc.shutdown();
+    if (window_us > 0 && plan::enabled()) {
+      EXPECT_EQ(m.plan_coalesced, jobs.size());
+    }
+    return out;
+  };
+  const auto coalesced = run(100000);
+  const auto per_job = run(0);
+  EXPECT_EQ(coalesced, per_job);
+}
+
+TEST(PlanServe, UncoalescablePlansFallBackPerJob) {
+  // A literal operand (`const`) has one compile-time length, not one per
+  // job, so the plan must decline coalescing and still serve correctly.
+  serve::Service::Options so;
+  so.window_us = 50000;
+  serve::Service svc(so);
+  const auto prog = vm::assemble("load a\nconst 1 1\nadd\nprint\nhalt");
+  svc.register_plan("plus1", prog);
+  const auto compiled = plan::Cache::instance().get(prog);
+  if (compiled != nullptr) {
+    EXPECT_FALSE(plan::coalescable(*compiled));
+  }
+  std::vector<std::future<serve::Result>> futs;
+  for (int i = 0; i < 3; ++i) {
+    serve::PlanJob j;
+    j.plan = "plus1";
+    j.registers["a"] = Vec{10 + i, 20 + i};
+    futs.push_back(svc.submit(std::move(j)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const serve::Result r = futs[i].get();
+    ASSERT_EQ(r.status, serve::Status::kOk) << r.error;
+    EXPECT_EQ(r.values, (Vec{11 + i, 21 + i}));
+  }
+  EXPECT_EQ(svc.metrics().plan_coalesced, 0u);
+  svc.shutdown();
+}
+
+TEST(PlanServe, CoalescedGroupWithMissingRegisterFallsBackWithExactErrors) {
+  // One job of the group lacks a register: the merged run bails wholesale
+  // and the per-job fallback gives the good jobs their results and the bad
+  // job its exact interpreter error.
+  serve::Service::Options so;
+  so.window_us = 50000;
+  serve::Service svc(so);
+  svc.register_plan("sum2", vm::assemble("load a\n+scan\nprint\nhalt"));
+  std::vector<std::future<serve::Result>> futs;
+  for (int i = 0; i < 3; ++i) {
+    serve::PlanJob j;
+    j.plan = "sum2";
+    if (i != 1) j.registers["a"] = Vec{1, 2, 3};
+    futs.push_back(svc.submit(std::move(j)));
+  }
+  const serve::Result good0 = futs[0].get();
+  const serve::Result bad = futs[1].get();
+  const serve::Result good2 = futs[2].get();
+  ASSERT_EQ(good0.status, serve::Status::kOk) << good0.error;
+  EXPECT_EQ(good0.values, (Vec{0, 1, 3}));
+  EXPECT_EQ(bad.status, serve::Status::kError);
+  ASSERT_EQ(good2.status, serve::Status::kOk) << good2.error;
+  EXPECT_EQ(good2.values, (Vec{0, 1, 3}));
+  EXPECT_EQ(svc.metrics().plan_coalesced, 0u);
   svc.shutdown();
 }
 
